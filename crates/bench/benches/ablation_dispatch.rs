@@ -1,0 +1,70 @@
+//! Ablation: dispatch mechanism only.
+//!
+//! Runs the *identical* configuration graph on the dynamic (`Box<dyn
+//! Element>` vtable) and compiled (enum `match`) engines, isolating the
+//! cost `click-devirtualize` removes from every other difference. Also
+//! sweeps chain length to show the per-hop nature of the overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use click_core::lang::read_config;
+use click_core::registry::Library;
+use click_elements::packet::Packet;
+use click_elements::router::Router;
+use click_elements::{CompiledRouter, DynRouter};
+
+fn chain_config(n: usize) -> String {
+    let mut s = String::from("FromDevice(in) -> ");
+    for i in 0..n {
+        s.push_str(&format!("c{i} :: Counter -> "));
+    }
+    s.push_str("Queue(256) -> ToDevice(out);");
+    s
+}
+
+fn run<S: click_elements::router::Slot>(r: &mut Router<S>, batch: usize) -> usize {
+    let input = r.devices.id("in").unwrap();
+    let out = r.devices.id("out").unwrap();
+    for _ in 0..batch {
+        r.devices.inject(input, Packet::new(60));
+    }
+    r.run_until_idle(10_000);
+    r.devices.take_tx(out).len()
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let lib = Library::standard();
+    for n in [4usize, 16] {
+        let graph = read_config(&chain_config(n)).unwrap();
+        let mut dyn_router: DynRouter = Router::from_graph(&graph, &lib).unwrap();
+        let mut fast_router: CompiledRouter = Router::from_graph(&graph, &lib).unwrap();
+        let batch = 64;
+        assert_eq!(run(&mut dyn_router, batch), batch);
+        assert_eq!(run(&mut fast_router, batch), batch);
+
+        let mut g = c.benchmark_group(format!("ablation_dispatch_chain{n}"));
+        g.throughput(criterion::Throughput::Elements(batch as u64));
+        g.bench_function("dyn_vtable", |b| {
+            b.iter(|| black_box(run(&mut dyn_router, black_box(batch))))
+        });
+        g.bench_function("enum_match", |b| {
+            b.iter(|| black_box(run(&mut fast_router, black_box(batch))))
+        });
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_dispatch
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: the decision-tree optimizer (paper §3's "extensive set of
+//! decision tree optimizations, similar to BPF+'s").
+//!
+//! Measures the same firewall rule set interpreted (a) as built and
+//! (b) after redundancy elimination + subtree sharing, separating the
+//! *tree-optimization* benefit from the *representation* benefit that
+//! `click-fastclassifier` adds on top.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use click_classifier::firewall::{denied_packet, dns5_packet, firewall_config};
+use click_classifier::{build_tree, optimize, parse_rules, ClassifierProgram, TreeClassifier};
+
+fn bench_tree_optimize(c: &mut Criterion) {
+    let rules = parse_rules("IPFilter", &firewall_config()).unwrap();
+    let raw = build_tree(&rules, 1);
+    let opt = optimize(&raw);
+    assert!(opt.depth().unwrap() < raw.depth().unwrap());
+
+    let raw_interp = TreeClassifier::new(&raw);
+    let opt_interp = TreeClassifier::new(&opt);
+    let raw_prog = ClassifierProgram::compile(&raw);
+    let opt_prog = ClassifierProgram::compile(&opt);
+
+    for (packet_name, pkt) in [("dns5", dns5_packet()), ("denied", denied_packet())] {
+        let mut g = c.benchmark_group(format!("ablation_tree_optimize_{packet_name}"));
+        g.bench_function("raw_tree_interp", |b| b.iter(|| raw_interp.classify(black_box(&pkt))));
+        g.bench_function("optimized_tree_interp", |b| {
+            b.iter(|| opt_interp.classify(black_box(&pkt)))
+        });
+        g.bench_function("raw_tree_program", |b| b.iter(|| raw_prog.classify(black_box(&pkt))));
+        g.bench_function("optimized_tree_program", |b| {
+            b.iter(|| opt_prog.classify(black_box(&pkt)))
+        });
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tree_optimize
+}
+criterion_main!(benches);

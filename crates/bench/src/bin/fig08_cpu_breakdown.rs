@@ -1,0 +1,46 @@
+//! Figure 8: CPU cost breakdown for an unoptimized Click IP router.
+//!
+//! Paper values (700 MHz P0, 64-byte packets): receiving device 701 ns,
+//! forwarding path 1657 ns, transmitting device 547 ns, total 2905 ns.
+//!
+//! Run: `cargo run --release -p click-bench --bin fig08_cpu_breakdown`
+
+use click_bench::{evaluation_spec, row};
+use click_core::lang::read_config;
+use click_sim::cost::path::router_cpu_cost;
+use click_sim::{evaluation_traffic, Platform};
+
+fn main() {
+    let spec = evaluation_spec();
+    let graph = read_config(&spec.config()).expect("reference router parses");
+    let traffic = evaluation_traffic(&spec);
+    let cost = router_cpu_cost(&graph, &Platform::p0(), &traffic).expect("cost model");
+
+    println!("Figure 8: CPU cost breakdown, unoptimized Click IP router (ns/packet)");
+    println!();
+    let w = [34, 10, 10];
+    println!("{}", row(&["Task".into(), "model".into(), "paper".into()], &w));
+    for (task, model, paper) in [
+        ("Receiving device interactions", cost.rx_device_ns, 701.0),
+        ("Click forwarding path", cost.forwarding_ns, 1657.0),
+        ("Transmitting device interactions", cost.tx_device_ns, 547.0),
+        ("Total", cost.total_ns(), 2905.0),
+    ] {
+        println!(
+            "{}",
+            row(&[task.into(), format!("{model:.0}"), format!("{paper:.0}")], &w)
+        );
+    }
+    println!();
+    println!(
+        "forwarding path: {} elements, {} transfers, {:.0} cycles @700MHz",
+        cost.elements.round(),
+        cost.hops.round(),
+        cost.forwarding_cycles
+    );
+    let rate = 1e9 / cost.total_ns();
+    println!(
+        "implied maximum forwarding rate: {:.0} pps (paper: \"about 344,000\")",
+        rate
+    );
+}

@@ -1,0 +1,74 @@
+//! Figure 9: effect of the language optimizations on CPU time cost.
+//!
+//! Black bars = Click forwarding path; white bars = total including
+//! device drivers. Paper anchor values: Base 1657/2905, All 1101/2349,
+//! MR+All 1061/2309 ns (other bars are read off the chart).
+//!
+//! Run: `cargo run --release -p click-bench --bin fig09_optimizations`
+
+use click_bench::{evaluation_spec, ip_router_variants, row};
+use click_sim::cost::path::router_cpu_cost;
+use click_sim::{evaluation_traffic, Platform};
+
+fn main() {
+    let spec = evaluation_spec();
+    let variants = ip_router_variants(8).expect("variants build");
+    let traffic = evaluation_traffic(&spec);
+    let simple_traffic: click_sim::TrafficSpec =
+        (0..4).map(|i| (format!("eth{i}"), vec![0u8; 60])).collect();
+    let p0 = Platform::p0();
+
+    // Paper anchors (ns); None where Figure 9 gives no number in the text.
+    let paper: &[(&str, Option<f64>, Option<f64>)] = &[
+        ("Base", Some(1657.0), Some(2905.0)),
+        ("FC", None, None),
+        ("DV", None, None),
+        ("XF", None, None),
+        ("All", Some(1101.0), Some(2349.0)),
+        ("MR", None, None), // ARP elimination alone: no number stated in the paper
+        ("MR+All", Some(1061.0), Some(2309.0)),
+        ("Simple", None, None),
+    ];
+
+    println!("Figure 9: CPU time per packet by optimization (ns)");
+    println!();
+    let w = [8, 10, 10, 12, 12];
+    println!(
+        "{}",
+        row(
+            &["config".into(), "fwd".into(), "total".into(), "fwd(paper)".into(), "tot(paper)".into()],
+            &w
+        )
+    );
+    let mut base_fwd = 0.0;
+    for v in &variants {
+        let t = if v.name == "Simple" { &simple_traffic } else { &traffic };
+        let cost = router_cpu_cost(&v.graph, &p0, t)
+            .unwrap_or_else(|e| panic!("cost model failed for {}: {e}", v.name));
+        if v.name == "Base" {
+            base_fwd = cost.forwarding_ns;
+        }
+        let anchors = paper.iter().find(|(n, _, _)| *n == v.name).expect("anchor row");
+        let fmt = |o: Option<f64>| o.map(|x| format!("{x:.0}")).unwrap_or_else(|| "-".into());
+        println!(
+            "{}",
+            row(
+                &[
+                    v.name.into(),
+                    format!("{:.0}", cost.forwarding_ns),
+                    format!("{:.0}", cost.total_ns()),
+                    fmt(anchors.1),
+                    fmt(anchors.2),
+                ],
+                &w
+            )
+        );
+    }
+    println!();
+    let all = variants.iter().find(|v| v.name == "All").unwrap();
+    let all_fwd = router_cpu_cost(&all.graph, &p0, &traffic).unwrap().forwarding_ns;
+    println!(
+        "forwarding-path reduction, Base -> All: {:.0}% (paper: 34%)",
+        (1.0 - all_fwd / base_fwd) * 100.0
+    );
+}

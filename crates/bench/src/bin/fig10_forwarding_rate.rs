@@ -1,0 +1,63 @@
+//! Figure 10: forwarding rate versus input rate for variously optimized
+//! IP routers (64-byte packets; an ideal router is the line y = x).
+//!
+//! Paper anchors: Base MLFFR 357k pps; All 446k; MR+All 457k; the
+//! optimized configurations and Simple decline toward ~400k at high input
+//! rates (PCI-limited), while Base stays flat (CPU-limited).
+//!
+//! Run: `cargo run --release -p click-bench --bin fig10_forwarding_rate`
+
+use click_bench::{evaluation_spec, ip_router_variants, row};
+use click_sim::cost::path::router_cpu_cost;
+use click_sim::{evaluation_traffic, sweep, Platform, RunConfig};
+
+fn main() {
+    let spec = evaluation_spec();
+    let variants = ip_router_variants(8).expect("variants build");
+    let traffic = evaluation_traffic(&spec);
+    let simple_traffic: click_sim::TrafficSpec =
+        (0..4).map(|i| (format!("eth{i}"), vec![0u8; 60])).collect();
+    let p0 = Platform::p0();
+
+    let rates: Vec<f64> = (1..=12).map(|i| i as f64 * 50_000.0).collect();
+
+    println!("Figure 10: forwarding rate (kpps) vs input rate (kpps), 64-byte packets");
+    println!();
+    let mut header = vec!["input".to_string()];
+    header.extend(variants.iter().map(|v| v.name.to_string()));
+    let widths = vec![7usize; header.len()];
+    println!("{}", row(&header, &widths));
+
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for v in &variants {
+        let t = if v.name == "Simple" { &simple_traffic } else { &traffic };
+        let cpu = router_cpu_cost(&v.graph, &p0, t)
+            .unwrap_or_else(|e| panic!("cost model failed for {}: {e}", v.name))
+            .total_ns();
+        let cfg = RunConfig::new(p0.clone(), cpu);
+        let points = sweep(&cfg, &rates);
+        curves.push(points.iter().map(|p| p.forwarded_pps).collect());
+    }
+    for (i, rate) in rates.iter().enumerate() {
+        let mut cells = vec![format!("{:.0}", rate / 1000.0)];
+        for curve in &curves {
+            cells.push(format!("{:.0}", curve[i] / 1000.0));
+        }
+        println!("{}", row(&cells, &widths));
+    }
+    println!();
+    println!("MLFFR (kpps):");
+    for v in &variants {
+        let t = if v.name == "Simple" { &simple_traffic } else { &traffic };
+        let cpu = router_cpu_cost(&v.graph, &p0, t).unwrap().total_ns();
+        let cfg = RunConfig::new(p0.clone(), cpu);
+        let m = click_sim::mlffr(&cfg) / 1000.0;
+        let paper = match v.name {
+            "Base" => "357",
+            "All" => "446",
+            "MR+All" => "457",
+            _ => "-",
+        };
+        println!("  {:7}  model {m:6.0}  paper {paper}", v.name);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 11: cumulative outcome rates as a function of input rate for
+//! three configurations — "Simple", "Base", and "MR+All".
+//!
+//! Paper findings to reproduce: Base is CPU-limited (drops are missed
+//! frames only); Simple is not CPU-limited (drops are FIFO overflows and
+//! Queue drops — the PCI bus or memory system saturates); MR+All starts
+//! CPU-limited, then failed descriptor checks saturate the PCI bus.
+//!
+//! Run: `cargo run --release -p click-bench --bin fig11_outcomes`
+
+use click_bench::{evaluation_spec, ip_router_variants, row};
+use click_sim::cost::path::router_cpu_cost;
+use click_sim::{evaluation_traffic, sweep, Platform, RunConfig};
+
+fn main() {
+    let spec = evaluation_spec();
+    let variants = ip_router_variants(8).expect("variants build");
+    let traffic = evaluation_traffic(&spec);
+    let simple_traffic: click_sim::TrafficSpec =
+        (0..4).map(|i| (format!("eth{i}"), vec![0u8; 60])).collect();
+    let p0 = Platform::p0();
+    let rates: Vec<f64> = (1..=12).map(|i| i as f64 * 50_000.0).collect();
+
+    for name in ["Simple", "Base", "MR+All"] {
+        let v = variants.iter().find(|v| v.name == name).expect("variant exists");
+        let t = if name == "Simple" { &simple_traffic } else { &traffic };
+        let cpu = router_cpu_cost(&v.graph, &p0, t).expect("cost model").total_ns();
+        let cfg = RunConfig::new(p0.clone(), cpu);
+        let points = sweep(&cfg, &rates);
+        println!("--- {name} (cumulative outcome rates, kpps) ---");
+        let w = [7usize; 5];
+        println!(
+            "{}",
+            row(
+                &[
+                    "input".into(),
+                    "sent".into(),
+                    "+queue".into(),
+                    "+miss".into(),
+                    "+fifo".into()
+                ],
+                &w
+            )
+        );
+        for p in &points {
+            let sent = p.forwarded_pps / 1000.0;
+            let q = sent + p.queue_drop_pps / 1000.0;
+            let m = q + p.missed_frame_pps / 1000.0;
+            let f = m + p.fifo_overflow_pps / 1000.0;
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{:.0}", p.input_pps / 1000.0),
+                        format!("{sent:.0}"),
+                        format!("{q:.0}"),
+                        format!("{m:.0}"),
+                        format!("{f:.0}")
+                    ],
+                    &w
+                )
+            );
+        }
+        // Characterize the drop mix at the highest rate.
+        let last = points.last().expect("points");
+        let dominant = [
+            ("queue drops", last.queue_drop_pps),
+            ("missed frames", last.missed_frame_pps),
+            ("FIFO overflows", last.fifo_overflow_pps),
+        ]
+        .into_iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(n, _)| n)
+        .unwrap_or("none");
+        println!("dominant drop outcome at max input: {dominant}");
+        println!();
+    }
+    println!("paper: Base drops = missed frames (CPU-limited);");
+    println!("       Simple drops = FIFO overflows / queue drops (PCI-limited).");
+}

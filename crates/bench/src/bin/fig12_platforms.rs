@@ -1,0 +1,69 @@
+//! Figure 12: effect of the "All" optimizations on MLFFR for each
+//! hardware platform.
+//!
+//! Paper values (packets/s): P0 446k/357k (1.25), P1 430k/350k (1.23),
+//! P2 450k/330k (1.36), P3 740k/640k (1.16).
+//!
+//! Run: `cargo run --release -p click-bench --bin fig12_platforms`
+
+use click_bench::{evaluation_spec, ip_router_variants, row};
+use click_sim::cost::path::router_cpu_cost;
+use click_sim::{evaluation_traffic, mlffr, Platform, RunConfig};
+
+fn main() {
+    let spec = evaluation_spec();
+    let variants = ip_router_variants(8).expect("variants build");
+    let base = &variants.iter().find(|v| v.name == "Base").unwrap().graph;
+    let all = &variants.iter().find(|v| v.name == "All").unwrap().graph;
+    let traffic = evaluation_traffic(&spec);
+
+    let paper: &[(&str, f64, f64)] = &[
+        ("P0", 446_000.0, 357_000.0),
+        ("P1", 430_000.0, 350_000.0),
+        ("P2", 450_000.0, 330_000.0),
+        ("P3", 740_000.0, 640_000.0),
+    ];
+
+    println!("Figure 12: MLFFR by platform (kpps), All vs Base");
+    println!();
+    let w = [9, 9, 9, 7, 9, 9, 7];
+    println!(
+        "{}",
+        row(
+            &[
+                "platform".into(),
+                "All".into(),
+                "Base".into(),
+                "ratio".into(),
+                "All(p)".into(),
+                "Base(p)".into(),
+                "rat(p)".into()
+            ],
+            &w
+        )
+    );
+    for platform in Platform::all() {
+        let all_cpu = router_cpu_cost(all, &platform, &traffic).expect("cost").total_ns();
+        let base_cpu = router_cpu_cost(base, &platform, &traffic).expect("cost").total_ns();
+        let all_m = mlffr(&RunConfig::new(platform.clone(), all_cpu));
+        let base_m = mlffr(&RunConfig::new(platform.clone(), base_cpu));
+        let (_, ap, bp) = paper.iter().find(|(n, _, _)| *n == platform.name).expect("paper row");
+        println!(
+            "{}",
+            row(
+                &[
+                    platform.name.into(),
+                    format!("{:.0}", all_m / 1000.0),
+                    format!("{:.0}", base_m / 1000.0),
+                    format!("{:.2}", all_m / base_m),
+                    format!("{:.0}", ap / 1000.0),
+                    format!("{:.0}", bp / 1000.0),
+                    format!("{:.2}", ap / bp),
+                ],
+                &w
+            )
+        );
+    }
+    println!();
+    println!("(p) columns are the paper's measured values.");
+}

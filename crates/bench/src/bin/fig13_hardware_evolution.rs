@@ -1,0 +1,62 @@
+//! Figure 13: forwarding rate vs input rate for platforms P1, P2, P3
+//! ("hardware evolution", §8.5).
+//!
+//! Shape to reproduce: P2's faster PCI lifts "Simple" (which was
+//! PCI-limited on P1); P3's 2× CPU forwards about 1.9× P2 for Base and
+//! about 1.6× for All (which starts hitting the bus).
+//!
+//! Run: `cargo run --release -p click-bench --bin fig13_hardware_evolution`
+
+use click_bench::{evaluation_spec, ip_router_variants, row};
+use click_sim::cost::path::router_cpu_cost;
+use click_sim::{evaluation_traffic, sweep, Platform, RunConfig};
+
+fn main() {
+    let spec = evaluation_spec();
+    let variants = ip_router_variants(8).expect("variants build");
+    let traffic = evaluation_traffic(&spec);
+    let simple_traffic: click_sim::TrafficSpec =
+        (0..4).map(|i| (format!("eth{i}"), vec![0u8; 60])).collect();
+
+    let rates: Vec<f64> = (1..=10).map(|i| i as f64 * 100_000.0).collect();
+    for platform in [Platform::p1(), Platform::p2(), Platform::p3()] {
+        println!("--- {} ({} MHz CPU, {}-bit/{} MHz PCI) ---", platform.name, platform.cpu_mhz, platform.pci_bits, platform.pci_mhz);
+        let mut header = vec!["input".to_string()];
+        let names = ["Base", "All", "Simple"];
+        header.extend(names.iter().map(|s| s.to_string()));
+        let widths = vec![8usize; header.len()];
+        println!("{}", row(&header, &widths));
+        let mut curves = Vec::new();
+        for name in names {
+            let v = variants.iter().find(|v| v.name == name).unwrap();
+            let t = if name == "Simple" { &simple_traffic } else { &traffic };
+            let cpu = router_cpu_cost(&v.graph, &platform, t).expect("cost").total_ns();
+            let cfg = RunConfig::new(platform.clone(), cpu);
+            curves.push(sweep(&cfg, &rates));
+        }
+        for (i, rate) in rates.iter().enumerate() {
+            let mut cells = vec![format!("{:.0}", rate / 1000.0)];
+            for c in &curves {
+                cells.push(format!("{:.0}", c[i].forwarded_pps / 1000.0));
+            }
+            println!("{}", row(&cells, &widths));
+        }
+        println!();
+    }
+    // The P3-vs-P2 speedup ratios the paper highlights.
+    let p2 = Platform::p2();
+    let p3 = Platform::p3();
+    for name in ["Base", "All"] {
+        let v = variants.iter().find(|v| v.name == name).unwrap();
+        let m2 = click_sim::mlffr(&RunConfig::new(
+            p2.clone(),
+            router_cpu_cost(&v.graph, &p2, &traffic).unwrap().total_ns(),
+        ));
+        let m3 = click_sim::mlffr(&RunConfig::new(
+            p3.clone(),
+            router_cpu_cost(&v.graph, &p3, &traffic).unwrap().total_ns(),
+        ));
+        let paper = if name == "Base" { 1.9 } else { 1.6 };
+        println!("P3/P2 MLFFR ratio, {name}: model {:.2}, paper ~{paper}", m3 / m2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Building decision trees from match conditions.
+//!
+//! Both `Classifier`'s byte patterns and `IPFilter`/`IPClassifier`'s
+//! textual language lower to the same intermediate form — a boolean
+//! [`Cond`] over word compares — which this module compiles into a
+//! [`DecisionTree`] using continuation passing, the same way BPF-style
+//! compilers wire `jt`/`jf` targets.
+
+use crate::tree::{DecisionTree, Expr, Step};
+
+/// A single aligned word comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Check {
+    /// Word-aligned byte offset.
+    pub offset: u32,
+    /// Mask applied to the loaded word.
+    pub mask: u32,
+    /// Expected masked value.
+    pub value: u32,
+}
+
+impl Check {
+    /// Creates a check, asserting alignment and mask consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is not a multiple of 4 or `value` has bits outside
+    /// `mask`.
+    pub fn new(offset: u32, mask: u32, value: u32) -> Check {
+        assert_eq!(offset % 4, 0, "check offset must be word-aligned");
+        assert_eq!(value & !mask, 0, "check value must be within mask");
+        Check { offset, mask, value }
+    }
+}
+
+/// A boolean condition over word compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// A single comparison.
+    Check(Check),
+    /// All conditions must hold. An empty `And` is true.
+    And(Vec<Cond>),
+    /// At least one condition must hold. An empty `Or` is false.
+    Or(Vec<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+}
+
+impl Cond {
+    /// Builds a conjunction of byte-level matches: the packet bytes at
+    /// `offset` must equal `bytes` under `mask_bytes` (bit-for-bit). The
+    /// byte range is split into word-aligned [`Check`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` and `mask_bytes` have different lengths.
+    pub fn bytes_match(offset: usize, bytes: &[u8], mask_bytes: &[u8]) -> Cond {
+        assert_eq!(bytes.len(), mask_bytes.len());
+        let mut checks = Vec::new();
+        if bytes.is_empty() {
+            return Cond::True;
+        }
+        let first_word = (offset / 4) * 4;
+        let end = offset + bytes.len();
+        let mut w = first_word;
+        while w < end {
+            let mut mask = [0u8; 4];
+            let mut value = [0u8; 4];
+            for i in 0..4 {
+                let pos = w + i;
+                if pos >= offset && pos < end {
+                    mask[i] = mask_bytes[pos - offset];
+                    value[i] = bytes[pos - offset] & mask[i];
+                }
+            }
+            let m = u32::from_be_bytes(mask);
+            if m != 0 {
+                checks.push(Cond::Check(Check::new(w as u32, m, u32::from_be_bytes(value))));
+            }
+            w += 4;
+        }
+        match checks.len() {
+            0 => Cond::True,
+            1 => checks.pop().expect("one element"),
+            _ => Cond::And(checks),
+        }
+    }
+
+    /// Evaluates the condition directly against packet data (reference
+    /// semantics for testing compiled trees).
+    pub fn eval(&self, data: &[u8]) -> bool {
+        match self {
+            Cond::Check(c) => {
+                crate::tree::load_word(data, c.offset as usize) & c.mask == c.value
+            }
+            Cond::And(cs) => cs.iter().all(|c| c.eval(data)),
+            Cond::Or(cs) => cs.iter().any(|c| c.eval(data)),
+            Cond::Not(c) => !c.eval(data),
+            Cond::True => true,
+            Cond::False => false,
+        }
+    }
+}
+
+/// What happens to packets matching a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Emit on the given output port (Classifier outputs, IPFilter `allow`).
+    Emit(usize),
+    /// Drop the packet (IPFilter `deny`/`drop`).
+    Drop,
+}
+
+impl Action {
+    fn step(self) -> Step {
+        match self {
+            Action::Emit(o) => Step::Output(o),
+            Action::Drop => Step::Drop,
+        }
+    }
+}
+
+/// A rule: a condition and the action for packets matching it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// When the rule applies.
+    pub cond: Cond,
+    /// What to do with matching packets.
+    pub action: Action,
+}
+
+/// Compiles one condition with explicit success/failure continuations,
+/// appending nodes to `exprs` and returning the entry step.
+fn compile(cond: &Cond, yes: Step, no: Step, exprs: &mut Vec<Expr>) -> Step {
+    match cond {
+        Cond::True => yes,
+        Cond::False => no,
+        Cond::Check(c) => {
+            exprs.push(Expr { offset: c.offset, mask: c.mask, value: c.value, yes, no });
+            Step::Node(exprs.len() - 1)
+        }
+        Cond::Not(inner) => compile(inner, no, yes, exprs),
+        Cond::And(cs) => {
+            // Compile right-to-left so each conjunct's success continues at
+            // the next conjunct's entry.
+            let mut entry = yes;
+            for c in cs.iter().rev() {
+                entry = compile(c, entry, no, exprs);
+            }
+            entry
+        }
+        Cond::Or(cs) => {
+            let mut entry = no;
+            for c in cs.iter().rev() {
+                entry = compile(c, yes, entry, exprs);
+            }
+            entry
+        }
+    }
+}
+
+/// Compiles an ordered rule list into a decision tree: rules are tried in
+/// order; the first whose condition holds determines the action; packets
+/// matching no rule are dropped.
+///
+/// # Examples
+///
+/// ```
+/// use click_classifier::build::{build_tree, Action, Check, Cond, Rule};
+///
+/// // Classifier(12/0800, -): IP to output 0, everything else to output 1.
+/// let rules = vec![
+///     Rule {
+///         cond: Cond::Check(Check::new(12, 0xFFFF_0000, 0x0800_0000)),
+///         action: Action::Emit(0),
+///     },
+///     Rule { cond: Cond::True, action: Action::Emit(1) },
+/// ];
+/// let tree = build_tree(&rules, 2);
+/// let mut pkt = [0u8; 64];
+/// pkt[12] = 0x08;
+/// assert_eq!(tree.classify(&pkt), Some(0));
+/// pkt[12] = 0x86;
+/// assert_eq!(tree.classify(&pkt), Some(1));
+/// ```
+pub fn build_tree(rules: &[Rule], noutputs: usize) -> DecisionTree {
+    let mut exprs = Vec::new();
+    let mut fail = Step::Drop;
+    for rule in rules.iter().rev() {
+        fail = compile(&rule.cond, rule.action.step(), fail, &mut exprs);
+    }
+    let tree = DecisionTree { exprs, start: fail, noutputs };
+    debug_assert!(tree.validate().is_ok());
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(pairs: &[(usize, u8)]) -> Vec<u8> {
+        let mut p = vec![0u8; 64];
+        for &(off, b) in pairs {
+            p[off] = b;
+        }
+        p
+    }
+
+    #[test]
+    fn bytes_match_within_one_word() {
+        let c = Cond::bytes_match(12, &[0x08, 0x00], &[0xFF, 0xFF]);
+        match &c {
+            Cond::Check(chk) => {
+                assert_eq!(chk.offset, 12);
+                assert_eq!(chk.mask, 0xFFFF_0000);
+                assert_eq!(chk.value, 0x0800_0000);
+            }
+            other => panic!("expected single check, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bytes_match_spanning_words() {
+        // 6 bytes at offset 2 touch words 0 and 4.
+        let c = Cond::bytes_match(2, &[1, 2, 3, 4, 5, 6], &[0xFF; 6]);
+        match &c {
+            Cond::And(cs) => {
+                assert_eq!(cs.len(), 2);
+                match (&cs[0], &cs[1]) {
+                    (Cond::Check(a), Cond::Check(b)) => {
+                        assert_eq!(a.offset, 0);
+                        assert_eq!(a.mask, 0x0000_FFFF);
+                        assert_eq!(a.value, 0x0000_0102);
+                        assert_eq!(b.offset, 4);
+                        assert_eq!(b.mask, 0xFFFF_FFFF);
+                        assert_eq!(b.value, 0x0304_0506);
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bytes_match_with_zero_mask_bytes() {
+        let c = Cond::bytes_match(0, &[0xAA, 0xBB], &[0x00, 0x00]);
+        assert_eq!(c, Cond::True);
+    }
+
+    #[test]
+    fn cond_eval_matches_tree_semantics() {
+        let cond = Cond::And(vec![
+            Cond::bytes_match(12, &[0x08, 0x00], &[0xFF, 0xFF]),
+            Cond::Not(Box::new(Cond::bytes_match(23, &[6], &[0xFF]))),
+        ]);
+        let rules = vec![Rule { cond: cond.clone(), action: Action::Emit(0) }];
+        let tree = build_tree(&rules, 1);
+        for data in [
+            pkt(&[(12, 0x08)]),
+            pkt(&[(12, 0x08), (23, 6)]),
+            pkt(&[(23, 6)]),
+            pkt(&[]),
+        ] {
+            assert_eq!(tree.classify(&data).is_some(), cond.eval(&data), "packet {data:?}");
+        }
+    }
+
+    #[test]
+    fn or_takes_first_matching_branch() {
+        let cond = Cond::Or(vec![
+            Cond::bytes_match(0, &[1], &[0xFF]),
+            Cond::bytes_match(4, &[2], &[0xFF]),
+        ]);
+        let tree = build_tree(&[Rule { cond, action: Action::Emit(0) }], 1);
+        assert_eq!(tree.classify(&pkt(&[(0, 1)])), Some(0));
+        assert_eq!(tree.classify(&pkt(&[(4, 2)])), Some(0));
+        assert_eq!(tree.classify(&pkt(&[(0, 3)])), None);
+    }
+
+    #[test]
+    fn rule_order_gives_priority() {
+        let rules = vec![
+            Rule { cond: Cond::bytes_match(0, &[1], &[0xFF]), action: Action::Emit(0) },
+            Rule { cond: Cond::True, action: Action::Emit(1) },
+        ];
+        let tree = build_tree(&rules, 2);
+        assert_eq!(tree.classify(&pkt(&[(0, 1)])), Some(0));
+        assert_eq!(tree.classify(&pkt(&[(0, 9)])), Some(1));
+    }
+
+    #[test]
+    fn deny_rules_drop() {
+        let rules = vec![
+            Rule { cond: Cond::bytes_match(0, &[7], &[0xFF]), action: Action::Drop },
+            Rule { cond: Cond::True, action: Action::Emit(0) },
+        ];
+        let tree = build_tree(&rules, 1);
+        assert_eq!(tree.classify(&pkt(&[(0, 7)])), None);
+        assert_eq!(tree.classify(&pkt(&[(0, 1)])), Some(0));
+    }
+
+    #[test]
+    fn empty_rules_drop_everything() {
+        let tree = build_tree(&[], 0);
+        assert_eq!(tree.classify(&pkt(&[])), None);
+    }
+
+    #[test]
+    fn empty_and_or() {
+        assert!(Cond::And(vec![]).eval(&[]));
+        assert!(!Cond::Or(vec![]).eval(&[]));
+        let t = build_tree(&[Rule { cond: Cond::And(vec![]), action: Action::Emit(0) }], 1);
+        assert_eq!(t.classify(&[]), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn misaligned_check_panics() {
+        Check::new(3, 0xFF, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within mask")]
+    fn value_outside_mask_panics() {
+        Check::new(0, 0x0F, 0xF0);
+    }
+}

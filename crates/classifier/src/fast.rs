@@ -1,0 +1,393 @@
+//! Specialized matchers — the Rust analogue of generated classifier code.
+//!
+//! The paper's `click-fastclassifier` emits C++ per decision tree (Figure
+//! 3b) and Click dlopens the result. Rust has no runtime code generation,
+//! so the same optimization is expressed two ways: common tree shapes
+//! compile to dedicated struct variants whose `classify` is straight-line
+//! monomorphized code (this module), and everything else falls back to the
+//! contiguous [`ClassifierProgram`]. Either way the generic tree-walk and
+//! its memory traffic are gone.
+
+use crate::program::ClassifierProgram;
+use crate::tree::{DecisionTree, Step};
+use click_core::error::{Error, Result};
+use std::fmt;
+
+/// The outcome of a leaf: an output port or a drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Emit on this output.
+    Output(usize),
+    /// Drop the packet.
+    Drop,
+}
+
+impl Outcome {
+    fn from_step(s: Step) -> Option<Outcome> {
+        match s {
+            Step::Output(o) => Some(Outcome::Output(o)),
+            Step::Drop => Some(Outcome::Drop),
+            Step::Node(_) => None,
+        }
+    }
+
+    #[inline]
+    fn get(self) -> Option<usize> {
+        match self {
+            Outcome::Output(o) => Some(o),
+            Outcome::Drop => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Output(o) => write!(f, "out{o}"),
+            Outcome::Drop => f.write_str("drop"),
+        }
+    }
+}
+
+/// A specialized classifier: the fastest available implementation of a
+/// decision tree.
+///
+/// # Examples
+///
+/// ```
+/// use click_classifier::build::build_tree;
+/// use click_classifier::fast::FastMatcher;
+/// use click_classifier::pattern::parse_classifier_config;
+///
+/// // Figure 3's classifier specializes to a single word compare.
+/// let rules = parse_classifier_config("12/0800, -")?;
+/// let m = FastMatcher::compile(&build_tree(&rules, 2));
+/// assert!(matches!(m, FastMatcher::SingleCheck { .. }));
+/// let mut pkt = [0u8; 64];
+/// pkt[12] = 0x08;
+/// assert_eq!(m.classify(&pkt), Some(0));
+/// # Ok::<(), click_core::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FastMatcher {
+    /// Every packet gets the same outcome.
+    Constant {
+        /// That outcome.
+        outcome: Outcome,
+        /// Declared output count (for port bookkeeping).
+        noutputs: usize,
+    },
+    /// One word compare — the shape of the paper's Figure 3b.
+    SingleCheck {
+        /// Word-aligned byte offset.
+        offset: u32,
+        /// Mask.
+        mask: u32,
+        /// Expected value.
+        value: u32,
+        /// Outcome on match.
+        yes: Outcome,
+        /// Outcome on mismatch.
+        no: Outcome,
+        /// Declared output count.
+        noutputs: usize,
+    },
+    /// A chain of up to two conjunctive compares with a single failure
+    /// outcome (e.g. `12/0806 20/0001`).
+    DoubleCheck {
+        /// First check `(offset, mask, value)`.
+        first: (u32, u32, u32),
+        /// Second check.
+        second: (u32, u32, u32),
+        /// Outcome when both match.
+        yes: Outcome,
+        /// Outcome when either fails.
+        no: Outcome,
+        /// Declared output count.
+        noutputs: usize,
+    },
+    /// General case: a contiguous compiled program.
+    Program(ClassifierProgram),
+}
+
+impl FastMatcher {
+    /// Chooses the best specialization for a tree.
+    pub fn compile(tree: &DecisionTree) -> FastMatcher {
+        // Constant?
+        if let Some(outcome) = Outcome::from_step(tree.start) {
+            return FastMatcher::Constant { outcome, noutputs: tree.noutputs };
+        }
+        let Step::Node(first) = tree.start else { unreachable!() };
+        let e0 = &tree.exprs[first];
+        // Single check?
+        if let (Some(yes), Some(no)) = (Outcome::from_step(e0.yes), Outcome::from_step(e0.no)) {
+            return FastMatcher::SingleCheck {
+                offset: e0.offset,
+                mask: e0.mask,
+                value: e0.value,
+                yes,
+                no,
+                noutputs: tree.noutputs,
+            };
+        }
+        // Double check with shared failure outcome?
+        if let (Step::Node(second), Some(no0)) = (e0.yes, Outcome::from_step(e0.no)) {
+            let e1 = &tree.exprs[second];
+            if let (Some(yes), Some(no1)) = (Outcome::from_step(e1.yes), Outcome::from_step(e1.no)) {
+                if no0 == no1 {
+                    return FastMatcher::DoubleCheck {
+                        first: (e0.offset, e0.mask, e0.value),
+                        second: (e1.offset, e1.mask, e1.value),
+                        yes,
+                        no: no0,
+                        noutputs: tree.noutputs,
+                    };
+                }
+            }
+        }
+        FastMatcher::Program(ClassifierProgram::compile(tree))
+    }
+
+    /// Classifies a packet. Returns the output port or `None` for a drop.
+    #[inline]
+    pub fn classify(&self, data: &[u8]) -> Option<usize> {
+        match self {
+            FastMatcher::Constant { outcome, .. } => outcome.get(),
+            FastMatcher::SingleCheck { offset, mask, value, yes, no, .. } => {
+                let w = crate::tree::load_word(data, *offset as usize);
+                if w & mask == *value {
+                    yes.get()
+                } else {
+                    no.get()
+                }
+            }
+            FastMatcher::DoubleCheck { first, second, yes, no, .. } => {
+                let w0 = crate::tree::load_word(data, first.0 as usize);
+                if w0 & first.1 != first.2 {
+                    return no.get();
+                }
+                let w1 = crate::tree::load_word(data, second.0 as usize);
+                if w1 & second.1 == second.2 {
+                    yes.get()
+                } else {
+                    no.get()
+                }
+            }
+            FastMatcher::Program(p) => p.classify(data),
+        }
+    }
+
+    /// Number of output ports.
+    pub fn noutputs(&self) -> usize {
+        match self {
+            FastMatcher::Constant { noutputs, .. }
+            | FastMatcher::SingleCheck { noutputs, .. }
+            | FastMatcher::DoubleCheck { noutputs, .. } => *noutputs,
+            FastMatcher::Program(p) => p.noutputs(),
+        }
+    }
+
+    /// A short name for the chosen specialization, used in generated-code
+    /// comments and reports.
+    pub fn shape(&self) -> &'static str {
+        match self {
+            FastMatcher::Constant { .. } => "constant",
+            FastMatcher::SingleCheck { .. } => "single-check",
+            FastMatcher::DoubleCheck { .. } => "double-check",
+            FastMatcher::Program(_) => "program",
+        }
+    }
+}
+
+impl fmt::Display for FastMatcher {
+    /// Serialized as `fast <shape> ...`; the `program` shape defers to
+    /// [`ClassifierProgram`]'s serialization.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FastMatcher::Constant { outcome, noutputs } => {
+                write!(f, "fast constant {noutputs} {outcome}")
+            }
+            FastMatcher::SingleCheck { offset, mask, value, yes, no, noutputs } => write!(
+                f,
+                "fast single {noutputs} {offset}:{mask:x}:{value:x}:{yes}:{no}"
+            ),
+            FastMatcher::DoubleCheck { first, second, yes, no, noutputs } => write!(
+                f,
+                "fast double {noutputs} {}:{:x}:{:x} {}:{:x}:{:x} {yes} {no}",
+                first.0, first.1, first.2, second.0, second.1, second.2
+            ),
+            FastMatcher::Program(p) => write!(f, "fast {p}"),
+        }
+    }
+}
+
+fn parse_outcome(s: &str) -> Result<Outcome> {
+    let bad = || Error::spec(format!("bad outcome {s:?}"));
+    if s == "drop" {
+        Ok(Outcome::Drop)
+    } else if let Some(o) = s.strip_prefix("out") {
+        Ok(Outcome::Output(o.parse().map_err(|_| bad())?))
+    } else {
+        Err(bad())
+    }
+}
+
+fn parse_check(s: &str) -> Result<(u32, u32, u32)> {
+    let bad = || Error::spec(format!("bad check {s:?}"));
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    Ok((
+        parts[0].parse().map_err(|_| bad())?,
+        u32::from_str_radix(parts[1], 16).map_err(|_| bad())?,
+        u32::from_str_radix(parts[2], 16).map_err(|_| bad())?,
+    ))
+}
+
+impl std::str::FromStr for FastMatcher {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<FastMatcher> {
+        let bad = |m: &str| Error::spec(format!("bad fast matcher: {m}"));
+        let rest = s.strip_prefix("fast ").ok_or_else(|| bad("missing `fast` prefix"))?;
+        let words: Vec<&str> = rest.split_whitespace().collect();
+        match words.first().copied() {
+            Some("constant") => {
+                if words.len() != 3 {
+                    return Err(bad("constant wants 2 fields"));
+                }
+                Ok(FastMatcher::Constant {
+                    noutputs: words[1].parse().map_err(|_| bad("bad noutputs"))?,
+                    outcome: parse_outcome(words[2])?,
+                })
+            }
+            Some("single") => {
+                if words.len() != 3 {
+                    return Err(bad("single wants 2 fields"));
+                }
+                let noutputs = words[1].parse().map_err(|_| bad("bad noutputs"))?;
+                let parts: Vec<&str> = words[2].split(':').collect();
+                if parts.len() != 5 {
+                    return Err(bad("single check wants 5 parts"));
+                }
+                Ok(FastMatcher::SingleCheck {
+                    offset: parts[0].parse().map_err(|_| bad("bad offset"))?,
+                    mask: u32::from_str_radix(parts[1], 16).map_err(|_| bad("bad mask"))?,
+                    value: u32::from_str_radix(parts[2], 16).map_err(|_| bad("bad value"))?,
+                    yes: parse_outcome(parts[3])?,
+                    no: parse_outcome(parts[4])?,
+                    noutputs,
+                })
+            }
+            Some("double") => {
+                if words.len() != 6 {
+                    return Err(bad("double wants 5 fields"));
+                }
+                Ok(FastMatcher::DoubleCheck {
+                    noutputs: words[1].parse().map_err(|_| bad("bad noutputs"))?,
+                    first: parse_check(words[2])?,
+                    second: parse_check(words[3])?,
+                    yes: parse_outcome(words[4])?,
+                    no: parse_outcome(words[5])?,
+                })
+            }
+            Some("prog") => Ok(FastMatcher::Program(rest.parse()?)),
+            _ => Err(bad("unknown shape")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_tree;
+    use crate::iplang::parse_ipfilter_config;
+    use crate::optimize::optimize;
+    use crate::pattern::parse_classifier_config;
+
+    fn tree_of(config: &str) -> DecisionTree {
+        let rules = parse_classifier_config(config).unwrap();
+        let n = rules.len();
+        build_tree(&rules, n)
+    }
+
+    #[test]
+    fn fig3_specializes_to_single_check() {
+        let m = FastMatcher::compile(&tree_of("12/0800, -"));
+        assert_eq!(m.shape(), "single-check");
+        let mut pkt = [0u8; 64];
+        pkt[12] = 0x08;
+        assert_eq!(m.classify(&pkt), Some(0));
+        pkt[12] = 0x86;
+        assert_eq!(m.classify(&pkt), Some(1));
+    }
+
+    #[test]
+    fn two_term_pattern_specializes_to_double_check() {
+        let m = FastMatcher::compile(&tree_of("12/0806 20/0001"));
+        assert_eq!(m.shape(), "double-check");
+        let mut pkt = [0u8; 64];
+        pkt[12] = 0x08;
+        pkt[13] = 0x06;
+        pkt[21] = 0x01;
+        assert_eq!(m.classify(&pkt), Some(0));
+        pkt[21] = 0x02;
+        assert_eq!(m.classify(&pkt), None);
+    }
+
+    #[test]
+    fn catchall_specializes_to_constant() {
+        let m = FastMatcher::compile(&tree_of("-"));
+        assert_eq!(m.shape(), "constant");
+        assert_eq!(m.classify(&[]), Some(0));
+    }
+
+    #[test]
+    fn complex_tree_falls_back_to_program() {
+        let rules =
+            parse_ipfilter_config("allow tcp dst port 80, allow udp dst port 53, deny all").unwrap();
+        let tree = optimize(&build_tree(&rules, 1));
+        let m = FastMatcher::compile(&tree);
+        assert_eq!(m.shape(), "program");
+        let mut ip = vec![0u8; 40];
+        ip[0] = 0x45;
+        ip[9] = 17;
+        ip[23] = 53;
+        assert_eq!(m.classify(&ip), Some(0));
+    }
+
+    #[test]
+    fn all_shapes_agree_with_tree() {
+        for config in ["12/0800, -", "12/0806 20/0001", "-", "0/01, 4/02, 8/03, -"] {
+            let tree = tree_of(config);
+            let m = FastMatcher::compile(&tree);
+            let mut pkt = vec![0u8; 64];
+            for fill in 0u8..8 {
+                for b in pkt.iter_mut() {
+                    *b = fill.wrapping_mul(37);
+                }
+                pkt[12] = 0x08;
+                assert_eq!(m.classify(&pkt), tree.classify(&pkt), "config {config:?} fill {fill}");
+            }
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips_all_shapes() {
+        for config in ["12/0800, -", "12/0806 20/0001", "-", "0/01, 4/02, 8/03, -"] {
+            let m = FastMatcher::compile(&tree_of(config));
+            let text = m.to_string();
+            let back: FastMatcher = text.parse().unwrap();
+            assert_eq!(m, back, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn serialization_rejects_garbage() {
+        assert!("".parse::<FastMatcher>().is_err());
+        assert!("fast".parse::<FastMatcher>().is_err());
+        assert!("fast wiggle 1".parse::<FastMatcher>().is_err());
+        assert!("fast single 2 nope".parse::<FastMatcher>().is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! The 17-rule evaluation firewall.
+//!
+//! The paper (§4) measures `click-fastclassifier` on "a 17-rule firewall
+//! from *Building Internet Firewalls* [18, pp 691–2] in IPFilter", probing
+//! it with "a packet matching the next-to-last rule (DNS-5)". This module
+//! reconstructs a firewall of the same shape: 16 service rules (SMTP, HTTP,
+//! FTP, NNTP, ICMP, and five DNS rules) plus a final deny-all, with DNS-5
+//! as the next-to-last rule so a matching packet traverses nearly the whole
+//! decision tree.
+
+/// Addresses used by the rule set.
+pub mod hosts {
+    /// The bastion SMTP host.
+    pub const SMTP_SERVER: [u8; 4] = [10, 0, 0, 2];
+    /// The DNS server.
+    pub const DNS_SERVER: [u8; 4] = [10, 0, 0, 3];
+    /// The web server.
+    pub const WEB_SERVER: [u8; 4] = [10, 0, 0, 4];
+    /// The FTP server.
+    pub const FTP_SERVER: [u8; 4] = [10, 0, 0, 5];
+    /// The news server.
+    pub const NEWS_SERVER: [u8; 4] = [10, 0, 0, 6];
+}
+
+/// The IPFilter configuration string for the 17-rule firewall.
+///
+/// Rule 16 (1-based), the next-to-last, is DNS-5: server-to-server DNS
+/// (UDP source port 53 to destination port 53).
+pub fn firewall_config() -> String {
+    [
+        // 1-2: anti-spoofing.
+        "deny src net 127.0.0.0/8",
+        "deny src net 10.0.0.0/8",
+        // 3-4: SMTP to/from the bastion host.
+        "allow dst host 10.0.0.2 and tcp dst port 25",
+        "allow src host 10.0.0.2 and tcp src port 25",
+        // 5-6: HTTP.
+        "allow dst host 10.0.0.4 and tcp dst port 80",
+        "allow src host 10.0.0.4 and tcp src port 80",
+        // 7-8: FTP control.
+        "allow dst host 10.0.0.5 and tcp dst port 21",
+        "allow src host 10.0.0.5 and tcp src port 21",
+        // 9: NNTP.
+        "allow dst host 10.0.0.6 and tcp dst port 119",
+        // 10-11: ICMP echo reply / echo request.
+        "allow icmp type 0",
+        "allow icmp type 8",
+        // 12-15: DNS-1..DNS-4 — queries and responses involving our server.
+        "allow dst host 10.0.0.3 and udp dst port 53",
+        "allow src host 10.0.0.3 and udp src port 53",
+        "allow dst host 10.0.0.3 and tcp dst port 53",
+        "allow src host 10.0.0.3 and tcp src port 53",
+        // 16: DNS-5 — server-to-server UDP DNS (next-to-last rule).
+        "allow udp src port 53 and udp dst port 53",
+        // 17: default deny.
+        "deny all",
+    ]
+    .join(", ")
+}
+
+/// Number of rules in [`firewall_config`].
+pub const RULE_COUNT: usize = 17;
+
+/// Builds a raw IP packet (20-byte header plus 8 transport bytes).
+pub fn raw_ip_packet(proto: u8, src: [u8; 4], dst: [u8; 4], sport: u16, dport: u16) -> Vec<u8> {
+    let mut p = vec![0u8; 28];
+    p[0] = 0x45;
+    p[2..4].copy_from_slice(&28u16.to_be_bytes());
+    p[8] = 64;
+    p[9] = proto;
+    p[12..16].copy_from_slice(&src);
+    p[16..20].copy_from_slice(&dst);
+    p[20..22].copy_from_slice(&sport.to_be_bytes());
+    p[22..24].copy_from_slice(&dport.to_be_bytes());
+    p
+}
+
+/// The probe packet of §4: matches DNS-5 and nothing before it, so
+/// classification traverses most of the tree before emitting.
+pub fn dns5_packet() -> Vec<u8> {
+    // UDP 53 → 53 between two hosts that match no host-specific rule.
+    raw_ip_packet(17, [192, 168, 7, 9], [172, 16, 3, 4], 53, 53)
+}
+
+/// A packet rejected by the final deny-all (worst-case non-match).
+pub fn denied_packet() -> Vec<u8> {
+    raw_ip_packet(6, [192, 168, 7, 9], [172, 16, 3, 4], 12345, 6667)
+}
+
+/// A packet matching the first allow rule (best-case match): SMTP to the
+/// bastion host.
+pub fn smtp_packet() -> Vec<u8> {
+    raw_ip_packet(6, [192, 168, 7, 9], hosts::SMTP_SERVER, 40000, 25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_tree;
+    use crate::iplang::parse_ipfilter_config;
+    use crate::optimize::optimize;
+
+    #[test]
+    fn firewall_has_17_rules() {
+        let rules = parse_ipfilter_config(&firewall_config()).unwrap();
+        assert_eq!(rules.len(), RULE_COUNT);
+    }
+
+    #[test]
+    fn dns5_matches_only_the_next_to_last_rule() {
+        let rules = parse_ipfilter_config(&firewall_config()).unwrap();
+        let pkt = dns5_packet();
+        let first_match = rules.iter().position(|r| r.cond.eval(&pkt));
+        assert_eq!(first_match, Some(RULE_COUNT - 2), "DNS-5 must be the first matching rule");
+    }
+
+    #[test]
+    fn dns5_is_allowed() {
+        let rules = parse_ipfilter_config(&firewall_config()).unwrap();
+        let tree = build_tree(&rules, 1);
+        assert_eq!(tree.classify(&dns5_packet()), Some(0));
+    }
+
+    #[test]
+    fn denied_packet_is_dropped() {
+        let rules = parse_ipfilter_config(&firewall_config()).unwrap();
+        let tree = build_tree(&rules, 1);
+        assert_eq!(tree.classify(&denied_packet()), None);
+    }
+
+    #[test]
+    fn smtp_matches_early() {
+        let rules = parse_ipfilter_config(&firewall_config()).unwrap();
+        let pkt = smtp_packet();
+        assert_eq!(rules.iter().position(|r| r.cond.eval(&pkt)), Some(2));
+        let tree = build_tree(&rules, 1);
+        assert_eq!(tree.classify(&pkt), Some(0));
+    }
+
+    #[test]
+    fn spoofed_packets_denied_before_service_rules() {
+        let rules = parse_ipfilter_config(&firewall_config()).unwrap();
+        let tree = build_tree(&rules, 1);
+        let spoof = raw_ip_packet(6, [10, 0, 0, 99], hosts::SMTP_SERVER, 40000, 25);
+        assert_eq!(tree.classify(&spoof), None);
+    }
+
+    #[test]
+    fn optimization_preserves_firewall_semantics() {
+        let rules = parse_ipfilter_config(&firewall_config()).unwrap();
+        let tree = build_tree(&rules, 1);
+        let opt = optimize(&tree);
+        for pkt in [dns5_packet(), denied_packet(), smtp_packet()] {
+            assert_eq!(tree.classify(&pkt), opt.classify(&pkt));
+        }
+        // The redundant hl5/proto checks across 14 transport rules must
+        // shrink under optimization.
+        assert!(
+            opt.depth().unwrap() < tree.depth().unwrap(),
+            "optimized depth {} !< original depth {}",
+            opt.depth().unwrap(),
+            tree.depth().unwrap()
+        );
+    }
+
+    #[test]
+    fn dns5_traverses_most_of_the_tree() {
+        // Count comparisons the DNS-5 packet performs: it should be close
+        // to the tree's depth, since it matches the next-to-last rule.
+        let rules = parse_ipfilter_config(&firewall_config()).unwrap();
+        let tree = build_tree(&rules, 1);
+        let mut steps = 0usize;
+        let mut s = tree.start;
+        let pkt = dns5_packet();
+        while let crate::tree::Step::Node(i) = s {
+            steps += 1;
+            let e = &tree.exprs[i];
+            let w = crate::tree::load_word(&pkt, e.offset as usize);
+            s = if w & e.mask == e.value { e.yes } else { e.no };
+        }
+        assert!(steps >= 20, "DNS-5 packet only performed {steps} comparisons");
+    }
+}

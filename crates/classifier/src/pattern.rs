@@ -1,0 +1,270 @@
+//! The `Classifier` pattern language.
+//!
+//! Each configuration argument of a `Classifier` element is a pattern, and
+//! packets are emitted on the output numbered by the first pattern they
+//! match. A pattern is a space-separated list of terms:
+//!
+//! * `offset/value` — the bytes at decimal `offset` must equal the hex
+//!   `value` (`12/0800` matches an IP ethertype, as in the paper's
+//!   Figure 3);
+//! * `offset/value%mask` — comparison under a hex mask;
+//! * `?` hex digits in `value` are wildcards (`12/08??`);
+//! * a `!` prefix negates a term;
+//! * `-` matches every packet.
+
+use crate::build::{Action, Cond, Rule};
+use click_core::error::{Error, Result};
+
+fn is_hexish(c: char) -> bool {
+    c.is_ascii_hexdigit() || c == '?'
+}
+
+/// Parses hex digits (with `?` wildcards) into value and mask nibbles.
+fn parse_hex(spec: &str, what: &str) -> Result<(Vec<u8>, Vec<u8>)> {
+    if spec.is_empty() {
+        return Err(Error::spec(format!("empty {what} in classifier pattern")));
+    }
+    if !spec.len().is_multiple_of(2) {
+        return Err(Error::spec(format!(
+            "{what} {spec:?} has an odd number of hex digits"
+        )));
+    }
+    let mut value = Vec::with_capacity(spec.len() / 2);
+    let mut mask = Vec::with_capacity(spec.len() / 2);
+    let chars: Vec<char> = spec.chars().collect();
+    for pair in chars.chunks(2) {
+        let mut v = 0u8;
+        let mut m = 0u8;
+        for (i, &c) in pair.iter().enumerate() {
+            let shift = if i == 0 { 4 } else { 0 };
+            if c == '?' {
+                // wildcard nibble: mask 0
+            } else if let Some(d) = c.to_digit(16) {
+                v |= (d as u8) << shift;
+                m |= 0xF << shift;
+            } else {
+                return Err(Error::spec(format!("bad hex digit {c:?} in {what} {spec:?}")));
+            }
+        }
+        value.push(v);
+        mask.push(m);
+    }
+    Ok((value, mask))
+}
+
+/// Parses one pattern (one `Classifier` argument) into a condition.
+///
+/// # Errors
+///
+/// Returns [`Error::Spec`] on malformed terms.
+///
+/// # Examples
+///
+/// ```
+/// use click_classifier::pattern::parse_pattern;
+///
+/// let cond = parse_pattern("12/0800")?;
+/// let mut pkt = [0u8; 64];
+/// pkt[12] = 0x08;
+/// assert!(cond.eval(&pkt));
+/// pkt[12] = 0x86;
+/// assert!(!cond.eval(&pkt));
+/// # Ok::<(), click_core::Error>(())
+/// ```
+pub fn parse_pattern(pattern: &str) -> Result<Cond> {
+    let pattern = pattern.trim();
+    if pattern == "-" {
+        return Ok(Cond::True);
+    }
+    let mut terms = Vec::new();
+    for raw in pattern.split_whitespace() {
+        let (negated, term) = match raw.strip_prefix('!') {
+            Some(rest) => (true, rest),
+            None => (false, raw),
+        };
+        if term == "-" {
+            terms.push(if negated { Cond::False } else { Cond::True });
+            continue;
+        }
+        let (off_str, rest) = term.split_once('/').ok_or_else(|| {
+            Error::spec(format!("classifier term {raw:?} missing `/`"))
+        })?;
+        let offset: usize = off_str
+            .parse()
+            .map_err(|_| Error::spec(format!("bad offset in classifier term {raw:?}")))?;
+        let (value_str, mask_str) = match rest.split_once('%') {
+            Some((v, m)) => (v, Some(m)),
+            None => (rest, None),
+        };
+        if !value_str.chars().all(is_hexish) {
+            return Err(Error::spec(format!("bad value in classifier term {raw:?}")));
+        }
+        let (value, mut mask) = parse_hex(value_str, "value")?;
+        if let Some(mask_str) = mask_str {
+            let (explicit, _) = parse_hex(mask_str, "mask")?;
+            if explicit.len() != value.len() {
+                return Err(Error::spec(format!(
+                    "mask length does not match value length in {raw:?}"
+                )));
+            }
+            for (m, e) in mask.iter_mut().zip(&explicit) {
+                *m &= e;
+            }
+        }
+        let cond = Cond::bytes_match(offset, &value, &mask);
+        terms.push(if negated { Cond::Not(Box::new(cond)) } else { cond });
+    }
+    Ok(match terms.len() {
+        0 => Cond::True,
+        1 => terms.pop().expect("one term"),
+        _ => Cond::And(terms),
+    })
+}
+
+/// Parses a complete `Classifier` configuration string into rules, one per
+/// output port.
+///
+/// # Errors
+///
+/// Returns [`Error::Spec`] if any pattern is malformed or the configuration
+/// is empty.
+///
+/// # Examples
+///
+/// ```
+/// use click_classifier::pattern::parse_classifier_config;
+/// use click_classifier::build::build_tree;
+///
+/// // The IP router's input classifier: ARP requests, ARP replies, IP, other.
+/// let rules = parse_classifier_config("12/0806 20/0001, 12/0806 20/0002, 12/0800, -")?;
+/// let tree = build_tree(&rules, 4);
+/// let mut arp_req = [0u8; 64];
+/// arp_req[12] = 0x08; arp_req[13] = 0x06; arp_req[21] = 0x01;
+/// assert_eq!(tree.classify(&arp_req), Some(0));
+/// # Ok::<(), click_core::Error>(())
+/// ```
+pub fn parse_classifier_config(config: &str) -> Result<Vec<Rule>> {
+    let args = click_core::config::split_args(config);
+    if args.is_empty() {
+        return Err(Error::spec("Classifier requires at least one pattern".to_string()));
+    }
+    args.iter()
+        .enumerate()
+        .map(|(i, a)| Ok(Rule { cond: parse_pattern(a)?, action: Action::Emit(i) }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_tree;
+
+    fn pkt(pairs: &[(usize, u8)]) -> Vec<u8> {
+        let mut p = vec![0u8; 64];
+        for &(off, b) in pairs {
+            p[off] = b;
+        }
+        p
+    }
+
+    #[test]
+    fn simple_ethertype() {
+        let c = parse_pattern("12/0800").unwrap();
+        assert!(c.eval(&pkt(&[(12, 0x08), (13, 0x00)])));
+        assert!(!c.eval(&pkt(&[(12, 0x08), (13, 0x06)])));
+    }
+
+    #[test]
+    fn multiple_terms_are_conjunction() {
+        let c = parse_pattern("12/0800 23/06").unwrap();
+        assert!(c.eval(&pkt(&[(12, 0x08), (23, 6)])));
+        assert!(!c.eval(&pkt(&[(12, 0x08)])));
+    }
+
+    #[test]
+    fn negated_term() {
+        let c = parse_pattern("!12/0806").unwrap();
+        assert!(c.eval(&pkt(&[(12, 0x08), (13, 0x00)])));
+        assert!(!c.eval(&pkt(&[(12, 0x08), (13, 0x06)])));
+    }
+
+    #[test]
+    fn wildcard_nibbles() {
+        let c = parse_pattern("12/08??").unwrap();
+        assert!(c.eval(&pkt(&[(12, 0x08), (13, 0x00)])));
+        assert!(c.eval(&pkt(&[(12, 0x08), (13, 0xFF)])));
+        assert!(!c.eval(&pkt(&[(12, 0x09)])));
+    }
+
+    #[test]
+    fn explicit_mask() {
+        // Paper §3: "33/02%0f" style — low nibble of byte 33 must be 2.
+        let c = parse_pattern("33/02%0f").unwrap();
+        assert!(c.eval(&pkt(&[(33, 0x02)])));
+        assert!(c.eval(&pkt(&[(33, 0xF2)])));
+        assert!(!c.eval(&pkt(&[(33, 0x03)])));
+    }
+
+    #[test]
+    fn dash_matches_everything() {
+        assert!(parse_pattern("-").unwrap().eval(&[]));
+        assert!(parse_pattern(" - ").unwrap().eval(&[0xFF; 60]));
+    }
+
+    #[test]
+    fn malformed_patterns_rejected() {
+        assert!(parse_pattern("12").is_err());
+        assert!(parse_pattern("x/0800").is_err());
+        assert!(parse_pattern("12/08z0").is_err());
+        assert!(parse_pattern("12/080").is_err()); // odd digits
+        assert!(parse_pattern("12/0800%ff").is_err()); // mask length mismatch
+    }
+
+    #[test]
+    fn ip_router_input_classifier() {
+        let rules =
+            parse_classifier_config("12/0806 20/0001, 12/0806 20/0002, 12/0800, -").unwrap();
+        assert_eq!(rules.len(), 4);
+        let tree = build_tree(&rules, 4);
+        // ARP request
+        assert_eq!(tree.classify(&pkt(&[(12, 0x08), (13, 0x06), (21, 0x01)])), Some(0));
+        // ARP reply
+        assert_eq!(tree.classify(&pkt(&[(12, 0x08), (13, 0x06), (21, 0x02)])), Some(1));
+        // IP
+        assert_eq!(tree.classify(&pkt(&[(12, 0x08), (13, 0x00)])), Some(2));
+        // other
+        assert_eq!(tree.classify(&pkt(&[(12, 0x86), (13, 0xDD)])), Some(3));
+    }
+
+    #[test]
+    fn classifier_without_catchall_drops() {
+        let rules = parse_classifier_config("12/0800").unwrap();
+        let tree = build_tree(&rules, 1);
+        assert_eq!(tree.classify(&pkt(&[(12, 0x86)])), None);
+    }
+
+    #[test]
+    fn empty_config_rejected() {
+        assert!(parse_classifier_config("").is_err());
+    }
+
+    #[test]
+    fn trees_match_cond_eval_exhaustively() {
+        // Property-style check over a small byte domain.
+        let rules = parse_classifier_config("0/01 4/??02, !0/01, -").unwrap();
+        let tree = build_tree(&rules, 3);
+        for b0 in [0u8, 1, 2] {
+            for b5 in [0u8, 2, 3] {
+                let data = pkt(&[(0, b0), (5, b5)]);
+                let expected = rules
+                    .iter()
+                    .position(|r| r.cond.eval(&data))
+                    .map(|i| match rules[i].action {
+                        crate::build::Action::Emit(o) => o,
+                        crate::build::Action::Drop => usize::MAX,
+                    });
+                assert_eq!(tree.classify(&data), expected, "b0={b0} b5={b5}");
+            }
+        }
+    }
+}

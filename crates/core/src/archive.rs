@@ -1,0 +1,225 @@
+//! Configuration archives.
+//!
+//! The paper (§5.2): "Optimizers inspired the archive feature, where a
+//! configuration may consist of multiple files bundled into a single
+//! archive. Several tools use this feature to attach source and/or object
+//! code specialized for a single configuration."
+//!
+//! The on-disk format here is a simple byte-counted text bundle:
+//!
+//! ```text
+//! !<click-archive>
+//! @entry config 41
+//! FromDevice(eth0) -> Discard;
+//! @entry fastclassifier.rs 120
+//! ...120 bytes...
+//! ```
+//!
+//! The entry named `config` holds the router configuration itself; other
+//! entries carry generated code or tool metadata.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Magic first line of an archive file.
+pub const ARCHIVE_MAGIC: &str = "!<click-archive>";
+
+/// The conventional name of the entry holding the router configuration.
+pub const CONFIG_ENTRY: &str = "config";
+
+/// A single named file inside an archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveEntry {
+    /// Entry name. May contain any characters except whitespace.
+    pub name: String,
+    /// Entry contents.
+    pub data: String,
+}
+
+/// An ordered collection of named files.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Archive {
+    entries: Vec<ArchiveEntry>,
+}
+
+impl Archive {
+    /// Creates an empty archive.
+    pub fn new() -> Archive {
+        Archive::default()
+    }
+
+    /// Returns true if the archive holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Adds or replaces the entry named `name`.
+    pub fn insert(&mut self, name: impl Into<String>, data: impl Into<String>) {
+        let name = name.into();
+        let data = data.into();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.name == name) {
+            e.data = data;
+        } else {
+            self.entries.push(ArchiveEntry { name, data });
+        }
+    }
+
+    /// Fetches an entry's contents by name.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries.iter().find(|e| e.name == name).map(|e| e.data.as_str())
+    }
+
+    /// Removes an entry; returns its contents if it existed.
+    pub fn remove(&mut self, name: &str) -> Option<String> {
+        let idx = self.entries.iter().position(|e| e.name == name)?;
+        Some(self.entries.remove(idx).data)
+    }
+
+    /// Iterates over entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &ArchiveEntry> {
+        self.entries.iter()
+    }
+
+    /// Parses the textual archive format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Archive`] on a missing magic line, malformed entry
+    /// header, or truncated contents.
+    pub fn parse(text: &str) -> Result<Archive> {
+        let bad = |m: &str| Error::Archive { message: m.to_owned() };
+        let rest = text
+            .strip_prefix(ARCHIVE_MAGIC)
+            .ok_or_else(|| bad("missing archive magic"))?;
+        let mut rest = rest.strip_prefix('\n').unwrap_or(rest);
+        let mut archive = Archive::new();
+        while !rest.is_empty() {
+            let (line, tail) = match rest.split_once('\n') {
+                Some((l, t)) => (l, t),
+                None if rest.trim().is_empty() => break,
+                None => (rest, ""),
+            };
+            if line.trim().is_empty() {
+                rest = tail;
+                continue;
+            }
+            let decl = line
+                .strip_prefix("@entry ")
+                .ok_or_else(|| bad(&format!("expected `@entry`, found {line:?}")))?;
+            let (name, size) = decl
+                .rsplit_once(' ')
+                .ok_or_else(|| bad(&format!("malformed entry header {line:?}")))?;
+            let size: usize = size
+                .parse()
+                .map_err(|_| bad(&format!("bad entry size in {line:?}")))?;
+            if tail.len() < size {
+                return Err(bad(&format!("entry {name:?} truncated")));
+            }
+            if !tail.is_char_boundary(size) {
+                return Err(bad(&format!("entry {name:?} size splits a character")));
+            }
+            archive.entries.push(ArchiveEntry { name: name.to_owned(), data: tail[..size].to_owned() });
+            rest = &tail[size..];
+            rest = rest.strip_prefix('\n').unwrap_or(rest);
+        }
+        Ok(archive)
+    }
+
+    /// Returns true if `text` looks like an archive (starts with the magic).
+    pub fn is_archive_text(text: &str) -> bool {
+        text.trim_start().starts_with(ARCHIVE_MAGIC)
+    }
+}
+
+impl fmt::Display for Archive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{ARCHIVE_MAGIC}")?;
+        for e in &self.entries {
+            writeln!(f, "@entry {} {}", e.name, e.data.len())?;
+            f.write_str(&e.data)?;
+            if !e.data.ends_with('\n') {
+                f.write_str("\n")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, String)> for Archive {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Archive {
+        let mut a = Archive::new();
+        for (name, data) in iter {
+            a.insert(name, data);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut a = Archive::new();
+        a.insert(CONFIG_ENTRY, "Idle -> Discard;\n");
+        a.insert("gen.rs", "pub struct FastClassifier;\n// with\n// newlines\n");
+        let text = a.to_string();
+        let b = Archive::parse(&text).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_without_trailing_newline() {
+        let mut a = Archive::new();
+        a.insert("x", "no newline");
+        a.insert("y", "after");
+        let b = Archive::parse(&a.to_string()).unwrap();
+        assert_eq!(b.get("x"), Some("no newline"));
+        assert_eq!(b.get("y"), Some("after"));
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut a = Archive::new();
+        a.insert("x", "1");
+        a.insert("x", "2");
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get("x"), Some("2"));
+    }
+
+    #[test]
+    fn entry_contents_may_contain_entry_headers() {
+        let mut a = Archive::new();
+        a.insert("tricky", "@entry fake 3\nabc\n");
+        let b = Archive::parse(&a.to_string()).unwrap();
+        assert_eq!(b.get("tricky"), Some("@entry fake 3\nabc\n"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Archive::parse("not an archive").is_err());
+        assert!(Archive::parse("!<click-archive>\n@entry x 100\nshort").is_err());
+        assert!(Archive::parse("!<click-archive>\njunk line\n").is_err());
+    }
+
+    #[test]
+    fn detects_archive_text() {
+        assert!(Archive::is_archive_text("  !<click-archive>\n"));
+        assert!(!Archive::is_archive_text("Idle -> Discard;"));
+    }
+
+    #[test]
+    fn remove_returns_data() {
+        let mut a = Archive::new();
+        a.insert("x", "data");
+        assert_eq!(a.remove("x"), Some("data".into()));
+        assert_eq!(a.remove("x"), None);
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! Configuration checking (the `click-check` tool's engine).
+//!
+//! Checks a flat configuration for the errors Click itself would report at
+//! installation time: unknown element classes, port counts outside an
+//! element's specification, unconnected ports, and push/pull violations
+//! (a push output or pull input must have exactly one connection).
+
+use crate::graph::{ElementId, RouterGraph};
+use crate::pushpull::{resolve, PortAssignment};
+use crate::registry::Library;
+use crate::spec::PortKind;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not fatal.
+    Warning,
+    /// The configuration would not run.
+    Error,
+}
+
+/// One problem found in a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How serious.
+    pub severity: Severity,
+    /// The element the problem concerns, if any.
+    pub element: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        match &self.element {
+            Some(e) => write!(f, "{sev}: {e}: {}", self.message),
+            None => write!(f, "{sev}: {}", self.message),
+        }
+    }
+}
+
+/// The result of checking a configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// All diagnostics, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The push/pull assignment, if resolution succeeded.
+    pub ports: Option<PortAssignment>,
+}
+
+impl CheckReport {
+    /// True if no error-severity diagnostics were produced.
+    pub fn is_ok(&self) -> bool {
+        self.diagnostics.iter().all(|d| d.severity != Severity::Error)
+    }
+
+    /// Iterates over error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+}
+
+fn diag(
+    out: &mut Vec<Diagnostic>,
+    severity: Severity,
+    element: Option<&str>,
+    message: impl Into<String>,
+) {
+    out.push(Diagnostic { severity, element: element.map(str::to_owned), message: message.into() });
+}
+
+/// Checks a configuration against a library.
+///
+/// # Examples
+///
+/// ```
+/// use click_core::check::check;
+/// use click_core::lang::read_config;
+/// use click_core::registry::Library;
+///
+/// let g = read_config("FromDevice(0) -> Queue -> ToDevice(0);")?;
+/// assert!(check(&g, &Library::standard()).is_ok());
+///
+/// let bad = read_config("FromDevice(0) -> ToDevice(0);")?;
+/// assert!(!check(&bad, &Library::standard()).is_ok());
+/// # Ok::<(), click_core::Error>(())
+/// ```
+pub fn check(graph: &RouterGraph, library: &Library) -> CheckReport {
+    let mut ds = Vec::new();
+
+    // Class resolution and port counts.
+    for (id, decl) in graph.elements() {
+        match library.resolve(decl.class()) {
+            None => {
+                diag(
+                    &mut ds,
+                    Severity::Error,
+                    Some(decl.name()),
+                    format!("unknown element class {:?}", decl.class()),
+                );
+            }
+            Some(spec) => {
+                let nin = graph.ninputs(id);
+                let nout = graph.noutputs(id);
+                if !spec.port_count.allows(nin, nout) {
+                    diag(
+                        &mut ds,
+                        Severity::Error,
+                        Some(decl.name()),
+                        format!(
+                            "{} has {nin} input(s) and {nout} output(s), but {} allows {}",
+                            decl.class(),
+                            decl.class(),
+                            spec.port_count
+                        ),
+                    );
+                }
+                if spec.information && (nin > 0 || nout > 0) {
+                    diag(
+                        &mut ds,
+                        Severity::Error,
+                        Some(decl.name()),
+                        format!("information element {} must not be connected", decl.class()),
+                    );
+                }
+                // Unconnected required ports.
+                if nin < spec.port_count.inputs.min {
+                    diag(
+                        &mut ds,
+                        Severity::Error,
+                        Some(decl.name()),
+                        format!(
+                            "{} requires at least {} connected input(s)",
+                            decl.class(),
+                            spec.port_count.inputs.min
+                        ),
+                    );
+                }
+                if nout < spec.port_count.outputs.min {
+                    diag(
+                        &mut ds,
+                        Severity::Error,
+                        Some(decl.name()),
+                        format!(
+                            "{} requires at least {} connected output(s)",
+                            decl.class(),
+                            spec.port_count.outputs.min
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Port-gap check: if port 3 is used, ports 0..3 must be too.
+    for (id, decl) in graph.elements() {
+        for p in 0..graph.ninputs(id) {
+            if graph.connections_to(id, p).is_empty() {
+                diag(
+                    &mut ds,
+                    Severity::Error,
+                    Some(decl.name()),
+                    format!("input port {p} unconnected but a higher port is in use"),
+                );
+            }
+        }
+        for p in 0..graph.noutputs(id) {
+            if graph.connections_from(id, p).is_empty() {
+                diag(
+                    &mut ds,
+                    Severity::Error,
+                    Some(decl.name()),
+                    format!("output port {p} unconnected but a higher port is in use"),
+                );
+            }
+        }
+    }
+
+    // Push/pull resolution and connection-count rules.
+    let ports = match resolve(graph, library) {
+        Ok(pa) => {
+            check_connection_counts(graph, &pa, &mut ds);
+            Some(pa)
+        }
+        Err(e) => {
+            diag(&mut ds, Severity::Error, None, e.to_string());
+            None
+        }
+    };
+
+    ds.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    CheckReport { diagnostics: ds, ports }
+}
+
+fn check_connection_counts(graph: &RouterGraph, pa: &PortAssignment, ds: &mut Vec<Diagnostic>) {
+    for id in graph.element_ids() {
+        let name = graph.element(id).name().to_owned();
+        check_element_counts(graph, pa, id, &name, ds);
+    }
+}
+
+fn check_element_counts(
+    graph: &RouterGraph,
+    pa: &PortAssignment,
+    id: ElementId,
+    name: &str,
+    ds: &mut Vec<Diagnostic>,
+) {
+    for p in 0..graph.noutputs(id) {
+        let n = graph.connections_from(id, p).len();
+        if pa.output(id, p) == PortKind::Push && n > 1 {
+            diag(
+                ds,
+                Severity::Error,
+                Some(name),
+                format!("push output port {p} has {n} connections (must have exactly 1)"),
+            );
+        }
+    }
+    for p in 0..graph.ninputs(id) {
+        let n = graph.connections_to(id, p).len();
+        if pa.input(id, p) == PortKind::Pull && n > 1 {
+            diag(
+                ds,
+                Severity::Error,
+                Some(name),
+                format!("pull input port {p} has {n} connections (must have exactly 1)"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::read_config;
+
+    fn report(src: &str) -> CheckReport {
+        check(&read_config(src).unwrap(), &Library::standard())
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        assert!(report("FromDevice(0) -> Counter -> Queue -> ToDevice(0);").is_ok());
+    }
+
+    #[test]
+    fn unknown_class_reported() {
+        let r = report("Zorp -> Discard;");
+        assert!(!r.is_ok());
+        assert!(r.errors().any(|d| d.message.contains("unknown element class")));
+    }
+
+    #[test]
+    fn port_count_violation_reported() {
+        // Strip allows exactly one output.
+        let r = report("Idle -> s :: Strip(14); s [0] -> Discard; s [1] -> Discard;");
+        assert!(!r.is_ok());
+        assert!(r.errors().any(|d| d.message.contains("allows")));
+    }
+
+    #[test]
+    fn port_gap_reported() {
+        let r = report("c :: Classifier(a, b, c); Idle -> c; c [2] -> Discard;");
+        assert!(r.errors().any(|d| d.message.contains("output port 0 unconnected")));
+        assert!(r.errors().any(|d| d.message.contains("output port 1 unconnected")));
+    }
+
+    #[test]
+    fn pushpull_conflict_reported() {
+        let r = report("FromDevice(0) -> ToDevice(0);");
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn double_connection_on_push_output_reported() {
+        let r = report("s :: FromDevice(0); s -> d1 :: Discard; s -> d2 :: Discard;");
+        assert!(!r.is_ok());
+        assert!(r.errors().any(|d| d.message.contains("push output port 0 has 2 connections")));
+    }
+
+    #[test]
+    fn fan_in_on_push_input_is_fine() {
+        let r = report(
+            "FromDevice(0) -> q :: Queue -> ToDevice(0); FromDevice(1) -> q;",
+        );
+        assert!(r.is_ok(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn double_connection_on_pull_input_reported() {
+        let r = report(
+            "FromDevice(0) -> q1 :: Queue; FromDevice(1) -> q2 :: Queue; \
+             q1 -> t :: ToDevice(0); q2 -> t;",
+        );
+        assert!(!r.is_ok());
+        assert!(r.errors().any(|d| d.message.contains("pull input port 0 has 2 connections")));
+    }
+
+    #[test]
+    fn connected_information_element_reported() {
+        let r = report("Idle -> AlignmentInfo;");
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn required_ports_must_be_connected() {
+        let r = report("c :: Counter;");
+        assert!(!r.is_ok());
+        assert!(r.errors().any(|d| d.message.contains("requires at least 1 connected input")));
+    }
+
+    #[test]
+    fn diagnostics_display() {
+        let r = report("Zorp -> Discard;");
+        let text = r.diagnostics[0].to_string();
+        assert!(text.starts_with("error:"), "{text}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Utilities for element configuration strings.
+//!
+//! Click configuration strings are the raw text between the parentheses of
+//! an element declaration, e.g. the `12/0800, -` in `Classifier(12/0800, -)`.
+//! Tools frequently need to split them into comma-separated arguments while
+//! respecting nested parentheses, brackets, and quoted strings, and to
+//! substitute `$variable` references when expanding compound elements.
+
+/// Splits a configuration string into top-level comma-separated arguments.
+///
+/// Commas inside `(...)`, `[...]`, `{...}`, or double-quoted strings do not
+/// split. Each argument is trimmed of surrounding whitespace. An empty or
+/// all-whitespace string yields no arguments.
+///
+/// # Examples
+///
+/// ```
+/// use click_core::config::split_args;
+///
+/// assert_eq!(split_args("12/0800, -"), vec!["12/0800", "-"]);
+/// assert_eq!(split_args("a(b, c), \"d,e\""), vec!["a(b, c)", "\"d,e\""]);
+/// assert!(split_args("   ").is_empty());
+/// ```
+pub fn split_args(config: &str) -> Vec<String> {
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut in_quote = false;
+    let mut start = 0usize;
+    let bytes = config.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_quote {
+            match c {
+                b'\\' => i += 1, // skip escaped character
+                b'"' => in_quote = false,
+                _ => {}
+            }
+        } else {
+            match c {
+                b'"' => in_quote = true,
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth = depth.saturating_sub(1),
+                b',' if depth == 0 => {
+                    args.push(config[start..i].trim().to_owned());
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    let last = config[start..].trim();
+    if !last.is_empty() || !args.is_empty() {
+        args.push(last.to_owned());
+    }
+    // Trailing comma produces an empty final argument; Click ignores it.
+    if args.last().is_some_and(|a| a.is_empty()) {
+        args.pop();
+    }
+    args
+}
+
+/// Joins arguments back into a configuration string.
+pub fn join_args<S: AsRef<str>>(args: &[S]) -> String {
+    args.iter().map(|a| a.as_ref()).collect::<Vec<_>>().join(", ")
+}
+
+/// Substitutes `$name` and `${name}` variable references in a configuration
+/// string.
+///
+/// A `$name` reference ends at the first character that is not alphanumeric
+/// or `_`. Unknown variables are left untouched (so nested compound
+/// parameters survive until their own expansion).
+///
+/// # Examples
+///
+/// ```
+/// use click_core::config::substitute;
+///
+/// let bindings = [("cap".to_string(), "100".to_string())];
+/// assert_eq!(substitute("$cap, $other", &bindings), "100, $other");
+/// assert_eq!(substitute("${cap}x", &bindings), "100x");
+/// ```
+pub fn substitute(config: &str, bindings: &[(String, String)]) -> String {
+    let mut out = String::with_capacity(config.len());
+    let mut chars = config.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if c != '$' {
+            out.push(c);
+            continue;
+        }
+        // ${name}
+        if let Some(&(_, '{')) = chars.peek() {
+            if let Some(end) = config[i + 2..].find('}') {
+                let name = &config[i + 2..i + 2 + end];
+                if let Some((_, v)) = bindings.iter().find(|(k, _)| k == name) {
+                    out.push_str(v);
+                    // Consume "{name}".
+                    for _ in 0..name.len() + 2 {
+                        chars.next();
+                    }
+                    continue;
+                }
+            }
+            out.push(c);
+            continue;
+        }
+        // $name
+        let rest = &config[i + 1..];
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_alphanumeric() && *c != '_')
+            .map(|(j, _)| j)
+            .unwrap_or(rest.len());
+        let name = &rest[..end];
+        if name.is_empty() {
+            out.push(c);
+            continue;
+        }
+        if let Some((_, v)) = bindings.iter().find(|(k, _)| k == name) {
+            out.push_str(v);
+            for _ in 0..name.len() {
+                chars.next();
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Returns true if the string is a well-formed `$variable` name reference
+/// (used by `click-xform` pattern wildcards).
+pub fn is_variable(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars.next() == Some('$')
+        && !s[1..].is_empty()
+        && s[1..].chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_simple() {
+        assert_eq!(split_args("a, b, c"), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn split_empty_yields_nothing() {
+        assert!(split_args("").is_empty());
+        assert!(split_args("  \t ").is_empty());
+    }
+
+    #[test]
+    fn split_respects_nesting_and_quotes() {
+        assert_eq!(split_args("f(a, b), [1, 2], {x, y}"), vec!["f(a, b)", "[1, 2]", "{x, y}"]);
+        assert_eq!(split_args(r#""quoted, comma", z"#), vec![r#""quoted, comma""#, "z"]);
+        assert_eq!(split_args(r#""esc \" , q", z"#), vec![r#""esc \" , q""#, "z"]);
+    }
+
+    #[test]
+    fn split_keeps_interior_empty_args() {
+        assert_eq!(split_args("a,,b"), vec!["a", "", "b"]);
+    }
+
+    #[test]
+    fn split_drops_trailing_comma() {
+        assert_eq!(split_args("a, b,"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn join_inverts_split_for_simple_args() {
+        let args = split_args("1, two, 3.0");
+        assert_eq!(join_args(&args), "1, two, 3.0");
+    }
+
+    #[test]
+    fn substitute_word_boundaries() {
+        let b = [("a".to_string(), "X".to_string()), ("ab".to_string(), "Y".to_string())];
+        assert_eq!(substitute("$a $ab $abc", &b), "X Y $abc");
+        assert_eq!(substitute("$a,$a", &b), "X,X");
+    }
+
+    #[test]
+    fn substitute_braced() {
+        let b = [("n".to_string(), "5".to_string())];
+        assert_eq!(substitute("${n}00", &b), "500");
+        assert_eq!(substitute("${missing}", &b), "${missing}");
+    }
+
+    #[test]
+    fn lone_dollar_passes_through() {
+        assert_eq!(substitute("cost: $", &[]), "cost: $");
+        assert_eq!(substitute("$ x", &[]), "$ x");
+    }
+
+    #[test]
+    fn variable_detection() {
+        assert!(is_variable("$x"));
+        assert!(is_variable("$port_2"));
+        assert!(!is_variable("$"));
+        assert!(!is_variable("x"));
+        assert!(!is_variable("$a b"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types shared by the configuration-processing crates.
+
+use std::fmt;
+
+/// Position of a token or error within a Click source file.
+///
+/// Lines and columns are 1-based, matching the conventions of compiler
+/// diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl SourcePos {
+    /// The start of a file.
+    pub const START: SourcePos = SourcePos { line: 1, col: 1 };
+
+    /// Creates a new position.
+    pub fn new(line: u32, col: u32) -> SourcePos {
+        SourcePos { line, col }
+    }
+}
+
+impl Default for SourcePos {
+    fn default() -> Self {
+        SourcePos::START
+    }
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The error type returned by configuration parsing, elaboration, graph
+/// manipulation, and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing (pos/message)
+pub enum Error {
+    /// A lexical error: an unexpected character or unterminated construct.
+    Lex { pos: SourcePos, message: String },
+    /// A syntax error found while parsing a Click file.
+    Parse { pos: SourcePos, message: String },
+    /// An error raised while elaborating compound elements into a flat graph.
+    Elaborate { message: String },
+    /// A malformed element specification string (processing code, flow code,
+    /// or port-count code).
+    Spec { message: String },
+    /// An invalid graph manipulation, such as connecting a nonexistent port.
+    Graph { message: String },
+    /// A semantic problem found by the router checker.
+    Check { message: String },
+    /// A malformed archive file.
+    Archive { message: String },
+    /// A malformed element configuration string.
+    Config { element: String, message: String },
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::Graph`].
+    pub fn graph(message: impl Into<String>) -> Error {
+        Error::Graph { message: message.into() }
+    }
+
+    /// Convenience constructor for [`Error::Elaborate`].
+    pub fn elaborate(message: impl Into<String>) -> Error {
+        Error::Elaborate { message: message.into() }
+    }
+
+    /// Convenience constructor for [`Error::Spec`].
+    pub fn spec(message: impl Into<String>) -> Error {
+        Error::Spec { message: message.into() }
+    }
+
+    /// Convenience constructor for [`Error::Check`].
+    pub fn check(message: impl Into<String>) -> Error {
+        Error::Check { message: message.into() }
+    }
+
+    /// Convenience constructor for [`Error::Config`].
+    pub fn config(element: impl Into<String>, message: impl Into<String>) -> Error {
+        Error::Config { element: element.into(), message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { pos, message } => write!(f, "lexical error at {pos}: {message}"),
+            Error::Parse { pos, message } => write!(f, "syntax error at {pos}: {message}"),
+            Error::Elaborate { message } => write!(f, "elaboration error: {message}"),
+            Error::Spec { message } => write!(f, "invalid specification: {message}"),
+            Error::Graph { message } => write!(f, "graph error: {message}"),
+            Error::Check { message } => write!(f, "check error: {message}"),
+            Error::Archive { message } => write!(f, "archive error: {message}"),
+            Error::Config { element, message } => {
+                write!(f, "configuration error in {element}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = Error::Parse { pos: SourcePos::new(3, 7), message: "expected `;`".into() };
+        assert_eq!(e.to_string(), "syntax error at 3:7: expected `;`");
+    }
+
+    #[test]
+    fn source_pos_orders_by_line_then_col() {
+        assert!(SourcePos::new(1, 9) < SourcePos::new(2, 1));
+        assert!(SourcePos::new(2, 1) < SourcePos::new(2, 2));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        assert!(matches!(Error::graph("x"), Error::Graph { .. }));
+        assert!(matches!(Error::spec("x"), Error::Spec { .. }));
+        assert!(matches!(Error::check("x"), Error::Check { .. }));
+        assert!(matches!(Error::config("e", "m"), Error::Config { .. }));
+    }
+}

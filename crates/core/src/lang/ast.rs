@@ -1,0 +1,104 @@
+//! Abstract syntax tree for the Click language.
+//!
+//! The parser produces an AST that deliberately does **not** resolve which
+//! identifiers are element classes — the paper (§5.2) notes the language was
+//! changed "so that programs can be parsed correctly without knowing which
+//! names correspond to element classes". Resolution happens during
+//! [elaboration](crate::lang::elaborate).
+
+/// A top-level or compound-body item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// An `elementclass Name { ... }` definition.
+    CompoundDef(CompoundDef),
+    /// A `require(...)` statement.
+    Require(String),
+    /// A connection chain (possibly a single, unconnected declaration).
+    Chain(Chain),
+}
+
+/// An `elementclass` definition: a reusable configuration fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompoundDef {
+    /// The class name being defined.
+    pub name: String,
+    /// Formal parameters (`$a, $b |` prefix), without the `$`.
+    pub formals: Vec<String>,
+    /// The body items.
+    pub body: Vec<Item>,
+}
+
+/// A chain of nodes separated by `->` arrows.
+///
+/// A chain with a single node is a plain declaration statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chain {
+    /// The nodes, in order. Consecutive nodes are connected.
+    pub nodes: Vec<ChainNode>,
+}
+
+/// One node in a chain, with optional explicit port numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainNode {
+    /// Input port (the `[n]` before the element), defaulting to 0.
+    pub in_port: Option<usize>,
+    /// The element itself.
+    pub elem: NodeElem,
+    /// Output port (the `[n]` after the element), defaulting to 0.
+    pub out_port: Option<usize>,
+}
+
+/// The element named by a chain node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeElem {
+    /// A bare identifier. During elaboration this resolves to a previously
+    /// declared element, the compound pseudo-ports `input`/`output`, or —
+    /// if nothing by that name is in scope — an anonymous instance of the
+    /// class with that name.
+    Ref(String),
+    /// `Class(config)` or a bare class used with a configuration: always an
+    /// anonymous instance.
+    Anon {
+        /// The class name.
+        class: String,
+        /// The configuration string.
+        config: String,
+    },
+    /// `name1, name2 :: Class(config)`: named declaration(s).
+    Decl {
+        /// The declared names. More than one is only legal in a
+        /// single-node chain.
+        names: Vec<String>,
+        /// The class name.
+        class: String,
+        /// The configuration string.
+        config: String,
+    },
+}
+
+impl NodeElem {
+    /// The class name, if this node declares an element.
+    pub fn class(&self) -> Option<&str> {
+        match self {
+            NodeElem::Ref(_) => None,
+            NodeElem::Anon { class, .. } | NodeElem::Decl { class, .. } => Some(class),
+        }
+    }
+}
+
+/// A parsed Click source file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Iterates over all compound definitions at the top level.
+    pub fn compound_defs(&self) -> impl Iterator<Item = &CompoundDef> {
+        self.items.iter().filter_map(|i| match i {
+            Item::CompoundDef(d) => Some(d),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,97 @@
+//! The Click configuration language: lexer, parser, elaborator, unparser.
+//!
+//! The language is "static and declarative, rather than dynamic and
+//! imperative" (paper §5.2): its sole function is to describe the elements
+//! in a router and the connections between them, which is what makes
+//! configurations parseable and transformable outside a running router.
+//!
+//! The typical round trip is:
+//!
+//! ```
+//! use click_core::lang::{read_config, write_config};
+//!
+//! let graph = read_config("Idle -> Queue(64) -> Discard;")?;
+//! let text = write_config(&graph);
+//! let again = read_config(&text)?;
+//! assert!(graph.same_configuration(&again));
+//! # Ok::<(), click_core::Error>(())
+//! ```
+
+pub mod ast;
+mod elaborate;
+mod lexer;
+mod parser;
+mod unparse;
+
+pub use elaborate::{elaborate, elaborate_fragment, Fragment, PSEUDO_INPUT_CLASS, PSEUDO_OUTPUT_CLASS};
+pub use lexer::{tokenize, SpannedTok, Tok};
+pub use parser::parse;
+pub use unparse::{unparse, write_config};
+
+use crate::archive::{Archive, CONFIG_ENTRY};
+use crate::error::{Error, Result};
+use crate::graph::RouterGraph;
+
+/// Reads a configuration from text, accepting either plain Click source or
+/// an archive whose `config` entry holds the source. Archive entries other
+/// than `config` are attached to the returned graph's archive.
+///
+/// # Errors
+///
+/// Returns a lex/parse/elaboration error for malformed source, or
+/// [`Error::Archive`] for a malformed archive.
+pub fn read_config(text: &str) -> Result<RouterGraph> {
+    if Archive::is_archive_text(text) {
+        let archive = Archive::parse(text.trim_start())?;
+        let config = archive
+            .get(CONFIG_ENTRY)
+            .ok_or_else(|| Error::Archive { message: "archive has no `config` entry".into() })?;
+        let mut graph = elaborate(&parse(config)?)?;
+        for e in archive.iter() {
+            if e.name != CONFIG_ENTRY {
+                graph.archive_mut().insert(e.name.clone(), e.data.clone());
+            }
+        }
+        Ok(graph)
+    } else {
+        elaborate(&parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_plain_config() {
+        let g = read_config("a :: Idle; a -> Discard;").unwrap();
+        assert_eq!(g.element_count(), 2);
+    }
+
+    #[test]
+    fn read_archive_config() {
+        let mut a = Archive::new();
+        a.insert(CONFIG_ENTRY, "a :: Idle; a -> Discard;");
+        a.insert("extra.rs", "// generated");
+        let g = read_config(&a.to_string()).unwrap();
+        assert_eq!(g.element_count(), 2);
+        assert_eq!(g.archive().get("extra.rs"), Some("// generated"));
+    }
+
+    #[test]
+    fn archive_without_config_entry_errors() {
+        let mut a = Archive::new();
+        a.insert("other", "data");
+        assert!(read_config(&a.to_string()).is_err());
+    }
+
+    #[test]
+    fn full_round_trip_with_archive() {
+        let mut g = read_config("a :: Idle; a -> q :: Queue(7); q -> Discard;").unwrap();
+        g.archive_mut().insert("meta", "x");
+        let text = write_config(&g);
+        let h = read_config(&text).unwrap();
+        assert!(g.same_configuration(&h));
+        assert_eq!(h.archive().get("meta"), Some("x"));
+    }
+}

@@ -1,0 +1,379 @@
+//! Recursive-descent parser for the Click language.
+
+use crate::error::{Error, Result, SourcePos};
+use crate::lang::ast::*;
+use crate::lang::lexer::{tokenize, SpannedTok, Tok};
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.i].tok
+    }
+
+    fn pos(&self) -> SourcePos {
+        self.toks[self.i].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.i].tok.clone();
+        if self.i + 1 < self.toks.len() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse { pos: self.pos(), message: message.into() }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<()> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {}, found {}", want.describe(), self.peek().describe())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn parse_program(&mut self, terminator: Option<&Tok>) -> Result<Vec<Item>> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => {
+                    if let Some(t) = terminator {
+                        return Err(self.err(format!("expected {}, found end of input", t.describe())));
+                    }
+                    return Ok(items);
+                }
+                t if Some(t) == terminator => return Ok(items),
+                Tok::Semi => {
+                    self.bump(); // tolerate stray semicolons
+                }
+                Tok::Ident(s) if s == "elementclass" => {
+                    items.push(Item::CompoundDef(self.parse_compound_def()?));
+                }
+                Tok::Ident(s) if s == "require" => {
+                    self.bump();
+                    let config = match self.bump() {
+                        Tok::Config(c) => c,
+                        other => {
+                            return Err(self.err(format!(
+                                "expected configuration after `require`, found {}",
+                                other.describe()
+                            )))
+                        }
+                    };
+                    self.expect(&Tok::Semi)?;
+                    items.push(Item::Require(config));
+                }
+                _ => {
+                    items.push(Item::Chain(self.parse_chain()?));
+                }
+            }
+        }
+    }
+
+    fn parse_compound_def(&mut self) -> Result<CompoundDef> {
+        self.bump(); // `elementclass`
+        let name = self.expect_ident()?;
+        self.expect(&Tok::LBrace)?;
+        let formals = self.parse_formals()?;
+        let body = self.parse_program(Some(&Tok::RBrace))?;
+        self.expect(&Tok::RBrace)?;
+        if *self.peek() == Tok::Semi {
+            self.bump();
+        }
+        Ok(CompoundDef { name, formals, body })
+    }
+
+    /// Parses an optional `$a, $b |` formal-parameter prefix.
+    fn parse_formals(&mut self) -> Result<Vec<String>> {
+        if !matches!(self.peek(), Tok::Variable(_)) {
+            return Ok(Vec::new());
+        }
+        // Look ahead: variables only form a formals list if a `|` follows.
+        let save = self.i;
+        let mut formals = Vec::new();
+        loop {
+            match self.bump() {
+                Tok::Variable(v) => {
+                    if formals.contains(&v) {
+                        return Err(self.err(format!("duplicate formal parameter ${v}")));
+                    }
+                    formals.push(v);
+                }
+                other => {
+                    return Err(self.err(format!(
+                        "expected formal parameter, found {}",
+                        other.describe()
+                    )))
+                }
+            }
+            match self.peek() {
+                Tok::Comma => {
+                    self.bump();
+                }
+                Tok::Bar => {
+                    self.bump();
+                    return Ok(formals);
+                }
+                _ => {
+                    // Not a formals list after all.
+                    self.i = save;
+                    return Ok(Vec::new());
+                }
+            }
+        }
+    }
+
+    fn parse_chain(&mut self) -> Result<Chain> {
+        let mut nodes = vec![self.parse_chain_node()?];
+        while *self.peek() == Tok::Arrow {
+            self.bump();
+            nodes.push(self.parse_chain_node()?);
+        }
+        self.expect(&Tok::Semi)?;
+        // Multi-name declarations are only legal as standalone statements.
+        if nodes.len() > 1 {
+            for n in &nodes {
+                if let NodeElem::Decl { names, .. } = &n.elem {
+                    if names.len() > 1 {
+                        return Err(self.err(
+                            "multiple declared names cannot appear inside a connection".to_string(),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(Chain { nodes })
+    }
+
+    fn parse_opt_config(&mut self) -> String {
+        if let Tok::Config(c) = self.peek().clone() {
+            self.bump();
+            c
+        } else {
+            String::new()
+        }
+    }
+
+    fn parse_port(&mut self) -> Result<Option<usize>> {
+        if *self.peek() != Tok::LBracket {
+            return Ok(None);
+        }
+        self.bump();
+        let n = match self.bump() {
+            Tok::Number(n) => n,
+            other => {
+                return Err(self.err(format!("expected port number, found {}", other.describe())))
+            }
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(Some(n))
+    }
+
+    fn parse_chain_node(&mut self) -> Result<ChainNode> {
+        let in_port = self.parse_port()?;
+        let first = self.expect_ident()?;
+        let elem = match self.peek().clone() {
+            Tok::Comma => {
+                // name1, name2, ... :: Class
+                let mut names = vec![first];
+                while *self.peek() == Tok::Comma {
+                    self.bump();
+                    names.push(self.expect_ident()?);
+                }
+                self.expect(&Tok::ColonColon)?;
+                let class = self.expect_ident()?;
+                let config = self.parse_opt_config();
+                NodeElem::Decl { names, class, config }
+            }
+            Tok::ColonColon => {
+                self.bump();
+                let class = self.expect_ident()?;
+                let config = self.parse_opt_config();
+                NodeElem::Decl { names: vec![first], class, config }
+            }
+            Tok::Config(c) => {
+                self.bump();
+                NodeElem::Anon { class: first, config: c }
+            }
+            _ => NodeElem::Ref(first),
+        };
+        let out_port = self.parse_port()?;
+        Ok(ChainNode { in_port, elem, out_port })
+    }
+}
+
+/// Parses a Click source file into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] or [`Error::Parse`] with a source position on
+/// malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use click_core::lang::parse;
+///
+/// let program = parse("src :: Idle; src -> Discard;")?;
+/// assert_eq!(program.items.len(), 2);
+/// # Ok::<(), click_core::Error>(())
+/// ```
+pub fn parse(src: &str) -> Result<Program> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, i: 0 };
+    let items = p.parse_program(None)?;
+    Ok(Program { items })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declaration_statement() {
+        let p = parse("c :: Classifier(12/0800, -);").unwrap();
+        assert_eq!(p.items.len(), 1);
+        match &p.items[0] {
+            Item::Chain(ch) => {
+                assert_eq!(ch.nodes.len(), 1);
+                assert_eq!(
+                    ch.nodes[0].elem,
+                    NodeElem::Decl {
+                        names: vec!["c".into()],
+                        class: "Classifier".into(),
+                        config: "12/0800, -".into()
+                    }
+                );
+            }
+            other => panic!("unexpected item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_name_declaration() {
+        let p = parse("q1, q2 :: Queue(100);").unwrap();
+        match &p.items[0] {
+            Item::Chain(ch) => match &ch.nodes[0].elem {
+                NodeElem::Decl { names, .. } => assert_eq!(names, &["q1", "q2"]),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_name_declaration_rejected_in_connection() {
+        assert!(parse("a -> q1, q2 :: Queue;").is_err());
+    }
+
+    #[test]
+    fn chain_with_ports() {
+        let p = parse("a [1] -> [2] b -> c;").unwrap();
+        match &p.items[0] {
+            Item::Chain(ch) => {
+                assert_eq!(ch.nodes.len(), 3);
+                assert_eq!(ch.nodes[0].out_port, Some(1));
+                assert_eq!(ch.nodes[1].in_port, Some(2));
+                assert_eq!(ch.nodes[1].out_port, None);
+                assert_eq!(ch.nodes[2].in_port, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_declaration_in_chain() {
+        let p = parse("a -> q :: Queue(10) -> b;").unwrap();
+        match &p.items[0] {
+            Item::Chain(ch) => assert!(matches!(&ch.nodes[1].elem, NodeElem::Decl { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anonymous_class_with_config() {
+        let p = parse("a -> Counter() -> b;").unwrap();
+        match &p.items[0] {
+            Item::Chain(ch) => assert_eq!(
+                ch.nodes[1].elem,
+                NodeElem::Anon { class: "Counter".into(), config: String::new() }
+            ),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_definition() {
+        let p = parse("elementclass F { $cap | input -> Queue($cap) -> output; }").unwrap();
+        match &p.items[0] {
+            Item::CompoundDef(d) => {
+                assert_eq!(d.name, "F");
+                assert_eq!(d.formals, vec!["cap"]);
+                assert_eq!(d.body.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_compound_definitions() {
+        let p = parse(
+            "elementclass Outer { elementclass Inner { input -> output; } input -> Inner -> output; }",
+        )
+        .unwrap();
+        match &p.items[0] {
+            Item::CompoundDef(d) => {
+                assert!(matches!(d.body[0], Item::CompoundDef(_)));
+                assert!(matches!(d.body[1], Item::Chain(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn requires() {
+        let p = parse("require(fastclassifier);").unwrap();
+        assert_eq!(p.items[0], Item::Require("fastclassifier".into()));
+    }
+
+    #[test]
+    fn duplicate_formals_rejected() {
+        assert!(parse("elementclass F { $a, $a | input -> output; }").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        assert!(parse("a -> b").is_err());
+    }
+
+    #[test]
+    fn stray_semicolons_tolerated() {
+        assert!(parse(";; a :: Idle; ;").is_ok());
+    }
+
+    #[test]
+    fn error_position_is_meaningful() {
+        let err = parse("a ->\n-> b;").unwrap_err();
+        match err {
+            Error::Parse { pos, .. } => assert_eq!(pos.line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

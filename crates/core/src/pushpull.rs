@@ -1,0 +1,324 @@
+//! Push/pull resolution.
+//!
+//! Every port in a configuration must end up either *push* or *pull*
+//! (paper §5.3, and reference 11 §3). Concrete ports come straight from an
+//! element's processing code; *agnostic* ports adopt the kind of whatever
+//! they are connected to, with agnosticism propagating through elements
+//! along their flow codes. This module runs the same constraint
+//! propagation Click performs at router-initialization time, as a
+//! union-find over port groups.
+
+use crate::error::{Error, Result};
+use crate::graph::{ElementId, RouterGraph};
+use crate::registry::Library;
+use crate::spec::PortKind;
+use std::collections::HashMap;
+
+/// Which side of an element a port is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// An input port.
+    Input,
+    /// An output port.
+    Output,
+}
+
+/// The resolved processing kinds for every port of every element.
+#[derive(Debug, Clone, Default)]
+pub struct PortAssignment {
+    inputs: HashMap<ElementId, Vec<PortKind>>,
+    outputs: HashMap<ElementId, Vec<PortKind>>,
+}
+
+impl PortAssignment {
+    /// The resolved kind of an input port. Ports beyond those in use
+    /// resolve to `Push`.
+    pub fn input(&self, id: ElementId, port: usize) -> PortKind {
+        self.inputs.get(&id).and_then(|v| v.get(port)).copied().unwrap_or(PortKind::Push)
+    }
+
+    /// The resolved kind of an output port.
+    pub fn output(&self, id: ElementId, port: usize) -> PortKind {
+        self.outputs.get(&id).and_then(|v| v.get(port)).copied().unwrap_or(PortKind::Push)
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+    kind: Vec<Option<PortKind>>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind { parent: (0..n).collect(), kind: vec![None; n] }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn constrain(&mut self, x: usize, k: PortKind) -> std::result::Result<(), ()> {
+        let r = self.find(x);
+        match self.kind[r] {
+            None => {
+                self.kind[r] = Some(k);
+                Ok(())
+            }
+            Some(existing) if existing == k => Ok(()),
+            Some(_) => Err(()),
+        }
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> std::result::Result<(), ()> {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return Ok(());
+        }
+        let merged = match (self.kind[ra], self.kind[rb]) {
+            (Some(x), Some(y)) if x != y => return Err(()),
+            (Some(x), _) | (_, Some(x)) => Some(x),
+            (None, None) => None,
+        };
+        self.parent[rb] = ra;
+        self.kind[ra] = merged;
+        Ok(())
+    }
+}
+
+/// Resolves every port of `graph` to push or pull.
+///
+/// # Errors
+///
+/// Returns [`Error::Check`] when a push port is connected to a pull port,
+/// directly or through a chain of agnostic elements, or when an element's
+/// class is unknown to `library`.
+///
+/// # Examples
+///
+/// ```
+/// use click_core::lang::read_config;
+/// use click_core::pushpull::resolve;
+/// use click_core::registry::Library;
+/// use click_core::spec::PortKind;
+///
+/// let g = read_config("FromDevice(0) -> c :: Counter -> Queue -> ToDevice(0);")?;
+/// let pa = resolve(&g, &Library::standard())?;
+/// let c = g.find("c").unwrap();
+/// // Counter is agnostic; between a push device and a queue input it
+/// // resolves to push.
+/// assert_eq!(pa.input(c, 0), PortKind::Push);
+/// assert_eq!(pa.output(c, 0), PortKind::Push);
+/// # Ok::<(), click_core::Error>(())
+/// ```
+pub fn resolve(graph: &RouterGraph, library: &Library) -> Result<PortAssignment> {
+    // Index the ports in use.
+    let mut port_index: HashMap<(ElementId, Side, usize), usize> = HashMap::new();
+    let mut ports: Vec<(ElementId, Side, usize)> = Vec::new();
+    for id in graph.element_ids() {
+        for p in 0..graph.ninputs(id) {
+            port_index.insert((id, Side::Input, p), ports.len());
+            ports.push((id, Side::Input, p));
+        }
+        for p in 0..graph.noutputs(id) {
+            port_index.insert((id, Side::Output, p), ports.len());
+            ports.push((id, Side::Output, p));
+        }
+    }
+    let mut uf = UnionFind::new(ports.len());
+
+    let describe = |graph: &RouterGraph, id: ElementId, side: Side, port: usize| {
+        let side = match side {
+            Side::Input => "input",
+            Side::Output => "output",
+        };
+        format!("{} {side} port {port}", graph.element(id).name())
+    };
+
+    // Seed concrete kinds and intra-element agnostic links.
+    for id in graph.element_ids() {
+        let decl = graph.element(id);
+        let spec = library.resolve(decl.class()).ok_or_else(|| {
+            Error::check(format!("unknown element class {:?} for {}", decl.class(), decl.name()))
+        })?;
+        let nin = graph.ninputs(id);
+        let nout = graph.noutputs(id);
+        for p in 0..nin {
+            let node = port_index[&(id, Side::Input, p)];
+            match spec.processing.input_kind(p) {
+                PortKind::Agnostic => {}
+                k => uf.constrain(node, k).map_err(|_| {
+                    Error::check(format!(
+                        "push/pull conflict at {}",
+                        describe(graph, id, Side::Input, p)
+                    ))
+                })?,
+            }
+        }
+        for p in 0..nout {
+            let node = port_index[&(id, Side::Output, p)];
+            match spec.processing.output_kind(p) {
+                PortKind::Agnostic => {}
+                k => uf.constrain(node, k).map_err(|_| {
+                    Error::check(format!(
+                        "push/pull conflict at {}",
+                        describe(graph, id, Side::Output, p)
+                    ))
+                })?,
+            }
+        }
+        // Agnosticism propagates through the element along its flow code.
+        for i in 0..nin {
+            if spec.processing.input_kind(i) != PortKind::Agnostic {
+                continue;
+            }
+            for o in 0..nout {
+                if spec.processing.output_kind(o) != PortKind::Agnostic {
+                    continue;
+                }
+                if spec.flow.flows(i, o) {
+                    let a = port_index[&(id, Side::Input, i)];
+                    let b = port_index[&(id, Side::Output, o)];
+                    uf.union(a, b).map_err(|_| {
+                        Error::check(format!(
+                            "push/pull conflict inside {} between input {i} and output {o}",
+                            decl.name()
+                        ))
+                    })?;
+                }
+            }
+        }
+    }
+
+    // Connections unify the two endpoints.
+    for c in graph.connections() {
+        let a = port_index[&(c.from.element, Side::Output, c.from.port)];
+        let b = port_index[&(c.to.element, Side::Input, c.to.port)];
+        uf.union(a, b).map_err(|_| {
+            Error::check(format!(
+                "push/pull conflict on connection {} -> {}",
+                describe(graph, c.from.element, Side::Output, c.from.port),
+                describe(graph, c.to.element, Side::Input, c.to.port),
+            ))
+        })?;
+    }
+
+    // Collect results; unconstrained groups default to push.
+    let mut assignment = PortAssignment::default();
+    for (i, &(id, side, port)) in ports.iter().enumerate() {
+        let root = uf.find(i);
+        let kind = uf.kind[root].unwrap_or(PortKind::Push);
+        let map = match side {
+            Side::Input => &mut assignment.inputs,
+            Side::Output => &mut assignment.outputs,
+        };
+        let v = map.entry(id).or_default();
+        if v.len() <= port {
+            v.resize(port + 1, PortKind::Push);
+        }
+        v[port] = kind;
+    }
+    Ok(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::read_config;
+
+    fn std_resolve(src: &str) -> Result<(RouterGraph, PortAssignment)> {
+        let g = read_config(src)?;
+        let pa = resolve(&g, &Library::standard())?;
+        Ok((g, pa))
+    }
+
+    #[test]
+    fn concrete_ports_keep_their_kind() {
+        let (g, pa) = std_resolve("FromDevice(0) -> Queue -> ToDevice(0);").unwrap();
+        let q = g.elements().find(|(_, e)| e.class() == "Queue").unwrap().0;
+        assert_eq!(pa.input(q, 0), PortKind::Push);
+        assert_eq!(pa.output(q, 0), PortKind::Pull);
+    }
+
+    #[test]
+    fn agnostic_resolves_to_pull_downstream_of_queue() {
+        let (g, pa) = std_resolve("FromDevice(0) -> Queue -> n :: Null -> ToDevice(0);").unwrap();
+        let n = g.find("n").unwrap();
+        assert_eq!(pa.input(n, 0), PortKind::Pull);
+        assert_eq!(pa.output(n, 0), PortKind::Pull);
+    }
+
+    #[test]
+    fn agnostic_chain_propagates() {
+        let (g, pa) =
+            std_resolve("FromDevice(0) -> a :: Null -> b :: Null -> Queue -> ToDevice(0);").unwrap();
+        for name in ["a", "b"] {
+            let id = g.find(name).unwrap();
+            assert_eq!(pa.input(id, 0), PortKind::Push, "element {name}");
+        }
+    }
+
+    #[test]
+    fn direct_push_to_pull_conflict_is_an_error() {
+        // FromDevice pushes; ToDevice pulls. Connecting them directly is the
+        // classic Click configuration error.
+        assert!(std_resolve("FromDevice(0) -> ToDevice(0);").is_err());
+    }
+
+    #[test]
+    fn conflict_through_agnostic_chain_is_detected() {
+        assert!(std_resolve("FromDevice(0) -> Null -> Null -> ToDevice(0);").is_err());
+    }
+
+    #[test]
+    fn checkipheader_error_output_is_push_even_in_pull_context() {
+        let (g, pa) = std_resolve(
+            "FromDevice(0) -> Queue -> c :: CheckIPHeader; \
+             c [0] -> ToDevice(0); c [1] -> Discard;",
+        )
+        .unwrap();
+        let c = g.find("c").unwrap();
+        assert_eq!(pa.input(c, 0), PortKind::Pull);
+        assert_eq!(pa.output(c, 0), PortKind::Pull);
+        assert_eq!(pa.output(c, 1), PortKind::Push);
+    }
+
+    #[test]
+    fn unconstrained_agnostic_defaults_to_push() {
+        let (g, pa) = std_resolve("i :: Idle; d :: Discard; i -> d;").unwrap();
+        let i = g.find("i").unwrap();
+        assert_eq!(pa.output(i, 0), PortKind::Push);
+    }
+
+    #[test]
+    fn flow_code_limits_propagation() {
+        // ARPQuerier's flow code "xy/x" says input 1 does not flow to
+        // output 0, but ARPQuerier is all-push anyway; instead test a
+        // sched-like shape with StaticPullSwitch (all pull).
+        let (g, pa) = std_resolve(
+            "FromDevice(0) -> q1 :: Queue; FromDevice(1) -> q2 :: Queue; \
+             q1 -> [0] s :: RoundRobinSched; q2 -> [1] s; s -> ToDevice(0);",
+        )
+        .unwrap();
+        let s = g.find("s").unwrap();
+        assert_eq!(pa.input(s, 0), PortKind::Pull);
+        assert_eq!(pa.input(s, 1), PortKind::Pull);
+        assert_eq!(pa.output(s, 0), PortKind::Pull);
+    }
+
+    #[test]
+    fn unknown_class_is_an_error() {
+        assert!(std_resolve("Mystery -> Discard;").is_err());
+    }
+
+    #[test]
+    fn devirtualized_classes_resolve_like_their_base() {
+        let (g, pa) =
+            std_resolve("FromDevice(0) -> Counter__DV1 -> Queue -> ToDevice(0);").unwrap();
+        let c = g.elements().find(|(_, e)| e.class() == "Counter__DV1").unwrap().0;
+        assert_eq!(pa.input(c, 0), PortKind::Push);
+    }
+}

@@ -1,0 +1,451 @@
+//! Element specification codes.
+//!
+//! The paper (§5.3) describes how element classes embed small, textual
+//! specifications that both Click and the optimization tools read: the
+//! *processing code* says whether each port uses push or pull packet
+//! transfer, the *flow code* says which inputs' packets may emerge from
+//! which outputs, and the *port-count code* constrains how many ports an
+//! element may have. This module implements all three little languages.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// Whether a port transfers packets by push, by pull, or adapts to its
+/// neighbor ("agnostic").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortKind {
+    /// The upstream element initiates the transfer (`h` in a processing code,
+    /// for "handler").
+    Push,
+    /// The downstream element initiates the transfer (`l`).
+    Pull,
+    /// The port adopts whatever its neighbor uses (`a`).
+    Agnostic,
+}
+
+impl PortKind {
+    /// The single-character code used in processing strings.
+    pub fn code(self) -> char {
+        match self {
+            PortKind::Push => 'h',
+            PortKind::Pull => 'l',
+            PortKind::Agnostic => 'a',
+        }
+    }
+
+    fn from_code(c: char) -> Option<PortKind> {
+        match c {
+            'h' => Some(PortKind::Push),
+            'l' => Some(PortKind::Pull),
+            'a' => Some(PortKind::Agnostic),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PortKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PortKind::Push => "push",
+            PortKind::Pull => "pull",
+            PortKind::Agnostic => "agnostic",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A parsed processing code such as `"h/h"`, `"a/ah"`, or `"l/h"`.
+///
+/// The part before `/` describes input ports and the part after describes
+/// output ports. The last character of each part repeats for any additional
+/// ports, exactly as in Click: `"a/ah"` means the input and the first output
+/// may be used as either push or pull, while the second and subsequent
+/// outputs are always push.
+///
+/// # Examples
+///
+/// ```
+/// use click_core::spec::{PortKind, ProcessingCode};
+///
+/// let code: ProcessingCode = "a/ah".parse().unwrap();
+/// assert_eq!(code.input_kind(0), PortKind::Agnostic);
+/// assert_eq!(code.output_kind(0), PortKind::Agnostic);
+/// assert_eq!(code.output_kind(1), PortKind::Push);
+/// assert_eq!(code.output_kind(7), PortKind::Push);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProcessingCode {
+    inputs: Vec<PortKind>,
+    outputs: Vec<PortKind>,
+}
+
+impl ProcessingCode {
+    /// A `"h/h"` code: every port pushes.
+    pub fn push() -> ProcessingCode {
+        "h/h".parse().expect("static code")
+    }
+
+    /// A `"l/l"` code: every port pulls.
+    pub fn pull() -> ProcessingCode {
+        "l/l".parse().expect("static code")
+    }
+
+    /// A `"a/a"` code: every port is agnostic.
+    pub fn agnostic() -> ProcessingCode {
+        "a/a".parse().expect("static code")
+    }
+
+    /// The kind of input port `port`, applying last-character repetition.
+    pub fn input_kind(&self, port: usize) -> PortKind {
+        Self::kind_at(&self.inputs, port)
+    }
+
+    /// The kind of output port `port`, applying last-character repetition.
+    pub fn output_kind(&self, port: usize) -> PortKind {
+        Self::kind_at(&self.outputs, port)
+    }
+
+    fn kind_at(v: &[PortKind], port: usize) -> PortKind {
+        if v.is_empty() {
+            PortKind::Agnostic
+        } else {
+            v[port.min(v.len() - 1)]
+        }
+    }
+}
+
+impl std::str::FromStr for ProcessingCode {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<ProcessingCode> {
+        let (ins, outs) = match s.split_once('/') {
+            Some((a, b)) => (a, b),
+            None => (s, s),
+        };
+        let parse_side = |side: &str| -> Result<Vec<PortKind>> {
+            side.chars()
+                .map(|c| {
+                    PortKind::from_code(c)
+                        .ok_or_else(|| Error::spec(format!("bad processing character {c:?} in {s:?}")))
+                })
+                .collect()
+        };
+        let inputs = parse_side(ins)?;
+        let outputs = parse_side(outs)?;
+        if inputs.is_empty() && outputs.is_empty() {
+            return Err(Error::spec(format!("empty processing code {s:?}")));
+        }
+        Ok(ProcessingCode { inputs, outputs })
+    }
+}
+
+impl fmt::Display for ProcessingCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for k in &self.inputs {
+            write!(f, "{}", k.code())?;
+        }
+        f.write_str("/")?;
+        for k in &self.outputs {
+            write!(f, "{}", k.code())?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed flow code such as `"x/x"`, `"x/y"`, or `"#/#"`.
+///
+/// Flow codes describe which input ports' packets may emerge from which
+/// output ports. Two ports with the same letter are connected; `#` means
+/// "the port with the same number on the other side". The last character
+/// of each side repeats.
+///
+/// # Examples
+///
+/// ```
+/// use click_core::spec::FlowCode;
+///
+/// let through: FlowCode = "x/x".parse().unwrap();
+/// assert!(through.flows(0, 3));
+///
+/// let none: FlowCode = "x/y".parse().unwrap();
+/// assert!(!none.flows(0, 0));
+///
+/// let paired: FlowCode = "#/#".parse().unwrap();
+/// assert!(paired.flows(2, 2));
+/// assert!(!paired.flows(2, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlowCode {
+    inputs: Vec<char>,
+    outputs: Vec<char>,
+}
+
+impl FlowCode {
+    /// The `"x/x"` code: every input flows to every output.
+    pub fn through() -> FlowCode {
+        "x/x".parse().expect("static code")
+    }
+
+    /// The `"x/y"` code: no input flows to any output (e.g. a packet source
+    /// or a queue that generates fresh transfers).
+    pub fn none() -> FlowCode {
+        "x/y".parse().expect("static code")
+    }
+
+    /// Returns true if packets arriving on `input` may emerge from `output`.
+    pub fn flows(&self, input: usize, output: usize) -> bool {
+        let i = Self::char_at(&self.inputs, input);
+        let o = Self::char_at(&self.outputs, output);
+        match (i, o) {
+            ('#', '#') => input == output,
+            ('#', _) | (_, '#') => false,
+            (a, b) => a == b,
+        }
+    }
+
+    fn char_at(v: &[char], port: usize) -> char {
+        if v.is_empty() {
+            'x'
+        } else {
+            v[port.min(v.len() - 1)]
+        }
+    }
+}
+
+impl std::str::FromStr for FlowCode {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<FlowCode> {
+        let (ins, outs) = s
+            .split_once('/')
+            .ok_or_else(|| Error::spec(format!("flow code {s:?} missing `/`")))?;
+        let check = |side: &str| -> Result<Vec<char>> {
+            side.chars()
+                .map(|c| {
+                    if c.is_ascii_alphabetic() || c == '#' {
+                        Ok(c)
+                    } else {
+                        Err(Error::spec(format!("bad flow character {c:?} in {s:?}")))
+                    }
+                })
+                .collect()
+        };
+        let inputs = check(ins)?;
+        let outputs = check(outs)?;
+        if inputs.is_empty() || outputs.is_empty() {
+            return Err(Error::spec(format!("empty side in flow code {s:?}")));
+        }
+        Ok(FlowCode { inputs, outputs })
+    }
+}
+
+impl fmt::Display for FlowCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a: String = self.inputs.iter().collect();
+        let b: String = self.outputs.iter().collect();
+        write!(f, "{a}/{b}")
+    }
+}
+
+/// A range of permitted port counts for one side of an element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortRange {
+    /// Minimum number of ports.
+    pub min: usize,
+    /// Maximum number of ports, or `None` for unbounded.
+    pub max: Option<usize>,
+}
+
+impl PortRange {
+    /// An exact port count.
+    pub fn exactly(n: usize) -> PortRange {
+        PortRange { min: n, max: Some(n) }
+    }
+
+    /// Any number of ports, including zero.
+    pub fn any() -> PortRange {
+        PortRange { min: 0, max: None }
+    }
+
+    /// Returns true if `n` ports is acceptable.
+    pub fn allows(&self, n: usize) -> bool {
+        n >= self.min && self.max.is_none_or(|m| n <= m)
+    }
+}
+
+impl fmt::Display for PortRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.min, self.max) {
+            (0, None) => f.write_str("-"),
+            (min, None) => write!(f, "{min}-"),
+            (min, Some(max)) if min == max => write!(f, "{min}"),
+            (min, Some(max)) => write!(f, "{min}-{max}"),
+        }
+    }
+}
+
+/// A parsed port-count code such as `"1/1"`, `"1/1-2"`, or `"1-/-"`.
+///
+/// # Examples
+///
+/// ```
+/// use click_core::spec::PortCount;
+///
+/// let pc: PortCount = "1/1-2".parse().unwrap();
+/// assert!(pc.allows(1, 1));
+/// assert!(pc.allows(1, 2));
+/// assert!(!pc.allows(1, 3));
+/// assert!(!pc.allows(2, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortCount {
+    /// Permitted input-port counts.
+    pub inputs: PortRange,
+    /// Permitted output-port counts.
+    pub outputs: PortRange,
+}
+
+impl PortCount {
+    /// Exactly `nin` inputs and `nout` outputs.
+    pub fn exactly(nin: usize, nout: usize) -> PortCount {
+        PortCount { inputs: PortRange::exactly(nin), outputs: PortRange::exactly(nout) }
+    }
+
+    /// Returns true if the given port counts are acceptable.
+    pub fn allows(&self, nin: usize, nout: usize) -> bool {
+        self.inputs.allows(nin) && self.outputs.allows(nout)
+    }
+}
+
+fn parse_range(s: &str) -> Result<PortRange> {
+    let bad = || Error::spec(format!("bad port range {s:?}"));
+    if s == "-" {
+        return Ok(PortRange::any());
+    }
+    if let Some((lo, hi)) = s.split_once('-') {
+        let min = lo.parse::<usize>().map_err(|_| bad())?;
+        if hi.is_empty() {
+            Ok(PortRange { min, max: None })
+        } else {
+            let max = hi.parse::<usize>().map_err(|_| bad())?;
+            if max < min {
+                return Err(bad());
+            }
+            Ok(PortRange { min, max: Some(max) })
+        }
+    } else {
+        let n = s.parse::<usize>().map_err(|_| bad())?;
+        Ok(PortRange::exactly(n))
+    }
+}
+
+impl std::str::FromStr for PortCount {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<PortCount> {
+        let (ins, outs) = s
+            .split_once('/')
+            .ok_or_else(|| Error::spec(format!("port count {s:?} missing `/`")))?;
+        Ok(PortCount { inputs: parse_range(ins)?, outputs: parse_range(outs)? })
+    }
+}
+
+impl fmt::Display for PortCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.inputs, self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processing_code_repetition() {
+        let c: ProcessingCode = "h/lh".parse().unwrap();
+        assert_eq!(c.input_kind(0), PortKind::Push);
+        assert_eq!(c.input_kind(9), PortKind::Push);
+        assert_eq!(c.output_kind(0), PortKind::Pull);
+        assert_eq!(c.output_kind(1), PortKind::Push);
+        assert_eq!(c.output_kind(5), PortKind::Push);
+    }
+
+    #[test]
+    fn processing_code_without_slash_applies_to_both_sides() {
+        let c: ProcessingCode = "h".parse().unwrap();
+        assert_eq!(c.input_kind(0), PortKind::Push);
+        assert_eq!(c.output_kind(0), PortKind::Push);
+    }
+
+    #[test]
+    fn processing_code_paper_example() {
+        // "a/ah" from §5.3 of the paper.
+        let c: ProcessingCode = "a/ah".parse().unwrap();
+        assert_eq!(c.input_kind(0), PortKind::Agnostic);
+        assert_eq!(c.output_kind(0), PortKind::Agnostic);
+        assert_eq!(c.output_kind(1), PortKind::Push);
+    }
+
+    #[test]
+    fn processing_code_rejects_bad_characters() {
+        assert!("x/h".parse::<ProcessingCode>().is_err());
+        assert!("".parse::<ProcessingCode>().is_err());
+    }
+
+    #[test]
+    fn processing_round_trips_through_display() {
+        for s in ["h/h", "l/l", "a/ah", "h/lh", "hl/a"] {
+            let c: ProcessingCode = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+            assert_eq!(s.parse::<ProcessingCode>().unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn flow_code_letters() {
+        let f: FlowCode = "xy/x".parse().unwrap();
+        assert!(f.flows(0, 0));
+        assert!(!f.flows(1, 0));
+        assert!(f.flows(0, 4)); // repetition of last output char
+    }
+
+    #[test]
+    fn flow_code_hash_pairs_ports() {
+        let f: FlowCode = "#/#".parse().unwrap();
+        assert!(f.flows(0, 0));
+        assert!(f.flows(3, 3));
+        assert!(!f.flows(0, 1));
+    }
+
+    #[test]
+    fn flow_code_requires_slash() {
+        assert!("x".parse::<FlowCode>().is_err());
+        assert!("x/".parse::<FlowCode>().is_err());
+        assert!("1/2".parse::<FlowCode>().is_err());
+    }
+
+    #[test]
+    fn port_count_forms() {
+        assert!("1/1".parse::<PortCount>().unwrap().allows(1, 1));
+        assert!("-/-".parse::<PortCount>().unwrap().allows(0, 17));
+        let pc: PortCount = "1-/2".parse().unwrap();
+        assert!(pc.allows(5, 2));
+        assert!(!pc.allows(0, 2));
+        assert!(!pc.allows(1, 1));
+    }
+
+    #[test]
+    fn port_count_rejects_inverted_range() {
+        assert!("3-1/1".parse::<PortCount>().is_err());
+        assert!("a/1".parse::<PortCount>().is_err());
+        assert!("1".parse::<PortCount>().is_err());
+    }
+
+    #[test]
+    fn port_count_display_round_trips() {
+        for s in ["1/1", "1-2/3", "0-/1", "-/-", "2-2/0"] {
+            let pc: PortCount = s.parse().unwrap();
+            assert_eq!(pc.to_string().parse::<PortCount>().unwrap(), pc);
+        }
+    }
+}

@@ -1,0 +1,1 @@
+fn main() { print!("{}", click_elements::ip_router::IpRouterSpec::standard(2).config()); }

@@ -1,0 +1,288 @@
+//! The element trait and its supporting plumbing.
+//!
+//! Elements are "fine-grained packet processing modules" (paper §3). Each
+//! element receives packets on numbered input ports and emits them on
+//! numbered output ports, via *push* (upstream initiates) or *pull*
+//! (downstream initiates) transfer. Simpler elements implement only
+//! [`Element::simple_action`], the sugar the paper's footnote 1 mentions;
+//! the default `push`/`pull` adapt it to either discipline.
+
+use crate::packet::Packet;
+use click_core::error::Result;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Identifies a simulated network device within a router's
+/// [`DeviceBank`](crate::router::DeviceBank).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub usize);
+
+/// Collects the packets an element emits during one `push` call; the
+/// engine routes them to downstream elements afterwards.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    items: Vec<(usize, Packet)>,
+}
+
+impl Emitter {
+    /// Creates an empty emitter.
+    pub fn new() -> Emitter {
+        Emitter::default()
+    }
+
+    /// Emits `p` on output `port`.
+    #[inline]
+    pub fn emit(&mut self, port: usize, p: Packet) {
+        self.items.push((port, p));
+    }
+
+    /// Drains emitted packets in emission order.
+    pub fn drain(&mut self) -> impl Iterator<Item = (usize, Packet)> + '_ {
+        self.items.drain(..)
+    }
+
+    /// True if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// What a pulling element can do: pull its own inputs, and push error
+/// packets out of push-side outputs (needed by agnostic elements like
+/// `CheckIPHeader` running in a pull context).
+pub trait PullContext {
+    /// Pulls a packet from the element's input `port`.
+    fn pull(&mut self, port: usize) -> Option<Packet>;
+    /// Pushes `p` out of the element's output `port` (used for
+    /// always-push error outputs).
+    fn push_out(&mut self, port: usize, p: Packet);
+    /// Number of connected input ports.
+    fn ninputs(&self) -> usize;
+}
+
+/// What a scheduled task can do: pull inputs, push outputs, and talk to
+/// devices.
+pub trait TaskContext {
+    /// Pulls a packet from the element's input `port`.
+    fn pull(&mut self, port: usize) -> Option<Packet>;
+    /// Pushes `p` out of the element's output `port`, running the
+    /// downstream push chain.
+    fn emit(&mut self, port: usize, p: Packet);
+    /// Pops a received packet from a device's RX queue.
+    fn rx_pop(&mut self, dev: DeviceId) -> Option<Packet>;
+    /// Appends a packet to a device's TX queue.
+    fn tx_push(&mut self, dev: DeviceId, p: Packet);
+}
+
+/// A packet-processing element.
+///
+/// Implement [`simple_action`](Element::simple_action) for 1-in/1-out
+/// filters; override [`push`](Element::push) / [`pull`](Element::pull) for
+/// multi-port or stateful behavior; override
+/// [`run_task`](Element::run_task) (and return `true` from
+/// [`is_task`](Element::is_task)) for actively scheduled elements like
+/// `ToDevice`.
+pub trait Element {
+    /// The element's class name (for diagnostics and stats lookup).
+    fn class_name(&self) -> &str;
+
+    /// Push-path processing: handle `p` arriving on input `port`, emitting
+    /// results through `out`. The default applies
+    /// [`simple_action`](Element::simple_action) and emits on output 0.
+    fn push(&mut self, port: usize, p: Packet, out: &mut Emitter) {
+        let _ = port;
+        if let Some(q) = self.simple_action(p) {
+            out.emit(0, q);
+        }
+    }
+
+    /// Pull-path processing: produce a packet for output `port` on demand.
+    /// The default pulls input 0 and applies
+    /// [`simple_action`](Element::simple_action); if the action consumes
+    /// the packet, `None` is returned (the pull fails for this attempt).
+    fn pull(&mut self, port: usize, ctx: &mut dyn PullContext) -> Option<Packet> {
+        let _ = port;
+        let p = ctx.pull(0)?;
+        self.simple_action(p)
+    }
+
+    /// Uniform processing for simple filters: return `Some` to forward on
+    /// port 0, `None` to consume/drop.
+    fn simple_action(&mut self, p: Packet) -> Option<Packet> {
+        Some(p)
+    }
+
+    /// True if the element needs active scheduling.
+    fn is_task(&self) -> bool {
+        false
+    }
+
+    /// One scheduling quantum for task elements. Returns the number of
+    /// packets moved (0 = idle, used for quiescence detection).
+    fn run_task(&mut self, ctx: &mut dyn TaskContext) -> usize {
+        let _ = ctx;
+        0
+    }
+
+    /// Named statistics (Click handler analogue): `"count"`, `"drops"`, ...
+    fn stat(&self, name: &str) -> Option<u64> {
+        let _ = name;
+        None
+    }
+
+    /// For storage elements: a shared handle to the current queue depth,
+    /// used by RED's downstream-queue discovery.
+    fn queue_depth_handle(&self) -> Option<Rc<Cell<usize>>> {
+        None
+    }
+
+    /// For RED-like droppers: receives the depth handle of the nearest
+    /// downstream storage element after the router is wired.
+    fn attach_downstream_queue(&mut self, handle: Rc<Cell<usize>>) {
+        let _ = handle;
+    }
+}
+
+/// Maps device names (`eth0`) to dense [`DeviceId`]s at element-creation
+/// time.
+#[derive(Debug, Default, Clone)]
+pub struct DeviceMap {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl DeviceMap {
+    /// Creates an empty map.
+    pub fn new() -> DeviceMap {
+        DeviceMap::default()
+    }
+
+    /// Returns the id for `name`, allocating one if new.
+    pub fn id_for(&mut self, name: &str) -> DeviceId {
+        if let Some(&i) = self.index.get(name) {
+            return DeviceId(i);
+        }
+        let i = self.names.len();
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        DeviceId(i)
+    }
+
+    /// Looks up an existing device by name.
+    pub fn get(&self, name: &str) -> Option<DeviceId> {
+        self.index.get(name).map(|&i| DeviceId(i))
+    }
+
+    /// The name of a device.
+    pub fn name(&self, id: DeviceId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of devices registered.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Context passed to element constructors.
+#[derive(Debug, Default)]
+pub struct CreateCtx {
+    /// Device name registry.
+    pub devices: DeviceMap,
+}
+
+impl CreateCtx {
+    /// Creates an empty context.
+    pub fn new() -> CreateCtx {
+        CreateCtx::default()
+    }
+}
+
+/// Helper: the element-configuration error type with a consistent shape.
+pub fn config_err(class: &str, message: impl Into<String>) -> click_core::Error {
+    click_core::Error::config(class, message)
+}
+
+/// Splits a config string into arguments (re-export for element impls).
+pub fn args(config: &str) -> Vec<String> {
+    click_core::config::split_args(config)
+}
+
+/// Parses a `Result`-producing integer argument.
+pub fn int_arg<T: std::str::FromStr>(class: &str, what: &str, s: &str) -> Result<T> {
+    s.trim().parse::<T>().map_err(|_| config_err(class, format!("bad {what} {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AddOne;
+
+    impl Element for AddOne {
+        fn class_name(&self) -> &str {
+            "AddOne"
+        }
+        fn simple_action(&mut self, mut p: Packet) -> Option<Packet> {
+            p.data_mut()[0] += 1;
+            Some(p)
+        }
+    }
+
+    struct NoPulls;
+    impl PullContext for NoPulls {
+        fn pull(&mut self, _port: usize) -> Option<Packet> {
+            None
+        }
+        fn push_out(&mut self, _port: usize, _p: Packet) {}
+        fn ninputs(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_push_uses_simple_action() {
+        let mut e = AddOne;
+        let mut out = Emitter::new();
+        e.push(0, Packet::from_data(&[41]), &mut out);
+        let emitted: Vec<_> = out.drain().collect();
+        assert_eq!(emitted.len(), 1);
+        assert_eq!(emitted[0].0, 0);
+        assert_eq!(emitted[0].1.data(), &[42]);
+    }
+
+    #[test]
+    fn default_pull_fails_without_upstream() {
+        let mut e = AddOne;
+        assert!(e.pull(0, &mut NoPulls).is_none());
+    }
+
+    #[test]
+    fn device_map_allocates_dense_ids() {
+        let mut m = DeviceMap::new();
+        let a = m.id_for("eth0");
+        let b = m.id_for("eth1");
+        let a2 = m.id_for("eth0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.name(a), "eth0");
+        assert_eq!(m.get("eth1"), Some(b));
+        assert_eq!(m.get("eth9"), None);
+    }
+
+    #[test]
+    fn emitter_preserves_order() {
+        let mut out = Emitter::new();
+        out.emit(1, Packet::from_data(&[1]));
+        out.emit(0, Packet::from_data(&[2]));
+        let v: Vec<usize> = out.drain().map(|(p, _)| p).collect();
+        assert_eq!(v, vec![1, 0]);
+    }
+}

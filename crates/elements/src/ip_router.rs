@@ -1,0 +1,350 @@
+//! The reference IP router of the paper's Figure 1, generated as Click
+//! source for any number of interfaces — so the optimization tools can
+//! parse and transform it exactly as the paper's tools did.
+//!
+//! The forwarding path visits the paper's sixteen elements:
+//! `PollDevice → Classifier → Paint → Strip → CheckIPHeader →
+//! GetIPAddress → StaticIPLookup → DropBroadcasts → PaintTee →
+//! IPGWOptions → FixIPSrc → DecIPTTL → IPFragmenter → ARPQuerier →
+//! Queue → ToDevice`.
+
+use crate::headers::{ip_to_string, mac_to_string};
+use std::fmt::Write as _;
+
+/// One router interface: device name, addresses, and its point-to-point
+/// neighbor (whose ARP entry is pre-seeded, modeling a warm ARP cache on
+/// the closed testbed).
+#[derive(Debug, Clone)]
+pub struct Interface {
+    /// Device name (`eth0`).
+    pub device: String,
+    /// The router's IP address on this interface.
+    pub ip: u32,
+    /// The router's MAC address on this interface.
+    pub mac: [u8; 6],
+    /// The attached subnet (network address).
+    pub network: u32,
+    /// Subnet prefix length.
+    pub prefix_len: u8,
+    /// Neighbor host IP on this link.
+    pub neighbor_ip: u32,
+    /// Neighbor host MAC.
+    pub neighbor_mac: [u8; 6],
+}
+
+impl Interface {
+    /// The standard addressing for interface `i`: router `10.0.i.1/24`,
+    /// neighbor host `10.0.i.2`.
+    pub fn standard(i: usize) -> Interface {
+        let i8 = u8::try_from(i).expect("at most 256 interfaces");
+        Interface {
+            device: format!("eth{i}"),
+            ip: u32::from_be_bytes([10, 0, i8, 1]),
+            mac: [0x00, 0x00, 0xC0, 0x01, i8, 0x01],
+            network: u32::from_be_bytes([10, 0, i8, 0]),
+            prefix_len: 24,
+            neighbor_ip: u32::from_be_bytes([10, 0, i8, 2]),
+            neighbor_mac: [0x00, 0x00, 0xAA, 0x02, i8, 0x02],
+        }
+    }
+}
+
+/// Parameters of a generated IP router configuration.
+#[derive(Debug, Clone)]
+pub struct IpRouterSpec {
+    /// The interfaces.
+    pub interfaces: Vec<Interface>,
+    /// Per-interface output queue capacity.
+    pub queue_capacity: usize,
+    /// Interface MTU.
+    pub mtu: usize,
+}
+
+impl IpRouterSpec {
+    /// A standard `n`-interface router (the paper's testbed used eight
+    /// 100 Mbit/s interfaces on the router host).
+    pub fn standard(n: usize) -> IpRouterSpec {
+        IpRouterSpec {
+            interfaces: (0..n).map(Interface::standard).collect(),
+            queue_capacity: 1000,
+            mtu: 1500,
+        }
+    }
+
+    /// The Click source for the full Figure-1 router.
+    pub fn config(&self) -> String {
+        let n = self.interfaces.len();
+        let mut out = String::new();
+        let _ = writeln!(out, "// {n}-interface standards-compliant IP router (paper Figure 1)");
+
+        // Shared routing table: one subnet route per interface.
+        let routes: Vec<String> = self
+            .interfaces
+            .iter()
+            .enumerate()
+            .map(|(i, iface)| {
+                format!("{}/{} {}", ip_to_string(iface.network), iface.prefix_len, i)
+            })
+            .collect();
+        let _ = writeln!(out, "rt :: StaticIPLookup({});", routes.join(", "));
+
+        for (i, iface) in self.interfaces.iter().enumerate() {
+            let ip = ip_to_string(iface.ip);
+            let mac = mac_to_string(iface.mac);
+            let nip = ip_to_string(iface.neighbor_ip);
+            let nmac = mac_to_string(iface.neighbor_mac);
+            let dev = &iface.device;
+            let _ = writeln!(out, "\n// interface {i} ({dev}, {ip})");
+            // Input path.
+            let _ = writeln!(out, "pd{i} :: PollDevice({dev});");
+            let _ = writeln!(
+                out,
+                "c{i} :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);"
+            );
+            let _ = writeln!(out, "pd{i} -> c{i};");
+            // ARP requests: answer them, out our own queue.
+            let _ = writeln!(out, "ar{i} :: ARPResponder({ip} {mac});");
+            let _ = writeln!(out, "c{i} [0] -> ar{i} -> q{i} :: Queue({});", self.queue_capacity);
+            // ARP replies: feed the querier.
+            let _ = writeln!(out, "c{i} [1] -> [1] aq{i} :: ARPQuerier({ip}, {mac}, {nip} {nmac});");
+            // IP packets: the forwarding path into the shared lookup.
+            let _ = writeln!(
+                out,
+                "c{i} [2] -> Paint({}) -> Strip(14) -> CheckIPHeader -> GetIPAddress(16) -> rt;",
+                i + 1
+            );
+            // Everything else.
+            let _ = writeln!(out, "c{i} [3] -> Discard;");
+            // Output path.
+            let _ = writeln!(out, "rt [{i}] -> DropBroadcasts -> pt{i} :: PaintTee({});", i + 1);
+            let _ = writeln!(out, "pt{i} [1] -> ICMPError({ip}, 5, 1) -> rt;");
+            let _ = writeln!(out, "pt{i} [0] -> gio{i} :: IPGWOptions;");
+            let _ = writeln!(out, "gio{i} [1] -> ICMPError({ip}, 12, 0) -> rt;");
+            let _ = writeln!(out, "gio{i} [0] -> FixIPSrc({ip}) -> dt{i} :: DecIPTTL;");
+            let _ = writeln!(out, "dt{i} [1] -> ICMPError({ip}, 11, 0) -> rt;");
+            let _ = writeln!(out, "dt{i} [0] -> fr{i} :: IPFragmenter({});", self.mtu);
+            let _ = writeln!(out, "fr{i} [1] -> ICMPError({ip}, 3, 4) -> rt;");
+            let _ = writeln!(out, "fr{i} [0] -> [0] aq{i};");
+            let _ = writeln!(out, "aq{i} -> q{i};");
+            let _ = writeln!(out, "q{i} -> ToDevice({dev});");
+        }
+        out
+    }
+}
+
+/// The "Simple" configuration of the paper's evaluation: "the minimal
+/// configuration, consisting only of device handling and a single packet
+/// queue" — here one `PollDevice → Queue → ToDevice` path per
+/// input/output interface pair.
+///
+/// `pairs` maps input device index to output device index.
+pub fn simple_config(pairs: &[(usize, usize)], queue_capacity: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// minimal device-to-device configuration (\"Simple\")");
+    for (k, &(i, o)) in pairs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "PollDevice(eth{i}) -> sq{k} :: Queue({queue_capacity}); sq{k} -> ToDevice(eth{o});"
+        );
+    }
+    out
+}
+
+/// Builds the standard forwarded test packet: a 64-byte-on-the-wire UDP
+/// packet from interface `src`'s neighbor to interface `dst`'s neighbor.
+pub fn test_packet(spec: &IpRouterSpec, src: usize, dst: usize) -> crate::packet::Packet {
+    let s = &spec.interfaces[src];
+    let d = &spec.interfaces[dst];
+    crate::headers::build_udp_packet(
+        s.neighbor_mac,
+        s.mac, // addressed to the router
+        s.neighbor_ip,
+        d.neighbor_ip,
+        1234,
+        5678,
+        18,
+        64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::{ether, ipv4};
+    use crate::router::DynRouter;
+    use click_core::check::check;
+    use click_core::lang::read_config;
+    use click_core::registry::Library;
+
+    #[test]
+    fn config_parses_and_checks_clean() {
+        for n in [2usize, 4, 8] {
+            let spec = IpRouterSpec::standard(n);
+            let graph = read_config(&spec.config()).unwrap();
+            let report = check(&graph, &Library::standard());
+            assert!(
+                report.is_ok(),
+                "{n}-interface router has errors: {:?}",
+                report.errors().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn forwarding_path_element_count_matches_paper() {
+        // Paper §3: sixteen elements on the forwarding path.
+        let path = [
+            "PollDevice",
+            "Classifier",
+            "Paint",
+            "Strip",
+            "CheckIPHeader",
+            "GetIPAddress",
+            "StaticIPLookup",
+            "DropBroadcasts",
+            "PaintTee",
+            "IPGWOptions",
+            "FixIPSrc",
+            "DecIPTTL",
+            "IPFragmenter",
+            "ARPQuerier",
+            "Queue",
+            "ToDevice",
+        ];
+        assert_eq!(path.len(), 16);
+        let spec = IpRouterSpec::standard(2);
+        let graph = read_config(&spec.config()).unwrap();
+        for class in path {
+            assert!(
+                graph.elements().any(|(_, e)| e.class() == class),
+                "missing {class} in generated router"
+            );
+        }
+    }
+
+    #[test]
+    fn router_forwards_udp_between_interfaces() {
+        let spec = IpRouterSpec::standard(2);
+        let graph = read_config(&spec.config()).unwrap();
+        let mut r = DynRouter::from_graph(&graph, &Library::standard()).unwrap();
+        let eth0 = r.devices.id("eth0").unwrap();
+        let eth1 = r.devices.id("eth1").unwrap();
+
+        let p = test_packet(&spec, 0, 1);
+        r.devices.inject(eth0, p.clone());
+        r.run_until_idle(1000);
+
+        let tx = r.devices.take_tx(eth1);
+        assert_eq!(tx.len(), 1, "packet should emerge on eth1");
+        let d = tx[0].data();
+        // Re-encapsulated with interface 1's addresses.
+        assert_eq!(ether::src(d), spec.interfaces[1].mac);
+        assert_eq!(ether::dst(d), spec.interfaces[1].neighbor_mac);
+        assert_eq!(ether::ethertype(d), ether::TYPE_IP);
+        let ip = &d[14..];
+        assert_eq!(ipv4::ttl(ip), 63, "TTL decremented");
+        assert!(ipv4::checksum_ok(ip));
+        assert_eq!(ipv4::dst(ip), spec.interfaces[1].neighbor_ip);
+    }
+
+    #[test]
+    fn router_answers_arp_requests() {
+        let spec = IpRouterSpec::standard(2);
+        let graph = read_config(&spec.config()).unwrap();
+        let mut r = DynRouter::from_graph(&graph, &Library::standard()).unwrap();
+        let eth0 = r.devices.id("eth0").unwrap();
+
+        let mut req = crate::packet::Packet::new(14 + 28);
+        {
+            let d = req.data_mut();
+            ether::write(d, ether::BROADCAST, spec.interfaces[0].neighbor_mac, ether::TYPE_ARP);
+            crate::headers::arp::write(
+                &mut d[14..],
+                crate::headers::arp::OP_REQUEST,
+                spec.interfaces[0].neighbor_mac,
+                spec.interfaces[0].neighbor_ip,
+                [0; 6],
+                spec.interfaces[0].ip,
+            );
+        }
+        r.devices.inject(eth0, req);
+        r.run_until_idle(1000);
+        let tx = r.devices.take_tx(eth0);
+        assert_eq!(tx.len(), 1, "ARP reply should go back out eth0");
+        let d = tx[0].data();
+        assert_eq!(ether::ethertype(d), ether::TYPE_ARP);
+        assert_eq!(crate::headers::arp::opcode(&d[14..]), crate::headers::arp::OP_REPLY);
+        assert_eq!(crate::headers::arp::sender_eth(&d[14..]), spec.interfaces[0].mac);
+    }
+
+    #[test]
+    fn ttl_expiry_generates_icmp_back_to_source() {
+        let spec = IpRouterSpec::standard(2);
+        let graph = read_config(&spec.config()).unwrap();
+        let mut r = DynRouter::from_graph(&graph, &Library::standard()).unwrap();
+        let eth0 = r.devices.id("eth0").unwrap();
+
+        let mut p = test_packet(&spec, 0, 1);
+        {
+            let ip = &mut p.data_mut()[14..];
+            ip[8] = 1; // TTL 1: expires at the router
+            ipv4::set_checksum(ip);
+        }
+        r.devices.inject(eth0, p);
+        r.run_until_idle(1000);
+
+        // The ICMP time-exceeded goes back toward the source (eth0).
+        let tx = r.devices.take_tx(eth0);
+        assert_eq!(tx.len(), 1, "ICMP error should emerge on eth0");
+        let ip = &tx[0].data()[14..];
+        assert_eq!(ipv4::protocol(ip), ipv4::PROTO_ICMP);
+        assert_eq!(ip[20], 11, "time exceeded");
+        assert_eq!(ipv4::dst(ip), spec.interfaces[0].neighbor_ip);
+        assert_eq!(ipv4::src(ip), spec.interfaces[0].ip, "FixIPSrc applied");
+        assert!(ipv4::checksum_ok(ip));
+    }
+
+    #[test]
+    fn non_ip_non_arp_is_discarded() {
+        let spec = IpRouterSpec::standard(2);
+        let graph = read_config(&spec.config()).unwrap();
+        let mut r = DynRouter::from_graph(&graph, &Library::standard()).unwrap();
+        let eth0 = r.devices.id("eth0").unwrap();
+        let mut p = crate::packet::Packet::new(60);
+        ether::write(p.data_mut(), spec.interfaces[0].mac, [9; 6], 0x86DD); // IPv6
+        r.devices.inject(eth0, p);
+        r.run_until_idle(1000);
+        assert_eq!(r.class_stat("Discard", "count"), 1);
+    }
+
+    #[test]
+    fn simple_config_moves_packets_straight_through() {
+        let text = simple_config(&[(0, 1), (2, 3)], 64);
+        let graph = read_config(&text).unwrap();
+        let mut r = DynRouter::from_graph(&graph, &Library::standard()).unwrap();
+        let eth0 = r.devices.id("eth0").unwrap();
+        let eth1 = r.devices.id("eth1").unwrap();
+        for _ in 0..10 {
+            r.devices.inject(eth0, crate::packet::Packet::new(60));
+        }
+        r.run_until_idle(1000);
+        assert_eq!(r.devices.tx_len(eth1), 10);
+    }
+
+    #[test]
+    fn eight_interface_router_forwards_all_pairs() {
+        let spec = IpRouterSpec::standard(8);
+        let graph = read_config(&spec.config()).unwrap();
+        let mut r = DynRouter::from_graph(&graph, &Library::standard()).unwrap();
+        for src in 0..4usize {
+            let dst = src + 4;
+            let dev = r.devices.id(&format!("eth{src}")).unwrap();
+            r.devices.inject(dev, test_packet(&spec, src, dst));
+        }
+        r.run_until_idle(2000);
+        for dst in 4..8usize {
+            let dev = r.devices.id(&format!("eth{dst}")).unwrap();
+            assert_eq!(r.devices.tx_len(dev), 1, "eth{dst} should transmit one packet");
+        }
+    }
+}

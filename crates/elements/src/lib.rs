@@ -1,0 +1,49 @@
+//! # click-elements
+//!
+//! The element library and router runtime for the Click reproduction:
+//! packets, headers, the [`element::Element`] trait, the full Figure-1 IP
+//! router element set, and two execution engines over the same
+//! configuration graph:
+//!
+//! * [`router::DynRouter`] — every packet transfer dispatches through a
+//!   `Box<dyn Element>` vtable (the baseline Click "virtual function"
+//!   regime, paper §3);
+//! * [`fast::CompiledRouter`] — elements stored inline in an enum and
+//!   dispatched statically (the `click-devirtualize` regime, §6.1).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use click_core::lang::read_config;
+//! use click_core::registry::Library;
+//! use click_elements::packet::Packet;
+//! use click_elements::router::DynRouter;
+//!
+//! let graph = read_config(
+//!     "FromDevice(in0) -> Counter -> Queue(64) -> ToDevice(out0);",
+//! )?;
+//! let mut router = DynRouter::from_graph(&graph, &Library::standard())?;
+//! let in0 = router.devices.id("in0").unwrap();
+//! let out0 = router.devices.id("out0").unwrap();
+//! router.devices.inject(in0, Packet::new(60));
+//! router.run_until_idle(100);
+//! assert_eq!(router.devices.tx_len(out0), 1);
+//! # Ok::<(), click_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod element;
+pub mod elements;
+pub mod fast;
+pub mod headers;
+pub mod ip_router;
+pub mod packet;
+pub mod router;
+pub mod routing;
+
+pub use element::Element;
+pub use fast::CompiledRouter;
+pub use packet::Packet;
+pub use router::{DynRouter, Router};

@@ -1,0 +1,317 @@
+//! The packet abstraction.
+//!
+//! "The Click packet abstraction is a thin veneer over the Linux kernel's
+//! sk_buff" (paper §3): a contiguous byte buffer with headroom and tailroom
+//! so headers can be stripped and prepended without copying, plus a small
+//! set of annotations (paint, destination IP address, receiving device)
+//! that elements use to communicate out of band.
+
+use std::fmt;
+
+/// Default headroom reserved in front of packet data.
+///
+/// Room for a re-prepended Ethernet header plus slack, while landing the
+/// default data pointer at offset 2 mod 4 — the classic NIC trick that
+/// makes the IP header word-aligned after a 14-byte Ethernet header is
+/// stripped (see `click-align`).
+pub const DEFAULT_HEADROOM: usize = 30;
+
+/// Default tailroom reserved after packet data.
+pub const DEFAULT_TAILROOM: usize = 64;
+
+/// Out-of-band per-packet annotations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Anno {
+    /// Paint color (set by `Paint`, tested by `PaintTee`/`CheckPaint`).
+    pub paint: u8,
+    /// Destination IP address annotation (set by `GetIPAddress` /
+    /// `SetIPAddress`, consumed by `StaticIPLookup` and `ARPQuerier`).
+    pub dst_ip: Option<u32>,
+    /// Index of the device the packet arrived on.
+    pub device: Option<u16>,
+    /// True if the packet was addressed to the link-level broadcast
+    /// address (set by device input, tested by `DropBroadcasts`).
+    pub link_broadcast: bool,
+    /// Set by `ICMPError`; tells `FixIPSrc` to overwrite the source
+    /// address.
+    pub fix_ip_src: bool,
+    /// Arrival timestamp in simulated nanoseconds (0 if unset).
+    pub timestamp: u64,
+}
+
+/// A network packet: an owned byte buffer with headroom/tailroom and
+/// annotations.
+///
+/// # Examples
+///
+/// ```
+/// use click_elements::packet::Packet;
+///
+/// let mut p = Packet::from_data(&[0xAA; 20]);
+/// assert_eq!(p.len(), 20);
+/// p.pull(14); // strip a header
+/// assert_eq!(p.len(), 6);
+/// p.push(14); // put it back (contents preserved from the buffer)
+/// assert_eq!(p.len(), 20);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Packet {
+    buf: Vec<u8>,
+    head: usize,
+    tail: usize,
+    /// Annotations.
+    pub anno: Anno,
+}
+
+impl Packet {
+    /// Allocates a zero-filled packet of `len` bytes with default
+    /// headroom and tailroom.
+    pub fn new(len: usize) -> Packet {
+        Packet::with_headroom(len, DEFAULT_HEADROOM)
+    }
+
+    /// Allocates a zero-filled packet with a specific headroom, which also
+    /// determines the initial alignment of the data pointer.
+    pub fn with_headroom(len: usize, headroom: usize) -> Packet {
+        let buf = vec![0u8; headroom + len + DEFAULT_TAILROOM];
+        Packet { buf, head: headroom, tail: headroom + len, anno: Anno::default() }
+    }
+
+    /// Creates a packet holding a copy of `data`.
+    pub fn from_data(data: &[u8]) -> Packet {
+        let mut p = Packet::new(data.len());
+        p.data_mut().copy_from_slice(data);
+        p
+    }
+
+    /// The packet contents.
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.buf[self.head..self.tail]
+    }
+
+    /// Mutable packet contents.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[self.head..self.tail]
+    }
+
+    /// Packet length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    /// True if the packet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Available headroom in front of the data.
+    pub fn headroom(&self) -> usize {
+        self.head
+    }
+
+    /// Available tailroom after the data.
+    pub fn tailroom(&self) -> usize {
+        self.buf.len() - self.tail
+    }
+
+    /// Removes `n` bytes from the front (e.g. stripping an Ethernet
+    /// header). Removes at most `len()` bytes.
+    pub fn pull(&mut self, n: usize) {
+        self.head = (self.head + n).min(self.tail);
+    }
+
+    /// Prepends `n` bytes to the front, reallocating for extra headroom if
+    /// necessary. Newly exposed bytes retain whatever the buffer held
+    /// (zero for fresh allocations).
+    pub fn push(&mut self, n: usize) {
+        if n > self.head {
+            // Grow headroom, preserving data alignment mod 4.
+            let want = n + DEFAULT_HEADROOM;
+            let shift = want - self.head;
+            let shift = shift.div_ceil(4) * 4; // keep alignment of head
+            let mut nbuf = vec![0u8; self.buf.len() + shift];
+            nbuf[self.head + shift..self.tail + shift].copy_from_slice(&self.buf[self.head..self.tail]);
+            self.buf = nbuf;
+            self.head += shift;
+            self.tail += shift;
+        }
+        self.head -= n;
+    }
+
+    /// Removes `n` bytes from the end.
+    pub fn take(&mut self, n: usize) {
+        self.tail -= n.min(self.len());
+    }
+
+    /// Appends `n` zero bytes to the end, reallocating if necessary.
+    pub fn put(&mut self, n: usize) {
+        if n > self.tailroom() {
+            self.buf.resize(self.tail + n + DEFAULT_TAILROOM, 0);
+        }
+        for b in &mut self.buf[self.tail..self.tail + n] {
+            *b = 0;
+        }
+        self.tail += n;
+    }
+
+    /// The alignment of the data pointer: `data() as usize % 4`, modeled
+    /// as the head offset so it is deterministic. Used by alignment tests
+    /// and the `Align` element.
+    pub fn alignment_offset(&self) -> usize {
+        self.head % 4
+    }
+
+    /// Copies the packet so its data starts at `offset` modulo `modulus`
+    /// (the `Align` element's operation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is 0 or not a power of two, or `offset >=
+    /// modulus`.
+    pub fn align_to(&mut self, modulus: usize, offset: usize) {
+        assert!(modulus.is_power_of_two(), "alignment modulus must be a power of two");
+        assert!(offset < modulus);
+        if self.head % modulus == offset {
+            return;
+        }
+        let len = self.len();
+        let headroom = DEFAULT_HEADROOM / modulus * modulus + offset;
+        let mut nbuf = vec![0u8; headroom + len + DEFAULT_TAILROOM];
+        nbuf[headroom..headroom + len].copy_from_slice(self.data());
+        self.buf = nbuf;
+        self.head = headroom;
+        self.tail = headroom + len;
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Packet({} bytes", self.len())?;
+        if self.anno.paint != 0 {
+            write!(f, ", paint {}", self.anno.paint)?;
+        }
+        if let Some(ip) = self.anno.dst_ip {
+            write!(f, ", dst_ip {}", crate::headers::ip_to_string(ip))?;
+        }
+        let preview: Vec<String> =
+            self.data().iter().take(8).map(|b| format!("{b:02x}")).collect();
+        write!(f, ", data {}..)", preview.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_packet_is_zeroed() {
+        let p = Packet::new(32);
+        assert_eq!(p.len(), 32);
+        assert!(p.data().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn pull_and_push_are_inverse() {
+        let mut p = Packet::from_data(&(0..40).collect::<Vec<u8>>());
+        p.pull(14);
+        assert_eq!(p.data()[0], 14);
+        assert_eq!(p.len(), 26);
+        p.push(14);
+        assert_eq!(p.len(), 40);
+        assert_eq!(p.data()[0], 0); // original bytes preserved in buffer
+    }
+
+    #[test]
+    fn push_beyond_headroom_reallocates() {
+        let mut p = Packet::with_headroom(8, 2);
+        let align_before = p.alignment_offset();
+        p.push(10);
+        assert_eq!(p.len(), 18);
+        // Reallocation preserves alignment mod 4.
+        assert_eq!((p.alignment_offset() + 10) % 4, align_before % 4);
+    }
+
+    #[test]
+    fn pull_clamps_to_length() {
+        let mut p = Packet::from_data(&[1, 2, 3]);
+        p.pull(10);
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn take_and_put() {
+        let mut p = Packet::from_data(&[1, 2, 3, 4]);
+        p.take(2);
+        assert_eq!(p.data(), &[1, 2]);
+        p.put(3);
+        assert_eq!(p.data(), &[1, 2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn put_beyond_tailroom_reallocates() {
+        let mut p = Packet::from_data(&[7; 4]);
+        p.put(DEFAULT_TAILROOM + 100);
+        assert_eq!(p.len(), 4 + DEFAULT_TAILROOM + 100);
+        assert_eq!(&p.data()[..4], &[7; 4]);
+    }
+
+    #[test]
+    fn default_headroom_gives_mod4_offset_2() {
+        // The 2-byte offset trick: data starts at 2 mod 4 so the IP header
+        // is aligned after stripping 14 bytes of Ethernet.
+        let p = Packet::new(64);
+        assert_eq!(p.alignment_offset(), 2);
+        let mut q = p.clone();
+        q.pull(14);
+        assert_eq!(q.alignment_offset(), 0);
+    }
+
+    #[test]
+    fn align_to_changes_offset_and_preserves_data() {
+        let mut p = Packet::from_data(&(0..32).collect::<Vec<u8>>());
+        let before = p.data().to_vec();
+        p.align_to(4, 0);
+        assert_eq!(p.alignment_offset(), 0);
+        assert_eq!(p.data(), &before[..]);
+        p.align_to(4, 2);
+        assert_eq!(p.alignment_offset(), 2);
+        assert_eq!(p.data(), &before[..]);
+    }
+
+    #[test]
+    fn align_to_is_idempotent() {
+        let mut p = Packet::from_data(&[9; 16]);
+        p.align_to(4, 2);
+        let head = p.headroom();
+        p.align_to(4, 2);
+        assert_eq!(p.headroom(), head);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_to_rejects_non_power_of_two() {
+        Packet::new(4).align_to(3, 0);
+    }
+
+    #[test]
+    fn annotations_travel_with_clone() {
+        let mut p = Packet::new(8);
+        p.anno.paint = 3;
+        p.anno.dst_ip = Some(0x0A000001);
+        let q = p.clone();
+        assert_eq!(q.anno.paint, 3);
+        assert_eq!(q.anno.dst_ip, Some(0x0A000001));
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let mut p = Packet::from_data(&[0xDE, 0xAD]);
+        p.anno.paint = 1;
+        let s = format!("{p:?}");
+        assert!(s.contains("2 bytes"));
+        assert!(s.contains("de ad"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Longest-prefix-match IP routing table.
+//!
+//! The substrate for `StaticIPLookup`/`LookupIPRoute`: a binary trie over
+//! address bits, built from scratch (no dependency), with exact
+//! longest-match semantics.
+
+/// A binary trie mapping IPv4 prefixes to values.
+#[derive(Debug, Clone)]
+pub struct IpTrie<T> {
+    nodes: Vec<Node<T>>,
+}
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    children: [Option<u32>; 2],
+    value: Option<T>,
+}
+
+impl<T> Default for IpTrie<T> {
+    fn default() -> Self {
+        IpTrie { nodes: vec![Node { children: [None, None], value: None }] }
+    }
+}
+
+impl<T> IpTrie<T> {
+    /// Creates an empty table.
+    pub fn new() -> IpTrie<T> {
+        IpTrie::default()
+    }
+
+    /// Inserts a prefix of `plen` bits. Replaces any existing value for
+    /// the exact same prefix and returns the old value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plen > 32`.
+    pub fn insert(&mut self, addr: u32, plen: u8, value: T) -> Option<T> {
+        assert!(plen <= 32, "prefix length must be at most 32");
+        let mut cur = 0usize;
+        for i in 0..plen {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            cur = match self.nodes[cur].children[bit] {
+                Some(n) => n as usize,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node { children: [None, None], value: None });
+                    self.nodes[cur].children[bit] = Some(n as u32);
+                    n
+                }
+            };
+        }
+        self.nodes[cur].value.replace(value)
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: u32) -> Option<&T> {
+        let mut cur = 0usize;
+        let mut best = self.nodes[0].value.as_ref();
+        for i in 0..32 {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            match self.nodes[cur].children[bit] {
+                Some(n) => {
+                    cur = n as usize;
+                    if let Some(v) = &self.nodes[cur].value {
+                        best = Some(v);
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-prefix lookup.
+    pub fn get(&self, addr: u32, plen: u8) -> Option<&T> {
+        let mut cur = 0usize;
+        for i in 0..plen {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            cur = self.nodes[cur].children[bit].map(|n| n as usize)?;
+        }
+        self.nodes[cur].value.as_ref()
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.value.is_some()).count()
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use click_elements_test_util::*;
+
+    mod click_elements_test_util {
+        pub fn ip(s: &str) -> u32 {
+            crate::headers::parse_ip(s).unwrap()
+        }
+    }
+
+    #[test]
+    fn empty_trie_matches_nothing() {
+        let t: IpTrie<u32> = IpTrie::new();
+        assert_eq!(t.lookup(ip("1.2.3.4")), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = IpTrie::new();
+        t.insert(0, 0, "default");
+        assert_eq!(t.lookup(ip("1.2.3.4")), Some(&"default"));
+        assert_eq!(t.lookup(ip("255.255.255.255")), Some(&"default"));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = IpTrie::new();
+        t.insert(0, 0, 0);
+        t.insert(ip("10.0.0.0"), 8, 1);
+        t.insert(ip("10.0.1.0"), 24, 2);
+        t.insert(ip("10.0.1.7"), 32, 3);
+        assert_eq!(t.lookup(ip("9.9.9.9")), Some(&0));
+        assert_eq!(t.lookup(ip("10.7.7.7")), Some(&1));
+        assert_eq!(t.lookup(ip("10.0.1.200")), Some(&2));
+        assert_eq!(t.lookup(ip("10.0.1.7")), Some(&3));
+    }
+
+    #[test]
+    fn insert_replaces_exact_prefix() {
+        let mut t = IpTrie::new();
+        assert_eq!(t.insert(ip("10.0.0.0"), 8, 1), None);
+        assert_eq!(t.insert(ip("10.0.0.0"), 8, 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip("10.1.1.1")), Some(&2));
+    }
+
+    #[test]
+    fn sibling_prefixes_do_not_interfere() {
+        let mut t = IpTrie::new();
+        t.insert(ip("10.0.0.0"), 9, "low");
+        t.insert(ip("10.128.0.0"), 9, "high");
+        assert_eq!(t.lookup(ip("10.1.0.0")), Some(&"low"));
+        assert_eq!(t.lookup(ip("10.200.0.0")), Some(&"high"));
+        assert_eq!(t.lookup(ip("11.0.0.0")), None);
+    }
+
+    #[test]
+    fn exact_get() {
+        let mut t = IpTrie::new();
+        t.insert(ip("10.0.0.0"), 8, 1);
+        assert_eq!(t.get(ip("10.0.0.0"), 8), Some(&1));
+        assert_eq!(t.get(ip("10.0.0.0"), 9), None);
+        assert_eq!(t.get(ip("10.0.0.0"), 7), None);
+    }
+
+    #[test]
+    fn host_routes() {
+        let mut t = IpTrie::new();
+        for i in 0..32u32 {
+            t.insert(0x0A000000 | i, 32, i);
+        }
+        assert_eq!(t.len(), 32);
+        for i in 0..32u32 {
+            assert_eq!(t.lookup(0x0A000000 | i), Some(&i));
+        }
+        assert_eq!(t.lookup(0x0A000040), None);
+    }
+
+    #[test]
+    fn randomized_against_linear_scan() {
+        // Deterministic pseudo-random prefixes; compare trie lookup with a
+        // brute-force longest-match scan.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as u32
+        };
+        let mut t = IpTrie::new();
+        let mut prefixes: Vec<(u32, u8, usize)> = Vec::new();
+        for i in 0..200 {
+            let plen = (next() % 33) as u8;
+            let addr = if plen == 0 { 0 } else { next() & (u32::MAX << (32 - plen)) };
+            // Only record first-insert per exact prefix to mirror replace
+            // semantics simply.
+            if t.insert(addr, plen, i).is_none() {
+                prefixes.push((addr, plen, i));
+            } else {
+                prefixes.retain(|&(a, l, _)| !(a == addr && l == plen));
+                prefixes.push((addr, plen, i));
+            }
+        }
+        for _ in 0..1000 {
+            let q = next();
+            let expected = prefixes
+                .iter()
+                .filter(|&&(a, l, _)| l == 0 || (q ^ a) >> (32 - l as u32) == 0)
+                .max_by_key(|&&(_, l, _)| l)
+                .map(|&(_, _, v)| v);
+            assert_eq!(t.lookup(q).copied(), expected, "query {q:#x}");
+        }
+    }
+}

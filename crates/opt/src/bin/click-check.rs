@@ -1,0 +1,35 @@
+//! `click-check`: validate a configuration (paper §7).
+//!
+//! Usage: `click-check < router.click`; exits nonzero on errors.
+
+use std::io::Read as _;
+
+fn main() {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("click-check: reading stdin: {e}");
+        std::process::exit(1);
+    }
+    match click_core::lang::read_config(&text) {
+        Ok(graph) => {
+            let lib = click_core::registry::Library::standard();
+            let report = click_core::check::check(&graph, &lib);
+            for d in &report.diagnostics {
+                eprintln!("click-check: {d}");
+            }
+            if report.is_ok() {
+                println!(
+                    "configuration OK: {} element(s), {} connection(s)",
+                    graph.element_count(),
+                    graph.connections().len()
+                );
+            } else {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("click-check: {e}");
+            std::process::exit(1);
+        }
+    }
+}

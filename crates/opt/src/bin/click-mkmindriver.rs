@@ -1,0 +1,20 @@
+//! `click-mkmindriver`: emit the minimal element-class manifest (paper §7).
+//!
+//! Usage: `click-mkmindriver < router.click > manifest.txt`
+
+use std::io::Read as _;
+
+fn main() {
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("click-mkmindriver: reading stdin: {e}");
+        std::process::exit(1);
+    }
+    match click_core::lang::read_config(&text) {
+        Ok(graph) => print!("{}", click_opt::mkmindriver::mkmindriver(&graph).to_text()),
+        Err(e) => {
+            eprintln!("click-mkmindriver: {e}");
+            std::process::exit(1);
+        }
+    }
+}

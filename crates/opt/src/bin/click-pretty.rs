@@ -1,0 +1,21 @@
+//! `click-pretty`: render a configuration as HTML (paper §7).
+//!
+//! Usage: `click-pretty [TITLE] < router.click > router.html`
+
+use std::io::Read as _;
+
+fn main() {
+    let title = std::env::args().nth(1).unwrap_or_else(|| "Click configuration".to_owned());
+    let mut text = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+        eprintln!("click-pretty: reading stdin: {e}");
+        std::process::exit(1);
+    }
+    match click_core::lang::read_config(&text) {
+        Ok(graph) => print!("{}", click_opt::pretty::pretty_html(&graph, &title)),
+        Err(e) => {
+            eprintln!("click-pretty: {e}");
+            std::process::exit(1);
+        }
+    }
+}

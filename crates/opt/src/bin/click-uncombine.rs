@@ -1,0 +1,20 @@
+//! `click-uncombine`: extract one router from a combined configuration
+//! (paper §7.2).
+//!
+//! Usage: `click-uncombine ROUTER_NAME < combined.click`
+
+fn main() {
+    let Some(router) = std::env::args().nth(1) else {
+        eprintln!("click-uncombine: usage: click-uncombine ROUTER_NAME < combined.click");
+        std::process::exit(1);
+    };
+    match click_opt::tool::read_stdin_config()
+        .and_then(|g| click_opt::combine::uncombine(&g, &router))
+    {
+        Ok(graph) => click_opt::tool::write_stdout_config(&graph),
+        Err(e) => {
+            eprintln!("click-uncombine: {e}");
+            std::process::exit(1);
+        }
+    }
+}

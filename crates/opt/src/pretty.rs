@@ -1,0 +1,79 @@
+//! `click-pretty` — renders a configuration as HTML (paper §7).
+
+use click_core::graph::RouterGraph;
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Pretty-prints a configuration as a standalone HTML document with a
+/// declaration table and a connection table, element names anchored and
+/// cross-linked.
+pub fn pretty_html(graph: &RouterGraph, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<!DOCTYPE html>");
+    let _ = writeln!(out, "<html><head><meta charset=\"utf-8\"><title>{}</title>", escape(title));
+    let _ = writeln!(
+        out,
+        "<style>body{{font-family:sans-serif}}table{{border-collapse:collapse}}\
+         td,th{{border:1px solid #999;padding:2px 8px}}code{{background:#f4f4f4}}</style></head><body>"
+    );
+    let _ = writeln!(out, "<h1>{}</h1>", escape(title));
+    if !graph.requirements().is_empty() {
+        let _ = writeln!(out, "<p>requires: <code>{}</code></p>", escape(&graph.requirements().join(", ")));
+    }
+    let _ = writeln!(out, "<h2>Elements ({})</h2>", graph.element_count());
+    let _ = writeln!(out, "<table><tr><th>name</th><th>class</th><th>configuration</th></tr>");
+    for (_, decl) in graph.elements() {
+        let _ = writeln!(
+            out,
+            "<tr><td><a id=\"e-{0}\"></a><code>{0}</code></td><td>{1}</td><td><code>{2}</code></td></tr>",
+            escape(decl.name()),
+            escape(decl.class()),
+            escape(decl.config())
+        );
+    }
+    let _ = writeln!(out, "</table>");
+    let _ = writeln!(out, "<h2>Connections ({})</h2>", graph.connections().len());
+    let _ = writeln!(out, "<table><tr><th>from</th><th>port</th><th>to</th><th>port</th></tr>");
+    for c in graph.connections() {
+        let from = escape(graph.element(c.from.element).name());
+        let to = escape(graph.element(c.to.element).name());
+        let _ = writeln!(
+            out,
+            "<tr><td><a href=\"#e-{from}\"><code>{from}</code></a></td><td>{}</td>\
+             <td><a href=\"#e-{to}\"><code>{to}</code></a></td><td>{}</td></tr>",
+            c.from.port, c.to.port
+        );
+    }
+    let _ = writeln!(out, "</table></body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use click_core::lang::read_config;
+
+    #[test]
+    fn html_contains_elements_and_connections() {
+        let g = read_config("a :: Idle; b :: Queue(64); a -> b; b -> ToDevice(x);").unwrap();
+        let html = pretty_html(&g, "test router");
+        assert!(html.contains("<title>test router</title>"));
+        assert!(html.contains("<code>a</code>"));
+        assert!(html.contains("Queue"));
+        assert!(html.contains("href=\"#e-b\""));
+    }
+
+    #[test]
+    fn html_escapes_special_characters() {
+        let g = read_config("x :: Classifier(12/0800, -);").unwrap();
+        let mut g = g;
+        g.set_config(g.find("x").unwrap(), "a < b & \"c\"");
+        let html = pretty_html(&g, "<evil>");
+        assert!(html.contains("&lt;evil&gt;"));
+        assert!(html.contains("a &lt; b &amp; &quot;c&quot;"));
+        assert!(!html.contains("<evil>"));
+    }
+}

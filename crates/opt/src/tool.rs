@@ -1,0 +1,111 @@
+//! Shared driver for the command-line tools.
+//!
+//! Every optimizer is a Unix filter (paper §5): it reads router
+//! configurations on standard input, analyzes and transforms them, and
+//! outputs the results on standard output (paper §5), so
+//! chains like
+//!
+//! ```text
+//! click-fastclassifier < ip.click | click-xform | click-devirtualize
+//! ```
+//!
+//! compose exactly like compiler passes.
+
+use click_core::error::Result;
+use click_core::graph::RouterGraph;
+use click_core::lang::{read_config, write_config};
+use std::io::{Read as _, Write as _};
+
+/// Reads a configuration from standard input.
+///
+/// # Errors
+///
+/// I/O or parse failures.
+pub fn read_stdin_config() -> Result<RouterGraph> {
+    let mut text = String::new();
+    std::io::stdin()
+        .read_to_string(&mut text)
+        .map_err(|e| click_core::Error::graph(format!("reading stdin: {e}")))?;
+    read_config(&text)
+}
+
+/// Writes a configuration to standard output.
+pub fn write_stdout_config(graph: &RouterGraph) {
+    let text = write_config(graph);
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+/// Runs a whole tool: stdin → transform → stdout, with the transform's
+/// summary on stderr. Exits with status 1 on error.
+pub fn run_tool<F>(tool_name: &str, transform: F)
+where
+    F: FnOnce(&mut RouterGraph) -> Result<String>,
+{
+    let result = read_stdin_config().and_then(|mut graph| {
+        let summary = transform(&mut graph)?;
+        Ok((graph, summary))
+    });
+    match result {
+        Ok((graph, summary)) => {
+            write_stdout_config(&graph);
+            if !summary.is_empty() {
+                eprintln!("{tool_name}: {summary}");
+            }
+        }
+        Err(e) => {
+            eprintln!("{tool_name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses `--flag value`-style arguments, returning `(flags, positional)`.
+/// Flags listed in `value_flags` consume the following argument.
+pub fn parse_args(
+    args: &[String],
+    value_flags: &[&str],
+) -> (Vec<(String, Option<String>)>, Vec<String>) {
+    let mut flags = Vec::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if value_flags.contains(&name) && i + 1 < args.len() {
+                flags.push((name.to_owned(), Some(args[i + 1].clone())));
+                i += 2;
+                continue;
+            }
+            flags.push((name.to_owned(), None));
+        } else {
+            positional.push(a.clone());
+        }
+        i += 1;
+    }
+    (flags, positional)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_args_splits_flags_and_positional() {
+        let args: Vec<String> =
+            ["--exclude", "q0", "file.click", "--verbose"].iter().map(|s| s.to_string()).collect();
+        let (flags, pos) = parse_args(&args, &["exclude"]);
+        assert_eq!(flags, vec![
+            ("exclude".to_owned(), Some("q0".to_owned())),
+            ("verbose".to_owned(), None)
+        ]);
+        assert_eq!(pos, vec!["file.click"]);
+    }
+
+    #[test]
+    fn value_flag_at_end_without_value() {
+        let args: Vec<String> = ["--exclude"].iter().map(|s| s.to_string()).collect();
+        let (flags, pos) = parse_args(&args, &["exclude"]);
+        assert_eq!(flags, vec![("exclude".to_owned(), None)]);
+        assert!(pos.is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! # click-sim
+//!
+//! The evaluation substrate for the Click optimization paper: everything
+//! the paper measured on a nine-PC testbed, rebuilt as deterministic
+//! models so the experiments run anywhere.
+//!
+//! * [`cost`] — the CPU cost model: per-element work, virtual-call costs
+//!   through a BTB branch predictor (§3, Figure 2), and memory misses;
+//!   walks transformed configuration graphs so each optimizer's savings
+//!   emerge from the graph shape (Figures 8 and 9).
+//! * [`pci`] — the shared-bus contention model (§8.4).
+//! * [`testbed`] — the discrete-event NIC/CPU simulation with the Tulip
+//!   drop taxonomy (FIFO overflow / missed frame / Queue drop) and MLFFR
+//!   search (Figures 10–13).
+//!
+//! ```
+//! use click_core::lang::read_config;
+//! use click_elements::ip_router::{test_packet, IpRouterSpec};
+//! use click_sim::cost::params::Platform;
+//! use click_sim::cost::path::router_cpu_cost;
+//!
+//! let spec = IpRouterSpec::standard(8);
+//! let graph = read_config(&spec.config())?;
+//! let traffic = vec![(
+//!     spec.interfaces[0].device.clone(),
+//!     test_packet(&spec, 0, 4).data().to_vec(),
+//! )];
+//! let cost = router_cpu_cost(&graph, &Platform::p0(), &traffic)?;
+//! assert!(cost.forwarding_ns > 1000.0); // unoptimized: ~1657 ns
+//! # Ok::<(), click_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost {
+    //! CPU cost model: parameters, branch prediction, path walking.
+    pub mod btb;
+    pub mod params;
+    pub mod path;
+}
+pub mod pci;
+pub mod testbed;
+
+pub use cost::params::{CostParams, Platform};
+pub use cost::path::{router_cpu_cost, CpuCost, TrafficSpec};
+pub use testbed::{mlffr, run_at_rate, sweep, Outcomes, RunConfig};
+
+use click_core::error::Result;
+use click_core::graph::RouterGraph;
+use click_elements::ip_router::{test_packet, IpRouterSpec};
+
+/// Builds the evaluation traffic for an `n`-interface IP router: 64-byte
+/// UDP flows from each source interface to its paired destination
+/// interface (sources 0..n/2 → destinations n/2..n), cycled round-robin.
+pub fn evaluation_traffic(spec: &IpRouterSpec) -> TrafficSpec {
+    let n = spec.interfaces.len();
+    let half = (n / 2).max(1);
+    (0..half)
+        .map(|src| {
+            let dst = (src + half) % n;
+            (spec.interfaces[src].device.clone(), test_packet(spec, src, dst).data().to_vec())
+        })
+        .collect()
+}
+
+/// Convenience: total per-packet CPU cost of a configuration on a
+/// platform under the standard evaluation traffic.
+///
+/// # Errors
+///
+/// Propagates cost-model failures (dropped packets, missing routes).
+pub fn total_cpu_ns(graph: &RouterGraph, platform: &Platform, spec: &IpRouterSpec) -> Result<f64> {
+    let traffic = evaluation_traffic(spec);
+    Ok(router_cpu_cost(graph, platform, &traffic)?.total_ns())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use click_core::lang::read_config;
+
+    #[test]
+    fn evaluation_traffic_pairs_interfaces() {
+        let spec = IpRouterSpec::standard(8);
+        let t = evaluation_traffic(&spec);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].0, "eth0");
+        assert_eq!(t[3].0, "eth3");
+        assert_eq!(t[0].1.len(), 60);
+    }
+
+    #[test]
+    fn total_cpu_cost_smoke() {
+        let spec = IpRouterSpec::standard(8);
+        let g = read_config(&spec.config()).unwrap();
+        let total = total_cpu_ns(&g, &Platform::p0(), &spec).unwrap();
+        assert!((2500.0..3300.0).contains(&total), "total {total}");
+    }
+}

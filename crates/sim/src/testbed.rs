@@ -1,0 +1,528 @@
+//! The discrete-event testbed: traffic sources, Tulip-style NICs, the
+//! polling CPU, and outcome accounting (paper §8.1, §8.4).
+//!
+//! Each packet meets "one of four possible outcomes. It may be dropped on
+//! the receiving Tulip card because the Tulip's internal FIFO is full
+//! ('FIFO overflow'), or because the Tulip was not able to fetch a ready
+//! DMA descriptor after two tries ('missed frame'); it may be dropped at
+//! the Click Queue when packets are arriving faster than they can be sent
+//! ('Queue drop'); and if it survives those obstacles, it is sent
+//! ('packet sent')."
+
+use crate::cost::params::Platform;
+use crate::pci::PciBus;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// NIC receive FIFO depth, in packets (the Tulip's small on-card buffer).
+const RX_FIFO_DEPTH: usize = 16;
+/// RX DMA descriptor ring size.
+const RX_RING_SIZE: usize = 32;
+/// TX DMA descriptor ring size.
+const TX_RING_SIZE: usize = 16;
+/// Delay before the NIC re-checks a busy descriptor, ns.
+const DESC_RETRY_NS: u64 = 500;
+/// Bytes read for a descriptor check.
+const DESC_BYTES: f64 = 16.0;
+/// On-the-wire packet size (64-byte minimum Ethernet frame).
+const PKT_BYTES: f64 = 64.0;
+
+/// Per-run outcome totals (the Figure-11 categories).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Outcomes {
+    /// Packets offered by the sources.
+    pub offered: u64,
+    /// Packets transmitted out the destination links.
+    pub sent: u64,
+    /// Drops in the NIC's receive FIFO.
+    pub fifo_overflow: u64,
+    /// Drops after two failed descriptor fetches.
+    pub missed_frame: u64,
+    /// Drops at the Click `Queue`.
+    pub queue_drop: u64,
+}
+
+impl Outcomes {
+    /// Total drops.
+    pub fn dropped(&self) -> u64 {
+        self.fifo_overflow + self.missed_frame + self.queue_drop
+    }
+
+    /// True if every offered packet was sent.
+    pub fn loss_free(&self) -> bool {
+        self.dropped() == 0 && self.sent == self.offered
+    }
+}
+
+/// Testbed parameters for one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The hardware platform.
+    pub platform: Platform,
+    /// Per-packet CPU cost (rx device + forwarding + tx device), ns.
+    pub cpu_ns_per_packet: f64,
+    /// Click `Queue` capacity.
+    pub queue_capacity: usize,
+    /// Measurement duration, simulated ns.
+    pub duration_ns: u64,
+}
+
+impl RunConfig {
+    /// A standard run on `platform` with the given per-packet CPU cost.
+    pub fn new(platform: Platform, cpu_ns_per_packet: f64) -> RunConfig {
+        RunConfig { platform, cpu_ns_per_packet, queue_capacity: 1000, duration_ns: 80_000_000 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A packet arrives at input interface `i`'s FIFO.
+    Arrival(usize),
+    /// Input NIC `i` services its FIFO head (descriptor check + DMA).
+    RxService(usize),
+    /// The CPU finished processing one packet from input `i`.
+    CpuDone(usize),
+    /// Output NIC for input `i` finished transmitting one packet.
+    TxDone(usize),
+    /// Output NIC for input `i` finished DMA-reading one packet.
+    TxDmaDone(usize),
+}
+
+struct Iface {
+    fifo: usize,
+    rx_ring: usize,
+    click_queue: usize,
+    tx_ring: usize,
+    tx_undma: usize,
+    wire_free_at: u64,
+    desc_failed_once: bool,
+    rx_busy: bool,
+    tx_busy: bool,
+    next_arrival: u64,
+    interval_q8: u64, // inter-arrival ns in 1/256 fixed point
+    arrival_acc_q8: u64,
+}
+
+/// The simulator.
+pub struct Testbed {
+    cfg: RunConfig,
+    ifaces: Vec<Iface>,
+    buses: Vec<PciBus>,
+    cpu_free_at: u64,
+    cpu_busy: bool,
+    rr_next: usize,
+    events: BinaryHeap<Reverse<(u64, u64, usize, u8)>>,
+    seq: u64,
+    now: u64,
+    /// Outcome counters.
+    pub outcomes: Outcomes,
+}
+
+impl Testbed {
+    /// Builds a testbed where each of the platform's input interfaces
+    /// offers `per_iface_pps` packets per second.
+    pub fn new(cfg: RunConfig, per_iface_pps: f64) -> Testbed {
+        let n = cfg.platform.input_ifaces;
+        let rate = per_iface_pps.min(cfg.platform.source_max_pps).max(1.0);
+        let interval_q8 = (1e9 * 256.0 / rate) as u64;
+        let ifaces = (0..n)
+            .map(|i| Iface {
+                fifo: 0,
+                rx_ring: 0,
+                click_queue: 0,
+                tx_ring: 0,
+                tx_undma: 0,
+                wire_free_at: 0,
+                desc_failed_once: false,
+                rx_busy: false,
+                tx_busy: false,
+                // Stagger sources slightly so arrivals do not align.
+                next_arrival: (i as u64) * 211,
+                interval_q8,
+                arrival_acc_q8: 0,
+            })
+            .collect();
+        let buses = (0..cfg.platform.pci_buses).map(|_| PciBus::new()).collect();
+        let mut tb = Testbed {
+            cfg,
+            ifaces,
+            buses,
+            cpu_free_at: 0,
+            cpu_busy: false,
+            rr_next: 0,
+            events: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            outcomes: Outcomes::default(),
+        };
+        for i in 0..n {
+            let t = tb.ifaces[i].next_arrival;
+            tb.schedule(t, Event::Arrival(i));
+        }
+        tb
+    }
+
+    fn schedule(&mut self, time: u64, ev: Event) {
+        self.seq += 1;
+        let (iface, kind) = match ev {
+            Event::Arrival(i) => (i, 0u8),
+            Event::RxService(i) => (i, 1),
+            Event::CpuDone(i) => (i, 2),
+            Event::TxDone(i) => (i, 3),
+            Event::TxDmaDone(i) => (i, 4),
+        };
+        self.events.push(Reverse((time, self.seq, iface, kind)));
+    }
+
+    fn bus_for(&mut self, iface: usize) -> &mut PciBus {
+        let n = self.buses.len();
+        &mut self.buses[iface % n]
+    }
+
+    fn pci_ns(&self, bytes: f64) -> u64 {
+        self.cfg.platform.pci_transfer_ns(bytes) as u64
+    }
+
+    /// Runs to completion; returns the outcomes.
+    pub fn run(mut self) -> Outcomes {
+        let end = self.cfg.duration_ns;
+        while let Some(Reverse((time, _, iface, kind))) = self.events.pop() {
+            if time > end {
+                break;
+            }
+            self.now = time;
+            match kind {
+                0 => self.on_arrival(iface),
+                1 => self.on_rx_service(iface),
+                2 => self.on_cpu_done(iface),
+                3 => self.on_tx_done(iface),
+                4 => self.on_tx_dma_done(iface),
+                _ => unreachable!(),
+            }
+        }
+        self.outcomes
+    }
+
+    fn on_arrival(&mut self, i: usize) {
+        self.outcomes.offered += 1;
+        // Schedule the next arrival with fixed-point accumulation.
+        {
+            let f = &mut self.ifaces[i];
+            f.arrival_acc_q8 += f.interval_q8;
+            let step = f.arrival_acc_q8 >> 8;
+            f.arrival_acc_q8 &= 0xFF;
+            f.next_arrival += step;
+        }
+        let next = self.ifaces[i].next_arrival;
+        self.schedule(next, Event::Arrival(i));
+        // Into the FIFO.
+        if self.ifaces[i].fifo >= RX_FIFO_DEPTH {
+            self.outcomes.fifo_overflow += 1;
+            return;
+        }
+        self.ifaces[i].fifo += 1;
+        if !self.ifaces[i].rx_busy {
+            self.ifaces[i].rx_busy = true;
+            self.schedule(self.now, Event::RxService(i));
+        }
+    }
+
+    fn on_rx_service(&mut self, i: usize) {
+        if self.ifaces[i].fifo == 0 {
+            self.ifaces[i].rx_busy = false;
+            return;
+        }
+        // Descriptor check: a PCI transaction whether or not it succeeds.
+        let now = self.now;
+        let desc_ns = self.pci_ns(DESC_BYTES);
+        let check_done = self.bus_for(i).acquire(now, desc_ns);
+        if self.ifaces[i].rx_ring >= RX_RING_SIZE {
+            // Descriptor not ready.
+            if self.ifaces[i].desc_failed_once {
+                // Second consecutive failure: missed frame; the Tulip
+                // flushes the frame from its FIFO.
+                self.ifaces[i].desc_failed_once = false;
+                self.ifaces[i].fifo -= 1;
+                self.outcomes.missed_frame += 1;
+                self.schedule(check_done, Event::RxService(i));
+            } else {
+                self.ifaces[i].desc_failed_once = true;
+                self.schedule(check_done + DESC_RETRY_NS, Event::RxService(i));
+            }
+            return;
+        }
+        self.ifaces[i].desc_failed_once = false;
+        // DMA the packet into memory.
+        let dma_ns = self.pci_ns(PKT_BYTES);
+        let dma_done = self.bus_for(i).acquire(check_done, dma_ns);
+        self.ifaces[i].fifo -= 1;
+        self.ifaces[i].rx_ring += 1;
+        self.kick_cpu(dma_done);
+        self.schedule(dma_done, Event::RxService(i));
+    }
+
+    /// Starts the CPU on the next packet if it is idle and work exists.
+    fn kick_cpu(&mut self, at: u64) {
+        if self.cpu_busy {
+            return;
+        }
+        let n = self.ifaces.len();
+        for k in 0..n {
+            let i = (self.rr_next + k) % n;
+            if self.ifaces[i].rx_ring > 0 {
+                self.rr_next = (i + 1) % n;
+                self.ifaces[i].rx_ring -= 1;
+                self.cpu_busy = true;
+                let start = at.max(self.cpu_free_at).max(self.now);
+                let done = start + self.cfg.cpu_ns_per_packet as u64;
+                self.cpu_free_at = done;
+                self.schedule(done, Event::CpuDone(i));
+                return;
+            }
+        }
+    }
+
+    fn on_cpu_done(&mut self, i: usize) {
+        self.cpu_busy = false;
+        // The forwarded packet enters the Click queue for i's output.
+        if self.ifaces[i].click_queue >= self.cfg.queue_capacity {
+            self.outcomes.queue_drop += 1;
+        } else {
+            self.ifaces[i].click_queue += 1;
+        }
+        self.drain_queue_to_tx(i);
+        let now = self.now;
+        self.kick_cpu(now);
+    }
+
+    /// ToDevice: moves packets from the Click queue into the TX ring and
+    /// starts the transmitter. DMA and wire transmission pipeline: the
+    /// NIC prefetches the next frame over PCI while the previous one is
+    /// still on the wire.
+    fn drain_queue_to_tx(&mut self, i: usize) {
+        while self.ifaces[i].click_queue > 0 && self.ifaces[i].tx_ring < TX_RING_SIZE {
+            self.ifaces[i].click_queue -= 1;
+            self.ifaces[i].tx_ring += 1;
+            self.ifaces[i].tx_undma += 1;
+        }
+        self.start_tx_dma(i);
+    }
+
+    fn start_tx_dma(&mut self, i: usize) {
+        if self.ifaces[i].tx_busy || self.ifaces[i].tx_undma == 0 {
+            return;
+        }
+        self.ifaces[i].tx_busy = true;
+        let now = self.now;
+        let pci = self.pci_ns(DESC_BYTES) + self.pci_ns(PKT_BYTES);
+        let dma_done = self.bus_for(i).acquire(now, pci);
+        self.schedule(dma_done, Event::TxDmaDone(i));
+    }
+
+    fn on_tx_dma_done(&mut self, i: usize) {
+        self.ifaces[i].tx_busy = false;
+        self.ifaces[i].tx_undma -= 1;
+        let wire = self.cfg.platform.wire_time_ns(PKT_BYTES) as u64;
+        let start = self.now.max(self.ifaces[i].wire_free_at);
+        let end = start + wire;
+        self.ifaces[i].wire_free_at = end;
+        self.schedule(end, Event::TxDone(i));
+        self.start_tx_dma(i);
+    }
+
+    fn on_tx_done(&mut self, i: usize) {
+        self.ifaces[i].tx_ring -= 1;
+        self.outcomes.sent += 1;
+        self.drain_queue_to_tx(i);
+    }
+}
+
+/// Runs one rate point; returns outcomes.
+pub fn run_at_rate(cfg: &RunConfig, total_input_pps: f64) -> Outcomes {
+    let per_iface = total_input_pps / cfg.platform.input_ifaces as f64;
+    Testbed::new(cfg.clone(), per_iface).run()
+}
+
+/// A rate-sweep point: input rate and observed outcomes (rates in pps).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Offered aggregate input rate (pps).
+    pub input_pps: f64,
+    /// Forwarding rate (pps).
+    pub forwarded_pps: f64,
+    /// Queue-drop rate (pps).
+    pub queue_drop_pps: f64,
+    /// Missed-frame rate (pps).
+    pub missed_frame_pps: f64,
+    /// FIFO-overflow rate (pps).
+    pub fifo_overflow_pps: f64,
+}
+
+/// Sweeps input rates and reports the outcome rates (Figures 10 and 11).
+pub fn sweep(cfg: &RunConfig, rates_pps: &[f64]) -> Vec<SweepPoint> {
+    rates_pps
+        .iter()
+        .map(|&r| {
+            let o = run_at_rate(cfg, r);
+            let secs = cfg.duration_ns as f64 / 1e9;
+            SweepPoint {
+                input_pps: o.offered as f64 / secs,
+                forwarded_pps: o.sent as f64 / secs,
+                queue_drop_pps: o.queue_drop as f64 / secs,
+                missed_frame_pps: o.missed_frame as f64 / secs,
+                fifo_overflow_pps: o.fifo_overflow as f64 / secs,
+            }
+        })
+        .collect()
+}
+
+/// Finds the maximum loss-free forwarding rate by binary search (paper's
+/// MLFFR): the highest aggregate input rate at which (almost) every
+/// packet is forwarded.
+pub fn mlffr(cfg: &RunConfig) -> f64 {
+    let max_rate = cfg.platform.source_max_pps * cfg.platform.input_ifaces as f64;
+    let loss_free = |rate: f64| -> bool {
+        let o = run_at_rate(cfg, rate);
+        // Tolerate a sliver of in-flight packets at the horizon.
+        let in_flight_allowance = 64 + (o.offered / 1000);
+        o.dropped() == 0 && o.offered - o.sent <= in_flight_allowance
+    };
+    if loss_free(max_rate) {
+        return max_rate;
+    }
+    let (mut lo, mut hi) = (0.0f64, max_rate);
+    while hi - lo > 1_000.0 {
+        let mid = (lo + hi) / 2.0;
+        if loss_free(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(cpu_ns: f64) -> RunConfig {
+        let mut cfg = RunConfig::new(Platform::p0(), cpu_ns);
+        cfg.duration_ns = 20_000_000; // 20 ms: fast tests
+        cfg
+    }
+
+    #[test]
+    fn low_rate_is_loss_free() {
+        let o = run_at_rate(&quick_cfg(2900.0), 100_000.0);
+        assert_eq!(o.dropped(), 0, "{o:?}");
+        assert!(o.sent > 0);
+        assert!(o.offered - o.sent < 32, "{o:?}");
+    }
+
+    #[test]
+    fn cpu_limited_overload_produces_missed_frames() {
+        // Paper: "The baseline IP router configuration is clearly
+        // CPU-limited. All of its input packets are either forwarded or
+        // dropped as missed frames."
+        let o = run_at_rate(&quick_cfg(2900.0), 500_000.0);
+        assert!(o.missed_frame > 0, "{o:?}");
+        assert_eq!(o.queue_drop, 0, "{o:?}");
+        // Forwarding rate stays near the CPU ceiling (~345 kpps).
+        let secs = 0.02;
+        let fwd = o.sent as f64 / secs;
+        assert!((300_000.0..400_000.0).contains(&fwd), "forwarded {fwd}");
+    }
+
+    #[test]
+    fn fast_cpu_is_limited_elsewhere() {
+        // "Simple" has a very cheap CPU cost: drops become FIFO overflows
+        // or queue drops, not missed frames.
+        let o = run_at_rate(&quick_cfg(1300.0), 591_000.0);
+        assert!(o.dropped() > 0, "{o:?}");
+        assert!(
+            o.missed_frame < o.fifo_overflow + o.queue_drop,
+            "not CPU-limited: {o:?}"
+        );
+    }
+
+    #[test]
+    fn mlffr_tracks_cpu_cost() {
+        let slow = mlffr(&quick_cfg(2900.0));
+        let fast = mlffr(&quick_cfg(2300.0));
+        assert!(fast > slow, "fast {fast} vs slow {slow}");
+        // 1/2900ns ≈ 345 kpps.
+        assert!((slow - 345_000.0).abs() < 25_000.0, "slow MLFFR {slow}");
+    }
+
+    #[test]
+    fn offered_rate_is_accurate() {
+        let cfg = quick_cfg(2900.0);
+        let o = run_at_rate(&cfg, 200_000.0);
+        let secs = cfg.duration_ns as f64 / 1e9;
+        let offered = o.offered as f64 / secs;
+        assert!((offered - 200_000.0).abs() / 200_000.0 < 0.02, "offered {offered}");
+    }
+
+    #[test]
+    fn outcomes_partition_offered_packets() {
+        for rate in [150_000.0, 400_000.0, 591_000.0] {
+            let o = run_at_rate(&quick_cfg(2900.0), rate);
+            // sent + drops + in-flight == offered; in-flight is bounded by
+            // the rings and queues.
+            let accounted = o.sent + o.dropped();
+            assert!(accounted <= o.offered);
+            let in_flight = o.offered - accounted;
+            let capacity = (RX_FIFO_DEPTH + RX_RING_SIZE + TX_RING_SIZE + 1000 + 2) as u64 * 4;
+            assert!(in_flight <= capacity, "in flight {in_flight} at rate {rate}");
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg = quick_cfg(2362.0);
+        let a = run_at_rate(&cfg, 450_000.0);
+        let b = run_at_rate(&cfg, 450_000.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_reports_consistent_rates() {
+        let cfg = quick_cfg(2900.0);
+        let points = sweep(&cfg, &[100_000.0, 300_000.0, 500_000.0]);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            // Outcome rates sum to the input rate (±1% horizon effects).
+            let sum = p.forwarded_pps + p.queue_drop_pps + p.missed_frame_pps + p.fifo_overflow_pps;
+            assert!((sum - p.input_pps).abs() / p.input_pps < 0.02, "{p:?}");
+            assert!(p.forwarded_pps <= p.input_pps * 1.01);
+        }
+        // Forwarding is monotone nondecreasing up to the ceiling.
+        assert!(points[1].forwarded_pps >= points[0].forwarded_pps * 0.99);
+    }
+
+    #[test]
+    fn queue_capacity_bounds_click_queue_drops() {
+        // A CPU far faster than the wire (here: a degraded 50 Mbit link)
+        // piles packets into the Click queue; a tiny capacity forces
+        // queue drops — the paper's "the CPU wanted to send packets
+        // faster than the transmitting Tulip cards could process them".
+        let mut platform = Platform::p0();
+        platform.link_mbps = 50.0;
+        let mut cfg = RunConfig::new(platform, 700.0);
+        cfg.duration_ns = 20_000_000;
+        cfg.queue_capacity = 4;
+        let o = run_at_rate(&cfg, 500_000.0);
+        assert!(o.queue_drop > 0, "{o:?}");
+        assert_eq!(o.missed_frame, 0, "not CPU-limited: {o:?}");
+    }
+
+    #[test]
+    fn source_rate_capped_at_hardware_limit() {
+        // P0 sources max out at 147.9 kpps each (591.6 k aggregate).
+        let cfg = quick_cfg(2000.0);
+        let a = run_at_rate(&cfg, 600_000.0);
+        let b = run_at_rate(&cfg, 900_000.0);
+        assert_eq!(a.offered, b.offered);
+    }
+}

@@ -1,0 +1,53 @@
+//! # click — a Rust reproduction of the Click configuration optimizers
+//!
+//! This workspace reimplements, from scratch, the system described in
+//! *"Programming Language Optimizations for Modular Router
+//! Configurations"* (Kohler, Morris, Chen — ASPLOS 2002): the Click
+//! configuration language and element framework, the router runtime, the
+//! generic packet classifiers, and — the paper's contribution — the
+//! configuration-level optimization tools `click-fastclassifier`,
+//! `click-devirtualize`, `click-xform`, `click-undead`, `click-align`,
+//! and `click-combine`/`click-uncombine`, plus the evaluation harness
+//! that regenerates every table and figure.
+//!
+//! The umbrella crate re-exports the member crates:
+//!
+//! * [`core`] — language, graph IR, specs, checking, archives;
+//! * [`classifier`] — decision trees and compiled matchers;
+//! * [`elements`] — element library and router runtime;
+//! * [`opt`] — the optimization tools;
+//! * [`sim`] — the CPU-cost and testbed simulation models.
+//!
+//! ## Five-minute tour
+//!
+//! ```
+//! use click::core::lang::{read_config, write_config};
+//! use click::core::registry::Library;
+//! use click::elements::ip_router::IpRouterSpec;
+//! use click::opt;
+//! use std::collections::HashSet;
+//!
+//! // 1. Generate and parse the paper's Figure-1 IP router.
+//! let spec = IpRouterSpec::standard(2);
+//! let mut graph = read_config(&spec.config())?;
+//! let before = graph.element_count();
+//!
+//! // 2. Run the optimizer chain:
+//! //    click-xform | click-fastclassifier | click-devirtualize
+//! opt::xform::apply_patterns(&mut graph, &opt::xform::ip_combo_patterns()?)?;
+//! opt::fastclassifier::fastclassifier(&mut graph)?;
+//! opt::devirtualize::devirtualize(&mut graph, &Library::standard(), &HashSet::new())?;
+//! assert!(graph.element_count() < before);
+//!
+//! // 3. The result is an ordinary configuration file (with its generated
+//! //    code riding in the archive).
+//! let optimized = write_config(&graph);
+//! assert!(optimized.contains("IPInputCombo"));
+//! # Ok::<(), click::core::Error>(())
+//! ```
+
+pub use click_classifier as classifier;
+pub use click_core as core;
+pub use click_elements as elements;
+pub use click_opt as opt;
+pub use click_sim as sim;

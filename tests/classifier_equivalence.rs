@@ -1,0 +1,139 @@
+//! Property tests: the three classifier runtimes (pointer-chasing tree,
+//! compiled program, specialized matcher) and the reference condition
+//! evaluator agree on every packet, for randomly generated rule sets —
+//! and tree optimization never changes classification.
+
+use click::classifier::{
+    build_tree, optimize, parse_rules, Action, ClassifierProgram, Cond, FastMatcher, Rule,
+    TreeClassifier,
+};
+use proptest::prelude::*;
+
+/// A random single-word check with plausible packet offsets.
+fn arb_check() -> impl Strategy<Value = Cond> {
+    (0u32..6, any::<u32>(), any::<u32>()).prop_map(|(word, mask, value)| {
+        let mask = mask | 1; // never trivially empty
+        Cond::Check(click::classifier::Check::new(word * 4, mask, value & mask))
+    })
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    let leaf = prop_oneof![
+        4 => arb_check(),
+        1 => Just(Cond::True),
+        1 => Just(Cond::False),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Cond::And),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Cond::Or),
+            inner.prop_map(|c| Cond::Not(Box::new(c))),
+        ]
+    })
+}
+
+fn arb_rules() -> impl Strategy<Value = Vec<Rule>> {
+    prop::collection::vec((arb_cond(), any::<bool>()), 1..6).prop_map(|rules| {
+        rules
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cond, emit))| Rule {
+                cond,
+                action: if emit { Action::Emit(i) } else { Action::Drop },
+            })
+            .collect()
+    })
+}
+
+/// Reference semantics: first matching rule decides.
+fn reference(rules: &[Rule], data: &[u8]) -> Option<usize> {
+    for r in rules {
+        if r.cond.eval(data) {
+            return match r.action {
+                Action::Emit(o) => Some(o),
+                Action::Drop => None,
+            };
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_runtimes_agree(rules in arb_rules(), packets in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..8)) {
+        let noutputs = rules.len();
+        let tree = build_tree(&rules, noutputs);
+        let opt = optimize(&tree);
+        let interp = TreeClassifier::new(&tree);
+        let prog = ClassifierProgram::compile(&tree);
+        let fast = FastMatcher::compile(&opt);
+        for data in &packets {
+            let expected = reference(&rules, data);
+            prop_assert_eq!(tree.classify(data), expected, "tree vs reference");
+            prop_assert_eq!(opt.classify(data), expected, "optimized tree vs reference");
+            prop_assert_eq!(interp.classify(data), expected, "interpreter vs reference");
+            prop_assert_eq!(prog.classify(data), expected, "program vs reference");
+            prop_assert_eq!(fast.classify(data), expected, "fast matcher vs reference");
+        }
+    }
+
+    #[test]
+    fn optimization_never_grows_depth(rules in arb_rules()) {
+        let tree = build_tree(&rules, rules.len());
+        let opt = optimize(&tree);
+        prop_assert!(opt.depth().unwrap() <= tree.depth().unwrap());
+        prop_assert!(opt.validate().is_ok());
+    }
+
+    #[test]
+    fn program_serialization_round_trips(rules in arb_rules()) {
+        let tree = build_tree(&rules, rules.len());
+        let prog = ClassifierProgram::compile(&tree);
+        let text = prog.to_string();
+        let back: ClassifierProgram = text.parse().unwrap();
+        prop_assert_eq!(prog.instrs(), back.instrs());
+    }
+
+    #[test]
+    fn tree_serialization_round_trips(rules in arb_rules()) {
+        let tree = build_tree(&rules, rules.len());
+        let back: click::classifier::DecisionTree = tree.to_string().parse().unwrap();
+        prop_assert_eq!(tree, back);
+    }
+}
+
+#[test]
+fn ip_language_agrees_with_runtimes_on_structured_packets() {
+    // Deterministic cross-check over the richer IPFilter language.
+    let config = "allow src net 10.0.0.0/8 and tcp dst port 80, \
+                  deny icmp type 8, \
+                  allow udp, \
+                  deny all";
+    let rules = parse_rules("IPFilter", config).unwrap();
+    let tree = build_tree(&rules, 1);
+    let fast = FastMatcher::compile(&optimize(&tree));
+    let mut seed = 0x5EEDu64;
+    let mut rand_byte = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (seed >> 33) as u8
+    };
+    for _ in 0..500 {
+        let mut p = vec![0u8; 40];
+        p[0] = 0x45;
+        p[9] = [1u8, 6, 17, 47][rand_byte() as usize % 4];
+        p[12] = [10u8, 11, 192][rand_byte() as usize % 3];
+        p[20] = rand_byte();
+        p[22..24].copy_from_slice(&(if rand_byte() % 2 == 0 { 80u16 } else { 443 }).to_be_bytes());
+        let expected = rules
+            .iter()
+            .find(|r| r.cond.eval(&p))
+            .and_then(|r| match r.action {
+                Action::Emit(o) => Some(o),
+                Action::Drop => None,
+            });
+        assert_eq!(tree.classify(&p), expected);
+        assert_eq!(fast.classify(&p), expected);
+    }
+}

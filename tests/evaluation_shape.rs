@@ -1,0 +1,168 @@
+//! Shape tests for the paper's evaluation: the quantitative relationships
+//! from §8 must hold in the models (who wins, by roughly what factor,
+//! where the bottleneck regimes fall). EXPERIMENTS.md records exact
+//! model-vs-paper values; these tests pin the shape so regressions in
+//! any crate show up here.
+
+use click::sim::cost::path::router_cpu_cost;
+use click::sim::{evaluation_traffic, mlffr, run_at_rate, Platform, RunConfig};
+use click_bench::{evaluation_spec, ip_router_variants};
+use std::collections::HashMap;
+
+fn forwarding_costs() -> HashMap<&'static str, f64> {
+    let spec = evaluation_spec();
+    let variants = ip_router_variants(8).unwrap();
+    let traffic = evaluation_traffic(&spec);
+    let simple: click::sim::TrafficSpec =
+        (0..4).map(|i| (format!("eth{i}"), vec![0u8; 60])).collect();
+    let p0 = Platform::p0();
+    variants
+        .iter()
+        .map(|v| {
+            let t = if v.name == "Simple" { &simple } else { &traffic };
+            (v.name, router_cpu_cost(&v.graph, &p0, t).unwrap().forwarding_ns)
+        })
+        .collect()
+}
+
+#[test]
+fn figure8_breakdown_matches_paper_within_tolerance() {
+    let spec = evaluation_spec();
+    let g = click::core::lang::read_config(&spec.config()).unwrap();
+    let cost = router_cpu_cost(&g, &Platform::p0(), &evaluation_traffic(&spec)).unwrap();
+    let close = |model: f64, paper: f64, tol: f64| (model - paper).abs() / paper < tol;
+    assert!(close(cost.forwarding_ns, 1657.0, 0.05), "fwd {}", cost.forwarding_ns);
+    assert!(close(cost.total_ns(), 2905.0, 0.05), "total {}", cost.total_ns());
+}
+
+#[test]
+fn figure9_orderings_hold() {
+    let c = forwarding_costs();
+    // FC helps a little; XF and DV help a lot and are similar; All beats
+    // both; MR+All beats All; Simple is far below everything.
+    assert!(c["FC"] < c["Base"]);
+    assert!(c["Base"] - c["FC"] < 0.1 * c["Base"], "FC saves little");
+    assert!(c["XF"] < 0.85 * c["Base"]);
+    assert!(c["DV"] < 0.85 * c["Base"]);
+    let ratio = c["XF"] / c["DV"];
+    assert!((0.85..=1.15).contains(&ratio), "XF≈DV (ratio {ratio:.2})");
+    assert!(c["All"] < c["XF"] && c["All"] < c["DV"]);
+    assert!(c["MR+All"] < c["All"]);
+    assert!(c["Simple"] < 0.5 * c["All"]);
+    // Headline: 34% reduction Base → All (paper), within a few points.
+    let reduction = 1.0 - c["All"] / c["Base"];
+    assert!((0.30..=0.38).contains(&reduction), "reduction {reduction:.2}");
+    // Overlap: XF + DV savings do not add up (paper: "applying both ...
+    // is not much more useful than applying either one alone").
+    let sum = (c["Base"] - c["XF"]) + (c["Base"] - c["DV"]);
+    assert!(c["Base"] - c["All"] < 0.8 * sum);
+}
+
+#[test]
+fn figure10_mlffr_ordering_and_factors() {
+    let spec = evaluation_spec();
+    let variants = ip_router_variants(8).unwrap();
+    let traffic = evaluation_traffic(&spec);
+    let p0 = Platform::p0();
+    let rate = |name: &str| {
+        let v = variants.iter().find(|v| v.name == name).unwrap();
+        let cpu = router_cpu_cost(&v.graph, &p0, &traffic).unwrap().total_ns();
+        mlffr(&RunConfig::new(p0.clone(), cpu))
+    };
+    let base = rate("Base");
+    let all = rate("All");
+    let mr_all = rate("MR+All");
+    // Paper: 357k → 446k (+89k, a 1.25× ratio), MR+All a bit higher.
+    assert!((320_000.0..380_000.0).contains(&base), "base {base}");
+    assert!((1.15..1.35).contains(&(all / base)), "All/Base {}", all / base);
+    assert!(mr_all > all);
+}
+
+#[test]
+fn figure11_bottleneck_regimes() {
+    let spec = evaluation_spec();
+    let variants = ip_router_variants(8).unwrap();
+    let traffic = evaluation_traffic(&spec);
+    let p0 = Platform::p0();
+    let cpu_of = |name: &str| {
+        let v = variants.iter().find(|v| v.name == name).unwrap();
+        router_cpu_cost(&v.graph, &p0, &traffic).unwrap().total_ns()
+    };
+    // Base at overload: CPU-limited, so all drops are missed frames.
+    let o = run_at_rate(&RunConfig::new(p0.clone(), cpu_of("Base")), 500_000.0);
+    assert!(o.missed_frame > 0);
+    assert_eq!(o.fifo_overflow + o.queue_drop, 0, "{o:?}");
+    // Simple at maximum input: not CPU-limited — no missed frames.
+    let simple_cpu = {
+        let v = variants.iter().find(|v| v.name == "Simple").unwrap();
+        let t: click::sim::TrafficSpec =
+            (0..4).map(|i| (format!("eth{i}"), vec![0u8; 60])).collect();
+        router_cpu_cost(&v.graph, &p0, &t).unwrap().total_ns()
+    };
+    let o = run_at_rate(&RunConfig::new(p0.clone(), simple_cpu), 591_000.0);
+    assert_eq!(o.missed_frame, 0, "{o:?}");
+    assert!(o.fifo_overflow + o.queue_drop > 0, "{o:?}");
+}
+
+#[test]
+fn figure12_platform_ratios() {
+    let spec = evaluation_spec();
+    let variants = ip_router_variants(8).unwrap();
+    let base = &variants.iter().find(|v| v.name == "Base").unwrap().graph;
+    let all = &variants.iter().find(|v| v.name == "All").unwrap().graph;
+    let traffic = evaluation_traffic(&spec);
+    let mut ratios = HashMap::new();
+    let mut rates = HashMap::new();
+    for p in Platform::all() {
+        let b = mlffr(&RunConfig::new(
+            p.clone(),
+            router_cpu_cost(base, &p, &traffic).unwrap().total_ns(),
+        ));
+        let a = mlffr(&RunConfig::new(
+            p.clone(),
+            router_cpu_cost(all, &p, &traffic).unwrap().total_ns(),
+        ));
+        ratios.insert(p.name, a / b);
+        rates.insert(p.name, (a, b));
+    }
+    // The optimizations help on every platform (paper: ratios 1.16–1.36).
+    for (name, r) in &ratios {
+        assert!((1.05..1.5).contains(r), "{name} ratio {r:.2}");
+    }
+    // P3's faster CPU roughly doubles Base over P2, less for All
+    // (paper: 1.9× and 1.6×).
+    let (a2, b2) = rates["P2"];
+    let (a3, b3) = rates["P3"];
+    assert!(b3 / b2 > 1.5, "P3/P2 base {}", b3 / b2);
+    assert!(a3 / a2 > 1.3, "P3/P2 all {}", a3 / a2);
+    assert!(b3 / b2 > a3 / a2 * 0.99, "Base gains at least as much as All from CPU speed");
+}
+
+#[test]
+fn section4_firewall_factor() {
+    use click::classifier::firewall::{dns5_packet, firewall_config};
+    use click::classifier::{build_tree, optimize, parse_rules, FastMatcher};
+    let rules = parse_rules("IPFilter", &firewall_config()).unwrap();
+    let tree = build_tree(&rules, 1);
+    let opt = optimize(&tree);
+    let fast = FastMatcher::compile(&opt);
+    let pkt = dns5_packet();
+    assert_eq!(tree.classify(&pkt), Some(0));
+    assert_eq!(fast.classify(&pkt), Some(0));
+    // Paper: >2× cheaper after specialization. Model the costs.
+    let params = click::sim::CostParams::default();
+    let count = |t: &click::classifier::DecisionTree| {
+        let mut v = 0usize;
+        let mut s = t.start;
+        while let click::classifier::Step::Node(i) = s {
+            v += 1;
+            let e = &t.exprs[i];
+            let w = click::classifier::tree::load_word(&pkt, e.offset as usize);
+            s = if w & e.mask == e.value { e.yes } else { e.no };
+        }
+        v
+    };
+    let generic = params.tree_entry + count(&tree) as f64 * params.tree_node;
+    let specialized = params.fast_entry + count(&opt) as f64 * params.fast_node;
+    assert!(generic / specialized > 2.0, "factor {:.2}", generic / specialized);
+}

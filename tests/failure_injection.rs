@@ -1,0 +1,136 @@
+//! Failure injection: malformed inputs at every boundary must produce
+//! errors, not panics or silent corruption.
+
+use click::core::archive::{Archive, CONFIG_ENTRY};
+use click::core::lang::read_config;
+use click::core::registry::Library;
+use click::elements::router::DynRouter;
+use click::elements::Router;
+
+#[test]
+fn malformed_sources_error_cleanly() {
+    for src in [
+        "a ->",                          // truncated
+        "a :: ;",                        // missing class
+        "-> b;",                         // missing source
+        "a [x] -> b;",                   // non-numeric port
+        "elementclass {}",               // unnamed compound
+        "a :: B(unclosed;",              // unterminated config
+        "/* forever",                    // unterminated comment
+        "a :: B; a :: C;",               // redeclaration
+        "input -> Discard;",             // pseudo port at top level
+        "elementclass R { input -> R -> output; } Idle -> R -> Discard;", // recursion
+    ] {
+        assert!(read_config(src).is_err(), "should reject: {src}");
+    }
+}
+
+#[test]
+fn malformed_archives_error_cleanly() {
+    for text in [
+        "!<click-archive>\n@entry config 999\nshort",
+        "!<click-archive>\nnot-an-entry\n",
+        "!<click-archive>\n@entry noconfig 2\nhi\n",
+    ] {
+        assert!(read_config(text).is_err(), "should reject archive: {text:?}");
+    }
+}
+
+#[test]
+fn archive_config_with_bad_generated_code_fails_at_instantiation() {
+    // A FastClassifier whose serialized matcher is corrupt: parse
+    // succeeds (config strings are opaque), instantiation fails.
+    let mut a = Archive::new();
+    a.insert(
+        CONFIG_ENTRY,
+        "Idle -> fc :: FastClassifier@@x(fast corrupted nonsense); fc [0] -> Discard;",
+    );
+    let graph = read_config(&a.to_string()).expect("opaque configs parse");
+    let err = DynRouter::from_graph(&graph, &Library::standard());
+    assert!(err.is_err(), "corrupt matcher must fail element construction");
+}
+
+#[test]
+fn bad_element_configs_fail_at_construction_not_at_runtime() {
+    for src in [
+        "Idle -> Strip(notanumber) -> Discard;",
+        "Idle -> Paint(1, 2) -> Discard;",
+        "FromDevice(a) -> Queue(0) -> ToDevice(b);",
+        "Idle -> EtherEncap(0x0800, junk, 00:00:00:00:00:01) -> Discard;",
+        "Idle -> Classifier(zz/top) -> Discard;",
+        "Idle -> IPFilter(frobnicate everything) -> Discard;",
+        "Idle -> r :: StaticIPLookup(10.0.0.0/99 0); r [0] -> Discard;",
+        "Idle -> RED(50, 10, 0.5) -> Discard;",
+    ] {
+        let graph = read_config(src).expect("syntax is fine");
+        assert!(
+            DynRouter::from_graph(&graph, &Library::standard()).is_err(),
+            "should reject config: {src}"
+        );
+    }
+}
+
+#[test]
+fn tools_reject_what_they_cannot_transform() {
+    // fastclassifier on a syntactically valid but uncompilable classifier.
+    let mut g = read_config("Idle -> c :: Classifier(12/0800, -); c [0] -> Discard; c [1] -> Discard;")
+        .unwrap();
+    g.set_config(g.find("c").unwrap(), "bad pattern");
+    assert!(click::opt::fastclassifier::fastclassifier(&mut g).is_err());
+
+    // devirtualize on a push/pull-broken graph.
+    let mut broken = read_config("FromDevice(a) -> ToDevice(b);").unwrap();
+    assert!(click::opt::devirtualize::devirtualize(
+        &mut broken,
+        &Library::standard(),
+        &Default::default()
+    )
+    .is_err());
+
+    // uncombine without a manifest.
+    let plain = read_config("Idle -> Discard;").unwrap();
+    assert!(click::opt::combine::uncombine(&plain, "A").is_err());
+}
+
+#[test]
+fn runtime_survives_adversarial_packets() {
+    // Truncated, oversized, and garbage frames through the full IP router
+    // must never panic; they are dropped or error-routed.
+    let spec = click::elements::ip_router::IpRouterSpec::standard(2);
+    let graph = read_config(&spec.config()).unwrap();
+    let mut r: DynRouter = Router::from_graph(&graph, &Library::standard()).unwrap();
+    let eth0 = r.devices.id("eth0").unwrap();
+    let mut seed = 7u64;
+    let mut rand_byte = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (seed >> 33) as u8
+    };
+    for len in [0usize, 1, 13, 14, 15, 33, 34, 59, 60, 61, 1500, 9000] {
+        let mut p = click::elements::Packet::new(len);
+        for b in p.data_mut() {
+            *b = rand_byte();
+        }
+        r.devices.inject(eth0, p);
+    }
+    r.run_until_idle(10_000);
+    // Whatever happened, the router reached quiescence without panicking.
+    assert_eq!(r.devices.rx_len(eth0), 0);
+}
+
+#[test]
+fn compiled_engine_survives_the_same_adversarial_packets() {
+    let spec = click::elements::ip_router::IpRouterSpec::standard(2);
+    let graph = read_config(&spec.config()).unwrap();
+    let mut r: click::elements::CompiledRouter =
+        Router::from_graph(&graph, &Library::standard()).unwrap();
+    let eth0 = r.devices.id("eth0").unwrap();
+    for len in [0usize, 7, 14, 20, 34, 60, 4096] {
+        let mut p = click::elements::Packet::new(len);
+        for (i, b) in p.data_mut().iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(31);
+        }
+        r.devices.inject(eth0, p);
+    }
+    r.run_until_idle(10_000);
+    assert_eq!(r.devices.rx_len(eth0), 0);
+}

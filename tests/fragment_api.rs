@@ -1,0 +1,80 @@
+//! Tests of the fragment-elaboration API (`elaborate_fragment`) that
+//! `click-xform` patterns ride on, exercised directly from the public
+//! surface.
+
+use click::core::lang::ast::Item;
+use click::core::lang::{elaborate_fragment, parse, PSEUDO_INPUT_CLASS, PSEUDO_OUTPUT_CLASS};
+
+fn items(src: &str) -> Vec<Item> {
+    parse(src).unwrap().items
+}
+
+#[test]
+fn fragment_keeps_top_level_pseudo_ports() {
+    let f = elaborate_fragment(&items("input -> Strip(14) -> output;"), &[]).unwrap();
+    assert_eq!(f.graph.element(f.input).class(), PSEUDO_INPUT_CLASS);
+    assert_eq!(f.graph.element(f.output).class(), PSEUDO_OUTPUT_CLASS);
+    assert_eq!(f.graph.element_count(), 3);
+    assert_eq!(f.graph.connections().len(), 2);
+}
+
+#[test]
+fn fragment_expands_nested_compounds() {
+    // Inner compounds are fully spliced; only the top-level ports remain.
+    let f = elaborate_fragment(
+        &items(
+            "elementclass Pair { input -> Counter -> Counter -> output; } \
+             input -> Pair -> output;",
+        ),
+        &[],
+    )
+    .unwrap();
+    let counters = f.graph.elements().filter(|(_, e)| e.class() == "Counter").count();
+    assert_eq!(counters, 2);
+    let pseudo = f
+        .graph
+        .elements()
+        .filter(|(_, e)| e.class().starts_with('@'))
+        .count();
+    assert_eq!(pseudo, 2, "only the top-level input/output survive");
+}
+
+#[test]
+fn fragment_formals_stay_symbolic() {
+    // Pattern formals must remain `$var` wildcards after elaboration.
+    let f = elaborate_fragment(&items("input -> Paint($color) -> output;"), &["color".into()])
+        .unwrap();
+    let paint = f.graph.elements().find(|(_, e)| e.class() == "Paint").unwrap().1;
+    assert_eq!(paint.config(), "$color");
+}
+
+#[test]
+fn fragment_multi_port_boundaries() {
+    let f = elaborate_fragment(
+        &items("input -> dt :: DecIPTTL; dt [0] -> output; dt [1] -> [1] output;"),
+        &[],
+    )
+    .unwrap();
+    assert_eq!(f.graph.outputs_of(f.input).len(), 1);
+    let out_edges = f.graph.inputs_of(f.output);
+    assert_eq!(out_edges.len(), 2);
+    let mut ports: Vec<usize> = out_edges.iter().map(|c| c.to.port).collect();
+    ports.sort_unstable();
+    assert_eq!(ports, vec![0, 1]);
+}
+
+#[test]
+fn fragment_without_ports_is_fine() {
+    // A source-only fragment never references input/output.
+    let f = elaborate_fragment(&items("Idle -> Discard;"), &[]).unwrap();
+    assert!(f.graph.outputs_of(f.input).is_empty());
+    assert!(f.graph.inputs_of(f.output).is_empty());
+}
+
+#[test]
+fn fragment_rejects_malformed_bodies() {
+    assert!(elaborate_fragment(&items("input -> F(1) -> output;"), &[]).is_ok());
+    // Recursive compound inside a fragment still errors.
+    let bad = "elementclass R { input -> R -> output; } input -> R -> output;";
+    assert!(elaborate_fragment(&items(bad), &[]).is_err());
+}

@@ -1,0 +1,101 @@
+//! Property tests on the configuration language: every graph the tools
+//! can produce must serialize to Click text that parses back to the same
+//! configuration — the paper's §5.2 requirement that optimizers "generate
+//! Click-language files corresponding exactly to the results".
+
+use click::core::graph::{PortRef, RouterGraph};
+use click::core::lang::{read_config, write_config};
+use proptest::prelude::*;
+
+/// Strategy: a random DAG-ish graph with Click-legal names and classes.
+fn arb_graph() -> impl Strategy<Value = RouterGraph> {
+    let elem = ("[a-z][a-z0-9_]{0,8}", "[A-Z][A-Za-z0-9]{0,8}", "[ -~&&[^(),\"\\\\;]]{0,12}");
+    (prop::collection::vec(elem, 1..10), prop::collection::vec((0usize..10, 0usize..4, 0usize..10, 0usize..4), 0..16))
+        .prop_map(|(elems, conns)| {
+            let mut g = RouterGraph::new();
+            let mut ids = Vec::new();
+            for (name, class, config) in elems {
+                // Names must be unique; skip duplicates.
+                if g.find(&name).is_none() {
+                    ids.push(g.add_element(name, class, config.trim().to_owned()).unwrap());
+                }
+            }
+            for (f, fp, t, tp) in conns {
+                if ids.is_empty() {
+                    break;
+                }
+                let from = ids[f % ids.len()];
+                let to = ids[t % ids.len()];
+                let _ = g.connect(PortRef::new(from, fp), PortRef::new(to, tp));
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn unparse_parse_round_trips(g in arb_graph()) {
+        let text = write_config(&g);
+        let back = read_config(&text)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{text}")))?;
+        prop_assert!(
+            g.same_configuration(&back),
+            "round trip changed the configuration:\n{}\nvs\n{}",
+            text,
+            write_config(&back)
+        );
+    }
+
+    #[test]
+    fn archive_round_trips(g in arb_graph(), entries in prop::collection::vec(("[a-z]{1,8}\\.rs", "[ -~]{0,64}"), 0..4)) {
+        let mut g = g;
+        for (name, data) in entries {
+            g.archive_mut().insert(name, data);
+        }
+        let text = write_config(&g);
+        let back = read_config(&text).unwrap();
+        prop_assert!(g.same_configuration(&back));
+        for e in g.archive().iter() {
+            prop_assert_eq!(back.archive().get(&e.name), Some(e.data.as_str()));
+        }
+    }
+}
+
+#[test]
+fn generated_names_round_trip() {
+    // Names the tools generate: anonymous (`Class@3`), flattened
+    // (`compound/inner`), devirtualized classes, fast classifiers.
+    let mut g = RouterGraph::new();
+    let a = g.add_anon_element("Idle", "");
+    let b = g.add_element("router/q1", "Queue__DV3", "64").unwrap();
+    let c = g
+        .add_element("c", "FastClassifier@@c", "fast constant 1 out0")
+        .unwrap();
+    let d = g.add_element("link@A.eth0@B.eth1", "RouterLink", "A.eth0 -> B.eth1").unwrap();
+    g.connect(PortRef::new(a, 0), PortRef::new(b, 0)).unwrap();
+    g.connect(PortRef::new(b, 0), PortRef::new(c, 0)).unwrap();
+    g.connect(PortRef::new(c, 0), PortRef::new(d, 0)).unwrap();
+    let text = write_config(&g);
+    let back = read_config(&text).unwrap();
+    assert!(g.same_configuration(&back), "text was:\n{text}");
+}
+
+#[test]
+fn requirements_and_high_ports_round_trip() {
+    let mut g = RouterGraph::new();
+    g.add_requirement("fastclassifier");
+    g.add_requirement("devirtualize");
+    let a = g.add_element("a", "Classifier", "0/01, 0/02, 0/03, -").unwrap();
+    let b = g.add_element("b", "X", "").unwrap();
+    let idle = g.add_element("i", "Idle", "").unwrap();
+    g.connect(PortRef::new(idle, 0), PortRef::new(a, 0)).unwrap();
+    for p in 0..4 {
+        g.connect(PortRef::new(a, p), PortRef::new(b, p)).unwrap();
+    }
+    let back = read_config(&write_config(&g)).unwrap();
+    assert!(g.same_configuration(&back));
+    assert!(back.has_requirement("fastclassifier"));
+    assert!(back.has_requirement("devirtualize"));
+}

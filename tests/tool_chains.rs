@@ -1,0 +1,156 @@
+//! Integration tests of complete optimizer chains: tools compose "much
+//! like compiler optimization passes" (paper §1), every intermediate
+//! stage is a valid, serializable configuration, and the chained result
+//! matches applying the tools programmatically.
+
+use click::core::check::check;
+use click::core::lang::{read_config, write_config};
+use click::core::registry::Library;
+use click::elements::ip_router::IpRouterSpec;
+use click::opt;
+use std::collections::HashSet;
+
+fn lib() -> Library {
+    Library::standard()
+}
+
+/// Serialize → reparse, asserting validity (what a pipe between two CLI
+/// tools does).
+fn through_pipe(g: &click::core::RouterGraph) -> click::core::RouterGraph {
+    let text = write_config(g);
+    let back = read_config(&text).expect("intermediate stage must reparse");
+    assert!(g.same_configuration(&back));
+    back
+}
+
+#[test]
+fn full_chain_with_serialization_between_stages() {
+    let spec = IpRouterSpec::standard(4);
+    let mut g = read_config(&spec.config()).unwrap();
+
+    // click-xform
+    let n = opt::xform::apply_patterns(&mut g, &opt::xform::ip_combo_patterns().unwrap()).unwrap();
+    assert_eq!(n, 8);
+    let mut g = through_pipe(&g);
+    assert!(check(&g, &lib()).is_ok());
+
+    // click-fastclassifier
+    let fc = opt::fastclassifier::fastclassifier(&mut g).unwrap();
+    assert_eq!(fc.specialized.len(), 4);
+    let mut g = through_pipe(&g);
+    assert!(check(&g, &lib()).is_ok());
+    // The generated source rides in the archive across the pipe.
+    assert!(g.archive().iter().any(|e| e.name.ends_with(".rs")));
+
+    // click-devirtualize (last, per §6.1)
+    let dv = opt::devirtualize::devirtualize(&mut g, &lib(), &HashSet::new()).unwrap();
+    assert!(!dv.classes.is_empty());
+    let g = through_pipe(&g);
+    assert!(check(&g, &lib()).is_ok());
+    assert!(g.has_requirement("fastclassifier"));
+    assert!(g.has_requirement("devirtualize"));
+}
+
+#[test]
+fn tool_order_differences_converge() {
+    // FC then XF vs XF then FC: both end with the same element classes
+    // modulo generated names.
+    let spec = IpRouterSpec::standard(2);
+    let patterns = opt::xform::ip_combo_patterns().unwrap();
+
+    let mut a = read_config(&spec.config()).unwrap();
+    opt::fastclassifier::fastclassifier(&mut a).unwrap();
+    opt::xform::apply_patterns(&mut a, &patterns).unwrap();
+
+    let mut b = read_config(&spec.config()).unwrap();
+    opt::xform::apply_patterns(&mut b, &patterns).unwrap();
+    opt::fastclassifier::fastclassifier(&mut b).unwrap();
+
+    assert_eq!(a.element_count(), b.element_count());
+    let classes = |g: &click::core::RouterGraph| {
+        let mut v: Vec<String> = g
+            .elements()
+            .map(|(_, e)| {
+                // Normalize generated names.
+                let c = e.class();
+                if c.starts_with("FastClassifier@@") {
+                    "FastClassifier".to_owned()
+                } else {
+                    c.to_owned()
+                }
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(classes(&a), classes(&b));
+}
+
+#[test]
+fn undead_then_align_on_compound_heavy_config() {
+    // A configuration leaning on compound abstractions with dead branches
+    // and an alignment hazard — the two "static analysis" tools in
+    // sequence.
+    let mut g = read_config(
+        "elementclass Input { $dev, $mode | \
+            input -> output; \
+            pd :: PollDevice($dev) -> s :: StaticSwitch($mode); \
+            s [0] -> Strip(12) -> chk :: CheckIPHeader -> output; \
+            s [1] -> Strip(14) -> chk2 :: CheckIPHeader -> output; } \
+         in1 :: Input(eth0, 0); in2 :: Input(eth1, 1); \
+         in1 -> q :: Queue(64); in2 -> q; q -> ToDevice(eth2);",
+    )
+    .unwrap();
+    let before = g.element_count();
+
+    let undead = opt::undead::undead(&mut g, &lib()).unwrap();
+    assert_eq!(undead.folded_switches.len(), 2);
+    assert!(g.element_count() < before);
+    assert!(check(&g, &lib()).is_ok());
+
+    let align = opt::align::align(&mut g).unwrap();
+    // Only the surviving Strip(12) branch misaligns.
+    assert_eq!(align.inserted.len(), 1);
+    assert!(check(&g, &lib()).is_ok());
+
+    // Everything still serializes.
+    let back = read_config(&write_config(&g)).unwrap();
+    assert!(g.same_configuration(&back));
+}
+
+#[test]
+fn mkmindriver_reflects_chain_output() {
+    let spec = IpRouterSpec::standard(2);
+    let mut g = read_config(&spec.config()).unwrap();
+    opt::xform::apply_patterns(&mut g, &opt::xform::ip_combo_patterns().unwrap()).unwrap();
+    opt::fastclassifier::fastclassifier(&mut g).unwrap();
+    opt::devirtualize::devirtualize(&mut g, &lib(), &HashSet::new()).unwrap();
+    let manifest = opt::mkmindriver::mkmindriver(&g);
+    assert!(manifest.classes.contains(&"IPInputCombo".to_owned()));
+    assert!(manifest.classes.contains(&"FastClassifier".to_owned()));
+    assert!(!manifest.generated.is_empty());
+    // Non-combo input-path classes are gone from the driver.
+    assert!(!manifest.classes.contains(&"Paint".to_owned()));
+}
+
+#[test]
+fn pretty_renders_optimized_config() {
+    let spec = IpRouterSpec::standard(2);
+    let mut g = read_config(&spec.config()).unwrap();
+    opt::fastclassifier::fastclassifier(&mut g).unwrap();
+    let html = opt::pretty::pretty_html(&g, "optimized");
+    assert!(html.contains("FastClassifier@@"));
+    assert!(html.contains("<table>"));
+}
+
+#[test]
+fn check_tool_rejects_broken_output_of_bad_edit() {
+    // Simulate a hand-edit that breaks the graph after optimization.
+    let spec = IpRouterSpec::standard(2);
+    let mut g = read_config(&spec.config()).unwrap();
+    opt::devirtualize::devirtualize(&mut g, &lib(), &HashSet::new()).unwrap();
+    let rt = g.find("rt").unwrap();
+    g.remove_element(rt);
+    let report = check(&g, &lib());
+    assert!(!report.is_ok());
+}
