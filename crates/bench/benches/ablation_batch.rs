@@ -1,0 +1,13 @@
+//! Ablation: batched (vector) packet transfers only.
+//!
+//! Sweeps the batch size on the *identical* compiled "All" router,
+//! isolating what amortizing the scheduler quantum and per-hop dispatch
+//! across a batch buys — separate from every classification/dispatch
+//! optimization — and shows the dynamic engine's endpoints for
+//! reference.
+//!
+//! Run: `cargo bench -p click-bench --features bench-criterion --bench ablation_batch`
+
+fn main() {
+    click_bench::engine_bench::run_ablation_batch();
+}

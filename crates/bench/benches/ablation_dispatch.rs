@@ -4,10 +4,10 @@
 //! Element>` vtable) and compiled (enum `match`) engines, isolating the
 //! cost `click-devirtualize` removes from every other difference. Also
 //! sweeps chain length to show the per-hop nature of the overhead.
+//!
+//! Run: `cargo bench -p click-bench --features bench-criterion --bench ablation_dispatch`
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use click_bench::harness::{report, Harness};
 use click_core::lang::read_config;
 use click_core::registry::Library;
 use click_elements::packet::Packet;
@@ -30,41 +30,30 @@ fn run<S: click_elements::router::Slot>(r: &mut Router<S>, batch: usize) -> usiz
         r.devices.inject(input, Packet::new(60));
     }
     r.run_until_idle(10_000);
-    r.devices.take_tx(out).len()
+    let mut sent = 0;
+    for p in r.devices.take_tx(out) {
+        sent += 1;
+        p.recycle();
+    }
+    sent
 }
 
-fn bench_dispatch(c: &mut Criterion) {
+fn main() {
+    let h = Harness::default();
     let lib = Library::standard();
+    let batch = 64;
     for n in [4usize, 16] {
         let graph = read_config(&chain_config(n)).unwrap();
         let mut dyn_router: DynRouter = Router::from_graph(&graph, &lib).unwrap();
         let mut fast_router: CompiledRouter = Router::from_graph(&graph, &lib).unwrap();
-        let batch = 64;
         assert_eq!(run(&mut dyn_router, batch), batch);
         assert_eq!(run(&mut fast_router, batch), batch);
 
-        let mut g = c.benchmark_group(format!("ablation_dispatch_chain{n}"));
-        g.throughput(criterion::Throughput::Elements(batch as u64));
-        g.bench_function("dyn_vtable", |b| {
-            b.iter(|| black_box(run(&mut dyn_router, black_box(batch))))
-        });
-        g.bench_function("enum_match", |b| {
-            b.iter(|| black_box(run(&mut fast_router, black_box(batch))))
-        });
-        g.finish();
+        let group = format!("ablation_dispatch_chain{n}");
+        let d = h.measure(|| run(&mut dyn_router, batch));
+        report(&group, "dyn_vtable", d, batch);
+        let f = h.measure(|| run(&mut fast_router, batch));
+        report(&group, "enum_match", f, batch);
+        println!("    devirtualization speedup: {:.2}x", d / f);
     }
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_millis(1200))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_dispatch
-}
-criterion_main!(benches);

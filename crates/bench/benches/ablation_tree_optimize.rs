@@ -5,14 +5,16 @@
 //! (b) after redundancy elimination + subtree sharing, separating the
 //! *tree-optimization* benefit from the *representation* benefit that
 //! `click-fastclassifier` adds on top.
+//!
+//! Run: `cargo bench -p click-bench --features bench-criterion --bench ablation_tree_optimize`
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use click_bench::harness::{report, Harness};
 use click_classifier::firewall::{denied_packet, dns5_packet, firewall_config};
 use click_classifier::{build_tree, optimize, parse_rules, ClassifierProgram, TreeClassifier};
+use std::hint::black_box;
 
-fn bench_tree_optimize(c: &mut Criterion) {
+fn main() {
+    let h = Harness::default();
     let rules = parse_rules("IPFilter", &firewall_config()).unwrap();
     let raw = build_tree(&rules, 1);
     let opt = optimize(&raw);
@@ -24,29 +26,30 @@ fn bench_tree_optimize(c: &mut Criterion) {
     let opt_prog = ClassifierProgram::compile(&opt);
 
     for (packet_name, pkt) in [("dns5", dns5_packet()), ("denied", denied_packet())] {
-        let mut g = c.benchmark_group(format!("ablation_tree_optimize_{packet_name}"));
-        g.bench_function("raw_tree_interp", |b| b.iter(|| raw_interp.classify(black_box(&pkt))));
-        g.bench_function("optimized_tree_interp", |b| {
-            b.iter(|| opt_interp.classify(black_box(&pkt)))
-        });
-        g.bench_function("raw_tree_program", |b| b.iter(|| raw_prog.classify(black_box(&pkt))));
-        g.bench_function("optimized_tree_program", |b| {
-            b.iter(|| opt_prog.classify(black_box(&pkt)))
-        });
-        g.finish();
+        let group = format!("ablation_tree_optimize_{packet_name}");
+        report(
+            &group,
+            "raw_tree_interp",
+            h.measure(|| raw_interp.classify(black_box(&pkt))),
+            1,
+        );
+        report(
+            &group,
+            "optimized_tree_interp",
+            h.measure(|| opt_interp.classify(black_box(&pkt))),
+            1,
+        );
+        report(
+            &group,
+            "raw_tree_program",
+            h.measure(|| raw_prog.classify(black_box(&pkt))),
+            1,
+        );
+        report(
+            &group,
+            "optimized_tree_program",
+            h.measure(|| opt_prog.classify(black_box(&pkt))),
+            1,
+        );
     }
 }
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(30)
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_millis(1200))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_tree_optimize
-}
-criterion_main!(benches);

@@ -5,14 +5,15 @@
 //! The paper's anchor: the 17-rule firewall's DNS-5 packet cost 388 ns
 //! generic and 188 ns specialized (>2×). Absolute numbers here depend on
 //! the host; the *ratio* is the reproduced result.
+//!
+//! Run: `cargo bench -p click-bench --features bench-criterion --bench fig03_fastclassifier`
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use click_bench::harness::{report, Harness};
 use click_classifier::firewall::{dns5_packet, firewall_config, smtp_packet};
 use click_classifier::{
     build_tree, optimize, parse_rules, ClassifierProgram, FastMatcher, TreeClassifier,
 };
+use std::hint::black_box;
 
 fn ether_packet(ethertype: u16) -> Vec<u8> {
     let mut p = vec![0u8; 60];
@@ -20,7 +21,7 @@ fn ether_packet(ethertype: u16) -> Vec<u8> {
     p
 }
 
-fn bench_fig3_classifier(c: &mut Criterion) {
+fn bench_fig3_classifier(h: &Harness) {
     // Classifier(12/0800, -) — the paper's Figure 3 example.
     let rules = parse_rules("Classifier", "12/0800, -").unwrap();
     let tree = build_tree(&rules, 2);
@@ -29,29 +30,51 @@ fn bench_fig3_classifier(c: &mut Criterion) {
     let fast = FastMatcher::compile(&tree);
     let pkt = ether_packet(0x0800);
 
-    let mut g = c.benchmark_group("fig03_simple_classifier");
-    g.bench_function("tree_walk", |b| b.iter(|| generic.classify(black_box(&pkt))));
-    g.bench_function("compiled_program", |b| b.iter(|| program.classify(black_box(&pkt))));
-    g.bench_function("specialized", |b| b.iter(|| fast.classify(black_box(&pkt))));
-    g.finish();
+    let g = "fig03_simple_classifier";
+    report(
+        g,
+        "tree_walk",
+        h.measure(|| generic.classify(black_box(&pkt))),
+        1,
+    );
+    report(
+        g,
+        "compiled_program",
+        h.measure(|| program.classify(black_box(&pkt))),
+        1,
+    );
+    report(
+        g,
+        "specialized",
+        h.measure(|| fast.classify(black_box(&pkt))),
+        1,
+    );
 }
 
-fn bench_ip_router_classifier(c: &mut Criterion) {
+fn bench_ip_router_classifier(h: &Harness) {
     // The IP router's 4-way input classifier on an IP packet.
-    let rules =
-        parse_rules("Classifier", "12/0806 20/0001, 12/0806 20/0002, 12/0800, -").unwrap();
+    let rules = parse_rules("Classifier", "12/0806 20/0001, 12/0806 20/0002, 12/0800, -").unwrap();
     let tree = build_tree(&rules, 4);
     let generic = TreeClassifier::new(&tree);
     let fast = FastMatcher::compile(&optimize(&tree));
     let pkt = ether_packet(0x0800);
 
-    let mut g = c.benchmark_group("fig03_ip_input_classifier");
-    g.bench_function("tree_walk", |b| b.iter(|| generic.classify(black_box(&pkt))));
-    g.bench_function("specialized", |b| b.iter(|| fast.classify(black_box(&pkt))));
-    g.finish();
+    let g = "fig03_ip_input_classifier";
+    report(
+        g,
+        "tree_walk",
+        h.measure(|| generic.classify(black_box(&pkt))),
+        1,
+    );
+    report(
+        g,
+        "specialized",
+        h.measure(|| fast.classify(black_box(&pkt))),
+        1,
+    );
 }
 
-fn bench_sec4_firewall(c: &mut Criterion) {
+fn bench_sec4_firewall(h: &Harness) {
     // The 17-rule firewall; DNS-5 is the paper's worst-case probe.
     let rules = parse_rules("IPFilter", &firewall_config()).unwrap();
     let tree = build_tree(&rules, 1);
@@ -62,28 +85,40 @@ fn bench_sec4_firewall(c: &mut Criterion) {
     let dns5 = dns5_packet();
     let smtp = smtp_packet();
 
-    let mut g = c.benchmark_group("sec4_firewall_dns5");
-    g.bench_function("tree_walk", |b| b.iter(|| generic.classify(black_box(&dns5))));
-    g.bench_function("compiled_program", |b| b.iter(|| program.classify(black_box(&dns5))));
-    g.bench_function("specialized", |b| b.iter(|| fast.classify(black_box(&dns5))));
-    g.finish();
+    let g = "sec4_firewall_dns5";
+    let tw = h.measure(|| generic.classify(black_box(&dns5)));
+    report(g, "tree_walk", tw, 1);
+    report(
+        g,
+        "compiled_program",
+        h.measure(|| program.classify(black_box(&dns5))),
+        1,
+    );
+    let sp = h.measure(|| fast.classify(black_box(&dns5)));
+    report(g, "specialized", sp, 1);
+    println!(
+        "    dns5 specialization speedup: {:.2}x (paper: 388/188 = 2.06x)",
+        tw / sp
+    );
 
-    let mut g = c.benchmark_group("sec4_firewall_smtp_early_match");
-    g.bench_function("tree_walk", |b| b.iter(|| generic.classify(black_box(&smtp))));
-    g.bench_function("specialized", |b| b.iter(|| fast.classify(black_box(&smtp))));
-    g.finish();
+    let g = "sec4_firewall_smtp_early_match";
+    report(
+        g,
+        "tree_walk",
+        h.measure(|| generic.classify(black_box(&smtp))),
+        1,
+    );
+    report(
+        g,
+        "specialized",
+        h.measure(|| fast.classify(black_box(&smtp))),
+        1,
+    );
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(30)
-        .warm_up_time(std::time::Duration::from_millis(400))
-        .measurement_time(std::time::Duration::from_millis(1200))
+fn main() {
+    let h = Harness::default();
+    bench_fig3_classifier(&h);
+    bench_ip_router_classifier(&h);
+    bench_sec4_firewall(&h);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_fig3_classifier, bench_ip_router_classifier, bench_sec4_firewall
-}
-criterion_main!(benches);

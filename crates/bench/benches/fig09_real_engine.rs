@@ -1,151 +1,16 @@
 //! Figure 9, measured for real: per-packet wall-clock cost of forwarding
 //! 64-byte UDP packets through this workspace's actual router runtime,
-//! for each optimization variant.
+//! for each optimization variant — scalar (per-packet transfers) and
+//! batched (vector transfers) series.
 //!
-//! Base/FC/XF run on the dynamic-dispatch engine; DV/All/MR+All carry the
-//! `devirtualize` requirement and run on the statically dispatched
+//! Base/FC/XF/MR run on the dynamic-dispatch engine; DV/All/MR+All carry
+//! the `devirtualize` requirement and run on the statically dispatched
 //! (enum) engine — the Rust analogue of installing the generated C++.
 //! Absolute times are host-dependent; the ordering and rough factors are
 //! the reproduced result.
+//!
+//! Run: `cargo bench -p click-bench --features bench-criterion --bench fig09_real_engine`
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
-use click_bench::ip_router_variants;
-use click_core::graph::RouterGraph;
-use click_core::registry::Library;
-use click_elements::ip_router::{test_packet, IpRouterSpec};
-use click_elements::packet::Packet;
-use click_elements::router::Router;
-use click_elements::{CompiledRouter, DynRouter};
-
-const N_IFACES: usize = 4;
-const BATCH: usize = 64;
-
-fn frames(spec: &IpRouterSpec) -> Vec<(usize, Packet)> {
-    (0..BATCH)
-        .map(|i| {
-            let src = i % (N_IFACES / 2);
-            let dst = src + N_IFACES / 2;
-            (src, test_packet(spec, src, dst))
-        })
-        .collect()
+fn main() {
+    click_bench::engine_bench::run_fig09(None);
 }
-
-/// Pushes one batch through a router and drains it; returns packets sent.
-fn run_batch<S: click_elements::router::Slot>(
-    router: &mut Router<S>,
-    frames: &[(usize, Packet)],
-) -> usize {
-    for (src, p) in frames {
-        let dev = router.devices.id(&format!("eth{src}")).expect("device");
-        router.devices.inject(dev, p.clone());
-    }
-    router.run_until_idle(10_000);
-    let mut sent = 0;
-    for i in 0..N_IFACES {
-        let dev = router.devices.id(&format!("eth{i}")).expect("device");
-        sent += router.devices.take_tx(dev).len();
-    }
-    sent
-}
-
-fn bench_variant<S: click_elements::router::Slot>(
-    c: &mut Criterion,
-    group: &str,
-    name: &str,
-    graph: &RouterGraph,
-    frames: &[(usize, Packet)],
-) {
-    let lib = Library::standard();
-    let mut router: Router<S> = Router::from_graph(graph, &lib).expect("router builds");
-    // Sanity: the variant actually forwards the whole batch.
-    assert_eq!(run_batch(&mut router, frames), BATCH, "variant {name} dropped packets");
-    let mut g = c.benchmark_group(group);
-    g.throughput(criterion::Throughput::Elements(BATCH as u64));
-    g.bench_function(name, |b| {
-        b.iter(|| {
-            let sent = run_batch(&mut router, black_box(frames));
-            black_box(sent)
-        })
-    });
-    g.finish();
-}
-
-fn bench_engines(c: &mut Criterion) {
-    let spec = IpRouterSpec::standard(N_IFACES);
-    let variants = ip_router_variants(N_IFACES).expect("variants build");
-    let frames = frames(&spec);
-    for v in &variants {
-        if v.name == "Simple" {
-            continue; // separate workload shape below
-        }
-        if v.graph.has_requirement("devirtualize") {
-            bench_variant::<click_elements::fast::FastElement>(
-                c,
-                "fig09_real_engine",
-                v.name,
-                &v.graph,
-                &frames,
-            );
-        } else {
-            bench_variant::<Box<dyn click_elements::Element>>(
-                c,
-                "fig09_real_engine",
-                v.name,
-                &v.graph,
-                &frames,
-            );
-        }
-    }
-}
-
-fn bench_simple(c: &mut Criterion) {
-    let text = click_elements::ip_router::simple_config(&[(0, 2), (1, 3)], 1000);
-    let graph = click_core::lang::read_config(&text).unwrap();
-    let lib = Library::standard();
-    let mut dynr: DynRouter = Router::from_graph(&graph, &lib).unwrap();
-    let mut comp: CompiledRouter = Router::from_graph(&graph, &lib).unwrap();
-    let frames: Vec<(usize, Packet)> = (0..BATCH).map(|i| (i % 2, Packet::new(60))).collect();
-    let run_simple = |r: &mut DynRouter, frames: &[(usize, Packet)]| {
-        for (src, p) in frames {
-            let dev = r.devices.id(&format!("eth{src}")).unwrap();
-            r.devices.inject(dev, p.clone());
-        }
-        r.run_until_idle(10_000);
-        for i in 2..4 {
-            let dev = r.devices.id(&format!("eth{i}")).unwrap();
-            black_box(r.devices.take_tx(dev).len());
-        }
-    };
-    let run_simple_c = |r: &mut CompiledRouter, frames: &[(usize, Packet)]| {
-        for (src, p) in frames {
-            let dev = r.devices.id(&format!("eth{src}")).unwrap();
-            r.devices.inject(dev, p.clone());
-        }
-        r.run_until_idle(10_000);
-        for i in 2..4 {
-            let dev = r.devices.id(&format!("eth{i}")).unwrap();
-            black_box(r.devices.take_tx(dev).len());
-        }
-    };
-    let mut g = c.benchmark_group("fig09_real_engine");
-    g.throughput(criterion::Throughput::Elements(BATCH as u64));
-    g.bench_function("Simple", |b| b.iter(|| run_simple(&mut dynr, black_box(&frames))));
-    g.bench_function("Simple-devirt", |b| b.iter(|| run_simple_c(&mut comp, black_box(&frames))));
-    g.finish();
-}
-
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(500))
-        .measurement_time(std::time::Duration::from_millis(1500))
-}
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_engines, bench_simple
-}
-criterion_main!(benches);

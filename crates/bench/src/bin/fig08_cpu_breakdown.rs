@@ -19,7 +19,10 @@ fn main() {
     println!("Figure 8: CPU cost breakdown, unoptimized Click IP router (ns/packet)");
     println!();
     let w = [34, 10, 10];
-    println!("{}", row(&["Task".into(), "model".into(), "paper".into()], &w));
+    println!(
+        "{}",
+        row(&["Task".into(), "model".into(), "paper".into()], &w)
+    );
     for (task, model, paper) in [
         ("Receiving device interactions", cost.rx_device_ns, 701.0),
         ("Click forwarding path", cost.forwarding_ns, 1657.0),
@@ -28,7 +31,10 @@ fn main() {
     ] {
         println!(
             "{}",
-            row(&[task.into(), format!("{model:.0}"), format!("{paper:.0}")], &w)
+            row(
+                &[task.into(), format!("{model:.0}"), format!("{paper:.0}")],
+                &w
+            )
         );
     }
     println!();

@@ -1,0 +1,18 @@
+//! Figure 9 measured on the real engines, scalar and batched, and
+//! emitted machine-readably.
+//!
+//! Runs every optimization variant of the 4-interface IP router on its
+//! natural engine (dynamic dispatch, or the compiled enum engine for
+//! devirtualized graphs) in both per-packet and batched transfer modes,
+//! prints the table, and writes `BENCH_fig09.json` (variant →
+//! ns/packet + steady-state packet-pool hit rate) at the repository
+//! root.
+//!
+//! Run: `cargo run --release -p click-bench --bin fig09_engine`
+
+fn main() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fig09.json");
+    click_bench::engine_bench::run_fig09(Some(&path));
+}

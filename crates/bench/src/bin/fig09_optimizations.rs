@@ -7,7 +7,7 @@
 //! Run: `cargo run --release -p click-bench --bin fig09_optimizations`
 
 use click_bench::{evaluation_spec, ip_router_variants, row};
-use click_sim::cost::path::router_cpu_cost;
+use click_sim::cost::path::{router_cpu_cost, router_cpu_cost_batched};
 use click_sim::{evaluation_traffic, Platform};
 
 fn main() {
@@ -36,19 +36,32 @@ fn main() {
     println!(
         "{}",
         row(
-            &["config".into(), "fwd".into(), "total".into(), "fwd(paper)".into(), "tot(paper)".into()],
+            &[
+                "config".into(),
+                "fwd".into(),
+                "total".into(),
+                "fwd(paper)".into(),
+                "tot(paper)".into()
+            ],
             &w
         )
     );
     let mut base_fwd = 0.0;
     for v in &variants {
-        let t = if v.name == "Simple" { &simple_traffic } else { &traffic };
+        let t = if v.name == "Simple" {
+            &simple_traffic
+        } else {
+            &traffic
+        };
         let cost = router_cpu_cost(&v.graph, &p0, t)
             .unwrap_or_else(|e| panic!("cost model failed for {}: {e}", v.name));
         if v.name == "Base" {
             base_fwd = cost.forwarding_ns;
         }
-        let anchors = paper.iter().find(|(n, _, _)| *n == v.name).expect("anchor row");
+        let anchors = paper
+            .iter()
+            .find(|(n, _, _)| *n == v.name)
+            .expect("anchor row");
         let fmt = |o: Option<f64>| o.map(|x| format!("{x:.0}")).unwrap_or_else(|| "-".into());
         println!(
             "{}",
@@ -65,8 +78,32 @@ fn main() {
         );
     }
     println!();
+    println!("batched engine (vector transfers, batch 8/64; not a paper figure):");
+    for name in ["Base", "All"] {
+        let v = variants.iter().find(|v| v.name == name).unwrap();
+        for batch in [8usize, 64] {
+            let cost = router_cpu_cost_batched(&v.graph, &p0, &traffic, batch).unwrap();
+            println!(
+                "{}",
+                row(
+                    &[
+                        format!("{name}+b{batch}"),
+                        format!("{:.0}", cost.forwarding_ns),
+                        format!("{:.0}", cost.total_ns()),
+                        "-".into(),
+                        "-".into(),
+                    ],
+                    &w
+                )
+            );
+        }
+    }
+
+    println!();
     let all = variants.iter().find(|v| v.name == "All").unwrap();
-    let all_fwd = router_cpu_cost(&all.graph, &p0, &traffic).unwrap().forwarding_ns;
+    let all_fwd = router_cpu_cost(&all.graph, &p0, &traffic)
+        .unwrap()
+        .forwarding_ns;
     println!(
         "forwarding-path reduction, Base -> All: {:.0}% (paper: 34%)",
         (1.0 - all_fwd / base_fwd) * 100.0

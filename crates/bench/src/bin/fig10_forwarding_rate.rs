@@ -8,7 +8,7 @@
 //! Run: `cargo run --release -p click-bench --bin fig10_forwarding_rate`
 
 use click_bench::{evaluation_spec, ip_router_variants, row};
-use click_sim::cost::path::router_cpu_cost;
+use click_sim::cost::path::{router_cpu_cost, router_cpu_cost_batched};
 use click_sim::{evaluation_traffic, sweep, Platform, RunConfig};
 
 fn main() {
@@ -30,7 +30,11 @@ fn main() {
 
     let mut curves: Vec<Vec<f64>> = Vec::new();
     for v in &variants {
-        let t = if v.name == "Simple" { &simple_traffic } else { &traffic };
+        let t = if v.name == "Simple" {
+            &simple_traffic
+        } else {
+            &traffic
+        };
         let cpu = router_cpu_cost(&v.graph, &p0, t)
             .unwrap_or_else(|e| panic!("cost model failed for {}: {e}", v.name))
             .total_ns();
@@ -48,7 +52,11 @@ fn main() {
     println!();
     println!("MLFFR (kpps):");
     for v in &variants {
-        let t = if v.name == "Simple" { &simple_traffic } else { &traffic };
+        let t = if v.name == "Simple" {
+            &simple_traffic
+        } else {
+            &traffic
+        };
         let cpu = router_cpu_cost(&v.graph, &p0, t).unwrap().total_ns();
         let cfg = RunConfig::new(p0.clone(), cpu);
         let m = click_sim::mlffr(&cfg) / 1000.0;
@@ -59,5 +67,17 @@ fn main() {
             _ => "-",
         };
         println!("  {:7}  model {m:6.0}  paper {paper}", v.name);
+    }
+
+    println!();
+    println!("MLFFR with batched engine (batch 64; not a paper figure):");
+    for name in ["Base", "All"] {
+        let v = variants.iter().find(|v| v.name == name).unwrap();
+        let cpu = router_cpu_cost_batched(&v.graph, &p0, &traffic, 64)
+            .unwrap()
+            .total_ns();
+        let cfg = RunConfig::new(p0.clone(), cpu);
+        let m = click_sim::mlffr(&cfg) / 1000.0;
+        println!("  {name:7}+b64  model {m:6.0}");
     }
 }

@@ -22,9 +22,18 @@ fn main() {
     let rates: Vec<f64> = (1..=12).map(|i| i as f64 * 50_000.0).collect();
 
     for name in ["Simple", "Base", "MR+All"] {
-        let v = variants.iter().find(|v| v.name == name).expect("variant exists");
-        let t = if name == "Simple" { &simple_traffic } else { &traffic };
-        let cpu = router_cpu_cost(&v.graph, &p0, t).expect("cost model").total_ns();
+        let v = variants
+            .iter()
+            .find(|v| v.name == name)
+            .expect("variant exists");
+        let t = if name == "Simple" {
+            &simple_traffic
+        } else {
+            &traffic
+        };
+        let cpu = router_cpu_cost(&v.graph, &p0, t)
+            .expect("cost model")
+            .total_ns();
         let cfg = RunConfig::new(p0.clone(), cpu);
         let points = sweep(&cfg, &rates);
         println!("--- {name} (cumulative outcome rates, kpps) ---");

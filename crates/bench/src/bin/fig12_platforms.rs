@@ -43,11 +43,18 @@ fn main() {
         )
     );
     for platform in Platform::all() {
-        let all_cpu = router_cpu_cost(all, &platform, &traffic).expect("cost").total_ns();
-        let base_cpu = router_cpu_cost(base, &platform, &traffic).expect("cost").total_ns();
+        let all_cpu = router_cpu_cost(all, &platform, &traffic)
+            .expect("cost")
+            .total_ns();
+        let base_cpu = router_cpu_cost(base, &platform, &traffic)
+            .expect("cost")
+            .total_ns();
         let all_m = mlffr(&RunConfig::new(platform.clone(), all_cpu));
         let base_m = mlffr(&RunConfig::new(platform.clone(), base_cpu));
-        let (_, ap, bp) = paper.iter().find(|(n, _, _)| *n == platform.name).expect("paper row");
+        let (_, ap, bp) = paper
+            .iter()
+            .find(|(n, _, _)| *n == platform.name)
+            .expect("paper row");
         println!(
             "{}",
             row(

@@ -20,7 +20,10 @@ fn main() {
 
     let rates: Vec<f64> = (1..=10).map(|i| i as f64 * 100_000.0).collect();
     for platform in [Platform::p1(), Platform::p2(), Platform::p3()] {
-        println!("--- {} ({} MHz CPU, {}-bit/{} MHz PCI) ---", platform.name, platform.cpu_mhz, platform.pci_bits, platform.pci_mhz);
+        println!(
+            "--- {} ({} MHz CPU, {}-bit/{} MHz PCI) ---",
+            platform.name, platform.cpu_mhz, platform.pci_bits, platform.pci_mhz
+        );
         let mut header = vec!["input".to_string()];
         let names = ["Base", "All", "Simple"];
         header.extend(names.iter().map(|s| s.to_string()));
@@ -29,8 +32,14 @@ fn main() {
         let mut curves = Vec::new();
         for name in names {
             let v = variants.iter().find(|v| v.name == name).unwrap();
-            let t = if name == "Simple" { &simple_traffic } else { &traffic };
-            let cpu = router_cpu_cost(&v.graph, &platform, t).expect("cost").total_ns();
+            let t = if name == "Simple" {
+                &simple_traffic
+            } else {
+                &traffic
+            };
+            let cpu = router_cpu_cost(&v.graph, &platform, t)
+                .expect("cost")
+                .total_ns();
             let cfg = RunConfig::new(platform.clone(), cpu);
             curves.push(sweep(&cfg, &rates));
         }
@@ -57,6 +66,9 @@ fn main() {
             router_cpu_cost(&v.graph, &p3, &traffic).unwrap().total_ns(),
         ));
         let paper = if name == "Base" { 1.9 } else { 1.6 };
-        println!("P3/P2 MLFFR ratio, {name}: model {:.2}, paper ~{paper}", m3 / m2);
+        println!(
+            "P3/P2 MLFFR ratio, {name}: model {:.2}, paper ~{paper}",
+            m3 / m2
+        );
     }
 }

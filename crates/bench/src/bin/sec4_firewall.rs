@@ -39,7 +39,11 @@ fn main() {
 
     println!("Section 4: 17-rule firewall, DNS-5 packet (matches next-to-last rule)");
     println!();
-    println!("decision tree: {} nodes (optimized: {})", tree.exprs.len(), opt.exprs.len());
+    println!(
+        "decision tree: {} nodes (optimized: {})",
+        tree.exprs.len(),
+        opt.exprs.len()
+    );
     println!(
         "tree depth:    {} comparisons max (optimized: {})",
         tree.depth().unwrap(),

@@ -32,9 +32,15 @@ fn main() {
         println!("{name}:");
         println!("  elements on path:        {:.0}", cost.elements);
         println!("  packet transfers:        {:.0}", cost.hops);
-        println!("  forwarding cycles:       {:.0} (700 MHz)", cost.forwarding_cycles);
+        println!(
+            "  forwarding cycles:       {:.0} (700 MHz)",
+            cost.forwarding_cycles
+        );
         println!("  cache misses per packet: {total_misses:.0} (paper: 4, at ~112 ns each)");
-        println!("  BTB miss rate:           {:.2}%", cost.btb_miss_rate * 100.0);
+        println!(
+            "  BTB miss rate:           {:.2}%",
+            cost.btb_miss_rate * 100.0
+        );
         // A rough retired-instruction proxy: ~1.3 instructions per cycle
         // on this workload.
         if name == "All" {

@@ -1,0 +1,117 @@
+//! A minimal wall-clock measurement harness.
+//!
+//! The offline toolchain has no external benchmarking crate, so the
+//! `benches/` targets (and the `fig09_engine` binary) measure with this
+//! instead: calibrate an iteration count against a target sample
+//! duration, warm up, collect samples, and report the median. Absolute
+//! numbers are host-dependent; the reproduced results are ratios and
+//! orderings, which medians capture robustly.
+
+use std::time::{Duration, Instant};
+
+/// Measurement configuration: warmup time, per-sample target time, and
+/// sample count.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Time spent running the workload before any sample is recorded.
+    pub warmup: Duration,
+    /// Target wall-clock duration of one sample (many calls each).
+    pub sample: Duration,
+    /// Number of samples collected; the median is reported.
+    pub samples: usize,
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness {
+            warmup: Duration::from_millis(300),
+            sample: Duration::from_millis(60),
+            samples: 15,
+        }
+    }
+}
+
+impl Harness {
+    /// A shorter configuration for smoke runs.
+    pub fn quick() -> Harness {
+        Harness {
+            warmup: Duration::from_millis(50),
+            sample: Duration::from_millis(10),
+            samples: 7,
+        }
+    }
+
+    /// Measures `f`, returning the median nanoseconds per call.
+    pub fn measure<R>(&self, mut f: impl FnMut() -> R) -> f64 {
+        // Calibrate: how many calls fit in one sample?
+        let mut calls = 1u64;
+        let per_call_ns = loop {
+            let t = Instant::now();
+            for _ in 0..calls {
+                std::hint::black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(2) {
+                break el.as_nanos() as f64 / calls as f64;
+            }
+            calls = calls.saturating_mul(8);
+        };
+        let per_sample = ((self.sample.as_nanos() as f64 / per_call_ns).ceil() as u64).max(1);
+
+        // Warm up (caches, branch predictors, the packet pool).
+        let t = Instant::now();
+        while t.elapsed() < self.warmup {
+            std::hint::black_box(f());
+        }
+
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..per_sample {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / per_sample as f64
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        times[times.len() / 2]
+    }
+}
+
+/// Prints one result line in a fixed `group/name  ns` format; when
+/// `per` > 1 the time is also broken down per element of the workload
+/// (e.g. per packet of a 64-packet batch).
+pub fn report(group: &str, name: &str, ns_per_call: f64, per: usize) {
+    if per > 1 {
+        println!(
+            "{group}/{name:<24} {ns_per_call:>12.1} ns/iter  {:>9.1} ns/pkt",
+            ns_per_call / per as f64
+        );
+    } else {
+        println!("{group}/{name:<24} {ns_per_call:>12.1} ns/iter");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let h = Harness::quick();
+        let mut x = 0u64;
+        let ns = h.measure(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(ns > 0.0 && ns < 1_000_000.0, "implausible: {ns}");
+    }
+
+    #[test]
+    fn slower_work_measures_slower() {
+        let h = Harness::quick();
+        let fast = h.measure(|| std::hint::black_box(1u64) + 1);
+        let slow = h.measure(|| (0..2000u64).fold(0u64, |a, b| a.wrapping_add(b * b)));
+        assert!(slow > fast * 3.0, "fast {fast} vs slow {slow}");
+    }
+}

@@ -29,7 +29,11 @@ impl Check {
     pub fn new(offset: u32, mask: u32, value: u32) -> Check {
         assert_eq!(offset % 4, 0, "check offset must be word-aligned");
         assert_eq!(value & !mask, 0, "check value must be within mask");
-        Check { offset, mask, value }
+        Check {
+            offset,
+            mask,
+            value,
+        }
     }
 }
 
@@ -79,7 +83,11 @@ impl Cond {
             }
             let m = u32::from_be_bytes(mask);
             if m != 0 {
-                checks.push(Cond::Check(Check::new(w as u32, m, u32::from_be_bytes(value))));
+                checks.push(Cond::Check(Check::new(
+                    w as u32,
+                    m,
+                    u32::from_be_bytes(value),
+                )));
             }
             w += 4;
         }
@@ -94,9 +102,7 @@ impl Cond {
     /// semantics for testing compiled trees).
     pub fn eval(&self, data: &[u8]) -> bool {
         match self {
-            Cond::Check(c) => {
-                crate::tree::load_word(data, c.offset as usize) & c.mask == c.value
-            }
+            Cond::Check(c) => crate::tree::load_word(data, c.offset as usize) & c.mask == c.value,
             Cond::And(cs) => cs.iter().all(|c| c.eval(data)),
             Cond::Or(cs) => cs.iter().any(|c| c.eval(data)),
             Cond::Not(c) => !c.eval(data),
@@ -140,7 +146,13 @@ fn compile(cond: &Cond, yes: Step, no: Step, exprs: &mut Vec<Expr>) -> Step {
         Cond::True => yes,
         Cond::False => no,
         Cond::Check(c) => {
-            exprs.push(Expr { offset: c.offset, mask: c.mask, value: c.value, yes, no });
+            exprs.push(Expr {
+                offset: c.offset,
+                mask: c.mask,
+                value: c.value,
+                yes,
+                no,
+            });
             Step::Node(exprs.len() - 1)
         }
         Cond::Not(inner) => compile(inner, no, yes, exprs),
@@ -193,7 +205,11 @@ pub fn build_tree(rules: &[Rule], noutputs: usize) -> DecisionTree {
     for rule in rules.iter().rev() {
         fail = compile(&rule.cond, rule.action.step(), fail, &mut exprs);
     }
-    let tree = DecisionTree { exprs, start: fail, noutputs };
+    let tree = DecisionTree {
+        exprs,
+        start: fail,
+        noutputs,
+    };
     debug_assert!(tree.validate().is_ok());
     tree
 }
@@ -258,7 +274,10 @@ mod tests {
             Cond::bytes_match(12, &[0x08, 0x00], &[0xFF, 0xFF]),
             Cond::Not(Box::new(Cond::bytes_match(23, &[6], &[0xFF]))),
         ]);
-        let rules = vec![Rule { cond: cond.clone(), action: Action::Emit(0) }];
+        let rules = vec![Rule {
+            cond: cond.clone(),
+            action: Action::Emit(0),
+        }];
         let tree = build_tree(&rules, 1);
         for data in [
             pkt(&[(12, 0x08)]),
@@ -266,7 +285,11 @@ mod tests {
             pkt(&[(23, 6)]),
             pkt(&[]),
         ] {
-            assert_eq!(tree.classify(&data).is_some(), cond.eval(&data), "packet {data:?}");
+            assert_eq!(
+                tree.classify(&data).is_some(),
+                cond.eval(&data),
+                "packet {data:?}"
+            );
         }
     }
 
@@ -276,7 +299,13 @@ mod tests {
             Cond::bytes_match(0, &[1], &[0xFF]),
             Cond::bytes_match(4, &[2], &[0xFF]),
         ]);
-        let tree = build_tree(&[Rule { cond, action: Action::Emit(0) }], 1);
+        let tree = build_tree(
+            &[Rule {
+                cond,
+                action: Action::Emit(0),
+            }],
+            1,
+        );
         assert_eq!(tree.classify(&pkt(&[(0, 1)])), Some(0));
         assert_eq!(tree.classify(&pkt(&[(4, 2)])), Some(0));
         assert_eq!(tree.classify(&pkt(&[(0, 3)])), None);
@@ -285,8 +314,14 @@ mod tests {
     #[test]
     fn rule_order_gives_priority() {
         let rules = vec![
-            Rule { cond: Cond::bytes_match(0, &[1], &[0xFF]), action: Action::Emit(0) },
-            Rule { cond: Cond::True, action: Action::Emit(1) },
+            Rule {
+                cond: Cond::bytes_match(0, &[1], &[0xFF]),
+                action: Action::Emit(0),
+            },
+            Rule {
+                cond: Cond::True,
+                action: Action::Emit(1),
+            },
         ];
         let tree = build_tree(&rules, 2);
         assert_eq!(tree.classify(&pkt(&[(0, 1)])), Some(0));
@@ -296,8 +331,14 @@ mod tests {
     #[test]
     fn deny_rules_drop() {
         let rules = vec![
-            Rule { cond: Cond::bytes_match(0, &[7], &[0xFF]), action: Action::Drop },
-            Rule { cond: Cond::True, action: Action::Emit(0) },
+            Rule {
+                cond: Cond::bytes_match(0, &[7], &[0xFF]),
+                action: Action::Drop,
+            },
+            Rule {
+                cond: Cond::True,
+                action: Action::Emit(0),
+            },
         ];
         let tree = build_tree(&rules, 1);
         assert_eq!(tree.classify(&pkt(&[(0, 7)])), None);
@@ -314,7 +355,13 @@ mod tests {
     fn empty_and_or() {
         assert!(Cond::And(vec![]).eval(&[]));
         assert!(!Cond::Or(vec![]).eval(&[]));
-        let t = build_tree(&[Rule { cond: Cond::And(vec![]), action: Action::Emit(0) }], 1);
+        let t = build_tree(
+            &[Rule {
+                cond: Cond::And(vec![]),
+                action: Action::Emit(0),
+            }],
+            1,
+        );
         assert_eq!(t.classify(&[]), Some(0));
     }
 

@@ -115,9 +115,14 @@ impl FastMatcher {
     pub fn compile(tree: &DecisionTree) -> FastMatcher {
         // Constant?
         if let Some(outcome) = Outcome::from_step(tree.start) {
-            return FastMatcher::Constant { outcome, noutputs: tree.noutputs };
+            return FastMatcher::Constant {
+                outcome,
+                noutputs: tree.noutputs,
+            };
         }
-        let Step::Node(first) = tree.start else { unreachable!() };
+        let Step::Node(first) = tree.start else {
+            unreachable!()
+        };
         let e0 = &tree.exprs[first];
         // Single check?
         if let (Some(yes), Some(no)) = (Outcome::from_step(e0.yes), Outcome::from_step(e0.no)) {
@@ -133,7 +138,8 @@ impl FastMatcher {
         // Double check with shared failure outcome?
         if let (Step::Node(second), Some(no0)) = (e0.yes, Outcome::from_step(e0.no)) {
             let e1 = &tree.exprs[second];
-            if let (Some(yes), Some(no1)) = (Outcome::from_step(e1.yes), Outcome::from_step(e1.no)) {
+            if let (Some(yes), Some(no1)) = (Outcome::from_step(e1.yes), Outcome::from_step(e1.no))
+            {
                 if no0 == no1 {
                     return FastMatcher::DoubleCheck {
                         first: (e0.offset, e0.mask, e0.value),
@@ -153,7 +159,14 @@ impl FastMatcher {
     pub fn classify(&self, data: &[u8]) -> Option<usize> {
         match self {
             FastMatcher::Constant { outcome, .. } => outcome.get(),
-            FastMatcher::SingleCheck { offset, mask, value, yes, no, .. } => {
+            FastMatcher::SingleCheck {
+                offset,
+                mask,
+                value,
+                yes,
+                no,
+                ..
+            } => {
                 let w = crate::tree::load_word(data, *offset as usize);
                 if w & mask == *value {
                     yes.get()
@@ -161,7 +174,13 @@ impl FastMatcher {
                     no.get()
                 }
             }
-            FastMatcher::DoubleCheck { first, second, yes, no, .. } => {
+            FastMatcher::DoubleCheck {
+                first,
+                second,
+                yes,
+                no,
+                ..
+            } => {
                 let w0 = crate::tree::load_word(data, first.0 as usize);
                 if w0 & first.1 != first.2 {
                     return no.get();
@@ -207,11 +226,24 @@ impl fmt::Display for FastMatcher {
             FastMatcher::Constant { outcome, noutputs } => {
                 write!(f, "fast constant {noutputs} {outcome}")
             }
-            FastMatcher::SingleCheck { offset, mask, value, yes, no, noutputs } => write!(
+            FastMatcher::SingleCheck {
+                offset,
+                mask,
+                value,
+                yes,
+                no,
+                noutputs,
+            } => write!(
                 f,
                 "fast single {noutputs} {offset}:{mask:x}:{value:x}:{yes}:{no}"
             ),
-            FastMatcher::DoubleCheck { first, second, yes, no, noutputs } => write!(
+            FastMatcher::DoubleCheck {
+                first,
+                second,
+                yes,
+                no,
+                noutputs,
+            } => write!(
                 f,
                 "fast double {noutputs} {}:{:x}:{:x} {}:{:x}:{:x} {yes} {no}",
                 first.0, first.1, first.2, second.0, second.1, second.2
@@ -250,7 +282,9 @@ impl std::str::FromStr for FastMatcher {
 
     fn from_str(s: &str) -> Result<FastMatcher> {
         let bad = |m: &str| Error::spec(format!("bad fast matcher: {m}"));
-        let rest = s.strip_prefix("fast ").ok_or_else(|| bad("missing `fast` prefix"))?;
+        let rest = s
+            .strip_prefix("fast ")
+            .ok_or_else(|| bad("missing `fast` prefix"))?;
         let words: Vec<&str> = rest.split_whitespace().collect();
         match words.first().copied() {
             Some("constant") => {
@@ -345,8 +379,8 @@ mod tests {
 
     #[test]
     fn complex_tree_falls_back_to_program() {
-        let rules =
-            parse_ipfilter_config("allow tcp dst port 80, allow udp dst port 53, deny all").unwrap();
+        let rules = parse_ipfilter_config("allow tcp dst port 80, allow udp dst port 53, deny all")
+            .unwrap();
         let tree = optimize(&build_tree(&rules, 1));
         let m = FastMatcher::compile(&tree);
         assert_eq!(m.shape(), "program");
@@ -368,7 +402,11 @@ mod tests {
                     *b = fill.wrapping_mul(37);
                 }
                 pkt[12] = 0x08;
-                assert_eq!(m.classify(&pkt), tree.classify(&pkt), "config {config:?} fill {fill}");
+                assert_eq!(
+                    m.classify(&pkt),
+                    tree.classify(&pkt),
+                    "config {config:?} fill {fill}"
+                );
             }
         }
     }

@@ -111,7 +111,11 @@ mod tests {
         let rules = parse_ipfilter_config(&firewall_config()).unwrap();
         let pkt = dns5_packet();
         let first_match = rules.iter().position(|r| r.cond.eval(&pkt));
-        assert_eq!(first_match, Some(RULE_COUNT - 2), "DNS-5 must be the first matching rule");
+        assert_eq!(
+            first_match,
+            Some(RULE_COUNT - 2),
+            "DNS-5 must be the first matching rule"
+        );
     }
 
     #[test]
@@ -178,6 +182,9 @@ mod tests {
             let w = crate::tree::load_word(&pkt, e.offset as usize);
             s = if w & e.mask == e.value { e.yes } else { e.no };
         }
-        assert!(steps >= 20, "DNS-5 packet only performed {steps} comparisons");
+        assert!(
+            steps >= 20,
+            "DNS-5 packet only performed {steps} comparisons"
+        );
     }
 }

@@ -128,11 +128,17 @@ mod tests {
 
     #[test]
     fn matches_tree_semantics() {
-        let rules = parse_classifier_config("12/0806 20/0001, 12/0806 20/0002, 12/0800, -").unwrap();
+        let rules =
+            parse_classifier_config("12/0806 20/0001, 12/0806 20/0002, 12/0800, -").unwrap();
         let tree = build_tree(&rules, 4);
         let clf = TreeClassifier::new(&tree);
         let mut pkt = vec![0u8; 64];
-        for (e1, e2, w) in [(0x08u8, 0x06u8, 0x01u8), (0x08, 0x06, 0x02), (0x08, 0x00, 0), (0x86, 0xDD, 0)] {
+        for (e1, e2, w) in [
+            (0x08u8, 0x06u8, 0x01u8),
+            (0x08, 0x06, 0x02),
+            (0x08, 0x00, 0),
+            (0x86, 0xDD, 0),
+        ] {
             pkt[12] = e1;
             pkt[13] = e2;
             pkt[21] = w;

@@ -24,7 +24,11 @@ use click_core::error::{Error, Result};
 // IP header field checks (offsets relative to IP header start).
 
 fn check_vers_hl(vers: u8, hl: u8) -> Cond {
-    Cond::Check(Check::new(0, 0xFF00_0000, ((vers as u32) << 28) | ((hl as u32) << 24)))
+    Cond::Check(Check::new(
+        0,
+        0xFF00_0000,
+        ((vers as u32) << 28) | ((hl as u32) << 24),
+    ))
 }
 
 fn check_hl5() -> Cond {
@@ -131,7 +135,9 @@ fn tokenize(s: &str) -> Result<Vec<Token>> {
                 }
             }
             other => {
-                return Err(Error::spec(format!("unexpected character {other:?} in IP filter")))
+                return Err(Error::spec(format!(
+                    "unexpected character {other:?} in IP filter"
+                )))
             }
         }
     }
@@ -145,7 +151,9 @@ fn parse_ipv4(s: &str) -> Result<u32> {
     }
     let mut v = 0u32;
     for p in parts {
-        let b: u8 = p.parse().map_err(|_| Error::spec(format!("bad IP address {s:?}")))?;
+        let b: u8 = p
+            .parse()
+            .map_err(|_| Error::spec(format!("bad IP address {s:?}")))?;
         v = (v << 8) | b as u32;
     }
     Ok(v)
@@ -221,7 +229,11 @@ impl Parser {
             self.bump();
             terms.push(self.parse_and()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { Cond::Or(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one")
+        } else {
+            Cond::Or(terms)
+        })
     }
 
     fn parse_and(&mut self) -> Result<Cond> {
@@ -239,7 +251,11 @@ impl Parser {
                 _ => break,
             }
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { Cond::And(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one")
+        } else {
+            Cond::And(terms)
+        })
     }
 
     fn parse_not(&mut self) -> Result<Cond> {
@@ -269,7 +285,9 @@ impl Parser {
             Some("src") => {
                 self.bump();
                 // "src or dst"
-                if self.peek() == Some(&Token::Or) && self.toks.get(self.i + 1) == Some(&Token::Word("dst".into())) {
+                if self.peek() == Some(&Token::Or)
+                    && self.toks.get(self.i + 1) == Some(&Token::Word("dst".into()))
+                {
                     self.bump();
                     self.bump();
                     Dir::Either
@@ -319,9 +337,7 @@ impl Parser {
                         "psh" => 0x08,
                         "ack" => 0x10,
                         "urg" => 0x20,
-                        other => {
-                            return Err(Error::spec(format!("unknown TCP flag {other:?}")))
-                        }
+                        other => return Err(Error::spec(format!("unknown TCP flag {other:?}"))),
                     };
                     // Flag set ⇔ the masked word at offset 32 is nonzero.
                     return Ok(Cond::And(vec![
@@ -404,7 +420,11 @@ impl Parser {
                             .map_err(|_| Error::spec("bad TOS".to_string()))?;
                         Ok(Cond::Check(Check::new(0, 0x00FF_0000, (v as u32) << 16)))
                     }
-                    "frag" => Ok(Cond::Not(Box::new(Cond::Check(Check::new(4, 0x0000_3FFF, 0))))),
+                    "frag" => Ok(Cond::Not(Box::new(Cond::Check(Check::new(
+                        4,
+                        0x0000_3FFF,
+                        0,
+                    ))))),
                     "unfrag" => Ok(Cond::Check(Check::new(4, 0x0000_3FFF, 0))),
                     other => Err(Error::spec(format!("unknown IP field {other:?}"))),
                 }
@@ -420,15 +440,14 @@ impl Parser {
                     Some("net") => {
                         self.bump();
                         let spec = self.expect_word("network")?;
-                        let (addr_str, len_str) = spec
-                            .split_once('/')
-                            .ok_or_else(|| Error::spec(format!("bad network {spec:?} (want a.b.c.d/len)")))?;
+                        let (addr_str, len_str) = spec.split_once('/').ok_or_else(|| {
+                            Error::spec(format!("bad network {spec:?} (want a.b.c.d/len)"))
+                        })?;
                         let addr = parse_ipv4(addr_str)?;
-                        let len: u32 = len_str
-                            .parse()
-                            .ok()
-                            .filter(|&l| l <= 32)
-                            .ok_or_else(|| Error::spec(format!("bad prefix length in {spec:?}")))?;
+                        let len: u32 =
+                            len_str.parse().ok().filter(|&l| l <= 32).ok_or_else(|| {
+                                Error::spec(format!("bad prefix length in {spec:?}"))
+                            })?;
                         Ok(net_cond(dir, addr, prefix_mask(len)))
                     }
                     Some("port") => {
@@ -447,11 +466,10 @@ impl Parser {
                         let spec = self.expect_word("IP address")?;
                         if let Some((addr_str, len_str)) = spec.split_once('/') {
                             let addr = parse_ipv4(addr_str)?;
-                            let len: u32 = len_str
-                                .parse()
-                                .ok()
-                                .filter(|&l| l <= 32)
-                                .ok_or_else(|| Error::spec(format!("bad prefix length in {spec:?}")))?;
+                            let len: u32 =
+                                len_str.parse().ok().filter(|&l| l <= 32).ok_or_else(|| {
+                                    Error::spec(format!("bad prefix length in {spec:?}"))
+                                })?;
                             Ok(net_cond(dir, addr, prefix_mask(len)))
                         } else {
                             Ok(host_cond(dir, parse_ipv4(&spec)?))
@@ -531,7 +549,10 @@ pub fn parse_expr(s: &str) -> Result<Cond> {
     let mut p = Parser { toks, i: 0 };
     let cond = p.parse_or()?;
     if p.i != p.toks.len() {
-        return Err(Error::spec(format!("trailing tokens after filter expression: {:?}", &p.toks[p.i..])));
+        return Err(Error::spec(format!(
+            "trailing tokens after filter expression: {:?}",
+            &p.toks[p.i..]
+        )));
     }
     Ok(cond)
 }
@@ -545,13 +566,22 @@ pub fn parse_expr(s: &str) -> Result<Cond> {
 pub fn parse_ipclassifier_config(config: &str) -> Result<Vec<Rule>> {
     let args = click_core::config::split_args(config);
     if args.is_empty() {
-        return Err(Error::spec("IPClassifier requires at least one pattern".to_string()));
+        return Err(Error::spec(
+            "IPClassifier requires at least one pattern".to_string(),
+        ));
     }
     args.iter()
         .enumerate()
         .map(|(i, a)| {
-            let cond = if a.trim() == "-" { Cond::True } else { parse_expr(a)? };
-            Ok(Rule { cond, action: Action::Emit(i) })
+            let cond = if a.trim() == "-" {
+                Cond::True
+            } else {
+                parse_expr(a)?
+            };
+            Ok(Rule {
+                cond,
+                action: Action::Emit(i),
+            })
         })
         .collect()
 }
@@ -566,7 +596,9 @@ pub fn parse_ipclassifier_config(config: &str) -> Result<Vec<Rule>> {
 pub fn parse_ipfilter_config(config: &str) -> Result<Vec<Rule>> {
     let args = click_core::config::split_args(config);
     if args.is_empty() {
-        return Err(Error::spec("IPFilter requires at least one rule".to_string()));
+        return Err(Error::spec(
+            "IPFilter requires at least one rule".to_string(),
+        ));
     }
     args.iter()
         .map(|a| {
@@ -586,7 +618,10 @@ pub fn parse_ipfilter_config(config: &str) -> Result<Vec<Rule>> {
                     "IPFilter rule {a:?} must start with allow/deny/drop"
                 )));
             };
-            Ok(Rule { cond: parse_expr(rest)?, action })
+            Ok(Rule {
+                cond: parse_expr(rest)?,
+                action,
+            })
         })
         .collect()
 }
@@ -597,7 +632,13 @@ mod tests {
     use crate::build::build_tree;
 
     /// Builds a minimal IP(+transport) header as raw bytes.
-    pub(crate) fn ip_packet(proto: u8, src: [u8; 4], dst: [u8; 4], sport: u16, dport: u16) -> Vec<u8> {
+    pub(crate) fn ip_packet(
+        proto: u8,
+        src: [u8; 4],
+        dst: [u8; 4],
+        sport: u16,
+        dport: u16,
+    ) -> Vec<u8> {
         let mut p = vec![0u8; 40];
         p[0] = 0x45; // version 4, hl 5
         p[8] = 64; // ttl
@@ -654,7 +695,13 @@ mod tests {
         let c = parse_expr("dst port 53").unwrap();
         assert!(c.eval(&ip_packet(proto::TCP, [1, 1, 1, 1], [2, 2, 2, 2], 1000, 53)));
         assert!(c.eval(&ip_packet(proto::UDP, [1, 1, 1, 1], [2, 2, 2, 2], 1000, 53)));
-        assert!(!c.eval(&ip_packet(proto::ICMP, [1, 1, 1, 1], [2, 2, 2, 2], 1000, 53)));
+        assert!(!c.eval(&ip_packet(
+            proto::ICMP,
+            [1, 1, 1, 1],
+            [2, 2, 2, 2],
+            1000,
+            53
+        )));
     }
 
     #[test]
@@ -779,9 +826,18 @@ mod tests {
     fn ipclassifier_outputs() {
         let rules = parse_ipclassifier_config("tcp, udp, -").unwrap();
         let tree = build_tree(&rules, 3);
-        assert_eq!(tree.classify(&ip_packet(proto::TCP, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2)), Some(0));
-        assert_eq!(tree.classify(&ip_packet(proto::UDP, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2)), Some(1));
-        assert_eq!(tree.classify(&ip_packet(proto::ICMP, [1, 1, 1, 1], [2, 2, 2, 2], 0, 0)), Some(2));
+        assert_eq!(
+            tree.classify(&ip_packet(proto::TCP, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2)),
+            Some(0)
+        );
+        assert_eq!(
+            tree.classify(&ip_packet(proto::UDP, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2)),
+            Some(1)
+        );
+        assert_eq!(
+            tree.classify(&ip_packet(proto::ICMP, [1, 1, 1, 1], [2, 2, 2, 2], 0, 0)),
+            Some(2)
+        );
     }
 
     #[test]

@@ -62,7 +62,9 @@ pub fn parse_rules(class: &str, config: &str) -> Result<Vec<Rule>> {
         "Classifier" => pattern::parse_classifier_config(config),
         "IPClassifier" => iplang::parse_ipclassifier_config(config),
         "IPFilter" => iplang::parse_ipfilter_config(config),
-        other => Err(click_core::Error::spec(format!("{other:?} is not a classifier class"))),
+        other => Err(click_core::Error::spec(format!(
+            "{other:?} is not a classifier class"
+        ))),
     }
 }
 

@@ -111,7 +111,13 @@ impl<'a> Optimizer<'a> {
                             // Both branches agree: the test is pointless.
                             yes
                         } else {
-                            let shape = Expr { offset: e.offset, mask: e.mask, value: e.value, yes, no };
+                            let shape = Expr {
+                                offset: e.offset,
+                                mask: e.mask,
+                                value: e.value,
+                                yes,
+                                no,
+                            };
                             let idx = match self.interned.get(&shape) {
                                 Some(&idx) => idx,
                                 None => {
@@ -172,13 +178,15 @@ pub fn optimize(tree: &DecisionTree) -> DecisionTree {
     };
     match opt.rewrite(tree.start, &Facts::default()) {
         Some(start) => {
-            let result =
-                DecisionTree { exprs: opt.out, start, noutputs: tree.noutputs };
+            let result = DecisionTree {
+                exprs: opt.out,
+                start,
+                noutputs: tree.noutputs,
+            };
             debug_assert!(result.validate().is_ok());
             // Only keep the rewrite if it actually helped (fewer nodes or
             // shallower), so callers can rely on `optimize` being monotone.
-            let better = result.exprs.len() <= tree.exprs.len()
-                || result.depth() < tree.depth();
+            let better = result.exprs.len() <= tree.exprs.len() || result.depth() < tree.depth();
             if better {
                 result
             } else {
@@ -256,7 +264,10 @@ mod tests {
     #[test]
     fn preserves_semantics_on_firewall_like_rules() {
         let rules = vec![
-            Rule { cond: parse_expr("src net 127.0.0.0/8").unwrap(), action: Action::Drop },
+            Rule {
+                cond: parse_expr("src net 127.0.0.0/8").unwrap(),
+                action: Action::Drop,
+            },
             Rule {
                 cond: parse_expr("dst host 10.0.0.2 and tcp dst port 25").unwrap(),
                 action: Action::Emit(0),
@@ -265,8 +276,14 @@ mod tests {
                 cond: parse_expr("dst host 10.0.0.3 and udp dst port 53").unwrap(),
                 action: Action::Emit(0),
             },
-            Rule { cond: parse_expr("icmp type 8").unwrap(), action: Action::Emit(0) },
-            Rule { cond: parse_expr("all").unwrap(), action: Action::Drop },
+            Rule {
+                cond: parse_expr("icmp type 8").unwrap(),
+                action: Action::Emit(0),
+            },
+            Rule {
+                cond: parse_expr("all").unwrap(),
+                action: Action::Drop,
+            },
         ];
         let tree = build_tree(&rules, 1);
         let opt = optimize(&tree);
@@ -286,10 +303,22 @@ mod tests {
     #[test]
     fn optimized_tree_is_not_larger() {
         let rules = vec![
-            Rule { cond: parse_expr("tcp dst port 25").unwrap(), action: Action::Emit(0) },
-            Rule { cond: parse_expr("tcp dst port 80").unwrap(), action: Action::Emit(1) },
-            Rule { cond: parse_expr("udp dst port 53").unwrap(), action: Action::Emit(2) },
-            Rule { cond: parse_expr("all").unwrap(), action: Action::Emit(3) },
+            Rule {
+                cond: parse_expr("tcp dst port 25").unwrap(),
+                action: Action::Emit(0),
+            },
+            Rule {
+                cond: parse_expr("tcp dst port 80").unwrap(),
+                action: Action::Emit(1),
+            },
+            Rule {
+                cond: parse_expr("udp dst port 53").unwrap(),
+                action: Action::Emit(2),
+            },
+            Rule {
+                cond: parse_expr("all").unwrap(),
+                action: Action::Emit(3),
+            },
         ];
         let tree = build_tree(&rules, 4);
         let opt = optimize(&tree);
@@ -304,8 +333,14 @@ mod tests {
         let b = Check::new(0, 0xFF, 2);
         let tail = Check::new(4, 0xFF, 3);
         let rules = vec![
-            Rule { cond: Cond::And(vec![Cond::Check(a), Cond::Check(tail)]), action: Action::Emit(0) },
-            Rule { cond: Cond::And(vec![Cond::Check(b), Cond::Check(tail)]), action: Action::Emit(0) },
+            Rule {
+                cond: Cond::And(vec![Cond::Check(a), Cond::Check(tail)]),
+                action: Action::Emit(0),
+            },
+            Rule {
+                cond: Cond::And(vec![Cond::Check(b), Cond::Check(tail)]),
+                action: Action::Emit(0),
+            },
         ];
         let tree = build_tree(&rules, 1);
         let opt = optimize(&tree);
@@ -326,7 +361,13 @@ mod tests {
     #[test]
     fn cyclic_tree_returned_unchanged() {
         let cyclic = DecisionTree {
-            exprs: vec![Expr { offset: 0, mask: 1, value: 1, yes: Step::Node(0), no: Step::Drop }],
+            exprs: vec![Expr {
+                offset: 0,
+                mask: 1,
+                value: 1,
+                yes: Step::Node(0),
+                no: Step::Drop,
+            }],
             start: Step::Node(0),
             noutputs: 1,
         };

@@ -43,7 +43,9 @@ fn parse_hex(spec: &str, what: &str) -> Result<(Vec<u8>, Vec<u8>)> {
                 v |= (d as u8) << shift;
                 m |= 0xF << shift;
             } else {
-                return Err(Error::spec(format!("bad hex digit {c:?} in {what} {spec:?}")));
+                return Err(Error::spec(format!(
+                    "bad hex digit {c:?} in {what} {spec:?}"
+                )));
             }
         }
         value.push(v);
@@ -86,9 +88,9 @@ pub fn parse_pattern(pattern: &str) -> Result<Cond> {
             terms.push(if negated { Cond::False } else { Cond::True });
             continue;
         }
-        let (off_str, rest) = term.split_once('/').ok_or_else(|| {
-            Error::spec(format!("classifier term {raw:?} missing `/`"))
-        })?;
+        let (off_str, rest) = term
+            .split_once('/')
+            .ok_or_else(|| Error::spec(format!("classifier term {raw:?} missing `/`")))?;
         let offset: usize = off_str
             .parse()
             .map_err(|_| Error::spec(format!("bad offset in classifier term {raw:?}")))?;
@@ -112,7 +114,11 @@ pub fn parse_pattern(pattern: &str) -> Result<Cond> {
             }
         }
         let cond = Cond::bytes_match(offset, &value, &mask);
-        terms.push(if negated { Cond::Not(Box::new(cond)) } else { cond });
+        terms.push(if negated {
+            Cond::Not(Box::new(cond))
+        } else {
+            cond
+        });
     }
     Ok(match terms.len() {
         0 => Cond::True,
@@ -146,11 +152,18 @@ pub fn parse_pattern(pattern: &str) -> Result<Cond> {
 pub fn parse_classifier_config(config: &str) -> Result<Vec<Rule>> {
     let args = click_core::config::split_args(config);
     if args.is_empty() {
-        return Err(Error::spec("Classifier requires at least one pattern".to_string()));
+        return Err(Error::spec(
+            "Classifier requires at least one pattern".to_string(),
+        ));
     }
     args.iter()
         .enumerate()
-        .map(|(i, a)| Ok(Rule { cond: parse_pattern(a)?, action: Action::Emit(i) }))
+        .map(|(i, a)| {
+            Ok(Rule {
+                cond: parse_pattern(a)?,
+                action: Action::Emit(i),
+            })
+        })
         .collect()
 }
 
@@ -227,9 +240,15 @@ mod tests {
         assert_eq!(rules.len(), 4);
         let tree = build_tree(&rules, 4);
         // ARP request
-        assert_eq!(tree.classify(&pkt(&[(12, 0x08), (13, 0x06), (21, 0x01)])), Some(0));
+        assert_eq!(
+            tree.classify(&pkt(&[(12, 0x08), (13, 0x06), (21, 0x01)])),
+            Some(0)
+        );
         // ARP reply
-        assert_eq!(tree.classify(&pkt(&[(12, 0x08), (13, 0x06), (21, 0x02)])), Some(1));
+        assert_eq!(
+            tree.classify(&pkt(&[(12, 0x08), (13, 0x06), (21, 0x02)])),
+            Some(1)
+        );
         // IP
         assert_eq!(tree.classify(&pkt(&[(12, 0x08), (13, 0x00)])), Some(2));
         // other
@@ -256,13 +275,14 @@ mod tests {
         for b0 in [0u8, 1, 2] {
             for b5 in [0u8, 2, 3] {
                 let data = pkt(&[(0, b0), (5, b5)]);
-                let expected = rules
-                    .iter()
-                    .position(|r| r.cond.eval(&data))
-                    .map(|i| match rules[i].action {
-                        crate::build::Action::Emit(o) => o,
-                        crate::build::Action::Drop => usize::MAX,
-                    });
+                let expected =
+                    rules
+                        .iter()
+                        .position(|r| r.cond.eval(&data))
+                        .map(|i| match rules[i].action {
+                            crate::build::Action::Emit(o) => o,
+                            crate::build::Action::Drop => usize::MAX,
+                        });
                 assert_eq!(tree.classify(&data), expected, "b0={b0} b5={b5}");
             }
         }

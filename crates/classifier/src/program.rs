@@ -123,11 +123,19 @@ impl ClassifierProgram {
         let mut t = self.start;
         let instrs = self.instrs.as_slice();
         while t >= 0 {
-            let Some(ins) = instrs.get(t as usize) else { break };
+            let Some(ins) = instrs.get(t as usize) else {
+                break;
+            };
             let off = ins.offset as usize;
-            let Some(bytes) = data.get(off..off + 4) else { break };
+            let Some(bytes) = data.get(off..off + 4) else {
+                break;
+            };
             let w = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-            t = if w & ins.mask == ins.value { ins.yes } else { ins.no };
+            t = if w & ins.mask == ins.value {
+                ins.yes
+            } else {
+                ins.no
+            };
         }
         match decode(t) {
             Step::Output(o) => Some(o),
@@ -142,7 +150,11 @@ impl ClassifierProgram {
         while t >= 0 {
             let ins = &self.instrs[t as usize];
             let w = crate::tree::load_word(data, ins.offset as usize);
-            t = if w & ins.mask == ins.value { ins.yes } else { ins.no };
+            t = if w & ins.mask == ins.value {
+                ins.yes
+            } else {
+                ins.no
+            };
         }
         match decode(t) {
             Step::Output(o) => Some(o),
@@ -254,8 +266,11 @@ impl std::str::FromStr for ClassifierProgram {
         if words.next() != Some("prog") {
             return Err(bad("missing `prog` header"));
         }
-        let noutputs: usize =
-            words.next().ok_or_else(|| bad("missing output count"))?.parse().map_err(|_| bad("bad output count"))?;
+        let noutputs: usize = words
+            .next()
+            .ok_or_else(|| bad("missing output count"))?
+            .parse()
+            .map_err(|_| bad("bad output count"))?;
         let start = parse_target(words.next().ok_or_else(|| bad("missing start"))?)?;
         let mut instrs = Vec::new();
         for w in words {
@@ -271,8 +286,17 @@ impl std::str::FromStr for ClassifierProgram {
                 no: parse_target(parts[4])?,
             });
         }
-        let safe_length = instrs.iter().map(|i| i.offset as usize + 4).max().unwrap_or(0);
-        let prog = ClassifierProgram { instrs, start, safe_length, noutputs };
+        let safe_length = instrs
+            .iter()
+            .map(|i| i.offset as usize + 4)
+            .max()
+            .unwrap_or(0);
+        let prog = ClassifierProgram {
+            instrs,
+            start,
+            safe_length,
+            noutputs,
+        };
         prog.to_tree().validate()?;
         Ok(prog)
     }
@@ -292,7 +316,8 @@ mod tests {
 
     #[test]
     fn program_matches_tree() {
-        let rules = parse_classifier_config("12/0806 20/0001, 12/0806 20/0002, 12/0800, -").unwrap();
+        let rules =
+            parse_classifier_config("12/0806 20/0001, 12/0806 20/0002, 12/0800, -").unwrap();
         let tree = build_tree(&rules, 4);
         let prog = ClassifierProgram::compile(&tree);
         let mut pkt = vec![0u8; 64];
@@ -333,7 +358,9 @@ mod tests {
         assert!("".parse::<ClassifierProgram>().is_err());
         assert!("prog x [0]".parse::<ClassifierProgram>().is_err());
         assert!("prog 1 n9".parse::<ClassifierProgram>().is_err());
-        assert!("prog 1 out0 12:zz:0:out0:drop".parse::<ClassifierProgram>().is_err());
+        assert!("prog 1 out0 12:zz:0:out0:drop"
+            .parse::<ClassifierProgram>()
+            .is_err());
     }
 
     #[test]

@@ -85,18 +85,30 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// A tree that sends every packet to `output`.
     pub fn all_match(output: usize) -> DecisionTree {
-        DecisionTree { exprs: Vec::new(), start: Step::Output(output), noutputs: output + 1 }
+        DecisionTree {
+            exprs: Vec::new(),
+            start: Step::Output(output),
+            noutputs: output + 1,
+        }
     }
 
     /// A tree that drops every packet.
     pub fn drop_all() -> DecisionTree {
-        DecisionTree { exprs: Vec::new(), start: Step::Drop, noutputs: 0 }
+        DecisionTree {
+            exprs: Vec::new(),
+            start: Step::Drop,
+            noutputs: 0,
+        }
     }
 
     /// The minimum packet length (in bytes) that every node access stays
     /// within: `max(offset + 4)` over all nodes, or 0 for an empty tree.
     pub fn safe_length(&self) -> usize {
-        self.exprs.iter().map(|e| e.offset as usize + 4).max().unwrap_or(0)
+        self.exprs
+            .iter()
+            .map(|e| e.offset as usize + 4)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Classifies a packet by interpreting the tree in index form.
@@ -141,10 +153,15 @@ impl DecisionTree {
         check_step(self.start, "start")?;
         for (i, e) in self.exprs.iter().enumerate() {
             if e.offset % 4 != 0 {
-                return Err(Error::spec(format!("node {i}: offset {} not word-aligned", e.offset)));
+                return Err(Error::spec(format!(
+                    "node {i}: offset {} not word-aligned",
+                    e.offset
+                )));
             }
             if e.value & !e.mask != 0 {
-                return Err(Error::spec(format!("node {i}: value has bits outside mask")));
+                return Err(Error::spec(format!(
+                    "node {i}: value has bits outside mask"
+                )));
             }
             check_step(e.yes, &format!("node {i} yes"))?;
             check_step(e.no, &format!("node {i} no"))?;
@@ -266,9 +283,19 @@ impl std::str::FromStr for DecisionTree {
             let value = u32::from_str_radix(p[7], 16).map_err(|_| bad("bad value"))?;
             let yes: Step = p[9].parse()?;
             let no: Step = p[11].parse()?;
-            exprs.push(Expr { offset, mask, value, yes, no });
+            exprs.push(Expr {
+                offset,
+                mask,
+                value,
+                yes,
+                no,
+            });
         }
-        let tree = DecisionTree { exprs, start, noutputs };
+        let tree = DecisionTree {
+            exprs,
+            start,
+            noutputs,
+        };
         tree.validate()?;
         Ok(tree)
     }
@@ -370,8 +397,20 @@ mod tests {
 
         let chain = DecisionTree {
             exprs: vec![
-                Expr { offset: 0, mask: 0xFF, value: 1, yes: Step::Node(1), no: Step::Drop },
-                Expr { offset: 4, mask: 0xFF, value: 2, yes: Step::Output(0), no: Step::Drop },
+                Expr {
+                    offset: 0,
+                    mask: 0xFF,
+                    value: 1,
+                    yes: Step::Node(1),
+                    no: Step::Drop,
+                },
+                Expr {
+                    offset: 4,
+                    mask: 0xFF,
+                    value: 2,
+                    yes: Step::Output(0),
+                    no: Step::Drop,
+                },
             ],
             start: Step::Node(0),
             noutputs: 1,
@@ -379,7 +418,13 @@ mod tests {
         assert_eq!(chain.depth(), Some(2));
 
         let cyclic = DecisionTree {
-            exprs: vec![Expr { offset: 0, mask: 1, value: 1, yes: Step::Node(0), no: Step::Drop }],
+            exprs: vec![Expr {
+                offset: 0,
+                mask: 1,
+                value: 1,
+                yes: Step::Node(0),
+                no: Step::Drop,
+            }],
             start: Step::Node(0),
             noutputs: 1,
         };

@@ -71,7 +71,10 @@ impl Archive {
 
     /// Fetches an entry's contents by name.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries.iter().find(|e| e.name == name).map(|e| e.data.as_str())
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.data.as_str())
     }
 
     /// Removes an entry; returns its contents if it existed.
@@ -92,7 +95,9 @@ impl Archive {
     /// Returns [`Error::Archive`] on a missing magic line, malformed entry
     /// header, or truncated contents.
     pub fn parse(text: &str) -> Result<Archive> {
-        let bad = |m: &str| Error::Archive { message: m.to_owned() };
+        let bad = |m: &str| Error::Archive {
+            message: m.to_owned(),
+        };
         let rest = text
             .strip_prefix(ARCHIVE_MAGIC)
             .ok_or_else(|| bad("missing archive magic"))?;
@@ -123,7 +128,10 @@ impl Archive {
             if !tail.is_char_boundary(size) {
                 return Err(bad(&format!("entry {name:?} size splits a character")));
             }
-            archive.entries.push(ArchiveEntry { name: name.to_owned(), data: tail[..size].to_owned() });
+            archive.entries.push(ArchiveEntry {
+                name: name.to_owned(),
+                data: tail[..size].to_owned(),
+            });
             rest = &tail[size..];
             rest = rest.strip_prefix('\n').unwrap_or(rest);
         }
@@ -168,7 +176,10 @@ mod tests {
     fn round_trip() {
         let mut a = Archive::new();
         a.insert(CONFIG_ENTRY, "Idle -> Discard;\n");
-        a.insert("gen.rs", "pub struct FastClassifier;\n// with\n// newlines\n");
+        a.insert(
+            "gen.rs",
+            "pub struct FastClassifier;\n// with\n// newlines\n",
+        );
         let text = a.to_string();
         let b = Archive::parse(&text).unwrap();
         assert_eq!(a, b);

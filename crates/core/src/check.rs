@@ -56,12 +56,16 @@ pub struct CheckReport {
 impl CheckReport {
     /// True if no error-severity diagnostics were produced.
     pub fn is_ok(&self) -> bool {
-        self.diagnostics.iter().all(|d| d.severity != Severity::Error)
+        self.diagnostics
+            .iter()
+            .all(|d| d.severity != Severity::Error)
     }
 
     /// Iterates over error-severity diagnostics.
     pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
     }
 }
 
@@ -71,7 +75,11 @@ fn diag(
     element: Option<&str>,
     message: impl Into<String>,
 ) {
-    out.push(Diagnostic { severity, element: element.map(str::to_owned), message: message.into() });
+    out.push(Diagnostic {
+        severity,
+        element: element.map(str::to_owned),
+        message: message.into(),
+    });
 }
 
 /// Checks a configuration against a library.
@@ -194,7 +202,10 @@ pub fn check(graph: &RouterGraph, library: &Library) -> CheckReport {
     };
 
     ds.sort_by_key(|d| std::cmp::Reverse(d.severity));
-    CheckReport { diagnostics: ds, ports }
+    CheckReport {
+        diagnostics: ds,
+        ports,
+    }
 }
 
 fn check_connection_counts(graph: &RouterGraph, pa: &PortAssignment, ds: &mut Vec<Diagnostic>) {
@@ -253,7 +264,9 @@ mod tests {
     fn unknown_class_reported() {
         let r = report("Zorp -> Discard;");
         assert!(!r.is_ok());
-        assert!(r.errors().any(|d| d.message.contains("unknown element class")));
+        assert!(r
+            .errors()
+            .any(|d| d.message.contains("unknown element class")));
     }
 
     #[test]
@@ -267,8 +280,12 @@ mod tests {
     #[test]
     fn port_gap_reported() {
         let r = report("c :: Classifier(a, b, c); Idle -> c; c [2] -> Discard;");
-        assert!(r.errors().any(|d| d.message.contains("output port 0 unconnected")));
-        assert!(r.errors().any(|d| d.message.contains("output port 1 unconnected")));
+        assert!(r
+            .errors()
+            .any(|d| d.message.contains("output port 0 unconnected")));
+        assert!(r
+            .errors()
+            .any(|d| d.message.contains("output port 1 unconnected")));
     }
 
     #[test]
@@ -281,14 +298,14 @@ mod tests {
     fn double_connection_on_push_output_reported() {
         let r = report("s :: FromDevice(0); s -> d1 :: Discard; s -> d2 :: Discard;");
         assert!(!r.is_ok());
-        assert!(r.errors().any(|d| d.message.contains("push output port 0 has 2 connections")));
+        assert!(r
+            .errors()
+            .any(|d| d.message.contains("push output port 0 has 2 connections")));
     }
 
     #[test]
     fn fan_in_on_push_input_is_fine() {
-        let r = report(
-            "FromDevice(0) -> q :: Queue -> ToDevice(0); FromDevice(1) -> q;",
-        );
+        let r = report("FromDevice(0) -> q :: Queue -> ToDevice(0); FromDevice(1) -> q;");
         assert!(r.is_ok(), "{:?}", r.diagnostics);
     }
 
@@ -299,7 +316,9 @@ mod tests {
              q1 -> t :: ToDevice(0); q2 -> t;",
         );
         assert!(!r.is_ok());
-        assert!(r.errors().any(|d| d.message.contains("pull input port 0 has 2 connections")));
+        assert!(r
+            .errors()
+            .any(|d| d.message.contains("pull input port 0 has 2 connections")));
     }
 
     #[test]
@@ -312,7 +331,9 @@ mod tests {
     fn required_ports_must_be_connected() {
         let r = report("c :: Counter;");
         assert!(!r.is_ok());
-        assert!(r.errors().any(|d| d.message.contains("requires at least 1 connected input")));
+        assert!(r
+            .errors()
+            .any(|d| d.message.contains("requires at least 1 connected input")));
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub fn split_args(config: &str) -> Vec<String> {
 
 /// Joins arguments back into a configuration string.
 pub fn join_args<S: AsRef<str>>(args: &[S]) -> String {
-    args.iter().map(|a| a.as_ref()).collect::<Vec<_>>().join(", ")
+    args.iter()
+        .map(|a| a.as_ref())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Substitutes `$name` and `${name}` variable references in a configuration
@@ -156,9 +159,18 @@ mod tests {
 
     #[test]
     fn split_respects_nesting_and_quotes() {
-        assert_eq!(split_args("f(a, b), [1, 2], {x, y}"), vec!["f(a, b)", "[1, 2]", "{x, y}"]);
-        assert_eq!(split_args(r#""quoted, comma", z"#), vec![r#""quoted, comma""#, "z"]);
-        assert_eq!(split_args(r#""esc \" , q", z"#), vec![r#""esc \" , q""#, "z"]);
+        assert_eq!(
+            split_args("f(a, b), [1, 2], {x, y}"),
+            vec!["f(a, b)", "[1, 2]", "{x, y}"]
+        );
+        assert_eq!(
+            split_args(r#""quoted, comma", z"#),
+            vec![r#""quoted, comma""#, "z"]
+        );
+        assert_eq!(
+            split_args(r#""esc \" , q", z"#),
+            vec![r#""esc \" , q""#, "z"]
+        );
     }
 
     #[test]
@@ -179,7 +191,10 @@ mod tests {
 
     #[test]
     fn substitute_word_boundaries() {
-        let b = [("a".to_string(), "X".to_string()), ("ab".to_string(), "Y".to_string())];
+        let b = [
+            ("a".to_string(), "X".to_string()),
+            ("ab".to_string(), "Y".to_string()),
+        ];
         assert_eq!(substitute("$a $ab $abc", &b), "X Y $abc");
         assert_eq!(substitute("$a,$a", &b), "X,X");
     }

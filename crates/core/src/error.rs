@@ -63,27 +63,38 @@ pub enum Error {
 impl Error {
     /// Convenience constructor for [`Error::Graph`].
     pub fn graph(message: impl Into<String>) -> Error {
-        Error::Graph { message: message.into() }
+        Error::Graph {
+            message: message.into(),
+        }
     }
 
     /// Convenience constructor for [`Error::Elaborate`].
     pub fn elaborate(message: impl Into<String>) -> Error {
-        Error::Elaborate { message: message.into() }
+        Error::Elaborate {
+            message: message.into(),
+        }
     }
 
     /// Convenience constructor for [`Error::Spec`].
     pub fn spec(message: impl Into<String>) -> Error {
-        Error::Spec { message: message.into() }
+        Error::Spec {
+            message: message.into(),
+        }
     }
 
     /// Convenience constructor for [`Error::Check`].
     pub fn check(message: impl Into<String>) -> Error {
-        Error::Check { message: message.into() }
+        Error::Check {
+            message: message.into(),
+        }
     }
 
     /// Convenience constructor for [`Error::Config`].
     pub fn config(element: impl Into<String>, message: impl Into<String>) -> Error {
-        Error::Config { element: element.into(), message: message.into() }
+        Error::Config {
+            element: element.into(),
+            message: message.into(),
+        }
     }
 }
 
@@ -115,7 +126,10 @@ mod tests {
 
     #[test]
     fn display_includes_position() {
-        let e = Error::Parse { pos: SourcePos::new(3, 7), message: "expected `;`".into() };
+        let e = Error::Parse {
+            pos: SourcePos::new(3, 7),
+            message: "expected `;`".into(),
+        };
         assert_eq!(e.to_string(), "syntax error at 3:7: expected `;`");
     }
 

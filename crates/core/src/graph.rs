@@ -133,19 +133,30 @@ impl RouterGraph {
         }
         let id = ElementId(self.elements.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.elements.push(ElementDecl { name, class: class.into(), config: config.into(), alive: true });
+        self.elements.push(ElementDecl {
+            name,
+            class: class.into(),
+            config: config.into(),
+            alive: true,
+        });
         Ok(id)
     }
 
     /// Adds an element with a generated, unique, Click-style anonymous name
     /// (`Class@1`, `Class@2`, ...).
-    pub fn add_anon_element(&mut self, class: impl Into<String>, config: impl Into<String>) -> ElementId {
+    pub fn add_anon_element(
+        &mut self,
+        class: impl Into<String>,
+        config: impl Into<String>,
+    ) -> ElementId {
         let class = class.into();
         loop {
             self.anon_counter += 1;
             let name = format!("{}@{}", class, self.anon_counter);
             if !self.by_name.contains_key(&name) {
-                return self.add_element(name, class, config).expect("name is fresh");
+                return self
+                    .add_element(name, class, config)
+                    .expect("name is fresh");
             }
         }
     }
@@ -156,7 +167,8 @@ impl RouterGraph {
             if e.alive {
                 e.alive = false;
                 self.by_name.remove(&e.name);
-                self.connections.retain(|c| c.from.element != id && c.to.element != id);
+                self.connections
+                    .retain(|c| c.from.element != id && c.to.element != id);
             }
         }
     }
@@ -240,7 +252,9 @@ impl RouterGraph {
     /// already exists.
     pub fn connect(&mut self, from: PortRef, to: PortRef) -> Result<()> {
         if !self.is_live(from.element) || !self.is_live(to.element) {
-            return Err(Error::graph("connection endpoint refers to a removed element"));
+            return Err(Error::graph(
+                "connection endpoint refers to a removed element",
+            ));
         }
         let conn = Connection { from, to };
         if self.connections.contains(&conn) {
@@ -288,12 +302,20 @@ impl RouterGraph {
 
     /// All connections leaving any output of `id`.
     pub fn outputs_of(&self, id: ElementId) -> Vec<Connection> {
-        self.connections.iter().filter(|c| c.from.element == id).copied().collect()
+        self.connections
+            .iter()
+            .filter(|c| c.from.element == id)
+            .copied()
+            .collect()
     }
 
     /// All connections arriving at any input of `id`.
     pub fn inputs_of(&self, id: ElementId) -> Vec<Connection> {
-        self.connections.iter().filter(|c| c.to.element == id).copied().collect()
+        self.connections
+            .iter()
+            .filter(|c| c.to.element == id)
+            .copied()
+            .collect()
     }
 
     /// Number of input ports in use: one more than the highest connected
@@ -419,10 +441,14 @@ impl RouterGraph {
     /// class, and config) and the same connection set, ignoring declaration
     /// order and ids.
     pub fn same_configuration(&self, other: &RouterGraph) -> bool {
-        let mut a: Vec<(&str, &str, &str)> =
-            self.elements().map(|(_, e)| (e.name(), e.class(), e.config())).collect();
-        let mut b: Vec<(&str, &str, &str)> =
-            other.elements().map(|(_, e)| (e.name(), e.class(), e.config())).collect();
+        let mut a: Vec<(&str, &str, &str)> = self
+            .elements()
+            .map(|(_, e)| (e.name(), e.class(), e.config()))
+            .collect();
+        let mut b: Vec<(&str, &str, &str)> = other
+            .elements()
+            .map(|(_, e)| (e.name(), e.class(), e.config()))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         if a != b {
@@ -536,10 +562,13 @@ mod tests {
         let (mut g, a, b, _) = abc();
         let mid = g.add_element("mid", "Counter", "").unwrap();
         g.insert_after(PortRef::new(a, 0), mid).unwrap();
-        assert_eq!(g.connections_from(a, 0), vec![Connection {
-            from: PortRef::new(a, 0),
-            to: PortRef::new(mid, 0)
-        }]);
+        assert_eq!(
+            g.connections_from(a, 0),
+            vec![Connection {
+                from: PortRef::new(a, 0),
+                to: PortRef::new(mid, 0)
+            }]
+        );
         assert_eq!(g.connections_from(mid, 0)[0].to, PortRef::new(b, 0));
     }
 

@@ -37,7 +37,10 @@ struct Resolved {
 
 impl Resolved {
     fn plain(id: ElementId) -> Resolved {
-        Resolved { in_target: id, out_source: id }
+        Resolved {
+            in_target: id,
+            out_source: id,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ impl Elaborator {
     /// Finds the overload set for `name` in the innermost scope defining
     /// it (inner definitions shadow outer ones entirely).
     fn lookup_overloads(&self, name: &str) -> Option<&[CompoundDef]> {
-        self.defs.iter().rev().find_map(|frame| frame.get(name).map(Vec::as_slice))
+        self.defs
+            .iter()
+            .rev()
+            .find_map(|frame| frame.get(name).map(Vec::as_slice))
     }
 
     fn fresh_name(&mut self, prefix: &str, class: &str) -> String {
@@ -173,7 +179,11 @@ impl Elaborator {
                 let full = self.fresh_name(prefix, class);
                 self.instantiate(class, config, &full, prefix, bindings)
             }
-            NodeElem::Decl { names: decl_names, class, config } => {
+            NodeElem::Decl {
+                names: decl_names,
+                class,
+                config,
+            } => {
                 let mut last = None;
                 for n in decl_names {
                     if names.contains_key(n) {
@@ -211,22 +221,29 @@ impl Elaborator {
             )));
         }
         let args = split_args(&config);
-        let Some(def) = overloads.iter().find(|d| d.formals.len() == args.len()).cloned() else {
-            let arities: Vec<String> =
-                overloads.iter().map(|d| d.formals.len().to_string()).collect();
+        let Some(def) = overloads
+            .iter()
+            .find(|d| d.formals.len() == args.len())
+            .cloned()
+        else {
+            let arities: Vec<String> = overloads
+                .iter()
+                .map(|d| d.formals.len().to_string())
+                .collect();
             return Err(Error::elaborate(format!(
                 "compound {class:?} expects {} argument(s), got {}",
                 arities.join(" or "),
                 args.len()
             )));
         };
-        let inner_bindings: Vec<(String, String)> =
-            def.formals.iter().cloned().zip(args).collect();
+        let inner_bindings: Vec<(String, String)> = def.formals.iter().cloned().zip(args).collect();
 
         let pseudo_in =
-            self.graph.add_element(format!("{full_name}/@input"), PSEUDO_INPUT_CLASS, "")?;
+            self.graph
+                .add_element(format!("{full_name}/@input"), PSEUDO_INPUT_CLASS, "")?;
         let pseudo_out =
-            self.graph.add_element(format!("{full_name}/@output"), PSEUDO_OUTPUT_CLASS, "")?;
+            self.graph
+                .add_element(format!("{full_name}/@output"), PSEUDO_OUTPUT_CLASS, "")?;
 
         let mut inner_names = HashMap::new();
         inner_names.insert("input".to_owned(), Resolved::plain(pseudo_in));
@@ -238,7 +255,10 @@ impl Elaborator {
         self.depth -= 1;
         result?;
 
-        Ok(Resolved { in_target: pseudo_in, out_source: pseudo_out })
+        Ok(Resolved {
+            in_target: pseudo_in,
+            out_source: pseudo_out,
+        })
     }
 
     /// Removes all `@input`/`@output` pseudo-elements, connecting their
@@ -297,7 +317,12 @@ impl Elaborator {
 /// # Ok::<(), click_core::Error>(())
 /// ```
 pub fn elaborate(program: &Program) -> Result<RouterGraph> {
-    let mut e = Elaborator { graph: RouterGraph::new(), defs: Vec::new(), anon_counter: 0, depth: 0 };
+    let mut e = Elaborator {
+        graph: RouterGraph::new(),
+        defs: Vec::new(),
+        anon_counter: 0,
+        depth: 0,
+    };
     let mut names = HashMap::new();
     e.elab_items(&program.items, "", &[], &mut names)?;
     e.splice_pseudo()?;
@@ -324,7 +349,12 @@ pub struct Fragment {
 ///
 /// Same failure modes as [`elaborate`].
 pub fn elaborate_fragment(items: &[Item], formals: &[String]) -> Result<Fragment> {
-    let mut e = Elaborator { graph: RouterGraph::new(), defs: Vec::new(), anon_counter: 0, depth: 0 };
+    let mut e = Elaborator {
+        graph: RouterGraph::new(),
+        defs: Vec::new(),
+        anon_counter: 0,
+        depth: 0,
+    };
     let input = e.graph.add_element("input", PSEUDO_INPUT_CLASS, "")?;
     let output = e.graph.add_element("output", PSEUDO_OUTPUT_CLASS, "")?;
     let mut names = HashMap::new();
@@ -332,11 +362,17 @@ pub fn elaborate_fragment(items: &[Item], formals: &[String]) -> Result<Fragment
     names.insert("output".to_owned(), Resolved::plain(output));
     // Formals stay symbolic: bind each `$x` to itself so substitution
     // leaves wildcards in place for the pattern matcher.
-    let bindings: Vec<(String, String)> =
-        formals.iter().map(|f| (f.clone(), format!("${f}"))).collect();
+    let bindings: Vec<(String, String)> = formals
+        .iter()
+        .map(|f| (f.clone(), format!("${f}")))
+        .collect();
     e.elab_items(items, "", &bindings, &mut names)?;
     e.splice_pseudo_except(&[input, output])?;
-    Ok(Fragment { graph: e.graph, input, output })
+    Ok(Fragment {
+        graph: e.graph,
+        input,
+        output,
+    })
 }
 
 #[cfg(test)]
@@ -404,7 +440,9 @@ mod tests {
             "elementclass Pair { input -> Strip(14) -> CheckIPHeader -> output; } \
              src :: Idle; src -> p :: Pair -> Discard;",
         );
-        assert!(g.find("p/Strip@1").is_some() || g.elements().any(|(_, e)| e.name().starts_with("p/")));
+        assert!(
+            g.find("p/Strip@1").is_some() || g.elements().any(|(_, e)| e.name().starts_with("p/"))
+        );
         // No pseudo elements remain.
         assert!(g.elements().all(|(_, e)| !e.class().starts_with('@')));
         // src -> strip, strip -> check, check -> discard.
@@ -459,8 +497,12 @@ mod tests {
         );
         assert_eq!(g.element_count(), 4); // Idle, Classifier, 2 Discards
         let conns = conn_names(&g);
-        assert!(conns.iter().any(|(f, fp, t, _)| f == "s/c" && *fp == 0 && t == "d0"));
-        assert!(conns.iter().any(|(f, fp, t, _)| f == "s/c" && *fp == 1 && t == "d1"));
+        assert!(conns
+            .iter()
+            .any(|(f, fp, t, _)| f == "s/c" && *fp == 0 && t == "d0"));
+        assert!(conns
+            .iter()
+            .any(|(f, fp, t, _)| f == "s/c" && *fp == 1 && t == "d1"));
     }
 
     #[test]
@@ -516,7 +558,8 @@ mod tests {
 
     #[test]
     fn same_arity_redefinition_is_an_error() {
-        let src = "elementclass B { input -> output; } elementclass B { input -> Null -> output; } \
+        let src =
+            "elementclass B { input -> output; } elementclass B { input -> Null -> output; } \
                    Idle -> B -> Discard;";
         assert!(elaborate(&parse(src).unwrap()).is_err());
     }

@@ -78,7 +78,13 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src, bytes: src.as_bytes(), i: 0, line: 1, col: 1 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn pos(&self) -> SourcePos {
@@ -106,7 +112,10 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> Error {
-        Error::Lex { pos: self.pos(), message: message.into() }
+        Error::Lex {
+            pos: self.pos(),
+            message: message.into(),
+        }
     }
 
     fn skip_trivia(&mut self) -> Result<()> {
@@ -388,7 +397,11 @@ mod tests {
     fn config_preserves_nesting_and_strings() {
         assert_eq!(
             toks(r#"X(a(b), ")" , c)"#),
-            vec![Tok::Ident("X".into()), Tok::Config(r#"a(b), ")" , c"#.into()), Tok::Eof]
+            vec![
+                Tok::Ident("X".into()),
+                Tok::Config(r#"a(b), ")" , c"#.into()),
+                Tok::Eof
+            ]
         );
     }
 
@@ -396,25 +409,39 @@ mod tests {
     fn config_text_is_raw_even_with_comment_markers() {
         // Comment markers inside a configuration string are data, so the
         // unparser can round-trip any config the tools produce.
-        assert_eq!(toks("X(a // b)"), vec![
-            Tok::Ident("X".into()),
-            Tok::Config("a // b".into()),
-            Tok::Eof
-        ]);
-        assert_eq!(toks("X(/* not a comment)"), vec![
-            Tok::Ident("X".into()),
-            Tok::Config("/* not a comment".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("X(a // b)"),
+            vec![
+                Tok::Ident("X".into()),
+                Tok::Config("a // b".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(
+            toks("X(/* not a comment)"),
+            vec![
+                Tok::Ident("X".into()),
+                Tok::Config("/* not a comment".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
     fn slash_in_identifier_vs_comment() {
         assert_eq!(
             toks("router/q1 -> b"),
-            vec![Tok::Ident("router/q1".into()), Tok::Arrow, Tok::Ident("b".into()), Tok::Eof]
+            vec![
+                Tok::Ident("router/q1".into()),
+                Tok::Arrow,
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
         );
-        assert_eq!(toks("a//x\nb"), vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]);
+        assert_eq!(
+            toks("a//x\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -427,7 +454,12 @@ mod tests {
     fn variables() {
         assert_eq!(
             toks("$cap | input"),
-            vec![Tok::Variable("cap".into()), Tok::Bar, Tok::Ident("input".into()), Tok::Eof]
+            vec![
+                Tok::Variable("cap".into()),
+                Tok::Bar,
+                Tok::Ident("input".into()),
+                Tok::Eof
+            ]
         );
     }
 

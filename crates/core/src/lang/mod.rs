@@ -23,7 +23,9 @@ mod lexer;
 mod parser;
 mod unparse;
 
-pub use elaborate::{elaborate, elaborate_fragment, Fragment, PSEUDO_INPUT_CLASS, PSEUDO_OUTPUT_CLASS};
+pub use elaborate::{
+    elaborate, elaborate_fragment, Fragment, PSEUDO_INPUT_CLASS, PSEUDO_OUTPUT_CLASS,
+};
 pub use lexer::{tokenize, SpannedTok, Tok};
 pub use parser::parse;
 pub use unparse::{unparse, write_config};
@@ -43,9 +45,9 @@ use crate::graph::RouterGraph;
 pub fn read_config(text: &str) -> Result<RouterGraph> {
     if Archive::is_archive_text(text) {
         let archive = Archive::parse(text.trim_start())?;
-        let config = archive
-            .get(CONFIG_ENTRY)
-            .ok_or_else(|| Error::Archive { message: "archive has no `config` entry".into() })?;
+        let config = archive.get(CONFIG_ENTRY).ok_or_else(|| Error::Archive {
+            message: "archive has no `config` entry".into(),
+        })?;
         let mut graph = elaborate(&parse(config)?)?;
         for e in archive.iter() {
             if e.name != CONFIG_ENTRY {

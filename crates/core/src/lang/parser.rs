@@ -27,7 +27,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> Error {
-        Error::Parse { pos: self.pos(), message: message.into() }
+        Error::Parse {
+            pos: self.pos(),
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, want: &Tok) -> Result<()> {
@@ -35,7 +38,11 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(self.err(format!("expected {}, found {}", want.describe(), self.peek().describe())))
+            Err(self.err(format!(
+                "expected {}, found {}",
+                want.describe(),
+                self.peek().describe()
+            )))
         }
     }
 
@@ -55,7 +62,9 @@ impl Parser {
             match self.peek() {
                 Tok::Eof => {
                     if let Some(t) = terminator {
-                        return Err(self.err(format!("expected {}, found end of input", t.describe())));
+                        return Err(
+                            self.err(format!("expected {}, found end of input", t.describe()))
+                        );
                     }
                     return Ok(items);
                 }
@@ -97,7 +106,11 @@ impl Parser {
         if *self.peek() == Tok::Semi {
             self.bump();
         }
-        Ok(CompoundDef { name, formals, body })
+        Ok(CompoundDef {
+            name,
+            formals,
+            body,
+        })
     }
 
     /// Parses an optional `$a, $b |` formal-parameter prefix.
@@ -200,22 +213,37 @@ impl Parser {
                 self.expect(&Tok::ColonColon)?;
                 let class = self.expect_ident()?;
                 let config = self.parse_opt_config();
-                NodeElem::Decl { names, class, config }
+                NodeElem::Decl {
+                    names,
+                    class,
+                    config,
+                }
             }
             Tok::ColonColon => {
                 self.bump();
                 let class = self.expect_ident()?;
                 let config = self.parse_opt_config();
-                NodeElem::Decl { names: vec![first], class, config }
+                NodeElem::Decl {
+                    names: vec![first],
+                    class,
+                    config,
+                }
             }
             Tok::Config(c) => {
                 self.bump();
-                NodeElem::Anon { class: first, config: c }
+                NodeElem::Anon {
+                    class: first,
+                    config: c,
+                }
             }
             _ => NodeElem::Ref(first),
         };
         let out_port = self.parse_port()?;
-        Ok(ChainNode { in_port, elem, out_port })
+        Ok(ChainNode {
+            in_port,
+            elem,
+            out_port,
+        })
     }
 }
 
@@ -313,7 +341,10 @@ mod tests {
         match &p.items[0] {
             Item::Chain(ch) => assert_eq!(
                 ch.nodes[1].elem,
-                NodeElem::Anon { class: "Counter".into(), config: String::new() }
+                NodeElem::Anon {
+                    class: "Counter".into(),
+                    config: String::new()
+                }
             ),
             other => panic!("unexpected {other:?}"),
         }

@@ -45,7 +45,13 @@ pub fn unparse(graph: &RouterGraph) -> String {
         if decl.config().is_empty() {
             let _ = writeln!(out, "{} :: {};", decl.name(), decl.class());
         } else {
-            let _ = writeln!(out, "{} :: {}({});", decl.name(), decl.class(), decl.config());
+            let _ = writeln!(
+                out,
+                "{} :: {}({});",
+                decl.name(),
+                decl.class(),
+                decl.config()
+            );
         }
     }
     if graph.element_count() > 0 && !graph.connections().is_empty() {
@@ -92,7 +98,10 @@ pub fn unparse(graph: &RouterGraph) -> String {
             if outs.len() != 1 || graph.inputs_of(next_elem).len() != 1 {
                 break;
             }
-            let next_idx = conns.iter().position(|x| x == &outs[0]).expect("connection exists");
+            let next_idx = conns
+                .iter()
+                .position(|x| x == &outs[0])
+                .expect("connection exists");
             if emitted.contains(&next_idx) {
                 break;
             }

@@ -34,12 +34,20 @@ impl PortAssignment {
     /// The resolved kind of an input port. Ports beyond those in use
     /// resolve to `Push`.
     pub fn input(&self, id: ElementId, port: usize) -> PortKind {
-        self.inputs.get(&id).and_then(|v| v.get(port)).copied().unwrap_or(PortKind::Push)
+        self.inputs
+            .get(&id)
+            .and_then(|v| v.get(port))
+            .copied()
+            .unwrap_or(PortKind::Push)
     }
 
     /// The resolved kind of an output port.
     pub fn output(&self, id: ElementId, port: usize) -> PortKind {
-        self.outputs.get(&id).and_then(|v| v.get(port)).copied().unwrap_or(PortKind::Push)
+        self.outputs
+            .get(&id)
+            .and_then(|v| v.get(port))
+            .copied()
+            .unwrap_or(PortKind::Push)
     }
 }
 
@@ -50,7 +58,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> UnionFind {
-        UnionFind { parent: (0..n).collect(), kind: vec![None; n] }
+        UnionFind {
+            parent: (0..n).collect(),
+            kind: vec![None; n],
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -142,7 +153,11 @@ pub fn resolve(graph: &RouterGraph, library: &Library) -> Result<PortAssignment>
     for id in graph.element_ids() {
         let decl = graph.element(id);
         let spec = library.resolve(decl.class()).ok_or_else(|| {
-            Error::check(format!("unknown element class {:?} for {}", decl.class(), decl.name()))
+            Error::check(format!(
+                "unknown element class {:?} for {}",
+                decl.class(),
+                decl.name()
+            ))
         })?;
         let nin = graph.ninputs(id);
         let nout = graph.noutputs(id);
@@ -254,7 +269,8 @@ mod tests {
     #[test]
     fn agnostic_chain_propagates() {
         let (g, pa) =
-            std_resolve("FromDevice(0) -> a :: Null -> b :: Null -> Queue -> ToDevice(0);").unwrap();
+            std_resolve("FromDevice(0) -> a :: Null -> b :: Null -> Queue -> ToDevice(0);")
+                .unwrap();
         for name in ["a", "b"] {
             let id = g.find(name).unwrap();
             assert_eq!(pa.input(id, 0), PortKind::Push, "element {name}");
@@ -318,7 +334,11 @@ mod tests {
     fn devirtualized_classes_resolve_like_their_base() {
         let (g, pa) =
             std_resolve("FromDevice(0) -> Counter__DV1 -> Queue -> ToDevice(0);").unwrap();
-        let c = g.elements().find(|(_, e)| e.class() == "Counter__DV1").unwrap().0;
+        let c = g
+            .elements()
+            .find(|(_, e)| e.class() == "Counter__DV1")
+            .unwrap()
+            .0;
         assert_eq!(pa.input(c, 0), PortKind::Push);
     }
 }

@@ -95,11 +95,17 @@ impl Library {
         }
         if class.starts_with(FASTCLASSIFIER_PREFIX) || class.starts_with(FASTIPFILTER_PREFIX) {
             let base = self.classes.get("Classifier")?;
-            return Some(ElementClassSpec { name: class.to_owned(), ..base.clone() });
+            return Some(ElementClassSpec {
+                name: class.to_owned(),
+                ..base.clone()
+            });
         }
         if let Some(base) = devirt_base(class) {
             let spec = self.classes.get(base)?;
-            return Some(ElementClassSpec { name: class.to_owned(), ..spec.clone() });
+            return Some(ElementClassSpec {
+                name: class.to_owned(),
+                ..spec.clone()
+            });
         }
         None
     }
@@ -132,12 +138,7 @@ pub fn devirt_base(class: &str) -> Option<&str> {
     }
 }
 
-fn spec(
-    name: &str,
-    ports: &str,
-    processing: &str,
-    flow: &str,
-) -> ElementClassSpec {
+fn spec(name: &str, ports: &str, processing: &str, flow: &str) -> ElementClassSpec {
     ElementClassSpec {
         name: name.to_owned(),
         port_count: ports.parse().expect("static port count"),

@@ -125,8 +125,9 @@ impl std::str::FromStr for ProcessingCode {
         let parse_side = |side: &str| -> Result<Vec<PortKind>> {
             side.chars()
                 .map(|c| {
-                    PortKind::from_code(c)
-                        .ok_or_else(|| Error::spec(format!("bad processing character {c:?} in {s:?}")))
+                    PortKind::from_code(c).ok_or_else(|| {
+                        Error::spec(format!("bad processing character {c:?} in {s:?}"))
+                    })
                 })
                 .collect()
         };
@@ -259,7 +260,10 @@ pub struct PortRange {
 impl PortRange {
     /// An exact port count.
     pub fn exactly(n: usize) -> PortRange {
-        PortRange { min: n, max: Some(n) }
+        PortRange {
+            min: n,
+            max: Some(n),
+        }
     }
 
     /// Any number of ports, including zero.
@@ -308,7 +312,10 @@ pub struct PortCount {
 impl PortCount {
     /// Exactly `nin` inputs and `nout` outputs.
     pub fn exactly(nin: usize, nout: usize) -> PortCount {
-        PortCount { inputs: PortRange::exactly(nin), outputs: PortRange::exactly(nout) }
+        PortCount {
+            inputs: PortRange::exactly(nin),
+            outputs: PortRange::exactly(nout),
+        }
     }
 
     /// Returns true if the given port counts are acceptable.
@@ -331,7 +338,10 @@ fn parse_range(s: &str) -> Result<PortRange> {
             if max < min {
                 return Err(bad());
             }
-            Ok(PortRange { min, max: Some(max) })
+            Ok(PortRange {
+                min,
+                max: Some(max),
+            })
         }
     } else {
         let n = s.parse::<usize>().map_err(|_| bad())?;
@@ -346,7 +356,10 @@ impl std::str::FromStr for PortCount {
         let (ins, outs) = s
             .split_once('/')
             .ok_or_else(|| Error::spec(format!("port count {s:?} missing `/`")))?;
-        Ok(PortCount { inputs: parse_range(ins)?, outputs: parse_range(outs)? })
+        Ok(PortCount {
+            inputs: parse_range(ins)?,
+            outputs: parse_range(outs)?,
+        })
     }
 }
 

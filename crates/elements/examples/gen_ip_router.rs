@@ -1,1 +1,6 @@
-fn main() { print!("{}", click_elements::ip_router::IpRouterSpec::standard(2).config()); }
+fn main() {
+    print!(
+        "{}",
+        click_elements::ip_router::IpRouterSpec::standard(2).config()
+    );
+}

@@ -7,6 +7,7 @@
 //! [`Element::simple_action`], the sugar the paper's footnote 1 mentions;
 //! the default `push`/`pull` adapt it to either discipline.
 
+use crate::batch::{BatchEmitter, PacketBatch};
 use crate::packet::Packet;
 use click_core::error::Result;
 use std::cell::Cell;
@@ -63,6 +64,10 @@ pub trait PullContext {
 
 /// What a scheduled task can do: pull inputs, push outputs, and talk to
 /// devices.
+///
+/// The batch methods have scalar-loop defaults, so custom task contexts
+/// (tests, harnesses) keep working; the router's context overrides them
+/// to run the batched engine when batch mode is on.
 pub trait TaskContext {
     /// Pulls a packet from the element's input `port`.
     fn pull(&mut self, port: usize) -> Option<Packet>;
@@ -73,6 +78,51 @@ pub trait TaskContext {
     fn rx_pop(&mut self, dev: DeviceId) -> Option<Packet>;
     /// Appends a packet to a device's TX queue.
     fn tx_push(&mut self, dev: DeviceId, p: Packet);
+
+    /// True if the scheduler wants tasks to move batches instead of
+    /// single packets.
+    fn batching(&self) -> bool {
+        false
+    }
+    /// Packets a task should move per quantum in batch mode.
+    fn burst(&self) -> usize {
+        crate::elements::device::BURST
+    }
+    /// Drains up to `max` received packets from a device RX queue into
+    /// `into`; returns how many were moved.
+    fn rx_pop_batch(&mut self, dev: DeviceId, max: usize, into: &mut PacketBatch) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(p) = self.rx_pop(dev) else { break };
+            into.push(p);
+            n += 1;
+        }
+        n
+    }
+    /// Pushes a whole batch out of output `port`, running the downstream
+    /// push chain once per hop rather than once per packet.
+    fn emit_batch(&mut self, port: usize, batch: &mut PacketBatch) {
+        for p in batch.drain() {
+            self.emit(port, p);
+        }
+    }
+    /// Pulls up to `max` packets from input `port` into `into`; returns
+    /// how many arrived.
+    fn pull_batch(&mut self, port: usize, max: usize, into: &mut PacketBatch) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(p) = self.pull(port) else { break };
+            into.push(p);
+            n += 1;
+        }
+        n
+    }
+    /// Appends a whole batch to a device TX queue.
+    fn tx_push_batch(&mut self, dev: DeviceId, batch: &mut PacketBatch) {
+        for p in batch.drain() {
+            self.tx_push(dev, p);
+        }
+    }
 }
 
 /// A packet-processing element.
@@ -105,6 +155,40 @@ pub trait Element {
         let _ = port;
         let p = ctx.pull(0)?;
         self.simple_action(p)
+    }
+
+    /// Batched push-path processing: handle a whole [`PacketBatch`]
+    /// arriving on input `port`, emitting results through the
+    /// branch-sorted `out`. The default loops over
+    /// [`push`](Element::push), so every element is batch-capable; hot
+    /// elements override this to amortize per-packet work (one bounds
+    /// check, one discriminant match, one borrow per *batch* instead of
+    /// per packet).
+    fn push_batch(&mut self, port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        for p in batch.drain() {
+            out.with_scalar(|e| self.push(port, p, e));
+        }
+        out.recycle_storage(batch);
+    }
+
+    /// Batched pull-path processing: produce up to `max` packets for
+    /// output `port` into `into`, returning how many were produced. The
+    /// default loops over [`pull`](Element::pull); storage elements
+    /// (`Queue`) override it to drain in one pass.
+    fn pull_batch(
+        &mut self,
+        port: usize,
+        max: usize,
+        ctx: &mut dyn PullContext,
+        into: &mut PacketBatch,
+    ) -> usize {
+        let mut n = 0;
+        while n < max {
+            let Some(p) = self.pull(port, ctx) else { break };
+            into.push(p);
+            n += 1;
+        }
+        n
     }
 
     /// Uniform processing for simple filters: return `Some` to forward on
@@ -216,7 +300,9 @@ pub fn args(config: &str) -> Vec<String> {
 
 /// Parses a `Result`-producing integer argument.
 pub fn int_arg<T: std::str::FromStr>(class: &str, what: &str, s: &str) -> Result<T> {
-    s.trim().parse::<T>().map_err(|_| config_err(class, format!("bad {what} {s:?}")))
+    s.trim()
+        .parse::<T>()
+        .map_err(|_| config_err(class, format!("bad {what} {s:?}")))
 }
 
 #[cfg(test)]

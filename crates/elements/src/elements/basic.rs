@@ -2,7 +2,10 @@
 //! `PaintTee`, `CheckPaint`, `Strip`, `Unstrip`, `Align`, `Switch`,
 //! schedulers, `Idle`, `Null`, and `InfiniteSource`.
 
-use crate::element::{args, config_err, int_arg, CreateCtx, Element, Emitter, PullContext, TaskContext};
+use crate::batch::{BatchEmitter, PacketBatch};
+use crate::element::{
+    args, config_err, int_arg, CreateCtx, Element, Emitter, PullContext, TaskContext,
+};
 use crate::packet::Packet;
 use click_core::error::Result;
 
@@ -29,6 +32,12 @@ impl Element for Discard {
     fn simple_action(&mut self, _p: Packet) -> Option<Packet> {
         self.count += 1;
         None
+    }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        // Terminal drop site: return every buffer to the packet pool.
+        self.count += batch.len() as u64;
+        batch.recycle_packets();
+        out.recycle_storage(batch);
     }
     fn stat(&self, name: &str) -> Option<u64> {
         (name == "count").then_some(self.count)
@@ -60,6 +69,11 @@ impl Element for Counter {
         self.count += 1;
         self.byte_count += p.len() as u64;
         Some(p)
+    }
+    fn push_batch(&mut self, _port: usize, batch: PacketBatch, out: &mut BatchEmitter) {
+        self.count += batch.len() as u64;
+        self.byte_count += batch.iter().map(|p| p.len() as u64).sum::<u64>();
+        out.emit_batch(0, batch);
     }
     fn stat(&self, name: &str) -> Option<u64> {
         match name {
@@ -117,7 +131,9 @@ impl Paint {
         if a.len() != 1 {
             return Err(config_err("Paint", "expects exactly one color argument"));
         }
-        Ok(Paint { color: int_arg("Paint", "color", &a[0])? })
+        Ok(Paint {
+            color: int_arg("Paint", "color", &a[0])?,
+        })
     }
     /// The configured color.
     pub fn color(&self) -> u8 {
@@ -132,6 +148,12 @@ impl Element for Paint {
     fn simple_action(&mut self, mut p: Packet) -> Option<Packet> {
         p.anno.paint = self.color;
         Some(p)
+    }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        for p in batch.iter_mut() {
+            p.anno.paint = self.color;
+        }
+        out.emit_batch(0, batch);
     }
 }
 
@@ -151,7 +173,10 @@ impl PaintTee {
         if a.len() != 1 {
             return Err(config_err("PaintTee", "expects exactly one color argument"));
         }
-        Ok(PaintTee { color: int_arg("PaintTee", "color", &a[0])?, matched: 0 })
+        Ok(PaintTee {
+            color: int_arg("PaintTee", "color", &a[0])?,
+            matched: 0,
+        })
     }
 }
 
@@ -183,9 +208,14 @@ impl CheckPaint {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<CheckPaint> {
         let a = args(config);
         if a.len() != 1 {
-            return Err(config_err("CheckPaint", "expects exactly one color argument"));
+            return Err(config_err(
+                "CheckPaint",
+                "expects exactly one color argument",
+            ));
         }
-        Ok(CheckPaint { color: int_arg("CheckPaint", "color", &a[0])? })
+        Ok(CheckPaint {
+            color: int_arg("CheckPaint", "color", &a[0])?,
+        })
     }
 }
 
@@ -212,7 +242,9 @@ impl Strip {
         if a.len() != 1 {
             return Err(config_err("Strip", "expects exactly one length argument"));
         }
-        Ok(Strip { n: int_arg("Strip", "length", &a[0])? })
+        Ok(Strip {
+            n: int_arg("Strip", "length", &a[0])?,
+        })
     }
     /// The configured strip length.
     pub fn amount(&self) -> usize {
@@ -227,6 +259,12 @@ impl Element for Strip {
     fn simple_action(&mut self, mut p: Packet) -> Option<Packet> {
         p.pull(self.n);
         Some(p)
+    }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        for p in batch.iter_mut() {
+            p.pull(self.n);
+        }
+        out.emit_batch(0, batch);
     }
 }
 
@@ -243,7 +281,9 @@ impl Unstrip {
         if a.len() != 1 {
             return Err(config_err("Unstrip", "expects exactly one length argument"));
         }
-        Ok(Unstrip { n: int_arg("Unstrip", "length", &a[0])? })
+        Ok(Unstrip {
+            n: int_arg("Unstrip", "length", &a[0])?,
+        })
     }
 }
 
@@ -276,9 +316,16 @@ impl Align {
         let modulus: usize = int_arg("Align", "modulus", &a[0])?;
         let offset: usize = int_arg("Align", "offset", &a[1])?;
         if !modulus.is_power_of_two() || offset >= modulus {
-            return Err(config_err("Align", "modulus must be a power of two greater than offset"));
+            return Err(config_err(
+                "Align",
+                "modulus must be a power of two greater than offset",
+            ));
         }
-        Ok(Align { modulus, offset, realigned: 0 })
+        Ok(Align {
+            modulus,
+            offset,
+            realigned: 0,
+        })
     }
 }
 
@@ -287,7 +334,9 @@ impl Element for Align {
         "Align"
     }
     fn simple_action(&mut self, mut p: Packet) -> Option<Packet> {
-        if p.alignment_offset() != self.offset % self.modulus.max(1) || p.headroom() % self.modulus != self.offset {
+        if p.alignment_offset() != self.offset % self.modulus.max(1)
+            || p.headroom() % self.modulus != self.offset
+        {
             self.realigned += 1;
         }
         p.align_to(self.modulus, self.offset);
@@ -329,7 +378,9 @@ impl Switch {
         if a.len() != 1 {
             return Err(config_err("Switch", "expects exactly one output argument"));
         }
-        Ok(Switch { k: int_arg("Switch", "output", &a[0])? })
+        Ok(Switch {
+            k: int_arg("Switch", "output", &a[0])?,
+        })
     }
     /// The configured output, or `None` for "drop everything".
     pub fn target(&self) -> Option<usize> {
@@ -359,9 +410,14 @@ impl StaticPullSwitch {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<StaticPullSwitch> {
         let a = args(config);
         if a.len() != 1 {
-            return Err(config_err("StaticPullSwitch", "expects exactly one input argument"));
+            return Err(config_err(
+                "StaticPullSwitch",
+                "expects exactly one input argument",
+            ));
         }
-        Ok(StaticPullSwitch { k: int_arg("StaticPullSwitch", "input", &a[0])? })
+        Ok(StaticPullSwitch {
+            k: int_arg("StaticPullSwitch", "input", &a[0])?,
+        })
     }
 }
 
@@ -505,7 +561,11 @@ impl InfiniteSource {
         if a.len() > 2 {
             return Err(config_err("InfiniteSource", "takes at most two arguments"));
         }
-        Ok(InfiniteSource { limit, emitted: 0, length })
+        Ok(InfiniteSource {
+            limit,
+            emitted: 0,
+            length,
+        })
     }
 }
 

@@ -2,6 +2,7 @@
 //! `IPClassifier` / `IPFilter` and the specialized `FastClassifier@@*`
 //! classes that `click-fastclassifier` substitutes for them.
 
+use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{config_err, CreateCtx, Element, Emitter};
 use crate::packet::Packet;
 use click_classifier::{build_tree, parse_rules, rules_noutputs, FastMatcher, TreeClassifier};
@@ -38,7 +39,11 @@ impl ClassifierElement {
         let rules = parse_rules(class, config)?;
         let noutputs = rules_noutputs(&rules);
         let tree = build_tree(&rules, noutputs);
-        Ok(ClassifierElement { class, runtime: TreeClassifier::new(&tree), drops: 0 })
+        Ok(ClassifierElement {
+            class,
+            runtime: TreeClassifier::new(&tree),
+            drops: 0,
+        })
     }
 }
 
@@ -51,6 +56,20 @@ impl Element for ClassifierElement {
             Some(port) => out.emit(port, p),
             None => self.drops += 1,
         }
+    }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        // One tree walk per packet but a single dispatch for the batch;
+        // outputs branch-sort so downstream hops stay coalesced.
+        for p in batch.drain() {
+            match self.runtime.classify(p.data()) {
+                Some(port) => out.emit(port, p),
+                None => {
+                    self.drops += 1;
+                    p.recycle();
+                }
+            }
+        }
+        out.recycle_storage(batch);
     }
     fn stat(&self, name: &str) -> Option<u64> {
         (name == "drops").then_some(self.drops)
@@ -69,12 +88,23 @@ pub struct FastClassifierElement {
 
 impl FastClassifierElement {
     /// Creates from a generated class name and its serialized matcher.
-    pub fn from_config(class: &str, config: &str, _ctx: &mut CreateCtx) -> Result<FastClassifierElement> {
+    pub fn from_config(
+        class: &str,
+        config: &str,
+        _ctx: &mut CreateCtx,
+    ) -> Result<FastClassifierElement> {
         if !class.starts_with(FASTCLASSIFIER_PREFIX) && !class.starts_with(FASTIPFILTER_PREFIX) {
-            return Err(config_err(class, "not a generated fast classifier class name"));
+            return Err(config_err(
+                class,
+                "not a generated fast classifier class name",
+            ));
         }
         let matcher: FastMatcher = config.trim().parse()?;
-        Ok(FastClassifierElement { class: class.to_owned(), matcher, drops: 0 })
+        Ok(FastClassifierElement {
+            class: class.to_owned(),
+            matcher,
+            drops: 0,
+        })
     }
 
     /// The specialization shape chosen for this element.
@@ -92,6 +122,18 @@ impl Element for FastClassifierElement {
             Some(port) => out.emit(port, p),
             None => self.drops += 1,
         }
+    }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        for p in batch.drain() {
+            match self.matcher.classify(p.data()) {
+                Some(port) => out.emit(port, p),
+                None => {
+                    self.drops += 1;
+                    p.recycle();
+                }
+            }
+        }
+        out.recycle_storage(batch);
     }
     fn stat(&self, name: &str) -> Option<u64> {
         (name == "drops").then_some(self.drops)
@@ -167,7 +209,10 @@ mod tests {
             for w in [0u8, 1, 2] {
                 let mut p = ether_pkt(ethertype);
                 p.data_mut()[21] = w;
-                let a: Vec<usize> = push_one(&mut generic, p.clone()).iter().map(|x| x.0).collect();
+                let a: Vec<usize> = push_one(&mut generic, p.clone())
+                    .iter()
+                    .map(|x| x.0)
+                    .collect();
                 let b: Vec<usize> = push_one(&mut fast, p).iter().map(|x| x.0).collect();
                 assert_eq!(a, b, "ethertype {ethertype:#x} w {w}");
             }
@@ -176,10 +221,15 @@ mod tests {
 
     #[test]
     fn fast_classifier_rejects_bad_names_and_configs() {
-        assert!(FastClassifierElement::from_config("Classifier", "fast constant 1 out0", &mut ctx())
-            .is_err());
-        assert!(FastClassifierElement::from_config("FastClassifier@@x", "garbage", &mut ctx())
-            .is_err());
+        assert!(FastClassifierElement::from_config(
+            "Classifier",
+            "fast constant 1 out0",
+            &mut ctx()
+        )
+        .is_err());
+        assert!(
+            FastClassifierElement::from_config("FastClassifier@@x", "garbage", &mut ctx()).is_err()
+        );
     }
 
     #[test]

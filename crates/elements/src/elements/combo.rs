@@ -9,6 +9,7 @@
 //! IPFragmenter` sequence. The paper discourages writing these by hand —
 //! `click-xform` installs them automatically.
 
+use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{args, config_err, int_arg, CreateCtx, Element, Emitter};
 use crate::elements::ip::{CheckIPHeader, IPGWOptions};
 use crate::headers::{ether, ipv4, parse_ip};
@@ -29,9 +30,15 @@ impl IPInputCombo {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<IPInputCombo> {
         let a = args(config);
         if a.len() != 1 {
-            return Err(config_err("IPInputCombo", "expects exactly one color argument"));
+            return Err(config_err(
+                "IPInputCombo",
+                "expects exactly one color argument",
+            ));
         }
-        Ok(IPInputCombo { color: int_arg("IPInputCombo", "color", &a[0])?, bad: 0 })
+        Ok(IPInputCombo {
+            color: int_arg("IPInputCombo", "color", &a[0])?,
+            bad: 0,
+        })
     }
 }
 
@@ -50,6 +57,23 @@ impl Element for IPInputCombo {
         let d = p.data();
         p.anno.dst_ip = Some(ipv4::dst(d));
         out.emit(0, p);
+    }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        // The whole fused input path in one batch pass: paint, strip,
+        // validate, annotate.
+        for mut p in batch.drain() {
+            p.anno.paint = self.color;
+            p.pull(ether::HLEN);
+            if !CheckIPHeader::header_ok(p.data()) {
+                self.bad += 1;
+                out.emit(1, p);
+                continue;
+            }
+            let dst = ipv4::dst(p.data());
+            p.anno.dst_ip = Some(dst);
+            out.emit(0, p);
+        }
+        out.recycle_storage(batch);
     }
     fn stat(&self, name: &str) -> Option<u64> {
         (name == "bad").then_some(self.bad)
@@ -81,7 +105,10 @@ impl IPOutputCombo {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<IPOutputCombo> {
         let a = args(config);
         if a.len() != 3 {
-            return Err(config_err("IPOutputCombo", "expects `color, fix_src_ip, mtu`"));
+            return Err(config_err(
+                "IPOutputCombo",
+                "expects `color, fix_src_ip, mtu`",
+            ));
         }
         let color = int_arg("IPOutputCombo", "color", &a[0])?;
         let fix_src = parse_ip(&a[1])
@@ -90,7 +117,15 @@ impl IPOutputCombo {
         if mtu < ipv4::HLEN + 8 {
             return Err(config_err("IPOutputCombo", "MTU too small"));
         }
-        Ok(IPOutputCombo { color, fix_src, mtu, broadcasts: 0, redirects: 0, expired: 0, fragments: 0 })
+        Ok(IPOutputCombo {
+            color,
+            fix_src,
+            mtu,
+            broadcasts: 0,
+            redirects: 0,
+            expired: 0,
+            fragments: 0,
+        })
     }
 
     fn fragment_out(&mut self, p: &Packet, out: &mut Emitter) {
@@ -116,7 +151,8 @@ impl IPOutputCombo {
             fd[hlen..].copy_from_slice(&payload[pos..pos + this_len]);
             fd[2..4].copy_from_slice(&((hlen + this_len) as u16).to_be_bytes());
             let mf = !last || orig_mf;
-            let field = ((orig_units + pos / 8) as u16 & 0x1FFF) | if mf { ipv4::FLAG_MF } else { 0 };
+            let field =
+                ((orig_units + pos / 8) as u16 & 0x1FFF) | if mf { ipv4::FLAG_MF } else { 0 };
             fd[6..8].copy_from_slice(&field.to_be_bytes());
             ipv4::set_checksum(fd);
             self.fragments += 1;
@@ -166,6 +202,43 @@ impl Element for IPOutputCombo {
         } else {
             self.fragment_out(&p, out);
         }
+    }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        // The fused output path per packet, one dispatch per batch.
+        for mut p in batch.drain() {
+            if p.anno.link_broadcast {
+                self.broadcasts += 1;
+                p.recycle();
+                continue;
+            }
+            if p.anno.paint == self.color {
+                self.redirects += 1;
+                out.emit(1, p.clone());
+            }
+            if !IPGWOptions::options_ok(p.data()) {
+                out.emit(2, p);
+                continue;
+            }
+            if p.anno.fix_ip_src && p.len() >= ipv4::HLEN {
+                ipv4::set_src(p.data_mut(), self.fix_src);
+                p.anno.fix_ip_src = false;
+            }
+            if p.len() < ipv4::HLEN || ipv4::ttl(p.data()) <= 1 {
+                self.expired += 1;
+                out.emit(3, p);
+                continue;
+            }
+            ipv4::dec_ttl(p.data_mut());
+            if p.len() <= self.mtu {
+                out.emit(0, p);
+            } else if ipv4::frag_field(p.data()) & ipv4::FLAG_DF != 0 {
+                out.emit(4, p);
+            } else {
+                out.with_scalar(|e| self.fragment_out(&p, e));
+                p.recycle();
+            }
+        }
+        out.recycle_storage(batch);
     }
     fn stat(&self, name: &str) -> Option<u64> {
         match name {
@@ -260,7 +333,9 @@ mod tests {
         let mut ttl = DecIPTTL::from_config("", &mut c).unwrap();
         let mut frag = IPFragmenter::from_config(&mtu.to_string(), &mut c).unwrap();
         let mut results = Vec::new();
-        let Some(p) = db.simple_action(p) else { return results };
+        let Some(p) = db.simple_action(p) else {
+            return results;
+        };
         let mut out = Emitter::new();
         pt.push(0, p, &mut out);
         let mut forward = None;

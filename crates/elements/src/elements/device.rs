@@ -9,6 +9,7 @@
 //! constantly-active kernel thread") maps to these elements being *tasks*
 //! the router schedules.
 
+use crate::batch::PacketBatch;
 use crate::element::{args, config_err, CreateCtx, DeviceId, Element, TaskContext};
 use crate::headers::ether;
 use click_core::error::Result;
@@ -23,6 +24,7 @@ pub struct FromDevice {
     class: &'static str,
     dev: DeviceId,
     count: u64,
+    scratch: PacketBatch,
 }
 
 impl FromDevice {
@@ -41,7 +43,12 @@ impl FromDevice {
         if a.len() != 1 || a[0].is_empty() {
             return Err(config_err(class, "expects exactly one device name"));
         }
-        Ok(FromDevice { class, dev: ctx.devices.id_for(&a[0]), count: 0 })
+        Ok(FromDevice {
+            class,
+            dev: ctx.devices.id_for(&a[0]),
+            count: 0,
+            scratch: PacketBatch::new(),
+        })
     }
 
     /// The device this element reads.
@@ -58,9 +65,28 @@ impl Element for FromDevice {
         true
     }
     fn run_task(&mut self, ctx: &mut dyn TaskContext) -> usize {
+        if ctx.batching() {
+            // Batch mode: drain the device ring in one coalesced batch and
+            // hand it to the batched push chain as a single hop.
+            let moved = ctx.rx_pop_batch(self.dev, ctx.burst(), &mut self.scratch);
+            if moved == 0 {
+                return 0;
+            }
+            for p in self.scratch.iter_mut() {
+                p.anno.device = Some(self.dev.0 as u16);
+                if p.len() >= ether::HLEN {
+                    p.anno.link_broadcast = ether::dst(p.data()) == ether::BROADCAST;
+                }
+            }
+            self.count += moved as u64;
+            ctx.emit_batch(0, &mut self.scratch);
+            return moved;
+        }
         let mut moved = 0;
         while moved < BURST {
-            let Some(mut p) = ctx.rx_pop(self.dev) else { break };
+            let Some(mut p) = ctx.rx_pop(self.dev) else {
+                break;
+            };
             p.anno.device = Some(self.dev.0 as u16);
             if p.len() >= ether::HLEN {
                 p.anno.link_broadcast = ether::dst(p.data()) == ether::BROADCAST;
@@ -82,6 +108,7 @@ impl Element for FromDevice {
 pub struct ToDevice {
     dev: DeviceId,
     count: u64,
+    scratch: PacketBatch,
 }
 
 impl ToDevice {
@@ -91,7 +118,11 @@ impl ToDevice {
         if a.len() != 1 || a[0].is_empty() {
             return Err(config_err("ToDevice", "expects exactly one device name"));
         }
-        Ok(ToDevice { dev: ctx.devices.id_for(&a[0]), count: 0 })
+        Ok(ToDevice {
+            dev: ctx.devices.id_for(&a[0]),
+            count: 0,
+            scratch: PacketBatch::new(),
+        })
     }
 
     /// The device this element writes.
@@ -108,6 +139,17 @@ impl Element for ToDevice {
         true
     }
     fn run_task(&mut self, ctx: &mut dyn TaskContext) -> usize {
+        if ctx.batching() {
+            // Batch mode: drain the upstream queue through one batched
+            // pull, then append to the TX ring in one pass.
+            let moved = ctx.pull_batch(0, ctx.burst(), &mut self.scratch);
+            if moved == 0 {
+                return 0;
+            }
+            self.count += moved as u64;
+            ctx.tx_push_batch(self.dev, &mut self.scratch);
+            return moved;
+        }
         let mut moved = 0;
         while moved < BURST {
             let Some(p) = ctx.pull(0) else { break };
@@ -128,6 +170,7 @@ impl Element for ToDevice {
 #[derive(Debug, Default)]
 pub struct RouterLink {
     count: u64,
+    scratch: PacketBatch,
 }
 
 impl RouterLink {
@@ -145,6 +188,15 @@ impl Element for RouterLink {
         true
     }
     fn run_task(&mut self, ctx: &mut dyn TaskContext) -> usize {
+        if ctx.batching() {
+            let moved = ctx.pull_batch(0, ctx.burst(), &mut self.scratch);
+            if moved == 0 {
+                return 0;
+            }
+            self.count += moved as u64;
+            ctx.emit_batch(0, &mut self.scratch);
+            return moved;
+        }
         let mut moved = 0;
         while moved < BURST {
             let Some(p) = ctx.pull(0) else { break };
@@ -188,7 +240,12 @@ mod tests {
     }
 
     fn io() -> FakeIo {
-        FakeIo { rx: VecDeque::new(), tx: Vec::new(), emitted: Vec::new(), pullable: VecDeque::new() }
+        FakeIo {
+            rx: VecDeque::new(),
+            tx: Vec::new(),
+            emitted: Vec::new(),
+            pullable: VecDeque::new(),
+        }
     }
 
     #[test]

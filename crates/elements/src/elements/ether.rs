@@ -40,7 +40,11 @@ impl EtherEncap {
             .ok_or_else(|| config_err("EtherEncap", format!("bad source MAC {:?}", a[1])))?;
         let dst = parse_mac(&a[2])
             .ok_or_else(|| config_err("EtherEncap", format!("bad destination MAC {:?}", a[2])))?;
-        Ok(EtherEncap { ethertype, src, dst })
+        Ok(EtherEncap {
+            ethertype,
+            src,
+            dst,
+        })
     }
 }
 
@@ -90,7 +94,10 @@ impl ArpQuerier {
         for pair in &a[2..] {
             let mut it = pair.split_whitespace();
             let (Some(ip_s), Some(mac_s), None) = (it.next(), it.next(), it.next()) else {
-                return Err(config_err("ARPQuerier", format!("bad table entry {pair:?}")));
+                return Err(config_err(
+                    "ARPQuerier",
+                    format!("bad table entry {pair:?}"),
+                ));
             };
             let nip = parse_ip(ip_s)
                 .ok_or_else(|| config_err("ARPQuerier", format!("bad IP in entry {pair:?}")))?;
@@ -98,7 +105,14 @@ impl ArpQuerier {
                 .ok_or_else(|| config_err("ARPQuerier", format!("bad MAC in entry {pair:?}")))?;
             table.insert(nip, neth);
         }
-        Ok(ArpQuerier { ip, eth, table, pending: None, queries: 0, drops: 0 })
+        Ok(ArpQuerier {
+            ip,
+            eth,
+            table,
+            pending: None,
+            queries: 0,
+            drops: 0,
+        })
     }
 
     fn encap(&self, mut p: Packet, dst: [u8; 6]) -> Packet {
@@ -111,7 +125,14 @@ impl ArpQuerier {
         let mut q = Packet::new(ether::HLEN + arp::LEN);
         let data = q.data_mut();
         ether::write(data, ether::BROADCAST, self.eth, ether::TYPE_ARP);
-        arp::write(&mut data[ether::HLEN..], arp::OP_REQUEST, self.eth, self.ip, [0; 6], target_ip);
+        arp::write(
+            &mut data[ether::HLEN..],
+            arp::OP_REQUEST,
+            self.eth,
+            self.ip,
+            [0; 6],
+            target_ip,
+        );
         q
     }
 }
@@ -125,10 +146,13 @@ impl Element for ArpQuerier {
             0 => {
                 // Next hop: destination annotation, falling back to the IP
                 // header's destination.
-                let dst_ip = p
-                    .anno
-                    .dst_ip
-                    .unwrap_or_else(|| if p.len() >= ipv4::HLEN { ipv4::dst(p.data()) } else { 0 });
+                let dst_ip = p.anno.dst_ip.unwrap_or_else(|| {
+                    if p.len() >= ipv4::HLEN {
+                        ipv4::dst(p.data())
+                    } else {
+                        0
+                    }
+                });
                 if let Some(&mac) = self.table.get(&dst_ip) {
                     let framed = self.encap(p, mac);
                     out.emit(0, framed);
@@ -186,7 +210,10 @@ impl ArpResponder {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<ArpResponder> {
         let a = args(config);
         if a.is_empty() {
-            return Err(config_err("ARPResponder", "expects at least one `ip eth` entry"));
+            return Err(config_err(
+                "ARPResponder",
+                "expects at least one `ip eth` entry",
+            ));
         }
         let mut entries = Vec::new();
         for pair in &a {
@@ -200,7 +227,10 @@ impl ArpResponder {
                 .ok_or_else(|| config_err("ARPResponder", format!("bad MAC in {pair:?}")))?;
             entries.push((ip, mac));
         }
-        Ok(ArpResponder { entries, replies: 0 })
+        Ok(ArpResponder {
+            entries,
+            replies: 0,
+        })
     }
 }
 
@@ -225,7 +255,14 @@ impl Element for ArpResponder {
         let mut r = Packet::new(ether::HLEN + arp::LEN);
         let rd = r.data_mut();
         ether::write(rd, requester_eth, our_mac, ether::TYPE_ARP);
-        arp::write(&mut rd[ether::HLEN..], arp::OP_REPLY, our_mac, target, requester_eth, requester_ip);
+        arp::write(
+            &mut rd[ether::HLEN..],
+            arp::OP_REPLY,
+            our_mac,
+            target,
+            requester_eth,
+            requester_ip,
+        );
         Some(r)
     }
     fn stat(&self, name: &str) -> Option<u64> {
@@ -245,7 +282,10 @@ impl HostEtherFilter {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<HostEtherFilter> {
         let a = args(config);
         if a.len() != 1 {
-            return Err(config_err("HostEtherFilter", "expects exactly one MAC argument"));
+            return Err(config_err(
+                "HostEtherFilter",
+                "expects exactly one MAC argument",
+            ));
         }
         let mac = parse_mac(&a[0])
             .ok_or_else(|| config_err("HostEtherFilter", format!("bad MAC {:?}", a[0])))?;
@@ -289,8 +329,9 @@ mod tests {
 
     #[test]
     fn ether_encap_prepends_header() {
-        let mut e = EtherEncap::from_config("0x0800, 00:00:00:00:00:01, 00:00:00:00:00:02", &mut ctx())
-            .unwrap();
+        let mut e =
+            EtherEncap::from_config("0x0800, 00:00:00:00:00:01, 00:00:00:00:00:02", &mut ctx())
+                .unwrap();
         let p = ip_only_packet(0x0A000002);
         let framed = e.simple_action(p).unwrap();
         let d = framed.data();
@@ -317,8 +358,7 @@ mod tests {
 
     #[test]
     fn arp_querier_queries_then_releases_on_reply() {
-        let mut q =
-            ArpQuerier::from_config("10.0.0.1, 00:00:00:00:00:01", &mut ctx()).unwrap();
+        let mut q = ArpQuerier::from_config("10.0.0.1, 00:00:00:00:00:01", &mut ctx()).unwrap();
         let outs = push_on(&mut q, 0, ip_only_packet(0x0A000002));
         // The query goes out; the IP packet is held.
         assert_eq!(outs.len(), 1);
@@ -333,7 +373,14 @@ mod tests {
         let mut reply = Packet::new(ether::HLEN + arp::LEN);
         let rd = reply.data_mut();
         ether::write(rd, [0, 0, 0, 0, 0, 1], [9; 6], ether::TYPE_ARP);
-        arp::write(&mut rd[14..], arp::OP_REPLY, [9; 6], 0x0A000002, [0, 0, 0, 0, 0, 1], 0x0A000001);
+        arp::write(
+            &mut rd[14..],
+            arp::OP_REPLY,
+            [9; 6],
+            0x0A000002,
+            [0, 0, 0, 0, 0, 1],
+            0x0A000001,
+        );
         let outs = push_on(&mut q, 1, reply);
         assert_eq!(outs.len(), 1, "held packet released");
         let d = outs[0].1.data();
@@ -356,7 +403,14 @@ mod tests {
         let mut req = Packet::new(ether::HLEN + arp::LEN);
         let rd = req.data_mut();
         ether::write(rd, ether::BROADCAST, [7; 6], ether::TYPE_ARP);
-        arp::write(&mut rd[14..], arp::OP_REQUEST, [7; 6], 0x0A000002, [0; 6], 0x0A000001);
+        arp::write(
+            &mut rd[14..],
+            arp::OP_REQUEST,
+            [7; 6],
+            0x0A000002,
+            [0; 6],
+            0x0A000001,
+        );
         let reply = r.simple_action(req).expect("should reply");
         let d = reply.data();
         assert_eq!(ether::dst(d), [7; 6]);
@@ -373,7 +427,14 @@ mod tests {
         let mut req = Packet::new(ether::HLEN + arp::LEN);
         let rd = req.data_mut();
         ether::write(rd, ether::BROADCAST, [7; 6], ether::TYPE_ARP);
-        arp::write(&mut rd[14..], arp::OP_REQUEST, [7; 6], 0x0A000002, [0; 6], 0x0A000009);
+        arp::write(
+            &mut rd[14..],
+            arp::OP_REQUEST,
+            [7; 6],
+            0x0A000002,
+            [0; 6],
+            0x0A000009,
+        );
         assert!(r.simple_action(req).is_none());
     }
 
@@ -395,7 +456,9 @@ mod tests {
     fn config_validation() {
         assert!(EtherEncap::from_config("0x0800, junk, 00:00:00:00:00:02", &mut ctx()).is_err());
         assert!(ArpQuerier::from_config("10.0.0.1", &mut ctx()).is_err());
-        assert!(ArpQuerier::from_config("10.0.0.1, 00:00:00:00:00:01, badentry", &mut ctx()).is_err());
+        assert!(
+            ArpQuerier::from_config("10.0.0.1, 00:00:00:00:00:01, badentry", &mut ctx()).is_err()
+        );
         assert!(ArpResponder::from_config("", &mut ctx()).is_err());
         assert!(HostEtherFilter::from_config("nope", &mut ctx()).is_err());
     }

@@ -4,6 +4,7 @@
 //! All of these operate on packets whose data begins at the IP header
 //! (i.e. downstream of `Strip(14)`).
 
+use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{args, config_err, int_arg, CreateCtx, Element, Emitter};
 use crate::headers::{ipv4, parse_ip};
 use crate::packet::Packet;
@@ -58,6 +59,17 @@ impl Element for CheckIPHeader {
             out.emit(1, p);
         }
     }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        for p in batch.drain() {
+            if Self::header_ok(p.data()) {
+                out.emit(0, p);
+            } else {
+                self.bad += 1;
+                out.emit(1, p);
+            }
+        }
+        out.recycle_storage(batch);
+    }
     fn stat(&self, name: &str) -> Option<u64> {
         (name == "bad").then_some(self.bad)
     }
@@ -93,9 +105,14 @@ impl GetIPAddress {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<GetIPAddress> {
         let a = args(config);
         if a.len() != 1 {
-            return Err(config_err("GetIPAddress", "expects exactly one offset argument"));
+            return Err(config_err(
+                "GetIPAddress",
+                "expects exactly one offset argument",
+            ));
         }
-        Ok(GetIPAddress { offset: int_arg("GetIPAddress", "offset", &a[0])? })
+        Ok(GetIPAddress {
+            offset: int_arg("GetIPAddress", "offset", &a[0])?,
+        })
     }
 }
 
@@ -106,10 +123,25 @@ impl Element for GetIPAddress {
     fn simple_action(&mut self, mut p: Packet) -> Option<Packet> {
         let d = p.data();
         if d.len() >= self.offset + 4 {
-            p.anno.dst_ip =
-                Some(u32::from_be_bytes([d[self.offset], d[self.offset + 1], d[self.offset + 2], d[self.offset + 3]]));
+            p.anno.dst_ip = Some(u32::from_be_bytes([
+                d[self.offset],
+                d[self.offset + 1],
+                d[self.offset + 2],
+                d[self.offset + 3],
+            ]));
         }
         Some(p)
+    }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        for p in batch.iter_mut() {
+            let off = self.offset;
+            let d = p.data();
+            if d.len() >= off + 4 {
+                let dst = u32::from_be_bytes([d[off], d[off + 1], d[off + 2], d[off + 3]]);
+                p.anno.dst_ip = Some(dst);
+            }
+        }
+        out.emit_batch(0, batch);
     }
 }
 
@@ -124,7 +156,10 @@ impl SetIPAddress {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<SetIPAddress> {
         let a = args(config);
         if a.len() != 1 {
-            return Err(config_err("SetIPAddress", "expects exactly one address argument"));
+            return Err(config_err(
+                "SetIPAddress",
+                "expects exactly one address argument",
+            ));
         }
         let ip = parse_ip(&a[0])
             .ok_or_else(|| config_err("SetIPAddress", format!("bad address {:?}", a[0])))?;
@@ -248,7 +283,10 @@ impl FixIPSrc {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<FixIPSrc> {
         let a = args(config);
         if a.len() != 1 {
-            return Err(config_err("FixIPSrc", "expects exactly one address argument"));
+            return Err(config_err(
+                "FixIPSrc",
+                "expects exactly one address argument",
+            ));
         }
         let ip = parse_ip(&a[0])
             .ok_or_else(|| config_err("FixIPSrc", format!("bad address {:?}", a[0])))?;
@@ -299,6 +337,18 @@ impl Element for DecIPTTL {
             out.emit(0, p);
         }
     }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        for mut p in batch.drain() {
+            if p.len() < ipv4::HLEN || ipv4::ttl(p.data()) <= 1 {
+                self.expired += 1;
+                out.emit(1, p);
+            } else {
+                ipv4::dec_ttl(p.data_mut());
+                out.emit(0, p);
+            }
+        }
+        out.recycle_storage(batch);
+    }
     fn stat(&self, name: &str) -> Option<u64> {
         (name == "expired").then_some(self.expired)
     }
@@ -318,13 +368,20 @@ impl IPFragmenter {
     pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<IPFragmenter> {
         let a = args(config);
         if a.len() != 1 {
-            return Err(config_err("IPFragmenter", "expects exactly one MTU argument"));
+            return Err(config_err(
+                "IPFragmenter",
+                "expects exactly one MTU argument",
+            ));
         }
         let mtu: usize = int_arg("IPFragmenter", "MTU", &a[0])?;
         if mtu < ipv4::HLEN + 8 {
             return Err(config_err("IPFragmenter", "MTU too small"));
         }
-        Ok(IPFragmenter { mtu, fragments: 0, must_frag: 0 })
+        Ok(IPFragmenter {
+            mtu,
+            fragments: 0,
+            must_frag: 0,
+        })
     }
 
     fn fragment(&mut self, p: &Packet, out: &mut Emitter) {
@@ -501,15 +558,25 @@ impl StaticIPLookup {
             let port: usize = port_s
                 .parse()
                 .map_err(|_| config_err(class, format!("bad output port in {route:?}")))?;
-            let masked = if plen == 0 { 0 } else { addr & (u32::MAX << (32 - plen)) };
+            let masked = if plen == 0 {
+                0
+            } else {
+                addr & (u32::MAX << (32 - plen))
+            };
             trie.insert(masked, plen, (gw, port));
         }
-        Ok(StaticIPLookup { trie, class, no_route: 0 })
+        Ok(StaticIPLookup {
+            trie,
+            class,
+            no_route: 0,
+        })
     }
 
     /// Looks up an address, returning `(next_hop_annotation, output port)`.
     pub fn route(&self, dst: u32) -> Option<(u32, usize)> {
-        self.trie.lookup(dst).map(|&(gw, port)| (gw.unwrap_or(dst), port))
+        self.trie
+            .lookup(dst)
+            .map(|&(gw, port)| (gw.unwrap_or(dst), port))
     }
 }
 
@@ -518,10 +585,13 @@ impl Element for StaticIPLookup {
         self.class
     }
     fn push(&mut self, _port: usize, mut p: Packet, out: &mut Emitter) {
-        let dst = p
-            .anno
-            .dst_ip
-            .unwrap_or_else(|| if p.len() >= ipv4::HLEN { ipv4::dst(p.data()) } else { 0 });
+        let dst = p.anno.dst_ip.unwrap_or_else(|| {
+            if p.len() >= ipv4::HLEN {
+                ipv4::dst(p.data())
+            } else {
+                0
+            }
+        });
         match self.route(dst) {
             Some((next_hop, port)) => {
                 p.anno.dst_ip = Some(next_hop);
@@ -531,6 +601,30 @@ impl Element for StaticIPLookup {
                 self.no_route += 1;
             }
         }
+    }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        // One trie lookup per packet, branch-sorted per next hop: flows
+        // toward the same interface stay a single batch downstream.
+        for mut p in batch.drain() {
+            let dst = p.anno.dst_ip.unwrap_or_else(|| {
+                if p.len() >= ipv4::HLEN {
+                    ipv4::dst(p.data())
+                } else {
+                    0
+                }
+            });
+            match self.route(dst) {
+                Some((next_hop, port)) => {
+                    p.anno.dst_ip = Some(next_hop);
+                    out.emit(port, p);
+                }
+                None => {
+                    self.no_route += 1;
+                    p.recycle();
+                }
+            }
+        }
+        out.recycle_storage(batch);
     }
     fn stat(&self, name: &str) -> Option<u64> {
         (name == "no_route").then_some(self.no_route)
@@ -717,7 +811,7 @@ mod tests {
         assert!(ipv4::checksum_ok(d));
         assert_eq!(d[20], 11); // type
         assert_eq!(d[21], 0); // code
-        // Quoted original header.
+                              // Quoted original header.
         assert_eq!(&d[28..48], &bad.data()[..20]);
         assert_eq!(err.anno.dst_ip, Some(0x0A000001));
         assert!(err.anno.fix_ip_src);

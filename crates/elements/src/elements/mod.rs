@@ -36,7 +36,9 @@ use click_core::registry::{devirt_base, FASTCLASSIFIER_PREFIX, FASTIPFILTER_PREF
 pub fn create_element(class: &str, config: &str, ctx: &mut CreateCtx) -> Result<Box<dyn Element>> {
     // Generated classifier classes.
     if class.starts_with(FASTCLASSIFIER_PREFIX) || class.starts_with(FASTIPFILTER_PREFIX) {
-        return Ok(Box::new(classify::FastClassifierElement::from_config(class, config, ctx)?));
+        return Ok(Box::new(classify::FastClassifierElement::from_config(
+            class, config, ctx,
+        )?));
     }
     // Devirtualized classes behave like their base class.
     let base = devirt_base(class).unwrap_or(class);
@@ -120,9 +122,7 @@ mod tests {
                 "Switch" | "StaticSwitch" | "StaticPullSwitch" => "0",
                 "Queue" => "",
                 "RED" => "5, 50, 0.02",
-                "EtherEncap" | "EtherEncapCombo" => {
-                    "0x0800, 00:00:00:00:00:01, 00:00:00:00:00:02"
-                }
+                "EtherEncap" | "EtherEncapCombo" => "0x0800, 00:00:00:00:00:01, 00:00:00:00:00:02",
                 "ARPQuerier" => "10.0.0.1, 00:00:00:00:00:01",
                 "ARPResponder" => "10.0.0.1 00:00:00:00:00:01",
                 "HostEtherFilter" => "00:00:00:00:00:01",
@@ -140,7 +140,12 @@ mod tests {
         for spec in lib.iter() {
             let mut ctx = CreateCtx::new();
             let result = create_element(&spec.name, sample_config(&spec.name), &mut ctx);
-            assert!(result.is_ok(), "class {:?} failed: {:?}", spec.name, result.err());
+            assert!(
+                result.is_ok(),
+                "class {:?} failed: {:?}",
+                spec.name,
+                result.err()
+            );
         }
     }
 

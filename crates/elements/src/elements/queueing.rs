@@ -1,5 +1,6 @@
 //! Storage elements: `Queue` and `RED`.
 
+use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{args, config_err, int_arg, CreateCtx, Element, Emitter, PullContext};
 use crate::packet::Packet;
 use click_core::error::Result;
@@ -76,6 +77,33 @@ impl Element for Queue {
         self.depth.set(self.q.len());
         p
     }
+    fn push_batch(&mut self, _port: usize, mut batch: PacketBatch, out: &mut BatchEmitter) {
+        // Bulk enqueue with one depth/highwater update; overflow drops go
+        // back to the packet pool.
+        for p in batch.drain() {
+            if self.q.len() >= self.capacity {
+                self.drops += 1;
+                p.recycle();
+            } else {
+                self.q.push_back(p);
+            }
+        }
+        self.highwater = self.highwater.max(self.q.len());
+        self.depth.set(self.q.len());
+        out.recycle_storage(batch);
+    }
+    fn pull_batch(
+        &mut self,
+        _port: usize,
+        max: usize,
+        _ctx: &mut dyn PullContext,
+        into: &mut PacketBatch,
+    ) -> usize {
+        let n = max.min(self.q.len());
+        into.extend(self.q.drain(..n));
+        self.depth.set(self.q.len());
+        n
+    }
     fn stat(&self, name: &str) -> Option<u64> {
         match name {
             "drops" => Some(self.drops),
@@ -141,7 +169,10 @@ impl Red {
     }
 
     fn next_rand_e4(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (self.rng >> 33) % 10000
     }
 
@@ -248,7 +279,10 @@ mod tests {
     fn queue_config_validation() {
         assert!(Queue::from_config("0", &mut ctx()).is_err());
         assert!(Queue::from_config("1, 2", &mut ctx()).is_err());
-        assert_eq!(Queue::from_config("", &mut ctx()).unwrap().capacity(), DEFAULT_QUEUE_CAPACITY);
+        assert_eq!(
+            Queue::from_config("", &mut ctx()).unwrap().capacity(),
+            DEFAULT_QUEUE_CAPACITY
+        );
     }
 
     #[test]

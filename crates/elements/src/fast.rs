@@ -11,6 +11,7 @@
 //! Classes without a variant fall back to boxed dynamic dispatch, so a
 //! [`CompiledRouter`] runs *any* configuration; only the hot classes gain.
 
+use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{CreateCtx, Element, Emitter, PullContext, TaskContext};
 use crate::elements::{basic, classify, combo, device, ether, ip, queueing};
 use crate::packet::Packet;
@@ -125,10 +126,32 @@ macro_rules! fast_elements {
             }
 
             #[inline]
-            fn pull(&mut self, port: usize, ctx: &mut dyn PullContext) -> Option<Packet> {
+            fn pull<C: PullContext>(&mut self, port: usize, ctx: &mut C) -> Option<Packet> {
                 match self {
                     $( FastElement::$variant(e) => e.pull(port, ctx), )*
                     FastElement::Dyn(e) => e.pull(port, ctx),
+                }
+            }
+
+            #[inline]
+            fn push_batch(&mut self, port: usize, batch: PacketBatch, out: &mut BatchEmitter) {
+                match self {
+                    $( FastElement::$variant(e) => e.push_batch(port, batch, out), )*
+                    FastElement::Dyn(e) => e.push_batch(port, batch, out),
+                }
+            }
+
+            #[inline]
+            fn pull_batch<C: PullContext>(
+                &mut self,
+                port: usize,
+                max: usize,
+                ctx: &mut C,
+                into: &mut PacketBatch,
+            ) -> usize {
+                match self {
+                    $( FastElement::$variant(e) => e.pull_batch(port, max, ctx, into), )*
+                    FastElement::Dyn(e) => e.pull_batch(port, max, ctx, into),
                 }
             }
 
@@ -229,7 +252,8 @@ mod tests {
         assert_eq!(e.storage(), "Counter");
         let dv = FastElement::create("Counter__DV3", "", &mut ctx).unwrap();
         assert_eq!(dv.storage(), "Counter");
-        let fc = FastElement::create("FastClassifier@@c", "fast constant 1 out0", &mut ctx).unwrap();
+        let fc =
+            FastElement::create("FastClassifier@@c", "fast constant 1 out0", &mut ctx).unwrap();
         assert_eq!(fc.storage(), "FastClassifier");
         let other = FastElement::create("Idle", "", &mut ctx).unwrap();
         assert_eq!(other.storage(), "Dyn");

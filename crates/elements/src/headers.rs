@@ -247,7 +247,13 @@ pub fn parse_ip(s: &str) -> Option<u32> {
 
 /// Formats an IPv4 address as dotted quad.
 pub fn ip_to_string(ip: u32) -> String {
-    format!("{}.{}.{}.{}", ip >> 24, (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF)
+    format!(
+        "{}.{}.{}.{}",
+        ip >> 24,
+        (ip >> 16) & 0xFF,
+        (ip >> 8) & 0xFF,
+        ip & 0xFF
+    )
 }
 
 /// Parses a colon-separated MAC address (`00:11:22:33:44:55`).
@@ -270,7 +276,10 @@ pub fn parse_mac(s: &str) -> Option<[u8; 6]> {
 
 /// Formats a MAC address.
 pub fn mac_to_string(mac: [u8; 6]) -> String {
-    mac.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join(":")
+    mac.iter()
+        .map(|b| format!("{b:02x}"))
+        .collect::<Vec<_>>()
+        .join(":")
 }
 
 /// Builds a complete Ethernet+IPv4+UDP packet, the 64-byte shape the
@@ -324,8 +333,14 @@ mod tests {
 
     #[test]
     fn mac_parse_and_format() {
-        assert_eq!(parse_mac("00:11:22:aa:bb:cc"), Some([0, 0x11, 0x22, 0xAA, 0xBB, 0xCC]));
-        assert_eq!(mac_to_string([0, 0x11, 0x22, 0xAA, 0xBB, 0xCC]), "00:11:22:aa:bb:cc");
+        assert_eq!(
+            parse_mac("00:11:22:aa:bb:cc"),
+            Some([0, 0x11, 0x22, 0xAA, 0xBB, 0xCC])
+        );
+        assert_eq!(
+            mac_to_string([0, 0x11, 0x22, 0xAA, 0xBB, 0xCC]),
+            "00:11:22:aa:bb:cc"
+        );
         assert_eq!(parse_mac("00:11"), None);
         assert_eq!(parse_mac("zz:11:22:33:44:55"), None);
     }
@@ -374,7 +389,10 @@ mod tests {
             let ip = &mut p.data_mut()[14..];
             ipv4::dec_ttl(ip);
             assert_eq!(ipv4::ttl(ip), ttl - 1);
-            assert!(ipv4::checksum_ok(ip), "incremental checksum wrong for ttl {ttl}");
+            assert!(
+                ipv4::checksum_ok(ip),
+                "incremental checksum wrong for ttl {ttl}"
+            );
         }
     }
 
@@ -390,7 +408,14 @@ mod tests {
     #[test]
     fn arp_round_trip() {
         let mut buf = [0u8; arp::LEN];
-        arp::write(&mut buf, arp::OP_REQUEST, [1; 6], 0xC0A80001, [0; 6], 0xC0A80002);
+        arp::write(
+            &mut buf,
+            arp::OP_REQUEST,
+            [1; 6],
+            0xC0A80001,
+            [0; 6],
+            0xC0A80002,
+        );
         assert_eq!(arp::opcode(&buf), arp::OP_REQUEST);
         assert_eq!(arp::sender_eth(&buf), [1; 6]);
         assert_eq!(arp::sender_ip(&buf), 0xC0A80001);

@@ -75,16 +75,17 @@ impl IpRouterSpec {
     pub fn config(&self) -> String {
         let n = self.interfaces.len();
         let mut out = String::new();
-        let _ = writeln!(out, "// {n}-interface standards-compliant IP router (paper Figure 1)");
+        let _ = writeln!(
+            out,
+            "// {n}-interface standards-compliant IP router (paper Figure 1)"
+        );
 
         // Shared routing table: one subnet route per interface.
         let routes: Vec<String> = self
             .interfaces
             .iter()
             .enumerate()
-            .map(|(i, iface)| {
-                format!("{}/{} {}", ip_to_string(iface.network), iface.prefix_len, i)
-            })
+            .map(|(i, iface)| format!("{}/{} {}", ip_to_string(iface.network), iface.prefix_len, i))
             .collect();
         let _ = writeln!(out, "rt :: StaticIPLookup({});", routes.join(", "));
 
@@ -104,9 +105,16 @@ impl IpRouterSpec {
             let _ = writeln!(out, "pd{i} -> c{i};");
             // ARP requests: answer them, out our own queue.
             let _ = writeln!(out, "ar{i} :: ARPResponder({ip} {mac});");
-            let _ = writeln!(out, "c{i} [0] -> ar{i} -> q{i} :: Queue({});", self.queue_capacity);
+            let _ = writeln!(
+                out,
+                "c{i} [0] -> ar{i} -> q{i} :: Queue({});",
+                self.queue_capacity
+            );
             // ARP replies: feed the querier.
-            let _ = writeln!(out, "c{i} [1] -> [1] aq{i} :: ARPQuerier({ip}, {mac}, {nip} {nmac});");
+            let _ = writeln!(
+                out,
+                "c{i} [1] -> [1] aq{i} :: ARPQuerier({ip}, {mac}, {nip} {nmac});"
+            );
             // IP packets: the forwarding path into the shared lookup.
             let _ = writeln!(
                 out,
@@ -116,7 +124,11 @@ impl IpRouterSpec {
             // Everything else.
             let _ = writeln!(out, "c{i} [3] -> Discard;");
             // Output path.
-            let _ = writeln!(out, "rt [{i}] -> DropBroadcasts -> pt{i} :: PaintTee({});", i + 1);
+            let _ = writeln!(
+                out,
+                "rt [{i}] -> DropBroadcasts -> pt{i} :: PaintTee({});",
+                i + 1
+            );
             let _ = writeln!(out, "pt{i} [1] -> ICMPError({ip}, 5, 1) -> rt;");
             let _ = writeln!(out, "pt{i} [0] -> gio{i} :: IPGWOptions;");
             let _ = writeln!(out, "gio{i} [1] -> ICMPError({ip}, 12, 0) -> rt;");
@@ -140,7 +152,10 @@ impl IpRouterSpec {
 /// `pairs` maps input device index to output device index.
 pub fn simple_config(pairs: &[(usize, usize)], queue_capacity: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "// minimal device-to-device configuration (\"Simple\")");
+    let _ = writeln!(
+        out,
+        "// minimal device-to-device configuration (\"Simple\")"
+    );
     for (k, &(i, o)) in pairs.iter().enumerate() {
         let _ = writeln!(
             out,
@@ -257,7 +272,12 @@ mod tests {
         let mut req = crate::packet::Packet::new(14 + 28);
         {
             let d = req.data_mut();
-            ether::write(d, ether::BROADCAST, spec.interfaces[0].neighbor_mac, ether::TYPE_ARP);
+            ether::write(
+                d,
+                ether::BROADCAST,
+                spec.interfaces[0].neighbor_mac,
+                ether::TYPE_ARP,
+            );
             crate::headers::arp::write(
                 &mut d[14..],
                 crate::headers::arp::OP_REQUEST,
@@ -273,8 +293,14 @@ mod tests {
         assert_eq!(tx.len(), 1, "ARP reply should go back out eth0");
         let d = tx[0].data();
         assert_eq!(ether::ethertype(d), ether::TYPE_ARP);
-        assert_eq!(crate::headers::arp::opcode(&d[14..]), crate::headers::arp::OP_REPLY);
-        assert_eq!(crate::headers::arp::sender_eth(&d[14..]), spec.interfaces[0].mac);
+        assert_eq!(
+            crate::headers::arp::opcode(&d[14..]),
+            crate::headers::arp::OP_REPLY
+        );
+        assert_eq!(
+            crate::headers::arp::sender_eth(&d[14..]),
+            spec.interfaces[0].mac
+        );
     }
 
     #[test]
@@ -344,7 +370,11 @@ mod tests {
         r.run_until_idle(2000);
         for dst in 4..8usize {
             let dev = r.devices.id(&format!("eth{dst}")).unwrap();
-            assert_eq!(r.devices.tx_len(dev), 1, "eth{dst} should transmit one packet");
+            assert_eq!(
+                r.devices.tx_len(dev),
+                1,
+                "eth{dst} should transmit one packet"
+            );
         }
     }
 }

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod element;
 pub mod elements;
 pub mod fast;
@@ -43,6 +44,7 @@ pub mod packet;
 pub mod router;
 pub mod routing;
 
+pub use batch::{BatchEmitter, PacketBatch};
 pub use element::Element;
 pub use fast::CompiledRouter;
 pub use packet::Packet;

@@ -8,6 +8,7 @@
 //! elements via dynamic dispatches"); the compiled router in
 //! [`crate::fast`] stores a concrete enum and dispatches statically.
 
+use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{CreateCtx, DeviceId, DeviceMap, Element, Emitter, PullContext, TaskContext};
 use crate::packet::Packet;
 use click_core::check::check;
@@ -19,13 +20,31 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Storage and dispatch for one element in a running router.
+///
+/// `pull` and `pull_batch` are generic over the pull context rather than
+/// taking `&mut dyn PullContext`: a `Slot` is never used as a trait
+/// object, and the router always supplies the one concrete context type
+/// (`RouterPullCtx<S>`), so for the compiled engine the whole pull chain
+/// monomorphizes to static calls. A dynamic slot (`Box<dyn Element>`)
+/// re-erases the context at the element boundary, which is exactly the
+/// vtable cost the baseline is supposed to pay.
 pub trait Slot: Sized {
     /// Instantiates an element of `class` with `config`.
     fn create(class: &str, config: &str, ctx: &mut CreateCtx) -> Result<Self>;
     /// See [`Element::push`].
     fn push(&mut self, port: usize, p: Packet, out: &mut Emitter);
     /// See [`Element::pull`].
-    fn pull(&mut self, port: usize, ctx: &mut dyn PullContext) -> Option<Packet>;
+    fn pull<C: PullContext>(&mut self, port: usize, ctx: &mut C) -> Option<Packet>;
+    /// See [`Element::push_batch`].
+    fn push_batch(&mut self, port: usize, batch: PacketBatch, out: &mut BatchEmitter);
+    /// See [`Element::pull_batch`].
+    fn pull_batch<C: PullContext>(
+        &mut self,
+        port: usize,
+        max: usize,
+        ctx: &mut C,
+        into: &mut PacketBatch,
+    ) -> usize;
     /// See [`Element::is_task`].
     fn is_task(&self) -> bool;
     /// See [`Element::run_task`].
@@ -45,8 +64,20 @@ impl Slot for Box<dyn Element> {
     fn push(&mut self, port: usize, p: Packet, out: &mut Emitter) {
         (**self).push(port, p, out)
     }
-    fn pull(&mut self, port: usize, ctx: &mut dyn PullContext) -> Option<Packet> {
+    fn pull<C: PullContext>(&mut self, port: usize, ctx: &mut C) -> Option<Packet> {
         (**self).pull(port, ctx)
+    }
+    fn push_batch(&mut self, port: usize, batch: PacketBatch, out: &mut BatchEmitter) {
+        (**self).push_batch(port, batch, out)
+    }
+    fn pull_batch<C: PullContext>(
+        &mut self,
+        port: usize,
+        max: usize,
+        ctx: &mut C,
+        into: &mut PacketBatch,
+    ) -> usize {
+        (**self).pull_batch(port, max, ctx, into)
     }
     fn is_task(&self) -> bool {
         (**self).is_task()
@@ -77,7 +108,11 @@ pub struct DeviceBank {
 impl DeviceBank {
     fn from_map(map: DeviceMap) -> DeviceBank {
         let n = map.len();
-        DeviceBank { map, rx: (0..n).map(|_| VecDeque::new()).collect(), tx: (0..n).map(|_| Vec::new()).collect() }
+        DeviceBank {
+            map,
+            rx: (0..n).map(|_| VecDeque::new()).collect(),
+            tx: (0..n).map(|_| Vec::new()).collect(),
+        }
     }
 
     /// Looks up a device id by name.
@@ -87,7 +122,9 @@ impl DeviceBank {
 
     /// Device names in id order.
     pub fn names(&self) -> Vec<&str> {
-        (0..self.map.len()).map(|i| self.map.name(DeviceId(i))).collect()
+        (0..self.map.len())
+            .map(|i| self.map.name(DeviceId(i)))
+            .collect()
     }
 
     /// Queues a packet for reception on a device.
@@ -100,6 +137,15 @@ impl DeviceBank {
         self.rx[dev.0].pop_front()
     }
 
+    /// Drains up to `max` received packets into `into` in one pass (used
+    /// by `FromDevice` in batch mode); returns how many were moved.
+    pub fn rx_pop_batch(&mut self, dev: DeviceId, max: usize, into: &mut PacketBatch) -> usize {
+        let q = &mut self.rx[dev.0];
+        let n = max.min(q.len());
+        into.extend(q.drain(..n));
+        n
+    }
+
     /// Number of packets waiting for reception.
     pub fn rx_len(&self, dev: DeviceId) -> usize {
         self.rx[dev.0].len()
@@ -108,6 +154,12 @@ impl DeviceBank {
     /// Appends a transmitted packet (used by `ToDevice`).
     pub fn tx_push(&mut self, dev: DeviceId, p: Packet) {
         self.tx[dev.0].push(p);
+    }
+
+    /// Appends a whole batch to a device's TX queue (used by `ToDevice`
+    /// in batch mode). The batch is drained but keeps its storage.
+    pub fn tx_push_batch(&mut self, dev: DeviceId, batch: &mut PacketBatch) {
+        self.tx[dev.0].extend(batch.drain());
     }
 
     /// Takes all packets transmitted on a device so far.
@@ -147,6 +199,9 @@ pub struct Router<S: Slot> {
     pub devices: DeviceBank,
     drops_unconnected: u64,
     drops_reentrant: u64,
+    batching: bool,
+    batch_burst: usize,
+    batch_out: Option<BatchEmitter>,
 }
 
 /// A router whose elements dispatch dynamically (`Box<dyn Element>`) —
@@ -210,6 +265,9 @@ impl<S: Slot> Router<S> {
             devices: DeviceBank::from_map(ctx.devices),
             drops_unconnected: 0,
             drops_reentrant: 0,
+            batching: false,
+            batch_burst: crate::elements::device::BURST,
+            batch_out: Some(BatchEmitter::new()),
         };
         router.wire_red_elements();
         Ok(router)
@@ -290,6 +348,42 @@ impl<S: Slot> Router<S> {
         self.drops_reentrant
     }
 
+    // ---- batch mode ------------------------------------------------------
+
+    /// Switches the execution engine between per-packet transfers (the
+    /// paper's model) and batched transfers (VPP-style vector processing).
+    /// Task elements observe the flag through
+    /// [`TaskContext::batching`] and move [`PacketBatch`]es instead of
+    /// single packets when it is on.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
+    }
+
+    /// True if the batched engine is active.
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Sets how many packets device tasks move per scheduling quantum in
+    /// batch mode (defaults to the device `BURST`).
+    pub fn set_batch_burst(&mut self, burst: usize) {
+        self.batch_burst = burst.max(1);
+    }
+
+    /// Packets device tasks move per scheduling quantum in batch mode.
+    pub fn batch_burst(&self) -> usize {
+        self.batch_burst
+    }
+
+    /// Hands out empty batch storage from the engine's free list so task
+    /// elements can refill their scratch batch without allocating.
+    pub fn take_batch_storage(&mut self) -> PacketBatch {
+        match &mut self.batch_out {
+            Some(out) => out.take_storage(),
+            None => PacketBatch::new(),
+        }
+    }
+
     // ---- push path -----------------------------------------------------
 
     /// Delivers a packet to an element's input port and runs the push
@@ -359,6 +453,105 @@ impl<S: Slot> Router<S> {
         }
     }
 
+    // ---- batched push path ----------------------------------------------
+
+    /// Delivers a whole batch to an element's input port and runs the
+    /// batched push chain to completion.
+    pub fn push_batch_to(&mut self, elem: usize, port: usize, batch: PacketBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut stack = vec![(elem, port, batch)];
+        self.run_batch_stack(&mut stack);
+    }
+
+    /// Pushes a whole batch out of an element's output port.
+    pub fn push_batch_from(&mut self, elem: usize, out_port: usize, batch: PacketBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let mut stack = Vec::new();
+        let mut out = self.batch_out.take().unwrap_or_default();
+        self.enqueue_targets_batch(elem, out_port, batch, &mut stack, &mut out);
+        self.batch_out = Some(out);
+        self.run_batch_stack(&mut stack);
+    }
+
+    fn run_batch_stack(&mut self, stack: &mut Vec<(usize, usize, PacketBatch)>) {
+        // Same hop budget as the scalar engine, but per batch hop: a loop
+        // is broken after the same number of transfers, dropping whole
+        // batches. The emitter (with its storage free list) persists on
+        // the router so steady-state forwarding reuses batch allocations.
+        let mut budget = 64 + self.slots.len() * 64;
+        let mut out = self.batch_out.take().unwrap_or_default();
+        while let Some((e, port, mut batch)) = stack.pop() {
+            if budget == 0 {
+                self.drops_reentrant += batch.len() as u64;
+                batch.recycle_packets();
+                out.recycle_storage(batch);
+                continue;
+            }
+            budget -= 1;
+            {
+                let cell = &self.slots[e];
+                let Ok(mut el) = cell.try_borrow_mut() else {
+                    self.drops_reentrant += batch.len() as u64;
+                    batch.recycle_packets();
+                    out.recycle_storage(batch);
+                    continue;
+                };
+                el.push_batch(port, batch, &mut out);
+            }
+            // Groups pop in reverse emission order; pushing them onto the
+            // stack leaves the first-emitted group on top, so processing
+            // stays depth-first like the scalar engine.
+            while let Some((oport, b)) = out.pop_group() {
+                self.enqueue_targets_batch(e, oport, b, stack, &mut out);
+            }
+        }
+        self.batch_out = Some(out);
+    }
+
+    fn enqueue_targets_batch(
+        &mut self,
+        e: usize,
+        oport: usize,
+        mut batch: PacketBatch,
+        stack: &mut Vec<(usize, usize, PacketBatch)>,
+        out: &mut BatchEmitter,
+    ) {
+        let targets = match self.out_conns[e].get(oport) {
+            Some(t) if !t.is_empty() => t.clone(),
+            _ => {
+                self.drops_unconnected += batch.len() as u64;
+                batch.recycle_packets();
+                out.recycle_storage(batch);
+                return;
+            }
+        };
+        let (first, rest) = targets.split_first().expect("targets nonempty");
+        if rest.is_empty() {
+            stack.push((first.0, first.1, batch));
+            return;
+        }
+        // Fan-out (Tee-style unconnected duplication): the original batch
+        // goes to the first target, pooled clones to the rest; pushed in
+        // connection order so the last connection is processed first, as
+        // in the scalar engine.
+        let clones: Vec<PacketBatch> = rest
+            .iter()
+            .map(|_| {
+                let mut nb = out.take_storage();
+                nb.extend(batch.iter().cloned());
+                nb
+            })
+            .collect();
+        stack.push((first.0, first.1, batch));
+        for (&(te, tp), nb) in rest.iter().zip(clones) {
+            stack.push((te, tp, nb));
+        }
+    }
+
     // ---- pull path -----------------------------------------------------
 
     /// Pulls a packet into an element's input port from whatever is
@@ -376,6 +569,37 @@ impl<S: Slot> Router<S> {
         el.pull(out_port, &mut ctx)
     }
 
+    /// Pulls up to `max` packets into an element's input port in one
+    /// batched transfer; returns how many arrived.
+    pub fn pull_batch_input_of(
+        &mut self,
+        elem: usize,
+        in_port: usize,
+        max: usize,
+        into: &mut PacketBatch,
+    ) -> usize {
+        let Some(&(se, sp)) = self.in_conns[elem].get(in_port).and_then(|c| c.first()) else {
+            return 0;
+        };
+        self.pull_batch_output_of(se, sp, max, into)
+    }
+
+    /// Asks an element to produce up to `max` packets on an output port.
+    pub fn pull_batch_output_of(
+        &mut self,
+        elem: usize,
+        out_port: usize,
+        max: usize,
+        into: &mut PacketBatch,
+    ) -> usize {
+        let cell = Rc::clone(&self.slots[elem]);
+        let Ok(mut el) = cell.try_borrow_mut() else {
+            return 0;
+        };
+        let mut ctx = RouterPullCtx { router: self, elem };
+        el.pull_batch(out_port, max, &mut ctx, into)
+    }
+
     // ---- task scheduling -------------------------------------------------
 
     /// Runs every task element once; returns packets moved.
@@ -384,8 +608,13 @@ impl<S: Slot> Router<S> {
         let mut moved = 0;
         for t in tasks {
             let cell = Rc::clone(&self.slots[t]);
-            let Ok(mut el) = cell.try_borrow_mut() else { continue };
-            let mut ctx = RouterTaskCtx { router: self, elem: t };
+            let Ok(mut el) = cell.try_borrow_mut() else {
+                continue;
+            };
+            let mut ctx = RouterTaskCtx {
+                router: self,
+                elem: t,
+            };
             moved += el.run_task(&mut ctx);
         }
         moved
@@ -440,6 +669,28 @@ impl<S: Slot> TaskContext for RouterTaskCtx<'_, S> {
     }
     fn tx_push(&mut self, dev: DeviceId, p: Packet) {
         self.router.devices.tx_push(dev, p)
+    }
+    fn batching(&self) -> bool {
+        self.router.batching
+    }
+    fn burst(&self) -> usize {
+        self.router.batch_burst
+    }
+    fn rx_pop_batch(&mut self, dev: DeviceId, max: usize, into: &mut PacketBatch) -> usize {
+        self.router.devices.rx_pop_batch(dev, max, into)
+    }
+    fn emit_batch(&mut self, port: usize, batch: &mut PacketBatch) {
+        let owned = std::mem::take(batch);
+        self.router.push_batch_from(self.elem, port, owned);
+        // Hand the task fresh storage from the engine free list so its
+        // scratch batch keeps a warmed-up capacity.
+        *batch = self.router.take_batch_storage();
+    }
+    fn pull_batch(&mut self, port: usize, max: usize, into: &mut PacketBatch) -> usize {
+        self.router.pull_batch_input_of(self.elem, port, max, into)
+    }
+    fn tx_push_batch(&mut self, dev: DeviceId, batch: &mut PacketBatch) {
+        self.router.devices.tx_push_batch(dev, batch)
     }
 }
 
@@ -498,9 +749,7 @@ mod tests {
 
     #[test]
     fn queue_to_device_pull_path() {
-        let mut r = dyn_router(
-            "FromDevice(in0) -> q :: Queue(8) -> ToDevice(out0);",
-        );
+        let mut r = dyn_router("FromDevice(in0) -> q :: Queue(8) -> ToDevice(out0);");
         let in0 = r.devices.id("in0").unwrap();
         let out0 = r.devices.id("out0").unwrap();
         for _ in 0..5 {
@@ -525,9 +774,8 @@ mod tests {
 
     #[test]
     fn pull_through_agnostic_element() {
-        let mut r = dyn_router(
-            "FromDevice(in0) -> q :: Queue(8) -> n :: Counter -> ToDevice(out0);",
-        );
+        let mut r =
+            dyn_router("FromDevice(in0) -> q :: Queue(8) -> n :: Counter -> ToDevice(out0);");
         let in0 = r.devices.id("in0").unwrap();
         let out0 = r.devices.id("out0").unwrap();
         for _ in 0..3 {

@@ -18,7 +18,12 @@ struct Node<T> {
 
 impl<T> Default for IpTrie<T> {
     fn default() -> Self {
-        IpTrie { nodes: vec![Node { children: [None, None], value: None }] }
+        IpTrie {
+            nodes: vec![Node {
+                children: [None, None],
+                value: None,
+            }],
+        }
     }
 }
 
@@ -43,7 +48,10 @@ impl<T> IpTrie<T> {
                 Some(n) => n as usize,
                 None => {
                     let n = self.nodes.len();
-                    self.nodes.push(Node { children: [None, None], value: None });
+                    self.nodes.push(Node {
+                        children: [None, None],
+                        value: None,
+                    });
                     self.nodes[cur].children[bit] = Some(n as u32);
                     n
                 }
@@ -178,14 +186,20 @@ mod tests {
         // brute-force longest-match scan.
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         let mut t = IpTrie::new();
         let mut prefixes: Vec<(u32, u8, usize)> = Vec::new();
         for i in 0..200 {
             let plen = (next() % 33) as u8;
-            let addr = if plen == 0 { 0 } else { next() & (u32::MAX << (32 - plen)) };
+            let addr = if plen == 0 {
+                0
+            } else {
+                next() & (u32::MAX << (32 - plen))
+            };
             // Only record first-insert per exact prefix to mirror replace
             // semantics simply.
             if t.insert(addr, plen, i).is_none() {

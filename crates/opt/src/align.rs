@@ -32,13 +32,22 @@ pub struct Alignment {
 impl Alignment {
     /// Creates an alignment, normalizing the offset.
     pub fn new(modulus: u32, offset: u32) -> Alignment {
-        assert!(modulus.is_power_of_two(), "alignment modulus must be a power of two");
-        Alignment { modulus, offset: offset % modulus }
+        assert!(
+            modulus.is_power_of_two(),
+            "alignment modulus must be a power of two"
+        );
+        Alignment {
+            modulus,
+            offset: offset % modulus,
+        }
     }
 
     /// The bottom element: no guarantee.
     pub fn unknown() -> Alignment {
-        Alignment { modulus: 1, offset: 0 }
+        Alignment {
+            modulus: 1,
+            offset: 0,
+        }
     }
 
     /// The lattice meet: the strongest guarantee implied by both.
@@ -55,7 +64,10 @@ impl Alignment {
     pub fn shift(self, n: i64) -> Alignment {
         let m = i64::from(self.modulus);
         let off = (i64::from(self.offset) + n).rem_euclid(m) as u32;
-        Alignment { modulus: self.modulus, offset: off }
+        Alignment {
+            modulus: self.modulus,
+            offset: off,
+        }
     }
 
     /// True if this guarantee satisfies requirement `req`.
@@ -85,9 +97,9 @@ enum Behavior {
 
 #[derive(Debug, Clone, Copy)]
 enum ShiftBy {
-    ConfigArg0,        // Strip(n): +n
-    ConfigArg0Neg,     // Unstrip(n): -n
-    Fixed(i64),        // EtherEncap: -14
+    ConfigArg0,    // Strip(n): +n
+    ConfigArg0Neg, // Unstrip(n): -n
+    Fixed(i64),    // EtherEncap: -14
 }
 
 fn behavior(base: &str) -> Behavior {
@@ -124,7 +136,11 @@ fn requirement(base: &str) -> Option<Alignment> {
 }
 
 fn first_int_arg(config: &str) -> Option<i64> {
-    click_core::config::split_args(config).first()?.trim().parse().ok()
+    click_core::config::split_args(config)
+        .first()?
+        .trim()
+        .parse()
+        .ok()
 }
 
 fn align_config(config: &str) -> Option<Alignment> {
@@ -186,7 +202,10 @@ pub fn analyze(graph: &RouterGraph) -> AlignmentAnalysis {
         if guard > max_iters {
             break; // oscillation guard (meet is monotone, so unreachable)
         }
-        let input = at_input.get(&id).copied().unwrap_or_else(Alignment::unknown);
+        let input = at_input
+            .get(&id)
+            .copied()
+            .unwrap_or_else(Alignment::unknown);
         let out = transfer(graph, id, input);
         for c in graph.outputs_of(id) {
             let t = c.to.element;
@@ -227,7 +246,7 @@ pub struct AlignReport {
 /// use click_core::lang::read_config;
 /// use click_opt::align::align;
 ///
-/// 
+///
 /// let mut g = read_config(
 ///     "FromDevice(a) -> Strip(12) -> CheckIPHeader -> Queue -> ToDevice(b);",
 /// )?;
@@ -265,7 +284,11 @@ pub fn align(graph: &mut RouterGraph) -> Result<AlignReport> {
         let violation = graph.elements().find_map(|(id, decl)| {
             let base = devirt_base(decl.class()).unwrap_or(decl.class());
             let req = requirement(base)?;
-            let have = analysis.at_input.get(&id).copied().unwrap_or_else(Alignment::unknown);
+            let have = analysis
+                .at_input
+                .get(&id)
+                .copied()
+                .unwrap_or_else(Alignment::unknown);
             if have.satisfies(req) {
                 None
             } else {
@@ -388,7 +411,11 @@ mod tests {
         let spec = IpRouterSpec::standard(2);
         let mut g = read_config(&spec.config()).unwrap();
         let report = align(&mut g).unwrap();
-        assert!(report.inserted.is_empty(), "unexpected aligns: {:?}", report.inserted);
+        assert!(
+            report.inserted.is_empty(),
+            "unexpected aligns: {:?}",
+            report.inserted
+        );
         assert!(g.elements().any(|(_, e)| e.class() == "AlignmentInfo"));
     }
 
@@ -401,7 +428,11 @@ mod tests {
         let mut g = read_config(&spec.config()).unwrap();
         crate::xform::apply_patterns(&mut g, &crate::xform::ip_combo_patterns().unwrap()).unwrap();
         let report = align(&mut g).unwrap();
-        assert!(report.inserted.is_empty(), "unexpected aligns: {:?}", report.inserted);
+        assert!(
+            report.inserted.is_empty(),
+            "unexpected aligns: {:?}",
+            report.inserted
+        );
     }
 
     #[test]
@@ -433,10 +464,9 @@ mod tests {
 
     #[test]
     fn align_is_idempotent() {
-        let mut g = read_config(
-            "FromDevice(a) -> Strip(12) -> CheckIPHeader -> Queue -> ToDevice(b);",
-        )
-        .unwrap();
+        let mut g =
+            read_config("FromDevice(a) -> Strip(12) -> CheckIPHeader -> Queue -> ToDevice(b);")
+                .unwrap();
         align(&mut g).unwrap();
         let after_first = g.elements().filter(|(_, e)| e.class() == "Align").count();
         let report = align(&mut g).unwrap();

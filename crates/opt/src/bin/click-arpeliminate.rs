@@ -7,6 +7,9 @@
 fn main() {
     click_opt::tool::run_tool("click-arpeliminate", |graph| {
         let report = click_opt::combine::eliminate_arp(graph)?;
-        Ok(format!("rewrote {} ARPQuerier(s) into EtherEncap", report.rewritten.len()))
+        Ok(format!(
+            "rewrote {} ARPQuerier(s) into EtherEncap",
+            report.rewritten.len()
+        ))
     });
 }

@@ -6,6 +6,9 @@
 
 fn main() {
     click_opt::tool::run_tool("click-flatten", |graph| {
-        Ok(format!("{} element(s) after flattening", graph.element_count()))
+        Ok(format!(
+            "{} element(s) after flattening",
+            graph.element_count()
+        ))
     });
 }

@@ -5,7 +5,9 @@
 use std::io::Read as _;
 
 fn main() {
-    let title = std::env::args().nth(1).unwrap_or_else(|| "Click configuration".to_owned());
+    let title = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Click configuration".to_owned());
     let mut text = String::new();
     if let Err(e) = std::io::stdin().read_to_string(&mut text) {
         eprintln!("click-pretty: reading stdin: {e}");

@@ -13,9 +13,10 @@ fn main() {
         } else {
             let mut text = String::new();
             for f in &files {
-                text.push_str(&std::fs::read_to_string(f).map_err(|e| {
-                    click_core::Error::graph(format!("reading {f}: {e}"))
-                })?);
+                text.push_str(
+                    &std::fs::read_to_string(f)
+                        .map_err(|e| click_core::Error::graph(format!("reading {f}: {e}")))?,
+                );
                 text.push('\n');
             }
             click_opt::xform::PatternSet::parse(&text)?

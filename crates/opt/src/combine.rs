@@ -40,7 +40,11 @@ pub struct LinkSpec {
 impl LinkSpec {
     /// Parses `A.eth0 -> B.eth1`.
     pub fn parse(s: &str) -> Result<LinkSpec> {
-        let bad = || Error::spec(format!("bad link specification {s:?} (want `A.dev -> B.dev`)"));
+        let bad = || {
+            Error::spec(format!(
+                "bad link specification {s:?} (want `A.dev -> B.dev`)"
+            ))
+        };
         let (from, to) = s.split_once("->").ok_or_else(bad)?;
         let (fr, fd) = from.trim().split_once('.').ok_or_else(bad)?;
         let (tr, td) = to.trim().split_once('.').ok_or_else(bad)?;
@@ -88,7 +92,15 @@ impl LinkSpec {
 pub fn combine(routers: &[(String, RouterGraph)], links: &[LinkSpec]) -> Result<RouterGraph> {
     let mut out = RouterGraph::new();
     let mut manifest = String::new();
-    let _ = writeln!(manifest, "routers {}", routers.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(" "));
+    let _ = writeln!(
+        manifest,
+        "routers {}",
+        routers
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
 
     // Copy every router under its prefix.
     let mut id_maps: HashMap<String, HashMap<ElementId, ElementId>> = HashMap::new();
@@ -98,7 +110,11 @@ pub fn combine(routers: &[(String, RouterGraph)], links: &[LinkSpec]) -> Result<
         }
         let mut map = HashMap::new();
         for (id, decl) in graph.elements() {
-            let new = out.add_element(format!("{name}/{}", decl.name()), decl.class(), decl.config())?;
+            let new = out.add_element(
+                format!("{name}/{}", decl.name()),
+                decl.class(),
+                decl.config(),
+            )?;
             map.insert(id, new);
         }
         for c in graph.connections() {
@@ -115,18 +131,21 @@ pub fn combine(routers: &[(String, RouterGraph)], links: &[LinkSpec]) -> Result<
 
     // Splice each link.
     for link in links {
-        let find_device = |router: &str, class_match: &dyn Fn(&str) -> bool, device: &str| -> Result<ElementId> {
-            out.elements()
-                .find(|(_, e)| {
-                    e.name().starts_with(&format!("{router}/"))
-                        && class_match(devirt_base(e.class()).unwrap_or(e.class()))
-                        && split_args(e.config()).first().map(String::as_str) == Some(device)
-                })
-                .map(|(id, _)| id)
-                .ok_or_else(|| {
-                    Error::graph(format!("router {router:?} has no device element for {device:?}"))
-                })
-        };
+        let find_device =
+            |router: &str, class_match: &dyn Fn(&str) -> bool, device: &str| -> Result<ElementId> {
+                out.elements()
+                    .find(|(_, e)| {
+                        e.name().starts_with(&format!("{router}/"))
+                            && class_match(devirt_base(e.class()).unwrap_or(e.class()))
+                            && split_args(e.config()).first().map(String::as_str) == Some(device)
+                    })
+                    .map(|(id, _)| id)
+                    .ok_or_else(|| {
+                        Error::graph(format!(
+                            "router {router:?} has no device element for {device:?}"
+                        ))
+                    })
+            };
         let to_dev = find_device(&link.from_router, &|c| c == "ToDevice", &link.from_device)?;
         let from_dev = find_device(
             &link.to_router,
@@ -141,7 +160,10 @@ pub fn combine(routers: &[(String, RouterGraph)], links: &[LinkSpec]) -> Result<
         let rl = out.add_element(
             link.link_name(),
             "RouterLink",
-            format!("{}.{} -> {}.{}", link.from_router, link.from_device, link.to_router, link.to_device),
+            format!(
+                "{}.{} -> {}.{}",
+                link.from_router, link.from_device, link.to_router, link.to_device
+            ),
         )?;
         for u in &upstreams {
             out.connect(*u, PortRef::new(rl, 0))?;
@@ -206,14 +228,18 @@ pub fn uncombine(combined: &RouterGraph, router: &str) -> Result<RouterGraph> {
     // Reconstruct device endpoints from link manifest lines:
     // `link NAME FROM_ROUTER FROM_DEV TO_ROUTER TO_DEV FROM_CLASS`.
     for line in manifest.lines() {
-        let Some(rest) = line.strip_prefix("link ") else { continue };
+        let Some(rest) = line.strip_prefix("link ") else {
+            continue;
+        };
         let f: Vec<&str> = rest.split_whitespace().collect();
         if f.len() != 6 {
             return Err(Error::graph(format!("malformed manifest line {line:?}")));
         }
         let (link_name, from_router, from_dev, to_router, to_dev, from_class) =
             (f[0], f[1], f[2], f[3], f[4], f[5]);
-        let Some(link_id) = combined.find(link_name) else { continue };
+        let Some(link_id) = combined.find(link_name) else {
+            continue;
+        };
         if from_router == router {
             // Reattach a ToDevice where the link consumed packets.
             let td = out.add_anon_element("ToDevice", from_dev);
@@ -251,9 +277,8 @@ pub type RouterLoop = Vec<String>;
 /// (each cycle reported once, as discovered by DFS).
 pub fn check_loop_freedom(combined: &RouterGraph) -> Vec<RouterLoop> {
     // Edges between router namespaces, via RouterLink elements.
-    let router_of = |name: &str| -> Option<String> {
-        name.split_once('/').map(|(r, _)| r.to_owned())
-    };
+    let router_of =
+        |name: &str| -> Option<String> { name.split_once('/').map(|(r, _)| r.to_owned()) };
     let mut edges: Vec<(String, String)> = Vec::new();
     for (id, decl) in combined.elements() {
         if devirt_base(decl.class()).unwrap_or(decl.class()) != "RouterLink" {
@@ -294,8 +319,11 @@ pub fn check_loop_freedom(combined: &RouterGraph) -> Vec<RouterLoop> {
         if let Some(pos) = stack.iter().position(|n| n == node) {
             let mut cycle: RouterLoop = stack[pos..].to_vec();
             // Canonicalize: rotate so the smallest name leads.
-            if let Some(min_idx) =
-                cycle.iter().enumerate().min_by_key(|(_, n)| (*n).clone()).map(|(i, _)| i)
+            if let Some(min_idx) = cycle
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, n)| (*n).clone())
+                .map(|(i, _)| i)
             {
                 cycle.rotate_left(min_idx);
             }
@@ -389,7 +417,9 @@ pub fn eliminate_arp(graph: &mut RouterGraph) -> Result<ArpEliminationReport> {
         // Extract MACs: ours from the querier config, the peer's from the
         // responder's advertisement.
         let aq_args = split_args(graph.element(aq).config());
-        let Some(our_mac) = aq_args.get(1).cloned() else { continue };
+        let Some(our_mac) = aq_args.get(1).cloned() else {
+            continue;
+        };
         let peer_entry = split_args(graph.element(ar2).config());
         let Some(peer_mac) = peer_entry
             .first()
@@ -455,15 +485,17 @@ mod tests {
     #[test]
     fn combine_prefixes_and_links() {
         let routers = two_routers();
-        let combined =
-            combine(&routers, &[LinkSpec::parse("A.eth1 -> B.eth0").unwrap()]).unwrap();
+        let combined = combine(&routers, &[LinkSpec::parse("A.eth1 -> B.eth0").unwrap()]).unwrap();
         // A's eth1 ToDevice and B's eth0 PollDevice are gone; one
         // RouterLink appears.
         assert!(combined.elements().all(|(_, e)| {
             !(e.name().starts_with("A/") && e.class() == "ToDevice" && e.config() == "eth1")
         }));
         assert_eq!(
-            combined.elements().filter(|(_, e)| e.class() == "RouterLink").count(),
+            combined
+                .elements()
+                .filter(|(_, e)| e.class() == "RouterLink")
+                .count(),
             1
         );
         assert!(combined.find("A/rt").is_some());
@@ -485,8 +517,7 @@ mod tests {
     #[test]
     fn uncombine_restores_devices_across_link() {
         let routers = two_routers();
-        let combined =
-            combine(&routers, &[LinkSpec::parse("A.eth1 -> B.eth0").unwrap()]).unwrap();
+        let combined = combine(&routers, &[LinkSpec::parse("A.eth1 -> B.eth0").unwrap()]).unwrap();
         let a = uncombine(&combined, "A").unwrap();
         // A regains a ToDevice(eth1).
         assert!(a
@@ -553,7 +584,10 @@ mod tests {
     #[test]
     fn loop_freedom_passes_acyclic_network() {
         let mut routers = two_routers();
-        routers.push(("C".into(), read_config(&IpRouterSpec::standard(2).config()).unwrap()));
+        routers.push((
+            "C".into(),
+            read_config(&IpRouterSpec::standard(2).config()).unwrap(),
+        ));
         let combined = combine(
             &routers,
             &[

@@ -100,7 +100,11 @@ pub fn merge_trees(a: &DecisionTree, port: usize, b: &DecisionTree) -> DecisionT
         Step::Node(i) => Step::Node(i + shift),
         other => remap_a(other, b_start),
     };
-    let merged = DecisionTree { exprs, start, noutputs: a_remaining + b.noutputs };
+    let merged = DecisionTree {
+        exprs,
+        start,
+        noutputs: a_remaining + b.noutputs,
+    };
     debug_assert!(merged.validate().is_ok(), "merged tree invalid");
     let _ = a_outs_before;
     merged
@@ -140,13 +144,21 @@ fn generate_source(class_name: &str, matcher: &FastMatcher, tree: &DecisionTree)
     let _ = writeln!(s, "pub struct {};", class_name.replace("@@", "_"));
     let _ = writeln!(s, "impl {} {{", class_name.replace("@@", "_"));
     let _ = writeln!(s, "    #[inline]");
-    let _ = writeln!(s, "    pub fn length_unchecked_push(data: &[u8]) -> Option<usize> {{");
+    let _ = writeln!(
+        s,
+        "    pub fn length_unchecked_push(data: &[u8]) -> Option<usize> {{"
+    );
     match matcher {
-        FastMatcher::Constant { .. } | FastMatcher::SingleCheck { .. } | FastMatcher::DoubleCheck { .. } => {
+        FastMatcher::Constant { .. }
+        | FastMatcher::SingleCheck { .. }
+        | FastMatcher::DoubleCheck { .. } => {
             for line in matcher.to_string().split(' ') {
                 let _ = writeln!(s, "        // {line}");
             }
-            let _ = writeln!(s, "        // straight-line compare(s) with inlined constants");
+            let _ = writeln!(
+                s,
+                "        // straight-line compare(s) with inlined constants"
+            );
         }
         FastMatcher::Program(p) => {
             for (i, ins) in p.instrs().iter().enumerate() {
@@ -210,7 +222,9 @@ pub fn fastclassifier(graph: &mut RouterGraph) -> Result<FastClassifierReport> {
     let check = click_core::check::check(&harness, &click_core::registry::Library::standard());
     if !check.is_ok() {
         let first = check.errors().next().expect("has errors");
-        return Err(Error::check(format!("fastclassifier harness invalid: {first}")));
+        return Err(Error::check(format!(
+            "fastclassifier harness invalid: {first}"
+        )));
     }
     let mut dumps = String::new();
     let mut trees: HashMap<String, DecisionTree> = HashMap::new();
@@ -222,7 +236,9 @@ pub fn fastclassifier(graph: &mut RouterGraph) -> Result<FastClassifierReport> {
         let parsed: DecisionTree = dump.parse()?;
         trees.insert(decl.name().to_owned(), parsed);
     }
-    graph.archive_mut().insert("fastclassifier_harness_output", dumps);
+    graph
+        .archive_mut()
+        .insert("fastclassifier_harness_output", dumps);
 
     // Step 4 & 5: generate one class per distinct optimized tree and
     // rewrite declarations.
@@ -245,7 +261,9 @@ pub fn fastclassifier(graph: &mut RouterGraph) -> Result<FastClassifierReport> {
             }
         };
         let matcher = FastMatcher::compile(&tree);
-        report.specialized.push((name, class.clone(), matcher.shape()));
+        report
+            .specialized
+            .push((name, class.clone(), matcher.shape()));
         graph.set_class(id, class);
         graph.set_config(id, matcher.to_string());
     }
@@ -284,7 +302,9 @@ fn combine_adjacent(graph: &mut RouterGraph, report: &mut FastClassifierReport) 
                 break 'outer;
             }
         }
-        let Some((a, port, b)) = candidate else { return Ok(()) };
+        let Some((a, port, b)) = candidate else {
+            return Ok(());
+        };
         let a_decl = graph.element(a);
         let b_decl = graph.element(b);
         let tree_a = tree_for("Classifier", a_decl.config())?;

@@ -64,12 +64,14 @@ mod tests {
 
     #[test]
     fn lists_each_class_once() {
-        let g = read_config(
-            "FromDevice(a) -> c1 :: Counter -> c2 :: Counter -> Queue -> ToDevice(b);",
-        )
-        .unwrap();
+        let g =
+            read_config("FromDevice(a) -> c1 :: Counter -> c2 :: Counter -> Queue -> ToDevice(b);")
+                .unwrap();
         let m = mkmindriver(&g);
-        assert_eq!(m.classes, vec!["Counter", "FromDevice", "Queue", "ToDevice"]);
+        assert_eq!(
+            m.classes,
+            vec!["Counter", "FromDevice", "Queue", "ToDevice"]
+        );
         assert!(m.generated.is_empty());
     }
 

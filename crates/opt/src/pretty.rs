@@ -4,7 +4,10 @@ use click_core::graph::RouterGraph;
 use std::fmt::Write as _;
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 /// Pretty-prints a configuration as a standalone HTML document with a
@@ -13,7 +16,11 @@ fn escape(s: &str) -> String {
 pub fn pretty_html(graph: &RouterGraph, title: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "<!DOCTYPE html>");
-    let _ = writeln!(out, "<html><head><meta charset=\"utf-8\"><title>{}</title>", escape(title));
+    let _ = writeln!(
+        out,
+        "<html><head><meta charset=\"utf-8\"><title>{}</title>",
+        escape(title)
+    );
     let _ = writeln!(
         out,
         "<style>body{{font-family:sans-serif}}table{{border-collapse:collapse}}\
@@ -21,10 +28,17 @@ pub fn pretty_html(graph: &RouterGraph, title: &str) -> String {
     );
     let _ = writeln!(out, "<h1>{}</h1>", escape(title));
     if !graph.requirements().is_empty() {
-        let _ = writeln!(out, "<p>requires: <code>{}</code></p>", escape(&graph.requirements().join(", ")));
+        let _ = writeln!(
+            out,
+            "<p>requires: <code>{}</code></p>",
+            escape(&graph.requirements().join(", "))
+        );
     }
     let _ = writeln!(out, "<h2>Elements ({})</h2>", graph.element_count());
-    let _ = writeln!(out, "<table><tr><th>name</th><th>class</th><th>configuration</th></tr>");
+    let _ = writeln!(
+        out,
+        "<table><tr><th>name</th><th>class</th><th>configuration</th></tr>"
+    );
     for (_, decl) in graph.elements() {
         let _ = writeln!(
             out,
@@ -36,7 +50,10 @@ pub fn pretty_html(graph: &RouterGraph, title: &str) -> String {
     }
     let _ = writeln!(out, "</table>");
     let _ = writeln!(out, "<h2>Connections ({})</h2>", graph.connections().len());
-    let _ = writeln!(out, "<table><tr><th>from</th><th>port</th><th>to</th><th>port</th></tr>");
+    let _ = writeln!(
+        out,
+        "<table><tr><th>from</th><th>port</th><th>to</th><th>port</th></tr>"
+    );
     for c in graph.connections() {
         let from = escape(graph.element(c.from.element).name());
         let to = escape(graph.element(c.to.element).name());

@@ -91,13 +91,18 @@ mod tests {
 
     #[test]
     fn parse_args_splits_flags_and_positional() {
-        let args: Vec<String> =
-            ["--exclude", "q0", "file.click", "--verbose"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--exclude", "q0", "file.click", "--verbose"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let (flags, pos) = parse_args(&args, &["exclude"]);
-        assert_eq!(flags, vec![
-            ("exclude".to_owned(), Some("q0".to_owned())),
-            ("verbose".to_owned(), None)
-        ]);
+        assert_eq!(
+            flags,
+            vec![
+                ("exclude".to_owned(), Some("q0".to_owned())),
+                ("verbose".to_owned(), None)
+            ]
+        );
         assert_eq!(pos, vec!["file.click"]);
     }
 

@@ -82,8 +82,7 @@ fn live_set(graph: &RouterGraph, library: &Library) -> HashSet<ElementId> {
     let mut queue: VecDeque<ElementId> = VecDeque::new();
     for (id, decl) in graph.elements() {
         let base = devirt_base(decl.class()).unwrap_or(decl.class());
-        let is_source =
-            base != "Idle" && library.resolve(base).is_some_and(|s| s.packet_source);
+        let is_source = base != "Idle" && library.resolve(base).is_some_and(|s| s.packet_source);
         let is_information = library.resolve(base).is_some_and(|s| s.information);
         if is_source || is_information {
             live.insert(id);
@@ -138,7 +137,10 @@ pub fn undead(graph: &mut RouterGraph, library: &Library) -> Result<UndeadReport
     fold_switches(graph, &mut report);
 
     let live = live_set(graph, library);
-    let dead: Vec<ElementId> = graph.element_ids().filter(|id| !live.contains(id)).collect();
+    let dead: Vec<ElementId> = graph
+        .element_ids()
+        .filter(|id| !live.contains(id))
+        .collect();
 
     // Record ports of live elements fed by dead ones (they orphan).
     let mut orphaned: Vec<PortRef> = Vec::new();
@@ -217,10 +219,9 @@ mod tests {
 
     #[test]
     fn negative_switch_discards() {
-        let mut g = read_config(
-            "InfiniteSource(5) -> s :: Switch(-1); s [0] -> a :: Counter -> Discard;",
-        )
-        .unwrap();
+        let mut g =
+            read_config("InfiniteSource(5) -> s :: Switch(-1); s [0] -> a :: Counter -> Discard;")
+                .unwrap();
         undead(&mut g, &lib()).unwrap();
         assert!(g.find("s").is_none());
         assert!(g.find("a").is_none());
@@ -231,10 +232,8 @@ mod tests {
 
     #[test]
     fn live_elements_untouched() {
-        let mut g = read_config(
-            "FromDevice(a) -> c :: Counter -> q :: Queue -> ToDevice(b);",
-        )
-        .unwrap();
+        let mut g =
+            read_config("FromDevice(a) -> c :: Counter -> q :: Queue -> ToDevice(b);").unwrap();
         let report = undead(&mut g, &lib()).unwrap();
         assert!(report.removed.is_empty());
         assert_eq!(g.element_count(), 4);
@@ -273,7 +272,10 @@ mod tests {
         let report = undead(&mut g, &lib()).unwrap();
         assert_eq!(report.folded_switches.len(), 1);
         assert!(g.element_count() < before);
-        assert!(!g.elements().any(|(_, e)| e.class() == "Counter"), "branch 0 removed");
+        assert!(
+            !g.elements().any(|(_, e)| e.class() == "Counter"),
+            "branch 0 removed"
+        );
         assert!(check(&g, &lib()).is_ok());
     }
 

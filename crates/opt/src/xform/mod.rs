@@ -84,10 +84,16 @@ impl PatternSet {
                 return Err(Error::spec(format!("pattern {name:?} has no elements")));
             }
             let replacement = elaborate_fragment(&rbody, &rformals)?;
-            pairs.push(PatternPair { name, pattern, replacement });
+            pairs.push(PatternPair {
+                name,
+                pattern,
+                replacement,
+            });
         }
         if let Some(orphan) = replacements.keys().next() {
-            return Err(Error::spec(format!("replacement {orphan:?} has no pattern")));
+            return Err(Error::spec(format!(
+                "replacement {orphan:?} has no pattern"
+            )));
         }
         Ok(PatternSet { pairs })
     }
@@ -134,7 +140,10 @@ fn apply_match(graph: &mut RouterGraph, pair: &PatternPair, m: &Match) -> Result
         if c.to.element == rep.output {
             rep_in.insert(port, PortalTarget::Passthrough(c.to.port));
         } else {
-            match rep_in.entry(port).or_insert_with(|| PortalTarget::Inner(Vec::new())) {
+            match rep_in
+                .entry(port)
+                .or_insert_with(|| PortalTarget::Inner(Vec::new()))
+            {
                 PortalTarget::Inner(v) => v.push((new_ids[&c.to.element], c.to.port)),
                 PortalTarget::Passthrough(_) => {
                     return Err(Error::graph(format!(
@@ -150,7 +159,10 @@ fn apply_match(graph: &mut RouterGraph, pair: &PatternPair, m: &Match) -> Result
         if c.from.element == rep.input {
             continue; // passthrough handled on the input side
         }
-        if rep_out.insert(c.to.port, (new_ids[&c.from.element], c.from.port)).is_some() {
+        if rep_out
+            .insert(c.to.port, (new_ids[&c.from.element], c.from.port))
+            .is_some()
+        {
             return Err(Error::graph(format!(
                 "replacement {:?} has multiple sources for output {}",
                 pair.name, c.to.port
@@ -183,7 +195,10 @@ fn apply_match(graph: &mut RouterGraph, pair: &PatternPair, m: &Match) -> Result
         for c in graph.inputs_of(cn) {
             if !matched.contains(&c.from.element) {
                 let portal = pat_in[&(cn, c.to.port)];
-                external_in_by_portal.entry(portal).or_default().push(c.from);
+                external_in_by_portal
+                    .entry(portal)
+                    .or_default()
+                    .push(c.from);
             }
         }
     }
@@ -202,7 +217,10 @@ fn apply_match(graph: &mut RouterGraph, pair: &PatternPair, m: &Match) -> Result
                 }
             }
             Some(PortalTarget::Passthrough(out_portal)) => {
-                let sinks = external_out_by_portal.get(out_portal).cloned().unwrap_or_default();
+                let sinks = external_out_by_portal
+                    .get(out_portal)
+                    .cloned()
+                    .unwrap_or_default();
                 for src in sources {
                     for sink in &sinks {
                         let _ = graph.connect(*src, *sink);
@@ -253,8 +271,11 @@ fn apply_match(graph: &mut RouterGraph, pair: &PatternPair, m: &Match) -> Result
 /// # Ok::<(), click_core::Error>(())
 /// ```
 pub fn apply_patterns(graph: &mut RouterGraph, patterns: &PatternSet) -> Result<usize> {
-    let matchers: Vec<Matcher<'_>> =
-        patterns.pairs.iter().map(|p| Matcher::new(&p.pattern)).collect();
+    let matchers: Vec<Matcher<'_>> = patterns
+        .pairs
+        .iter()
+        .map(|p| Matcher::new(&p.pattern))
+        .collect();
     let mut applied = 0usize;
     let budget = 1000 + graph.element_count() * 4;
     loop {
@@ -327,10 +348,13 @@ mod tests {
 
     #[test]
     fn parse_rejects_unpaired_and_misnamed() {
-        assert!(PatternSet::parse("elementclass Foo_pattern { input -> Counter -> output; }")
-            .is_err());
-        assert!(PatternSet::parse("elementclass Foo_replacement { input -> Counter -> output; }")
-            .is_err());
+        assert!(
+            PatternSet::parse("elementclass Foo_pattern { input -> Counter -> output; }").is_err()
+        );
+        assert!(
+            PatternSet::parse("elementclass Foo_replacement { input -> Counter -> output; }")
+                .is_err()
+        );
         assert!(PatternSet::parse("elementclass Foo { input -> Counter -> output; }").is_err());
         assert!(PatternSet::parse("Idle -> Discard;").is_err());
     }
@@ -413,15 +437,33 @@ mod tests {
         let before = g.element_count();
         let n = apply_patterns(&mut g, &ip_combo_patterns().unwrap()).unwrap();
         assert_eq!(n, 4, "expected 4 replacements, got {n}");
-        assert_eq!(g.elements().filter(|(_, e)| e.class() == "IPInputCombo").count(), 2);
-        assert_eq!(g.elements().filter(|(_, e)| e.class() == "IPOutputCombo").count(), 2);
+        assert_eq!(
+            g.elements()
+                .filter(|(_, e)| e.class() == "IPInputCombo")
+                .count(),
+            2
+        );
+        assert_eq!(
+            g.elements()
+                .filter(|(_, e)| e.class() == "IPOutputCombo")
+                .count(),
+            2
+        );
         // 4 input-side elements → 1 and 6 output-side elements → 1 per
         // interface.
         assert_eq!(before - g.element_count(), (4 - 1 + 6 - 1) * 2);
         let report = check(&g, &Library::standard());
         assert!(report.is_ok(), "{:?}", report.errors().collect::<Vec<_>>());
-        let combo = g.elements().find(|(_, e)| e.class() == "IPOutputCombo").unwrap().1;
-        assert!(combo.config().contains("1500"), "MTU bound: {}", combo.config());
+        let combo = g
+            .elements()
+            .find(|(_, e)| e.class() == "IPOutputCombo")
+            .unwrap()
+            .1;
+        assert!(
+            combo.config().contains("1500"),
+            "MTU bound: {}",
+            combo.config()
+        );
     }
 
     #[test]
@@ -437,7 +479,9 @@ mod tests {
         .unwrap();
         let mut seed = 0xFEEDu64;
         let mut rand = move |n: usize| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as usize) % n
         };
         for _ in 0..60 {
@@ -457,7 +501,10 @@ mod tests {
             for c in g.connections() {
                 let a = g.element(c.from.element).class();
                 let b = g.element(c.to.element).class();
-                assert!(!(a == "Counter" && b == "Counter"), "fixpoint missed in:\n{src}");
+                assert!(
+                    !(a == "Counter" && b == "Counter"),
+                    "fixpoint missed in:\n{src}"
+                );
             }
             // The chain is still a single path from head to tail.
             let mut cur = g.find("head").unwrap();

@@ -109,7 +109,12 @@ impl<'a> Matcher<'a> {
                 ext_out.insert((c.from.element, c.from.port));
             }
         }
-        Matcher { pattern, nodes: ordered, ext_in, ext_out }
+        Matcher {
+            pattern,
+            nodes: ordered,
+            ext_in,
+            ext_out,
+        }
     }
 
     /// The non-pseudo pattern elements.
@@ -195,7 +200,14 @@ impl<'a> Matcher<'a> {
         let mut mapping: HashMap<ElementId, ElementId> = HashMap::new();
         let mut used: HashSet<ElementId> = HashSet::new();
         let mut bindings: Vec<(String, String)> = Vec::new();
-        if self.assign(0, config, &candidates, &mut mapping, &mut used, &mut bindings) {
+        if self.assign(
+            0,
+            config,
+            &candidates,
+            &mut mapping,
+            &mut used,
+            &mut bindings,
+        ) {
             Some(Match { mapping, bindings })
         } else {
             None
@@ -213,11 +225,21 @@ impl<'a> Matcher<'a> {
     }
 
     fn pattern_internal_in_degree(&self, n: ElementId) -> usize {
-        self.pattern.graph.inputs_of(n).iter().filter(|c| c.from.element != self.pattern.input).count()
+        self.pattern
+            .graph
+            .inputs_of(n)
+            .iter()
+            .filter(|c| c.from.element != self.pattern.input)
+            .count()
     }
 
     fn pattern_internal_out_degree(&self, n: ElementId) -> usize {
-        self.pattern.graph.outputs_of(n).iter().filter(|c| c.to.element != self.pattern.output).count()
+        self.pattern
+            .graph
+            .outputs_of(n)
+            .iter()
+            .filter(|c| c.to.element != self.pattern.output)
+            .count()
     }
 
     fn assign(
@@ -248,9 +270,15 @@ impl<'a> Matcher<'a> {
             // Edge consistency with already-assigned neighbors.
             let consistent = mapping.iter().all(|(&pm, &cm)| {
                 self.pattern_edges(pn, pm).iter().all(|&(fp, tp)| {
-                    config.connections_from(cn, fp).iter().any(|c| c.to.element == cm && c.to.port == tp)
+                    config
+                        .connections_from(cn, fp)
+                        .iter()
+                        .any(|c| c.to.element == cm && c.to.port == tp)
                 }) && self.pattern_edges(pm, pn).iter().all(|&(fp, tp)| {
-                    config.connections_from(cm, fp).iter().any(|c| c.to.element == cn && c.to.port == tp)
+                    config
+                        .connections_from(cm, fp)
+                        .iter()
+                        .any(|c| c.to.element == cn && c.to.port == tp)
                 })
             });
             if !consistent {
@@ -272,7 +300,11 @@ impl<'a> Matcher<'a> {
     /// The boundary condition: every config edge incident to the matched
     /// set is either an internal pattern edge or at a pattern
     /// input/output attachment point.
-    fn check_boundary(&self, config: &RouterGraph, mapping: &HashMap<ElementId, ElementId>) -> bool {
+    fn check_boundary(
+        &self,
+        config: &RouterGraph,
+        mapping: &HashMap<ElementId, ElementId>,
+    ) -> bool {
         let reverse: HashMap<ElementId, ElementId> =
             mapping.iter().map(|(&p, &c)| (c, p)).collect();
         for (&pn, &cn) in mapping {
@@ -323,8 +355,8 @@ impl<'a> Matcher<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use click_core::lang::{elaborate_fragment, parse, read_config};
     use click_core::lang::ast::Item;
+    use click_core::lang::{elaborate_fragment, parse, read_config};
 
     fn fragment(src: &str) -> Fragment {
         let program = parse(src).unwrap();
@@ -335,10 +367,8 @@ mod tests {
     #[test]
     fn matches_linear_chain() {
         let pat = fragment("input -> Strip(14) -> CheckIPHeader -> output;");
-        let config = read_config(
-            "Idle -> a :: Strip(14) -> b :: CheckIPHeader -> Discard;",
-        )
-        .unwrap();
+        let config =
+            read_config("Idle -> a :: Strip(14) -> b :: CheckIPHeader -> Discard;").unwrap();
         let m = Matcher::new(&pat).find(&config).expect("should match");
         assert_eq!(m.mapping.len(), 2);
     }
@@ -359,19 +389,26 @@ mod tests {
 
     #[test]
     fn wildcards_bind_consistently() {
-        let pat = fragment("input -> Paint($c) -> cp :: CheckPaint($c); cp [0] -> output; cp [1] -> [1] output;");
+        let pat = fragment(
+            "input -> Paint($c) -> cp :: CheckPaint($c); cp [0] -> output; cp [1] -> [1] output;",
+        );
         let good = read_config(
             "Idle -> Paint(3) -> cp :: CheckPaint(3); cp [0] -> Discard; cp [1] -> Discard;",
         )
         .unwrap();
-        let m = Matcher::new(&pat).find(&good).expect("consistent colors match");
+        let m = Matcher::new(&pat)
+            .find(&good)
+            .expect("consistent colors match");
         assert!(m.bindings.iter().any(|(k, v)| k == "c" && v == "3"));
 
         let bad = read_config(
             "Idle -> Paint(3) -> cp :: CheckPaint(4); cp [0] -> Discard; cp [1] -> Discard;",
         )
         .unwrap();
-        assert!(Matcher::new(&pat).find(&bad).is_none(), "inconsistent colors must not match");
+        assert!(
+            Matcher::new(&pat).find(&bad).is_none(),
+            "inconsistent colors must not match"
+        );
     }
 
     #[test]
@@ -392,22 +429,18 @@ mod tests {
     fn boundary_rejects_untracked_input() {
         let pat = fragment("input -> Strip(14) -> CheckIPHeader -> output;");
         // Someone else also feeds the CheckIPHeader directly.
-        let config = read_config(
-            "Idle -> s :: Strip(14) -> c :: CheckIPHeader -> Discard; Idle -> c;",
-        )
-        .unwrap();
+        let config =
+            read_config("Idle -> s :: Strip(14) -> c :: CheckIPHeader -> Discard; Idle -> c;")
+                .unwrap();
         assert!(Matcher::new(&pat).find(&config).is_none());
     }
 
     #[test]
     fn multiport_pattern_matches() {
-        let pat = fragment(
-            "input -> dt :: DecIPTTL; dt [0] -> output; dt [1] -> [1] output;",
-        );
-        let config = read_config(
-            "Idle -> d :: DecIPTTL; d [0] -> Discard; d [1] -> Counter -> Discard;",
-        )
-        .unwrap();
+        let pat = fragment("input -> dt :: DecIPTTL; dt [0] -> output; dt [1] -> [1] output;");
+        let config =
+            read_config("Idle -> d :: DecIPTTL; d [0] -> Discard; d [1] -> Counter -> Discard;")
+                .unwrap();
         let m = Matcher::new(&pat).find(&config).expect("should match");
         assert_eq!(m.mapping.len(), 1);
     }

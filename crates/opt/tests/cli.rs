@@ -12,7 +12,12 @@ fn run_tool(exe: &str, args: &[&str], stdin: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .unwrap_or_else(|e| panic!("spawn {exe}: {e}"));
-    child.stdin.as_mut().expect("stdin").write_all(stdin.as_bytes()).expect("write stdin");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
     let out = child.wait_with_output().expect("tool runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -41,11 +46,13 @@ fn check_accepts_good_and_rejects_bad() {
 
 #[test]
 fn fastclassifier_pipe_produces_archive_that_rechecks() {
-    let (stdout, stderr, ok) =
-        run_tool(env!("CARGO_BIN_EXE_click-fastclassifier"), &[], ROUTERISH);
+    let (stdout, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_click-fastclassifier"), &[], ROUTERISH);
     assert!(ok, "{stderr}");
     assert!(stderr.contains("specialized 1 classifier"), "{stderr}");
-    assert!(stdout.starts_with("!<click-archive>"), "generated code must ride in an archive");
+    assert!(
+        stdout.starts_with("!<click-archive>"),
+        "generated code must ride in an archive"
+    );
     // The output is itself a valid tool input.
     let (stdout2, _, ok) = run_tool(env!("CARGO_BIN_EXE_click-check"), &[], &stdout);
     assert!(ok, "optimized output fails click-check");
@@ -67,8 +74,9 @@ fn three_stage_pipe_matches_paper_chain() {
     let graph = click_core::lang::read_config(&s3).expect("final stage parses");
     assert!(graph.has_requirement("fastclassifier"));
     assert!(graph.has_requirement("devirtualize"));
-    assert!(graph.elements().any(|(_, e)| e.class() == "IPInputCombo__DV1"
-        || e.class().starts_with("IPInputCombo__DV")));
+    assert!(graph.elements().any(
+        |(_, e)| e.class() == "IPInputCombo__DV1" || e.class().starts_with("IPInputCombo__DV")
+    ));
 }
 
 #[test]
@@ -82,7 +90,11 @@ fn devirtualize_exclude_flag() {
     assert!(ok);
     let graph = click_core::lang::read_config(&stdout).unwrap();
     let keep = graph.find("keep").unwrap();
-    assert_eq!(graph.element(keep).class(), "Counter", "excluded element untouched");
+    assert_eq!(
+        graph.element(keep).class(),
+        "Counter",
+        "excluded element untouched"
+    );
 }
 
 #[test]
@@ -113,7 +125,13 @@ fn flatten_compiles_away_compounds() {
     assert!(ok);
     assert!(!stdout.contains("elementclass"));
     let graph = click_core::lang::read_config(&stdout).unwrap();
-    assert_eq!(graph.elements().filter(|(_, e)| e.class() == "Counter").count(), 2);
+    assert_eq!(
+        graph
+            .elements()
+            .filter(|(_, e)| e.class() == "Counter")
+            .count(),
+        2
+    );
 }
 
 #[test]
@@ -126,8 +144,11 @@ fn mkmindriver_lists_classes() {
 
 #[test]
 fn pretty_emits_html() {
-    let (stdout, _, ok) =
-        run_tool(env!("CARGO_BIN_EXE_click-pretty"), &["my router"], ROUTERISH);
+    let (stdout, _, ok) = run_tool(
+        env!("CARGO_BIN_EXE_click-pretty"),
+        &["my router"],
+        ROUTERISH,
+    );
     assert!(ok);
     assert!(stdout.contains("<!DOCTYPE html>"));
     assert!(stdout.contains("my router"));
@@ -150,12 +171,15 @@ fn combine_uncombine_pipe() {
         .args(["--link", "A.eth1 -> B.eth0"])
         .output()
         .expect("combine runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let combined = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(combined.contains("RouterLink"));
 
-    let (elim, stderr, ok) =
-        run_tool(env!("CARGO_BIN_EXE_click-arpeliminate"), &[], &combined);
+    let (elim, stderr, ok) = run_tool(env!("CARGO_BIN_EXE_click-arpeliminate"), &[], &combined);
     assert!(ok, "{stderr}");
     assert!(stderr.contains("rewrote 1 ARPQuerier"), "{stderr}");
 
@@ -187,6 +211,12 @@ fn xform_with_custom_pattern_file() {
     assert!(ok, "{stderr}");
     assert!(stderr.contains("applied 2 replacement(s)"), "{stderr}");
     let graph = click_core::lang::read_config(&stdout).unwrap();
-    assert_eq!(graph.elements().filter(|(_, e)| e.class() == "Null").count(), 1);
+    assert_eq!(
+        graph
+            .elements()
+            .filter(|(_, e)| e.class() == "Null")
+            .count(),
+        1
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

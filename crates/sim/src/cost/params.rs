@@ -39,6 +39,11 @@ pub struct CostParams {
     /// Cache misses on the forwarding path when headers are read
     /// (paper §8.2: "two to read the packet's Ethernet and IP headers").
     pub fwd_mem_misses: f64,
+    /// Per-packet bookkeeping of the batched engine's inner loop (bounds
+    /// check + iterator advance per packet inside `push_batch`). Charged
+    /// only by the batched cost model; the amortization of `scheduling`
+    /// and transfer cycles across a batch must beat it to win.
+    pub batch_loop: f64,
 }
 
 impl Default for CostParams {
@@ -52,6 +57,7 @@ impl Default for CostParams {
             fast_node: 6.0,
             fast_entry: 8.0,
             fwd_mem_misses: 2.0,
+            batch_loop: 3.0,
         }
     }
 }
@@ -201,7 +207,13 @@ impl Platform {
 
     /// P2: P1 with 64-bit/66 MHz PCI.
     pub fn p2() -> Platform {
-        Platform { name: "P2", pci_bits: 64, pci_mhz: 66.0, pci_overhead_ns: 258.0, ..Platform::p1() }
+        Platform {
+            name: "P2",
+            pci_bits: 64,
+            pci_mhz: 66.0,
+            pci_overhead_ns: 258.0,
+            ..Platform::p1()
+        }
     }
 
     /// P3: 1.6 GHz Athlon MP with 64-bit/66 MHz PCI.
@@ -220,7 +232,12 @@ impl Platform {
 
     /// All four platforms, in order.
     pub fn all() -> Vec<Platform> {
-        vec![Platform::p0(), Platform::p1(), Platform::p2(), Platform::p3()]
+        vec![
+            Platform::p0(),
+            Platform::p1(),
+            Platform::p2(),
+            Platform::p3(),
+        ]
     }
 
     /// Converts compute cycles (measured in 700 MHz-equivalent cycles) to

@@ -59,7 +59,10 @@ pub fn evaluation_traffic(spec: &IpRouterSpec) -> TrafficSpec {
     (0..half)
         .map(|src| {
             let dst = (src + half) % n;
-            (spec.interfaces[src].device.clone(), test_packet(spec, src, dst).data().to_vec())
+            (
+                spec.interfaces[src].device.clone(),
+                test_packet(spec, src, dst).data().to_vec(),
+            )
         })
         .collect()
 }

@@ -70,7 +70,12 @@ pub struct RunConfig {
 impl RunConfig {
     /// A standard run on `platform` with the given per-packet CPU cost.
     pub fn new(platform: Platform, cpu_ns_per_packet: f64) -> RunConfig {
-        RunConfig { platform, cpu_ns_per_packet, queue_capacity: 1000, duration_ns: 80_000_000 }
+        RunConfig {
+            platform,
+            cpu_ns_per_packet,
+            queue_capacity: 1000,
+            duration_ns: 80_000_000,
+        }
     }
 }
 
@@ -461,7 +466,10 @@ mod tests {
         let o = run_at_rate(&cfg, 200_000.0);
         let secs = cfg.duration_ns as f64 / 1e9;
         let offered = o.offered as f64 / secs;
-        assert!((offered - 200_000.0).abs() / 200_000.0 < 0.02, "offered {offered}");
+        assert!(
+            (offered - 200_000.0).abs() / 200_000.0 < 0.02,
+            "offered {offered}"
+        );
     }
 
     #[test]
@@ -474,7 +482,10 @@ mod tests {
             assert!(accounted <= o.offered);
             let in_flight = o.offered - accounted;
             let capacity = (RX_FIFO_DEPTH + RX_RING_SIZE + TX_RING_SIZE + 1000 + 2) as u64 * 4;
-            assert!(in_flight <= capacity, "in flight {in_flight} at rate {rate}");
+            assert!(
+                in_flight <= capacity,
+                "in flight {in_flight} at rate {rate}"
+            );
         }
     }
 

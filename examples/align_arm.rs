@@ -26,12 +26,18 @@ fn main() -> click::core::Result<()> {
     let chk = graph.find("chk").expect("element exists");
     let have = analysis.at_input[&chk];
     let want = Alignment::new(4, 0);
-    println!("CheckIPHeader expects {want}, would receive {have} — conflict: {}", !have.satisfies(want));
+    println!(
+        "CheckIPHeader expects {want}, would receive {have} — conflict: {}",
+        !have.satisfies(want)
+    );
 
     // click-align inserts the minimal set of Align elements.
     let report = align(&mut graph)?;
     for (upstream, port, req) in &report.inserted {
-        println!("inserted Align({}, {}) after {upstream}[{port}]", req.modulus, req.offset);
+        println!(
+            "inserted Align({}, {}) after {upstream}[{port}]",
+            req.modulus, req.offset
+        );
     }
 
     // The corrected configuration is ordinary Click text.
@@ -58,9 +64,16 @@ fn main() -> click::core::Result<()> {
     router.run_until_idle(100);
     let tx = router.devices.take_tx(out0);
     assert_eq!(tx.len(), 1);
-    assert_eq!(tx[0].alignment_offset(), 0, "Align produced a word-aligned packet");
+    assert_eq!(
+        tx[0].alignment_offset(),
+        0,
+        "Align produced a word-aligned packet"
+    );
     println!();
-    println!("forwarded packet data alignment: {} mod 4 (safe on ARM)", tx[0].alignment_offset());
+    println!(
+        "forwarded packet data alignment: {} mod 4 (safe on ARM)",
+        tx[0].alignment_offset()
+    );
 
     // Running click-align again changes nothing (idempotent).
     let second = align(&mut graph)?;

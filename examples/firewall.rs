@@ -7,7 +7,7 @@
 //! ```
 
 use click::classifier::firewall::{
-    dns5_packet, denied_packet, firewall_config, smtp_packet, RULE_COUNT,
+    denied_packet, dns5_packet, firewall_config, smtp_packet, RULE_COUNT,
 };
 use click::core::lang::read_config;
 use click::core::registry::Library;
@@ -61,7 +61,10 @@ fn main() -> click::core::Result<()> {
     println!();
     println!("generic IPFilter:    {passed_base} passed, {dropped_base} dropped");
     println!("specialized:         {passed_fast} passed, {dropped_fast} dropped");
-    assert_eq!(passed_base, passed_fast, "optimization must not change policy");
+    assert_eq!(
+        passed_base, passed_fast,
+        "optimization must not change policy"
+    );
     assert_eq!(dropped_base, dropped_fast);
 
     // The decision-tree view of what the optimizer did.

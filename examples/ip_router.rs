@@ -48,7 +48,10 @@ fn main() -> click::core::Result<()> {
         let dst = src + 4;
         let p = test_packet(&spec, src, dst);
         let dev_d = dyn_router.devices.id(&format!("eth{src}")).expect("device");
-        let dev_f = fast_router.devices.id(&format!("eth{src}")).expect("device");
+        let dev_f = fast_router
+            .devices
+            .id(&format!("eth{src}"))
+            .expect("device");
         dyn_router.devices.inject(dev_d, p.clone());
         fast_router.devices.inject(dev_f, p);
     }
@@ -56,7 +59,10 @@ fn main() -> click::core::Result<()> {
     fast_router.run_until_idle(10_000);
     for dst in 4..8usize {
         let dev_d = dyn_router.devices.id(&format!("eth{dst}")).expect("device");
-        let dev_f = fast_router.devices.id(&format!("eth{dst}")).expect("device");
+        let dev_f = fast_router
+            .devices
+            .id(&format!("eth{dst}"))
+            .expect("device");
         let a = dyn_router.devices.take_tx(dev_d);
         let b = fast_router.devices.take_tx(dev_f);
         assert_eq!(a.len(), b.len(), "engines disagree on eth{dst}");
@@ -66,7 +72,10 @@ fn main() -> click::core::Result<()> {
         sent.0 += a.len();
         sent.1 += b.len();
     }
-    println!("both engines forwarded {} packets with identical bytes", sent.0);
+    println!(
+        "both engines forwarded {} packets with identical bytes",
+        sent.0
+    );
 
     // Price both on the paper's 700 MHz testbed machine.
     let traffic = evaluation_traffic(&spec);

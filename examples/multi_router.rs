@@ -25,7 +25,12 @@ fn forward(graph: &click::core::RouterGraph, spec: &IpRouterSpec) -> Vec<Vec<u8>
     }
     router.run_until_idle(10_000);
     let eth1 = router.devices.id("eth1").expect("device");
-    router.devices.take_tx(eth1).iter().map(|p| p.data().to_vec()).collect()
+    router
+        .devices
+        .take_tx(eth1)
+        .iter()
+        .map(|p| p.data().to_vec())
+        .collect()
 }
 
 fn main() -> click::core::Result<()> {
@@ -48,7 +53,10 @@ fn main() -> click::core::Result<()> {
     println!(
         "combined configuration: {} elements, {} RouterLink(s)",
         combined.element_count(),
-        combined.elements().filter(|(_, e)| e.class() == "RouterLink").count()
+        combined
+            .elements()
+            .filter(|(_, e)| e.class() == "RouterLink")
+            .count()
     );
 
     // The link is point-to-point, so ARP on it is redundant.
@@ -71,7 +79,10 @@ fn main() -> click::core::Result<()> {
     let after = forward(&optimized_a, &spec);
     assert_eq!(before.len(), 4);
     assert_eq!(before, after, "ARP elimination changed forwarding behavior");
-    println!("forwarded {} packets; byte-identical with and without ARP machinery", before.len());
+    println!(
+        "forwarded {} packets; byte-identical with and without ARP machinery",
+        before.len()
+    );
 
     // Cost-model view of the saving (the paper's MR bar in Figure 9).
     let traffic = vec![(
@@ -79,10 +90,8 @@ fn main() -> click::core::Result<()> {
         test_packet(&spec, 0, 1).data().to_vec(),
     )];
     let p0 = click::sim::Platform::p0();
-    let base_ns =
-        click::sim::cost::path::router_cpu_cost(&router_a, &p0, &traffic)?.forwarding_ns;
-    let mr_ns =
-        click::sim::cost::path::router_cpu_cost(&optimized_a, &p0, &traffic)?.forwarding_ns;
+    let base_ns = click::sim::cost::path::router_cpu_cost(&router_a, &p0, &traffic)?.forwarding_ns;
+    let mr_ns = click::sim::cost::path::router_cpu_cost(&optimized_a, &p0, &traffic)?.forwarding_ns;
     println!();
     println!("forwarding path @700 MHz: {base_ns:.0} ns -> {mr_ns:.0} ns");
     println!("(the paper's MR step: 1101 -> 1061 ns when stacked on All)");

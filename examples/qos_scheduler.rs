@@ -57,8 +57,11 @@ fn main() -> click::core::Result<()> {
     router.run_until_idle(10_000);
 
     let sent = router.devices.take_tx(out);
-    println!("classified: {} priority, {} bulk", router.stat("prio_count", "count").unwrap(),
-        router.stat("bulk_count", "count").unwrap());
+    println!(
+        "classified: {} priority, {} bulk",
+        router.stat("prio_count", "count").unwrap(),
+        router.stat("bulk_count", "count").unwrap()
+    );
     println!("transmitted: {}", sent.len());
     println!("RED drops: {}", router.class_stat("RED", "drops"));
 
@@ -74,9 +77,12 @@ fn main() -> click::core::Result<()> {
         })
         .unwrap_or(sent.len());
     println!("first bulk packet leaves at position {first_bulk}");
-    assert!(sent.iter().take(2).all(|p| {
-        let d = p.data();
-        u16::from_be_bytes([d[14 + 22], d[14 + 23]]) == 5060
-    }), "priority class must lead the output");
+    assert!(
+        sent.iter().take(2).all(|p| {
+            let d = p.data();
+            u16::from_be_bytes([d[14 + 22], d[14 + 23]]) == 5060
+        }),
+        "priority class must lead the output"
+    );
     Ok(())
 }

@@ -24,7 +24,11 @@ fn main() -> click::core::Result<()> {
 
     // 1. Parse (compound elements would be elaborated away here too).
     let mut graph = read_config(source)?;
-    println!("parsed {} elements, {} connections", graph.element_count(), graph.connections().len());
+    println!(
+        "parsed {} elements, {} connections",
+        graph.element_count(),
+        graph.connections().len()
+    );
 
     // 2. Check it like Click would at install time.
     let lib = Library::standard();
@@ -40,7 +44,10 @@ fn main() -> click::core::Result<()> {
         fc.specialized[0].2
     );
     let dv = click::opt::devirtualize::devirtualize(&mut graph, &lib, &HashSet::new())?;
-    println!("click-devirtualize: {} specialized class(es)", dv.classes.len());
+    println!(
+        "click-devirtualize: {} specialized class(es)",
+        dv.classes.len()
+    );
 
     // 4. The optimized configuration is still a plain Click file.
     let text = write_config(&graph);
@@ -63,7 +70,13 @@ fn main() -> click::core::Result<()> {
     router.run_until_idle(1000);
     println!("--- run ---");
     println!("transmitted on out0:   {}", router.devices.tx_len(out0));
-    println!("IP packets counted:    {}", router.stat("ip_count", "count").unwrap());
-    println!("non-IP discarded:      {}", router.stat("other", "count").unwrap());
+    println!(
+        "IP packets counted:    {}",
+        router.stat("ip_count", "count").unwrap()
+    );
+    println!(
+        "non-IP discarded:      {}",
+        router.stat("other", "count").unwrap()
+    );
     Ok(())
 }

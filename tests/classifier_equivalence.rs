@@ -2,47 +2,81 @@
 //! compiled program, specialized matcher) and the reference condition
 //! evaluator agree on every packet, for randomly generated rule sets —
 //! and tree optimization never changes classification.
+//!
+//! Randomness comes from a fixed-seed LCG so the suite is deterministic
+//! and dependency-free; change the seed to explore a different corner of
+//! the space.
 
 use click::classifier::{
-    build_tree, optimize, parse_rules, Action, ClassifierProgram, Cond, FastMatcher, Rule,
+    build_tree, optimize, parse_rules, Action, Check, ClassifierProgram, Cond, FastMatcher, Rule,
     TreeClassifier,
 };
-use proptest::prelude::*;
+
+/// Deterministic 64-bit LCG (MMIX constants); high bits are well mixed.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n
+    }
+    fn word(&mut self) -> u32 {
+        (self.next() as u32) ^ ((self.next() as u32) << 16)
+    }
+}
 
 /// A random single-word check with plausible packet offsets.
-fn arb_check() -> impl Strategy<Value = Cond> {
-    (0u32..6, any::<u32>(), any::<u32>()).prop_map(|(word, mask, value)| {
-        let mask = mask | 1; // never trivially empty
-        Cond::Check(click::classifier::Check::new(word * 4, mask, value & mask))
-    })
+fn gen_check(r: &mut Lcg) -> Cond {
+    let word = r.below(6) as u32;
+    let mask = r.word() | 1; // never trivially empty
+    let value = r.word() & mask;
+    Cond::Check(Check::new(word * 4, mask, value))
 }
 
-fn arb_cond() -> impl Strategy<Value = Cond> {
-    let leaf = prop_oneof![
-        4 => arb_check(),
-        1 => Just(Cond::True),
-        1 => Just(Cond::False),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Cond::And),
-            prop::collection::vec(inner.clone(), 1..4).prop_map(Cond::Or),
-            inner.prop_map(|c| Cond::Not(Box::new(c))),
-        ]
-    })
+fn gen_cond(r: &mut Lcg, depth: usize) -> Cond {
+    if depth == 0 || r.below(2) == 0 {
+        return match r.below(6) {
+            0 => Cond::True,
+            1 => Cond::False,
+            _ => gen_check(r),
+        };
+    }
+    match r.below(3) {
+        0 => Cond::And(
+            (0..1 + r.below(3))
+                .map(|_| gen_cond(r, depth - 1))
+                .collect(),
+        ),
+        1 => Cond::Or(
+            (0..1 + r.below(3))
+                .map(|_| gen_cond(r, depth - 1))
+                .collect(),
+        ),
+        _ => Cond::Not(Box::new(gen_cond(r, depth - 1))),
+    }
 }
 
-fn arb_rules() -> impl Strategy<Value = Vec<Rule>> {
-    prop::collection::vec((arb_cond(), any::<bool>()), 1..6).prop_map(|rules| {
-        rules
-            .into_iter()
-            .enumerate()
-            .map(|(i, (cond, emit))| Rule {
-                cond,
-                action: if emit { Action::Emit(i) } else { Action::Drop },
-            })
-            .collect()
-    })
+fn gen_rules(r: &mut Lcg) -> Vec<Rule> {
+    (0..1 + r.below(5))
+        .map(|i| Rule {
+            cond: gen_cond(r, 3),
+            action: if r.below(2) == 0 {
+                Action::Emit(i)
+            } else {
+                Action::Drop
+            },
+        })
+        .collect()
+}
+
+fn gen_packet(r: &mut Lcg) -> Vec<u8> {
+    (0..r.below(48)).map(|_| r.next() as u8).collect()
 }
 
 /// Reference semantics: first matching rule decides.
@@ -58,49 +92,82 @@ fn reference(rules: &[Rule], data: &[u8]) -> Option<usize> {
     None
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn all_runtimes_agree(rules in arb_rules(), packets in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..8)) {
+#[test]
+fn all_runtimes_agree() {
+    let mut r = Lcg(0xC1A551F1E5);
+    for case in 0..128 {
+        let rules = gen_rules(&mut r);
         let noutputs = rules.len();
         let tree = build_tree(&rules, noutputs);
         let opt = optimize(&tree);
         let interp = TreeClassifier::new(&tree);
         let prog = ClassifierProgram::compile(&tree);
         let fast = FastMatcher::compile(&opt);
-        for data in &packets {
-            let expected = reference(&rules, data);
-            prop_assert_eq!(tree.classify(data), expected, "tree vs reference");
-            prop_assert_eq!(opt.classify(data), expected, "optimized tree vs reference");
-            prop_assert_eq!(interp.classify(data), expected, "interpreter vs reference");
-            prop_assert_eq!(prog.classify(data), expected, "program vs reference");
-            prop_assert_eq!(fast.classify(data), expected, "fast matcher vs reference");
+        for _ in 0..1 + r.below(7) {
+            let data = gen_packet(&mut r);
+            let expected = reference(&rules, &data);
+            assert_eq!(
+                tree.classify(&data),
+                expected,
+                "tree vs reference, case {case}"
+            );
+            assert_eq!(
+                opt.classify(&data),
+                expected,
+                "optimized tree vs reference, case {case}"
+            );
+            assert_eq!(
+                interp.classify(&data),
+                expected,
+                "interpreter vs reference, case {case}"
+            );
+            assert_eq!(
+                prog.classify(&data),
+                expected,
+                "program vs reference, case {case}"
+            );
+            assert_eq!(
+                fast.classify(&data),
+                expected,
+                "fast matcher vs reference, case {case}"
+            );
         }
     }
+}
 
-    #[test]
-    fn optimization_never_grows_depth(rules in arb_rules()) {
+#[test]
+fn optimization_never_grows_depth() {
+    let mut r = Lcg(0xDEE9);
+    for _ in 0..128 {
+        let rules = gen_rules(&mut r);
         let tree = build_tree(&rules, rules.len());
         let opt = optimize(&tree);
-        prop_assert!(opt.depth().unwrap() <= tree.depth().unwrap());
-        prop_assert!(opt.validate().is_ok());
+        assert!(opt.depth().unwrap() <= tree.depth().unwrap());
+        assert!(opt.validate().is_ok());
     }
+}
 
-    #[test]
-    fn program_serialization_round_trips(rules in arb_rules()) {
+#[test]
+fn program_serialization_round_trips() {
+    let mut r = Lcg(0x5E11A11);
+    for _ in 0..128 {
+        let rules = gen_rules(&mut r);
         let tree = build_tree(&rules, rules.len());
         let prog = ClassifierProgram::compile(&tree);
         let text = prog.to_string();
         let back: ClassifierProgram = text.parse().unwrap();
-        prop_assert_eq!(prog.instrs(), back.instrs());
+        assert_eq!(prog.instrs(), back.instrs());
     }
+}
 
-    #[test]
-    fn tree_serialization_round_trips(rules in arb_rules()) {
+#[test]
+fn tree_serialization_round_trips() {
+    let mut r = Lcg(0x7EE5);
+    for _ in 0..128 {
+        let rules = gen_rules(&mut r);
         let tree = build_tree(&rules, rules.len());
         let back: click::classifier::DecisionTree = tree.to_string().parse().unwrap();
-        prop_assert_eq!(tree, back);
+        assert_eq!(tree, back);
     }
 }
 

@@ -48,7 +48,12 @@ fn run_workload<S: Slot>(graph: &click::core::RouterGraph) -> (Vec<Vec<Vec<u8>>>
     let outputs = (0..N)
         .map(|d| {
             let id = router.devices.id(&format!("eth{d}")).expect("device");
-            router.devices.take_tx(id).iter().map(|p| p.data().to_vec()).collect()
+            router
+                .devices
+                .take_tx(id)
+                .iter()
+                .map(|p| p.data().to_vec())
+                .collect()
         })
         .collect();
     (outputs, router.class_stat("Discard", "count"))

@@ -19,8 +19,15 @@ fn forwarding_costs() -> HashMap<&'static str, f64> {
     variants
         .iter()
         .map(|v| {
-            let t = if v.name == "Simple" { &simple } else { &traffic };
-            (v.name, router_cpu_cost(&v.graph, &p0, t).unwrap().forwarding_ns)
+            let t = if v.name == "Simple" {
+                &simple
+            } else {
+                &traffic
+            };
+            (
+                v.name,
+                router_cpu_cost(&v.graph, &p0, t).unwrap().forwarding_ns,
+            )
         })
         .collect()
 }
@@ -31,8 +38,16 @@ fn figure8_breakdown_matches_paper_within_tolerance() {
     let g = click::core::lang::read_config(&spec.config()).unwrap();
     let cost = router_cpu_cost(&g, &Platform::p0(), &evaluation_traffic(&spec)).unwrap();
     let close = |model: f64, paper: f64, tol: f64| (model - paper).abs() / paper < tol;
-    assert!(close(cost.forwarding_ns, 1657.0, 0.05), "fwd {}", cost.forwarding_ns);
-    assert!(close(cost.total_ns(), 2905.0, 0.05), "total {}", cost.total_ns());
+    assert!(
+        close(cost.forwarding_ns, 1657.0, 0.05),
+        "fwd {}",
+        cost.forwarding_ns
+    );
+    assert!(
+        close(cost.total_ns(), 2905.0, 0.05),
+        "total {}",
+        cost.total_ns()
+    );
 }
 
 #[test]
@@ -51,7 +66,10 @@ fn figure9_orderings_hold() {
     assert!(c["Simple"] < 0.5 * c["All"]);
     // Headline: 34% reduction Base → All (paper), within a few points.
     let reduction = 1.0 - c["All"] / c["Base"];
-    assert!((0.30..=0.38).contains(&reduction), "reduction {reduction:.2}");
+    assert!(
+        (0.30..=0.38).contains(&reduction),
+        "reduction {reduction:.2}"
+    );
     // Overlap: XF + DV savings do not add up (paper: "applying both ...
     // is not much more useful than applying either one alone").
     let sum = (c["Base"] - c["XF"]) + (c["Base"] - c["DV"]);
@@ -74,7 +92,11 @@ fn figure10_mlffr_ordering_and_factors() {
     let mr_all = rate("MR+All");
     // Paper: 357k → 446k (+89k, a 1.25× ratio), MR+All a bit higher.
     assert!((320_000.0..380_000.0).contains(&base), "base {base}");
-    assert!((1.15..1.35).contains(&(all / base)), "All/Base {}", all / base);
+    assert!(
+        (1.15..1.35).contains(&(all / base)),
+        "All/Base {}",
+        all / base
+    );
     assert!(mr_all > all);
 }
 
@@ -135,7 +157,10 @@ fn figure12_platform_ratios() {
     let (a3, b3) = rates["P3"];
     assert!(b3 / b2 > 1.5, "P3/P2 base {}", b3 / b2);
     assert!(a3 / a2 > 1.3, "P3/P2 all {}", a3 / a2);
-    assert!(b3 / b2 > a3 / a2 * 0.99, "Base gains at least as much as All from CPU speed");
+    assert!(
+        b3 / b2 > a3 / a2 * 0.99,
+        "Base gains at least as much as All from CPU speed"
+    );
 }
 
 #[test]
@@ -164,5 +189,9 @@ fn section4_firewall_factor() {
     };
     let generic = params.tree_entry + count(&tree) as f64 * params.tree_node;
     let specialized = params.fast_entry + count(&opt) as f64 * params.fast_node;
-    assert!(generic / specialized > 2.0, "factor {:.2}", generic / specialized);
+    assert!(
+        generic / specialized > 2.0,
+        "factor {:.2}",
+        generic / specialized
+    );
 }

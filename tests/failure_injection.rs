@@ -10,15 +10,15 @@ use click::elements::Router;
 #[test]
 fn malformed_sources_error_cleanly() {
     for src in [
-        "a ->",                          // truncated
-        "a :: ;",                        // missing class
-        "-> b;",                         // missing source
-        "a [x] -> b;",                   // non-numeric port
-        "elementclass {}",               // unnamed compound
-        "a :: B(unclosed;",              // unterminated config
-        "/* forever",                    // unterminated comment
-        "a :: B; a :: C;",               // redeclaration
-        "input -> Discard;",             // pseudo port at top level
+        "a ->",                                                           // truncated
+        "a :: ;",                                                         // missing class
+        "-> b;",                                                          // missing source
+        "a [x] -> b;",                                                    // non-numeric port
+        "elementclass {}",                                                // unnamed compound
+        "a :: B(unclosed;",                                               // unterminated config
+        "/* forever",                                                     // unterminated comment
+        "a :: B; a :: C;",                                                // redeclaration
+        "input -> Discard;", // pseudo port at top level
         "elementclass R { input -> R -> output; } Idle -> R -> Discard;", // recursion
     ] {
         assert!(read_config(src).is_err(), "should reject: {src}");
@@ -32,7 +32,10 @@ fn malformed_archives_error_cleanly() {
         "!<click-archive>\nnot-an-entry\n",
         "!<click-archive>\n@entry noconfig 2\nhi\n",
     ] {
-        assert!(read_config(text).is_err(), "should reject archive: {text:?}");
+        assert!(
+            read_config(text).is_err(),
+            "should reject archive: {text:?}"
+        );
     }
 }
 
@@ -47,7 +50,10 @@ fn archive_config_with_bad_generated_code_fails_at_instantiation() {
     );
     let graph = read_config(&a.to_string()).expect("opaque configs parse");
     let err = DynRouter::from_graph(&graph, &Library::standard());
-    assert!(err.is_err(), "corrupt matcher must fail element construction");
+    assert!(
+        err.is_err(),
+        "corrupt matcher must fail element construction"
+    );
 }
 
 #[test]
@@ -73,8 +79,9 @@ fn bad_element_configs_fail_at_construction_not_at_runtime() {
 #[test]
 fn tools_reject_what_they_cannot_transform() {
     // fastclassifier on a syntactically valid but uncompilable classifier.
-    let mut g = read_config("Idle -> c :: Classifier(12/0800, -); c [0] -> Discard; c [1] -> Discard;")
-        .unwrap();
+    let mut g =
+        read_config("Idle -> c :: Classifier(12/0800, -); c [0] -> Discard; c [1] -> Discard;")
+            .unwrap();
     g.set_config(g.find("c").unwrap(), "bad pattern");
     assert!(click::opt::fastclassifier::fastclassifier(&mut g).is_err());
 

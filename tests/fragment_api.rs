@@ -29,7 +29,11 @@ fn fragment_expands_nested_compounds() {
         &[],
     )
     .unwrap();
-    let counters = f.graph.elements().filter(|(_, e)| e.class() == "Counter").count();
+    let counters = f
+        .graph
+        .elements()
+        .filter(|(_, e)| e.class() == "Counter")
+        .count();
     assert_eq!(counters, 2);
     let pseudo = f
         .graph
@@ -42,9 +46,17 @@ fn fragment_expands_nested_compounds() {
 #[test]
 fn fragment_formals_stay_symbolic() {
     // Pattern formals must remain `$var` wildcards after elaboration.
-    let f = elaborate_fragment(&items("input -> Paint($color) -> output;"), &["color".into()])
-        .unwrap();
-    let paint = f.graph.elements().find(|(_, e)| e.class() == "Paint").unwrap().1;
+    let f = elaborate_fragment(
+        &items("input -> Paint($color) -> output;"),
+        &["color".into()],
+    )
+    .unwrap();
+    let paint = f
+        .graph
+        .elements()
+        .find(|(_, e)| e.class() == "Paint")
+        .unwrap()
+        .1;
     assert_eq!(paint.config(), "$color");
 }
 

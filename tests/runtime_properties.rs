@@ -1,6 +1,9 @@
 //! Property tests on the runtime substrates: packet buffer invariants,
 //! push/pull resolution consistency, and routing-table behavior under
 //! random operation sequences.
+//!
+//! Randomness comes from a fixed-seed LCG so the suite is deterministic
+//! and dependency-free.
 
 use click::core::lang::read_config;
 use click::core::pushpull::resolve;
@@ -8,7 +11,24 @@ use click::core::registry::Library;
 use click::core::spec::PortKind;
 use click::elements::packet::Packet;
 use click::elements::routing::IpTrie;
-use proptest::prelude::*;
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() as usize) % n
+    }
+    fn word(&mut self) -> u32 {
+        (self.next() as u32) ^ ((self.next() as u32) << 16)
+    }
+}
 
 #[derive(Debug, Clone)]
 enum PacketOp {
@@ -19,82 +39,90 @@ enum PacketOp {
     Align(u8, u8),
 }
 
-fn arb_op() -> impl Strategy<Value = PacketOp> {
-    prop_oneof![
-        (0usize..40).prop_map(PacketOp::Pull),
-        (0usize..40).prop_map(PacketOp::Push),
-        (0usize..40).prop_map(PacketOp::Take),
-        (0usize..40).prop_map(PacketOp::Put),
-        (0u8..3, 0u8..8).prop_map(|(m, o)| {
-            let modulus = 1u8 << (m + 1); // 2, 4, 8
-            PacketOp::Align(modulus, o % modulus)
-        }),
-    ]
+fn gen_op(r: &mut Lcg) -> PacketOp {
+    match r.below(5) {
+        0 => PacketOp::Pull(r.below(40)),
+        1 => PacketOp::Push(r.below(40)),
+        2 => PacketOp::Take(r.below(40)),
+        3 => PacketOp::Put(r.below(40)),
+        _ => {
+            let modulus = 1u8 << (r.below(3) as u8 + 1); // 2, 4, 8
+            PacketOp::Align(modulus, (r.below(8) as u8) % modulus)
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The packet buffer never panics, never loses interior data on
-    /// pull/push round trips, and align preserves contents.
-    #[test]
-    fn packet_ops_never_corrupt(data in prop::collection::vec(any::<u8>(), 1..80),
-                                ops in prop::collection::vec(arb_op(), 0..24)) {
+/// The packet buffer never panics, never loses interior data on
+/// pull/push round trips, and align preserves contents.
+#[test]
+fn packet_ops_never_corrupt() {
+    let mut r = Lcg(0x9AC4E7);
+    for _ in 0..256 {
+        let data: Vec<u8> = (0..1 + r.below(79)).map(|_| r.next() as u8).collect();
         let mut p = Packet::from_data(&data);
-        for op in ops {
+        for _ in 0..r.below(24) {
             let before = p.data().to_vec();
-            match op {
+            match gen_op(&mut r) {
                 PacketOp::Pull(n) => {
                     p.pull(n);
                     let kept = before.len().saturating_sub(n);
-                    prop_assert_eq!(p.len(), kept);
-                    prop_assert_eq!(p.data(), &before[before.len() - kept..]);
+                    assert_eq!(p.len(), kept);
+                    assert_eq!(p.data(), &before[before.len() - kept..]);
                 }
                 PacketOp::Push(n) => {
                     p.push(n);
-                    prop_assert_eq!(p.len(), before.len() + n);
-                    prop_assert_eq!(&p.data()[n..], &before[..]);
+                    assert_eq!(p.len(), before.len() + n);
+                    assert_eq!(&p.data()[n..], &before[..]);
                 }
                 PacketOp::Take(n) => {
                     p.take(n);
                     let kept = before.len().saturating_sub(n);
-                    prop_assert_eq!(p.data(), &before[..kept]);
+                    assert_eq!(p.data(), &before[..kept]);
                 }
                 PacketOp::Put(n) => {
                     p.put(n);
-                    prop_assert_eq!(&p.data()[..before.len()], &before[..]);
-                    prop_assert!(p.data()[before.len()..].iter().all(|&b| b == 0));
+                    assert_eq!(&p.data()[..before.len()], &before[..]);
+                    assert!(p.data()[before.len()..].iter().all(|&b| b == 0));
                 }
                 PacketOp::Align(m, o) => {
                     p.align_to(m as usize, o as usize);
                     let m4 = (m as usize).clamp(1, 4);
-                    prop_assert_eq!(p.alignment_offset() % m4, (o as usize) % m4);
-                    prop_assert_eq!(p.data(), &before[..]);
+                    assert_eq!(p.alignment_offset() % m4, (o as usize) % m4);
+                    assert_eq!(p.data(), &before[..]);
                 }
             }
         }
     }
+}
 
-    /// Longest-prefix match agrees with a brute-force scan for arbitrary
-    /// route tables.
-    #[test]
-    fn trie_matches_linear_scan(routes in prop::collection::vec((any::<u32>(), 0u8..33), 0..64),
-                                queries in prop::collection::vec(any::<u32>(), 1..64)) {
+/// Longest-prefix match agrees with a brute-force scan for arbitrary
+/// route tables.
+#[test]
+fn trie_matches_linear_scan() {
+    let mut r = Lcg(0x72E1E);
+    for _ in 0..256 {
         let mut trie = IpTrie::new();
         let mut table: Vec<(u32, u8, usize)> = Vec::new();
-        for (i, (addr, plen)) in routes.iter().enumerate() {
-            let masked = if *plen == 0 { 0 } else { addr & (u32::MAX << (32 - *plen as u32)) };
-            trie.insert(masked, *plen, i);
-            table.retain(|&(a, l, _)| !(a == masked && l == *plen));
-            table.push((masked, *plen, i));
+        for i in 0..r.below(64) {
+            let addr = r.word();
+            let plen = r.below(33) as u8;
+            let masked = if plen == 0 {
+                0
+            } else {
+                addr & (u32::MAX << (32 - plen as u32))
+            };
+            trie.insert(masked, plen, i);
+            table.retain(|&(a, l, _)| !(a == masked && l == plen));
+            table.push((masked, plen, i));
         }
-        for q in queries {
+        for _ in 0..1 + r.below(63) {
+            let q = r.word();
             let expected = table
                 .iter()
                 .filter(|&&(a, l, _)| l == 0 || (q ^ a) >> (32 - l as u32) == 0)
                 .max_by_key(|&&(_, l, _)| l)
                 .map(|&(_, _, v)| v);
-            prop_assert_eq!(trie.lookup(q).copied(), expected);
+            assert_eq!(trie.lookup(q).copied(), expected);
         }
     }
 }
@@ -110,7 +138,9 @@ fn resolution_is_consistent_across_random_chains() {
     let lib = Library::standard();
     let mut seed = 0xC0FFEEu64;
     let mut rand = move |n: usize| {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((seed >> 33) as usize) % n
     };
     for _ in 0..200 {
@@ -133,7 +163,10 @@ fn resolution_is_consistent_across_random_chains() {
         // push→pull exactly once, i.e. contains exactly one Queue.
         match resolve(&graph, &lib) {
             Ok(pa) => {
-                assert_eq!(queues, 1, "push source to pull sink requires exactly one queue:\n{src}");
+                assert_eq!(
+                    queues, 1,
+                    "push source to pull sink requires exactly one queue:\n{src}"
+                );
                 for c in graph.connections() {
                     let out = pa.output(c.from.element, c.from.port);
                     let inp = pa.input(c.to.element, c.to.port);
@@ -142,7 +175,10 @@ fn resolution_is_consistent_across_random_chains() {
                 }
             }
             Err(_) => {
-                assert_ne!(queues, 1, "resolution failed despite exactly one queue:\n{src}");
+                assert_ne!(
+                    queues, 1,
+                    "resolution failed despite exactly one queue:\n{src}"
+                );
             }
         }
     }
@@ -157,7 +193,10 @@ fn resolution_is_consistent_across_random_chains() {
 fn queue_to_queue_is_a_conflict() {
     let lib = Library::standard();
     let g = read_config("FromDevice(a) -> Queue -> Queue -> ToDevice(b);").unwrap();
-    assert!(resolve(&g, &lib).is_err(), "pull output into push input must conflict");
+    assert!(
+        resolve(&g, &lib).is_err(),
+        "pull output into push input must conflict"
+    );
 }
 
 /// Pull→push bridges: both `RouterLink` (combined configurations) and
