@@ -12,5 +12,5 @@
 //! Run: `cargo bench -p click-bench --features bench-criterion --bench fig09_real_engine`
 
 fn main() {
-    click_bench::engine_bench::run_fig09(None);
+    click_bench::engine_bench::run_fig09(None, click_bench::engine_bench::BATCH);
 }

@@ -9,10 +9,61 @@
 //! root.
 //!
 //! Run: `cargo run --release -p click-bench --bin fig09_engine`
+//!
+//! Flags:
+//! * `--burst N` — packets per transfer batch in the batched series
+//!   (default 64).
+//! * `--shards N` — additionally measure the sharded runtime's
+//!   core-scaling critical path at N worker shards for the batched
+//!   Base/All endpoints (default: skip).
+
+use click_bench::engine_bench::{run_fig09, BATCH};
+use click_bench::flag_usize;
+use click_bench::parallel_bench::{flow_frames, measure_critical_path};
+use click_bench::{harness::Harness, ip_router_variants};
+use click_elements::ip_router::IpRouterSpec;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let burst = flag_usize(&args, "--burst", BATCH);
+    let shards = flag_usize(&args, "--shards", 1);
+
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_fig09.json");
-    click_bench::engine_bench::run_fig09(Some(&path));
+    run_fig09(Some(&path), burst);
+
+    if shards > 1 {
+        println!();
+        println!("sharded critical path at {shards} workers (see fig09_parallel for the sweep):");
+        let h = Harness::default();
+        let spec = IpRouterSpec::standard(4);
+        let variants = ip_router_variants(4).expect("variants build");
+        let frames = flow_frames(&spec);
+        for name in ["Base", "All"] {
+            let g = &variants
+                .iter()
+                .find(|v| v.name == name)
+                .expect("variant")
+                .graph;
+            let one = if g.has_requirement("devirtualize") {
+                measure_critical_path::<click_elements::fast::FastElement>(&h, g, &frames, true, 1)
+            } else {
+                measure_critical_path::<Box<dyn click_elements::Element>>(&h, g, &frames, true, 1)
+            };
+            let n = if g.has_requirement("devirtualize") {
+                measure_critical_path::<click_elements::fast::FastElement>(
+                    &h, g, &frames, true, shards,
+                )
+            } else {
+                measure_critical_path::<Box<dyn click_elements::Element>>(
+                    &h, g, &frames, true, shards,
+                )
+            };
+            println!(
+                "  {name}+batched: x1 {one:7.1} ns/pkt -> x{shards} {n:7.1} ns/pkt ({:.2}x)",
+                one / n
+            );
+        }
+    }
 }

@@ -1,0 +1,49 @@
+//! Core scaling of the sharded multi-core runtime: ns/packet and
+//! speedup at 1/2/4/8 worker shards for the Base and All routers,
+//! scalar and batched, plus the cost model's prediction.
+//!
+//! Writes `BENCH_fig09_parallel.json` at the repository root. The
+//! headline `ns_per_packet` is the measured critical path (trace
+//! partitioned by the runtime's own RSS hash, busiest shard timed
+//! serially, steering stage timed separately) — what N dedicated cores
+//! sustain; the threaded runtime's wall-clock on this host is reported
+//! alongside. See `crates/bench/src/parallel_bench.rs` for the
+//! methodology.
+//!
+//! Run: `cargo run --release -p click-bench --bin fig09_parallel`
+
+use click_bench::parallel_bench::{run_fig09_parallel, FLOWS, SHARD_COUNTS};
+use click_bench::{evaluation_spec, ip_router_variants};
+use click_sim::cost::path::router_cpu_cost_parallel;
+use click_sim::{parallel_traffic, Platform};
+
+fn main() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fig09_parallel.json");
+    run_fig09_parallel(Some(&path));
+
+    // The cost model's prediction for the same trace shape (64 flows,
+    // batched "All" graph on P0) — compared against the measured numbers
+    // in EXPERIMENTS.md.
+    println!();
+    println!("cost-model prediction (P0, batched All, {FLOWS} flows):");
+    let variants = ip_router_variants(8).expect("variants build");
+    let all = &variants
+        .iter()
+        .find(|v| v.name == "All")
+        .expect("All")
+        .graph;
+    let traffic = parallel_traffic(&evaluation_spec(), FLOWS);
+    for shards in SHARD_COUNTS {
+        let c = router_cpu_cost_parallel(all, &Platform::p0(), &traffic, 16, shards)
+            .expect("cost model");
+        println!(
+            "  x{shards}: {:7.1} ns/pkt  speedup {:.2}x  imbalance {:.2}  steer {:.1} ns",
+            c.ns_per_packet,
+            c.speedup(),
+            c.imbalance,
+            c.steer_ns
+        );
+    }
+}

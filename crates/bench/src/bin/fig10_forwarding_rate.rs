@@ -6,12 +6,21 @@
 //! rates (PCI-limited), while Base stays flat (CPU-limited).
 //!
 //! Run: `cargo run --release -p click-bench --bin fig10_forwarding_rate`
+//!
+//! Flags:
+//! * `--burst N` — batch size of the batched-engine MLFFR section
+//!   (default 64).
+//! * `--shards N` — additionally predict MLFFR on the sharded runtime at
+//!   N worker shards (default: skip).
 
-use click_bench::{evaluation_spec, ip_router_variants, row};
-use click_sim::cost::path::{router_cpu_cost, router_cpu_cost_batched};
-use click_sim::{evaluation_traffic, sweep, Platform, RunConfig};
+use click_bench::{evaluation_spec, flag_usize, ip_router_variants, row};
+use click_sim::cost::path::{router_cpu_cost, router_cpu_cost_batched, router_cpu_cost_parallel};
+use click_sim::{evaluation_traffic, parallel_traffic, sweep, Platform, RunConfig};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let burst = flag_usize(&args, "--burst", 64);
+    let shards = flag_usize(&args, "--shards", 1);
     let spec = evaluation_spec();
     let variants = ip_router_variants(8).expect("variants build");
     let traffic = evaluation_traffic(&spec);
@@ -70,14 +79,31 @@ fn main() {
     }
 
     println!();
-    println!("MLFFR with batched engine (batch 64; not a paper figure):");
+    println!("MLFFR with batched engine (batch {burst}; not a paper figure):");
     for name in ["Base", "All"] {
         let v = variants.iter().find(|v| v.name == name).unwrap();
-        let cpu = router_cpu_cost_batched(&v.graph, &p0, &traffic, 64)
+        let cpu = router_cpu_cost_batched(&v.graph, &p0, &traffic, burst)
             .unwrap()
             .total_ns();
         let cfg = RunConfig::new(p0.clone(), cpu);
         let m = click_sim::mlffr(&cfg) / 1000.0;
-        println!("  {name:7}+b64  model {m:6.0}");
+        println!("  {name:7}+b{burst}  model {m:6.0}");
+    }
+
+    if shards > 1 {
+        println!();
+        println!("MLFFR on the sharded runtime ({shards} workers, batch {burst}, 64 flows):");
+        let flow_traffic = parallel_traffic(&spec, 64);
+        for name in ["Base", "All"] {
+            let v = variants.iter().find(|v| v.name == name).unwrap();
+            let c = router_cpu_cost_parallel(&v.graph, &p0, &flow_traffic, burst, shards).unwrap();
+            let cfg = RunConfig::new(p0.clone(), c.ns_per_packet);
+            let m = click_sim::mlffr(&cfg) / 1000.0;
+            println!(
+                "  {name:7}+b{burst} x{shards}  model {m:6.0}  (cpu speedup {:.2}x, imbalance {:.2})",
+                c.speedup(),
+                c.imbalance
+            );
+        }
     }
 }

@@ -60,10 +60,7 @@ fn run_once<S: Slot>(
     router.run_until_idle(10_000);
     let mut sent = 0;
     for &d in devs {
-        for p in router.devices.take_tx(d) {
-            sent += 1;
-            p.recycle();
-        }
+        sent += router.devices.recycle_tx(d);
     }
     sent
 }
@@ -97,13 +94,13 @@ fn measure_variant<S: Slot>(
     name: &str,
     graph: &RouterGraph,
     frames: &[(usize, Packet)],
-    batched: bool,
+    batched: Option<usize>,
 ) -> EngineResult {
     let lib = Library::standard();
     let mut router: Router<S> = Router::from_graph(graph, &lib).expect("router builds");
-    if batched {
+    if let Some(burst) = batched {
         router.set_batching(true);
-        router.set_batch_burst(BATCH);
+        router.set_batch_burst(burst);
     }
     let devs = device_ids(&router);
     assert_eq!(
@@ -127,7 +124,7 @@ fn measure_on_natural_engine(
     name: &str,
     graph: &RouterGraph,
     frames: &[(usize, Packet)],
-    batched: bool,
+    batched: Option<usize>,
 ) -> EngineResult {
     if graph.has_requirement("devirtualize") {
         measure_variant::<click_elements::fast::FastElement>(h, name, graph, frames, batched)
@@ -137,27 +134,31 @@ fn measure_on_natural_engine(
 }
 
 /// Runs the full Figure-9 engine measurement: every optimization variant
-/// in scalar mode, plus batched runs of the interesting endpoints, and
-/// optionally writes the machine-readable results to `json_path`.
-pub fn run_fig09(json_path: Option<&std::path::Path>) -> Vec<EngineResult> {
+/// in scalar mode, plus batched runs (at `burst` packets per transfer
+/// batch) of the interesting endpoints, and optionally writes the
+/// machine-readable results to `json_path`.
+pub fn run_fig09(json_path: Option<&std::path::Path>, burst: usize) -> Vec<EngineResult> {
     let h = Harness::default();
     let spec = IpRouterSpec::standard(N_IFACES);
     let variants = ip_router_variants(N_IFACES).expect("variants build");
     let frames = frames(&spec);
 
-    println!("fig09_real_engine: {BATCH} x 64-byte UDP per iteration, {N_IFACES} interfaces");
+    println!(
+        "fig09_real_engine: {BATCH} x 64-byte UDP per iteration, {N_IFACES} interfaces, \
+         burst {burst}"
+    );
     println!();
     let mut results = Vec::new();
     for v in &variants {
         if v.name == "Simple" {
             continue; // different workload shape; covered by the sim model
         }
-        let r = measure_on_natural_engine(&h, v.name, &v.graph, &frames, false);
+        let r = measure_on_natural_engine(&h, v.name, &v.graph, &frames, None);
         report("fig09", &r.name, r.ns_per_packet * BATCH as f64, BATCH);
         results.push(r);
         // Batched series: the same graph, vector transfers.
         let bname = format!("{}+batched", v.name);
-        let rb = measure_on_natural_engine(&h, &bname, &v.graph, &frames, true);
+        let rb = measure_on_natural_engine(&h, &bname, &v.graph, &frames, Some(burst));
         report("fig09", &rb.name, rb.ns_per_packet * BATCH as f64, BATCH);
         results.push(rb);
     }
@@ -242,7 +243,7 @@ pub fn run_ablation_batch() {
     println!("ablation_batch: compiled 'All' router, {BATCH} x 64-byte UDP per iteration");
     println!();
     let scalar =
-        measure_variant::<click_elements::fast::FastElement>(&h, "scalar", all, &frames, false);
+        measure_variant::<click_elements::fast::FastElement>(&h, "scalar", all, &frames, None);
     report(
         "ablation_batch",
         "scalar",
@@ -264,14 +265,20 @@ pub fn run_ablation_batch() {
 
     println!();
     println!("dyn 'Base' reference:");
-    let dsc = measure_variant::<Box<dyn click_elements::Element>>(&h, "dyn", base, &frames, false);
+    let dsc = measure_variant::<Box<dyn click_elements::Element>>(&h, "dyn", base, &frames, None);
     report(
         "ablation_batch",
         "dyn-scalar",
         dsc.ns_per_packet * BATCH as f64,
         BATCH,
     );
-    let dba = measure_variant::<Box<dyn click_elements::Element>>(&h, "dyn-b", base, &frames, true);
+    let dba = measure_variant::<Box<dyn click_elements::Element>>(
+        &h,
+        "dyn-b",
+        base,
+        &frames,
+        Some(BATCH),
+    );
     report(
         "ablation_batch",
         "dyn-batched",
@@ -319,9 +326,14 @@ mod tests {
         let all = &variants.iter().find(|v| v.name == "All").unwrap().graph;
         let frames = frames(&spec);
         let scalar =
-            measure_variant::<click_elements::fast::FastElement>(&h, "scalar", all, &frames, false);
-        let batched =
-            measure_variant::<click_elements::fast::FastElement>(&h, "batched", all, &frames, true);
+            measure_variant::<click_elements::fast::FastElement>(&h, "scalar", all, &frames, None);
+        let batched = measure_variant::<click_elements::fast::FastElement>(
+            &h,
+            "batched",
+            all,
+            &frames,
+            Some(BATCH),
+        );
         assert!(
             scalar.ns_per_packet / batched.ns_per_packet >= 1.2,
             "batched {:.1} ns/pkt vs scalar {:.1} ns/pkt",

@@ -168,6 +168,19 @@ pub fn simple_config(pairs: &[(usize, usize)], queue_capacity: usize) -> String 
 /// Builds the standard forwarded test packet: a 64-byte-on-the-wire UDP
 /// packet from interface `src`'s neighbor to interface `dst`'s neighbor.
 pub fn test_packet(spec: &IpRouterSpec, src: usize, dst: usize) -> crate::packet::Packet {
+    test_packet_flow(spec, src, dst, 1234, 5678)
+}
+
+/// Like [`test_packet`], but with explicit UDP ports — distinct ports
+/// make distinct flows for the RSS-steered parallel runtime and its cost
+/// model (the 5-tuple hash spreads them across shards).
+pub fn test_packet_flow(
+    spec: &IpRouterSpec,
+    src: usize,
+    dst: usize,
+    sport: u16,
+    dport: u16,
+) -> crate::packet::Packet {
     let s = &spec.interfaces[src];
     let d = &spec.interfaces[dst];
     crate::headers::build_udp_packet(
@@ -175,8 +188,8 @@ pub fn test_packet(spec: &IpRouterSpec, src: usize, dst: usize) -> crate::packet
         s.mac, // addressed to the router
         s.neighbor_ip,
         d.neighbor_ip,
-        1234,
-        5678,
+        sport,
+        dport,
         18,
         64,
     )

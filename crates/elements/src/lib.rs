@@ -41,11 +41,16 @@ pub mod fast;
 pub mod headers;
 pub mod ip_router;
 pub mod packet;
+pub mod parallel;
+pub mod ring;
 pub mod router;
 pub mod routing;
+pub mod steer;
 
 pub use batch::{BatchEmitter, PacketBatch};
 pub use element::Element;
 pub use fast::CompiledRouter;
 pub use packet::Packet;
+pub use parallel::{ParallelOpts, ParallelRouter};
 pub use router::{DynRouter, Router};
+pub use steer::RssSteering;

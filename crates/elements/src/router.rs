@@ -163,8 +163,39 @@ impl DeviceBank {
     }
 
     /// Takes all packets transmitted on a device so far.
+    ///
+    /// The caller owns the packets; a caller that only counts or
+    /// inspects them should prefer [`DeviceBank::drain_tx_into`] (keeps
+    /// batch storage warm) or [`DeviceBank::recycle_tx`] (returns the
+    /// buffers to the packet pool), so long-running benchmarks do not
+    /// leak pool capacity one drained packet at a time.
     pub fn take_tx(&mut self, dev: DeviceId) -> Vec<Packet> {
         std::mem::take(&mut self.tx[dev.0])
+    }
+
+    /// Drains every packet transmitted on a device into `into` in one
+    /// batched transfer, reusing the batch's storage; returns how many
+    /// packets moved. The TX queue keeps its capacity for the next burst.
+    pub fn drain_tx_into(&mut self, dev: DeviceId, into: &mut PacketBatch) -> usize {
+        let q = &mut self.tx[dev.0];
+        let n = q.len();
+        into.extend(q.drain(..));
+        n
+    }
+
+    /// Drops every packet transmitted on a device, recycling their
+    /// buffers into the thread-local packet pool; returns how many were
+    /// recycled. This is the steady-state path for harnesses that drain
+    /// TX queues without looking at the bytes — unlike dropping the
+    /// result of [`DeviceBank::take_tx`], the buffer capacity survives
+    /// for the next allocation.
+    pub fn recycle_tx(&mut self, dev: DeviceId) -> usize {
+        let q = &mut self.tx[dev.0];
+        let n = q.len();
+        for p in q.drain(..) {
+            p.recycle();
+        }
+        n
     }
 
     /// Number of packets transmitted on a device (since last take).
@@ -836,6 +867,39 @@ mod tests {
         let a = r.find("a").unwrap();
         r.push_to(a, 0, Packet::new(10));
         assert!(r.reentrant_drops() >= 1);
+    }
+
+    #[test]
+    fn tx_drain_and_recycle_feed_the_pool() {
+        use crate::packet::{drain_pool, pool_stats, reset_pool_stats};
+        let mut r = dyn_router("FromDevice(in0) -> q :: Queue(8) -> ToDevice(out0);");
+        let in0 = r.devices.id("in0").unwrap();
+        let out0 = r.devices.id("out0").unwrap();
+        drain_pool();
+        reset_pool_stats();
+        for _ in 0..4 {
+            r.devices.inject(in0, Packet::new(60));
+        }
+        r.run_until_idle(100);
+        // Batched drain keeps order and empties the queue.
+        let mut batch = PacketBatch::new();
+        assert_eq!(r.devices.drain_tx_into(out0, &mut batch), 4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(r.devices.tx_len(out0), 0);
+        batch.recycle_packets();
+        // recycle_tx sends buffers straight back to the pool.
+        for _ in 0..3 {
+            r.devices.inject(in0, Packet::new(60));
+        }
+        r.run_until_idle(100);
+        let before = pool_stats().recycled;
+        assert_eq!(r.devices.recycle_tx(out0), 3);
+        assert_eq!(pool_stats().recycled, before + 3);
+        // The next allocations are pool hits, not heap misses.
+        reset_pool_stats();
+        let p = Packet::new(60);
+        assert_eq!(pool_stats().hits, 1);
+        p.recycle();
     }
 
     #[test]

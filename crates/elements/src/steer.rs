@@ -1,0 +1,175 @@
+//! RSS-style flow steering: hash the IP 5-tuple of an incoming frame to
+//! pick a worker shard.
+//!
+//! Hardware NICs spread receive traffic across cores with Receive Side
+//! Scaling: a hash of the connection 5-tuple selects an RX queue, so
+//! every packet of one flow lands on the same core and per-flow ordering
+//! is preserved without cross-core locking. [`crate::parallel`] steers
+//! injected frames the same way. The simulator's cost model
+//! (`click-sim`) calls [`RssSteering`] on its traffic specs too, so the
+//! predicted shard loads come from the *same* hash the runtime uses.
+//!
+//! Frames that are not IPv4 (ARP requests/replies, junk) have no
+//! 5-tuple; they steer by receiving device instead, which keeps ARP
+//! handling for one interface on one deterministic shard.
+
+use crate::element::DeviceId;
+use crate::headers::{ether, ipv4, udp};
+
+/// The parsed steering key of an IPv4 frame: `(src, dst, proto, sport,
+/// dport)`. Ports are zero for protocols without them (or truncated
+/// transport headers).
+pub type FlowKey = (u32, u32, u8, u16, u16);
+
+/// Extracts the 5-tuple from an Ethernet frame, or `None` when the frame
+/// is not IPv4 (or too short to carry a full IP header).
+pub fn flow_key(frame: &[u8]) -> Option<FlowKey> {
+    if frame.len() < ether::HLEN + ipv4::HLEN || ether::ethertype(frame) != ether::TYPE_IP {
+        return None;
+    }
+    let ip = &frame[ether::HLEN..];
+    if ipv4::version(ip) != 4 {
+        return None;
+    }
+    let ihl = ipv4::header_len(ip);
+    let proto = ipv4::protocol(ip);
+    let (sport, dport) =
+        if matches!(proto, ipv4::PROTO_TCP | ipv4::PROTO_UDP) && ip.len() >= ihl + udp::HLEN {
+            // TCP and UDP both start with source/destination ports.
+            (udp::src_port(&ip[ihl..]), udp::dst_port(&ip[ihl..]))
+        } else {
+            (0, 0)
+        };
+    Some((ipv4::src(ip), ipv4::dst(ip), proto, sport, dport))
+}
+
+/// FNV-1a over the 5-tuple bytes. Not Toeplitz (no per-NIC key to
+/// reproduce), but the properties RSS needs hold: deterministic, spreads
+/// nearby tuples, and cheap enough to charge per packet.
+pub fn flow_hash(key: FlowKey) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let (src, dst, proto, sport, dport) = key;
+    let mut h = OFFSET;
+    for b in src
+        .to_be_bytes()
+        .into_iter()
+        .chain(dst.to_be_bytes())
+        .chain([proto])
+        .chain(sport.to_be_bytes())
+        .chain(dport.to_be_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// A shard picker: `shards` workers, 5-tuple hash for IPv4, receiving
+/// device otherwise.
+#[derive(Debug, Clone, Copy)]
+pub struct RssSteering {
+    shards: usize,
+}
+
+impl RssSteering {
+    /// A steering stage over `shards` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> RssSteering {
+        assert!(shards >= 1, "steering needs at least one shard");
+        RssSteering { shards }
+    }
+
+    /// Number of shards steered across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Picks the shard for a frame received on `dev`.
+    pub fn shard_for(&self, frame: &[u8], dev: DeviceId) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        match flow_key(frame) {
+            Some(key) => (flow_hash(key) % self.shards as u64) as usize,
+            None => dev.0 % self.shards,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::build_udp_packet;
+    use crate::packet::Packet;
+
+    fn udp_frame(sip: u32, dip: u32, sport: u16, dport: u16) -> Packet {
+        build_udp_packet([1; 6], [2; 6], sip, dip, sport, dport, 18, 64)
+    }
+
+    #[test]
+    fn flow_key_parses_udp() {
+        let p = udp_frame(0x0A000001, 0x0A000102, 1234, 5678);
+        assert_eq!(
+            flow_key(p.data()),
+            Some((0x0A000001, 0x0A000102, ipv4::PROTO_UDP, 1234, 5678))
+        );
+    }
+
+    #[test]
+    fn non_ip_has_no_flow_key() {
+        let mut p = Packet::new(60);
+        p.data_mut()[12] = 0x08;
+        p.data_mut()[13] = 0x06; // ARP
+        assert_eq!(flow_key(p.data()), None);
+        assert_eq!(flow_key(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn same_flow_same_shard_for_every_shard_count() {
+        let p = udp_frame(0x0A000002, 0x0A000302, 1000, 53);
+        let q = p.clone();
+        for shards in [1usize, 2, 3, 4, 8] {
+            let s = RssSteering::new(shards);
+            assert_eq!(
+                s.shard_for(p.data(), DeviceId(0)),
+                s.shard_for(q.data(), DeviceId(3)),
+                "steering must ignore the device for IP frames"
+            );
+        }
+    }
+
+    #[test]
+    fn non_ip_steers_by_device() {
+        let mut arp = Packet::new(60);
+        arp.data_mut()[12] = 0x08;
+        arp.data_mut()[13] = 0x06;
+        let s = RssSteering::new(4);
+        for d in 0..8usize {
+            assert_eq!(s.shard_for(arp.data(), DeviceId(d)), d % 4);
+        }
+    }
+
+    #[test]
+    fn distinct_flows_spread_across_shards() {
+        // 64 flows over 4 shards: no shard may be empty or hog more than
+        // half the flows — the balance the parallel bench relies on.
+        let s = RssSteering::new(4);
+        let mut bins = [0usize; 4];
+        for f in 0..64u16 {
+            let p = udp_frame(0x0A000002, 0x0A000302, 1000 + f, 5678);
+            bins[s.shard_for(p.data(), DeviceId(0))] += 1;
+        }
+        assert!(bins.iter().all(|&b| b > 0), "empty shard: {bins:?}");
+        assert!(bins.iter().all(|&b| b <= 32), "hot shard: {bins:?}");
+    }
+
+    #[test]
+    fn single_shard_short_circuits() {
+        let s = RssSteering::new(1);
+        assert_eq!(s.shard_for(&[0u8; 1], DeviceId(9)), 0);
+    }
+}

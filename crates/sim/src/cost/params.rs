@@ -44,6 +44,14 @@ pub struct CostParams {
     /// only by the batched cost model; the amortization of `scheduling`
     /// and transfer cycles across a batch must beat it to win.
     pub batch_loop: f64,
+    /// Per-packet RSS steering cost in the sharded runtime: parsing the
+    /// IP 5-tuple and hashing it (FNV-1a over 13 bytes) to pick a shard.
+    /// Charged only by the parallel cost model, on the injection stage.
+    pub steer_hash: f64,
+    /// Per-burst cost of one SPSC ring crossing (slot handoff plus the
+    /// head/tail atomics); a packet crosses two rings (to the worker and
+    /// back), amortized over the burst.
+    pub ring_hop: f64,
 }
 
 impl Default for CostParams {
@@ -58,6 +66,8 @@ impl Default for CostParams {
             fast_entry: 8.0,
             fwd_mem_misses: 2.0,
             batch_loop: 3.0,
+            steer_hash: 30.0,
+            ring_hop: 60.0,
         }
     }
 }

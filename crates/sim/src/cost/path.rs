@@ -497,6 +497,102 @@ pub fn router_cpu_cost_batched(
     })
 }
 
+/// The predicted cost of one configuration on the sharded
+/// ([`ParallelRouter`](click_elements::parallel::ParallelRouter))
+/// runtime: a steering stage feeding `shards` independent copies of the
+/// batched forwarding path through ring queues.
+#[derive(Debug, Clone)]
+pub struct ParallelCpuCost {
+    /// Number of worker shards modeled.
+    pub shards: usize,
+    /// Steering-stage cost per packet (5-tuple hash plus two amortized
+    /// ring crossings), in ns.
+    pub steer_ns: f64,
+    /// Per-packet cost of the batched forwarding path on one shard, in
+    /// ns — the serial baseline the shards divide.
+    pub serial_ns: f64,
+    /// Load-imbalance factor (busiest shard's load over the mean, ≥ 1),
+    /// computed by steering the actual traffic with the runtime's own
+    /// RSS hash.
+    pub imbalance: f64,
+    /// Predicted per-packet cost of the whole pipeline: the slower of
+    /// the steering stage and the bottleneck shard.
+    pub ns_per_packet: f64,
+}
+
+impl ParallelCpuCost {
+    /// Predicted speedup over the serial batched engine.
+    pub fn speedup(&self) -> f64 {
+        self.serial_ns / self.ns_per_packet
+    }
+}
+
+/// Predicts the per-packet cost of a configuration on the sharded
+/// multi-core runtime: `shards` workers each run the *batched* engine on
+/// the flows the RSS hash steers to them, so the ideal cost is the
+/// batched cost divided by the shard count. Two effects keep the
+/// prediction honest:
+///
+/// * **Steering** is a pipeline stage of its own — hashing the 5-tuple
+///   ([`CostParams::steer_hash`]) plus two ring crossings amortized over
+///   the burst ([`CostParams::ring_hop`]). Past the point where shards
+///   make the workers cheap, the steering stage bounds throughput.
+/// * **Imbalance** comes from the hash itself: the model steers the
+///   actual `traffic` frames with the runtime's
+///   [`RssSteering`](click_elements::steer::RssSteering) and charges the
+///   bottleneck shard (`max load / mean load`), so few-flow traffic
+///   correctly refuses to scale.
+///
+/// # Errors
+///
+/// Fails if any packet's path dead-ends (same contract as
+/// [`router_cpu_cost_batched`]).
+pub fn router_cpu_cost_parallel(
+    graph: &RouterGraph,
+    platform: &Platform,
+    traffic: &TrafficSpec,
+    batch: usize,
+    shards: usize,
+) -> Result<ParallelCpuCost> {
+    assert!(shards >= 1, "need at least one shard");
+    let serial = router_cpu_cost_batched(graph, platform, traffic, batch)?;
+    let params = CostParams::default();
+    let steer_cycles = params.steer_hash + 2.0 * params.ring_hop / batch as f64;
+    let steer_ns = platform.cycles_to_ns(steer_cycles);
+
+    // Steer the actual traffic to find the bottleneck shard.
+    let steering = click_elements::steer::RssSteering::new(shards);
+    let mut dev_names: Vec<&str> = Vec::new();
+    let mut bins = vec![0usize; shards];
+    for (dev, frame) in traffic {
+        let idx = match dev_names.iter().position(|d| *d == dev) {
+            Some(i) => i,
+            None => {
+                dev_names.push(dev);
+                dev_names.len() - 1
+            }
+        };
+        bins[steering.shard_for(frame, click_elements::element::DeviceId(idx))] += 1;
+    }
+    let mean = traffic.len() as f64 / shards as f64;
+    let max = bins.iter().copied().max().unwrap_or(0) as f64;
+    let imbalance = if mean > 0.0 {
+        (max / mean).max(1.0)
+    } else {
+        1.0
+    };
+
+    let serial_ns = serial.total_ns();
+    let per_shard_ns = serial_ns * imbalance / shards as f64;
+    Ok(ParallelCpuCost {
+        shards,
+        steer_ns,
+        serial_ns,
+        imbalance,
+        ns_per_packet: steer_ns.max(per_shard_ns),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -645,6 +741,55 @@ mod tests {
         // Per-packet element work is irreducible: even huge batches keep
         // paying classification, lookup, and header-edit cycles.
         assert!(b64 > scalar * 0.40, "b64 {b64} floor");
+    }
+
+    #[test]
+    fn parallel_model_scales_with_many_flows() {
+        let spec = IpRouterSpec::standard(8);
+        let g = read_config(&spec.config()).unwrap();
+        let traffic = crate::parallel_traffic(&spec, 64);
+        let p0 = Platform::p0();
+        let one = router_cpu_cost_parallel(&g, &p0, &traffic, 16, 1).unwrap();
+        let two = router_cpu_cost_parallel(&g, &p0, &traffic, 16, 2).unwrap();
+        let four = router_cpu_cost_parallel(&g, &p0, &traffic, 16, 4).unwrap();
+        // With one shard the pipeline is just the serial batched engine.
+        assert!((one.ns_per_packet - one.serial_ns).abs() < 1e-9);
+        assert!(one.speedup() <= 1.0 + 1e-9);
+        // 64 flows spread well enough that 2 and 4 shards pay off.
+        assert!(
+            two.ns_per_packet < one.ns_per_packet / 1.5,
+            "2 shards: {} vs {}",
+            two.ns_per_packet,
+            one.ns_per_packet
+        );
+        assert!(
+            four.ns_per_packet < two.ns_per_packet,
+            "4 shards keep helping"
+        );
+        assert!(four.imbalance >= 1.0 && four.imbalance < 2.0);
+        // The steering stage eventually bounds the pipeline.
+        let many = router_cpu_cost_parallel(&g, &p0, &traffic, 16, 1024).unwrap();
+        assert!((many.ns_per_packet - many.steer_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_model_refuses_to_scale_single_flow() {
+        let spec = IpRouterSpec::standard(8);
+        let g = read_config(&spec.config()).unwrap();
+        // One flow: every packet hashes to the same shard.
+        let traffic = crate::parallel_traffic(&spec, 1);
+        let p0 = Platform::p0();
+        let four = router_cpu_cost_parallel(&g, &p0, &traffic, 16, 4).unwrap();
+        assert!(
+            (four.imbalance - 4.0).abs() < 1e-9,
+            "one flow on 4 shards: imbalance {}",
+            four.imbalance
+        );
+        assert!(
+            four.speedup() < 1.05,
+            "single flow must not speed up: {}",
+            four.speedup()
+        );
     }
 
     #[test]

@@ -43,12 +43,14 @@ pub mod pci;
 pub mod testbed;
 
 pub use cost::params::{CostParams, Platform};
-pub use cost::path::{router_cpu_cost, CpuCost, TrafficSpec};
+pub use cost::path::{
+    router_cpu_cost, router_cpu_cost_parallel, CpuCost, ParallelCpuCost, TrafficSpec,
+};
 pub use testbed::{mlffr, run_at_rate, sweep, Outcomes, RunConfig};
 
 use click_core::error::Result;
 use click_core::graph::RouterGraph;
-use click_elements::ip_router::{test_packet, IpRouterSpec};
+use click_elements::ip_router::{test_packet, test_packet_flow, IpRouterSpec};
 
 /// Builds the evaluation traffic for an `n`-interface IP router: 64-byte
 /// UDP flows from each source interface to its paired destination
@@ -62,6 +64,26 @@ pub fn evaluation_traffic(spec: &IpRouterSpec) -> TrafficSpec {
             (
                 spec.interfaces[src].device.clone(),
                 test_packet(spec, src, dst).data().to_vec(),
+            )
+        })
+        .collect()
+}
+
+/// Builds many-flow evaluation traffic for the sharded runtime: `flows`
+/// distinct 64-byte UDP flows (varying source ports) round-robin across
+/// the source interfaces, so RSS steering can spread load over shards.
+pub fn parallel_traffic(spec: &IpRouterSpec, flows: usize) -> TrafficSpec {
+    let n = spec.interfaces.len();
+    let half = (n / 2).max(1);
+    (0..flows)
+        .map(|f| {
+            let src = f % half;
+            let dst = (src + half) % n;
+            (
+                spec.interfaces[src].device.clone(),
+                test_packet_flow(spec, src, dst, 1024 + f as u16, 5678)
+                    .data()
+                    .to_vec(),
             )
         })
         .collect()
