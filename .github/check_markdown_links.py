@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Check that relative links in the repository's markdown files resolve.
+
+External (http/https/mailto) URLs are skipped — CI has no business
+probing the network — as are pure in-page anchors. A link with an
+anchor (`FILE.md#section`) is checked for the file only.
+
+Usage: python3 .github/check_markdown_links.py [root]
+Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_DIRS = {".git", "target", "node_modules"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    broken = []
+    checked = 0
+    for path in markdown_files(root):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK.findall(text):
+            if target.startswith(SKIP_SCHEMES):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            dest = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+            checked += 1
+            if not os.path.exists(dest):
+                broken.append(f"{path}: ({target}) -> {dest}")
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for b in broken:
+            print(f"  {b}")
+        return 1
+    print(f"all {checked} relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

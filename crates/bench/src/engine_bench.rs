@@ -19,7 +19,9 @@ use click_elements::element::DeviceId;
 use click_elements::ip_router::{test_packet, IpRouterSpec};
 use click_elements::packet::{pool_stats, reset_pool_stats, Packet};
 use click_elements::router::{Router, Slot};
+use click_elements::telemetry::{self, ElementProfile};
 use click_elements::CompiledRouter;
+use std::collections::BTreeMap;
 
 /// Interfaces of the measured router.
 pub const N_IFACES: usize = 4;
@@ -35,6 +37,43 @@ pub struct EngineResult {
     pub ns_per_packet: f64,
     /// Packet-pool hit rate in steady state (1.0 = no heap allocation).
     pub pool_hit_rate: f64,
+    /// Per-element-class cycle attribution from the telemetry layer,
+    /// collected on a separate (instrumented) pass after the timed runs.
+    /// Empty when the `telemetry` feature is off.
+    pub attribution: Vec<ClassAttribution>,
+}
+
+/// Exclusive (self) cost of one element class across a profiled run,
+/// summed over all instances of the class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassAttribution {
+    /// Element class name ("Classifier", "Queue", ...).
+    pub class: String,
+    /// Packets processed by instances of the class.
+    pub packets: u64,
+    /// Exclusive nanoseconds spent in instances of the class.
+    pub self_ns: u64,
+}
+
+/// Aggregates per-instance telemetry profiles into per-class totals,
+/// costliest class first (ties broken by name for stable output).
+pub fn attribution_by_class(profiles: &[ElementProfile]) -> Vec<ClassAttribution> {
+    let mut by_class: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for p in profiles {
+        let e = by_class.entry(&p.class).or_default();
+        e.0 += p.packets;
+        e.1 += p.self_ns;
+    }
+    let mut out: Vec<ClassAttribution> = by_class
+        .into_iter()
+        .map(|(class, (packets, self_ns))| ClassAttribution {
+            class: class.to_string(),
+            packets,
+            self_ns,
+        })
+        .collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.class.cmp(&b.class)));
+    out
 }
 
 fn frames(spec: &IpRouterSpec) -> Vec<(usize, Packet)> {
@@ -112,10 +151,22 @@ fn measure_variant<S: Slot>(
     let hit = steady_hit_rate(|| {
         run_once(&mut router, &devs, frames);
     });
+    // Attribution runs after (never during) the timed section, so the
+    // counters describe the same workload without perturbing `ns`.
+    let attribution = if telemetry::ENABLED {
+        router.telemetry_reset();
+        for _ in 0..16 {
+            run_once(&mut router, &devs, frames);
+        }
+        attribution_by_class(&router.telemetry_profiles())
+    } else {
+        Vec::new()
+    };
     EngineResult {
         name: name.to_string(),
         ns_per_packet: ns,
         pool_hit_rate: hit,
+        attribution,
     }
 }
 
@@ -201,6 +252,10 @@ pub fn run_fig09(json_path: Option<&std::path::Path>, burst: usize) -> Vec<Engin
 
 /// Renders results as a small stable JSON document:
 /// `{"figure": ..., "batch": ..., "results": {variant: {...}}}`.
+///
+/// When a result carries telemetry attribution (the `telemetry` feature
+/// was on), each variant gains an `"attribution"` object mapping element
+/// class to its exclusive packet and nanosecond totals.
 pub fn to_json(results: &[EngineResult]) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"figure\": \"fig09_real_engine\",\n");
@@ -210,10 +265,24 @@ pub fn to_json(results: &[EngineResult]) -> String {
     s.push_str("  \"results\": {\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    \"{}\": {{\"ns_per_packet\": {:.2}, \"pool_hit_rate\": {:.4}}}{}\n",
-            r.name,
-            r.ns_per_packet,
-            r.pool_hit_rate,
+            "    \"{}\": {{\"ns_per_packet\": {:.2}, \"pool_hit_rate\": {:.4}",
+            r.name, r.ns_per_packet, r.pool_hit_rate
+        ));
+        if !r.attribution.is_empty() {
+            s.push_str(", \"attribution\": {");
+            for (j, a) in r.attribution.iter().enumerate() {
+                s.push_str(&format!(
+                    "{}\"{}\": {{\"packets\": {}, \"self_ns\": {}}}",
+                    if j > 0 { ", " } else { "" },
+                    a.class,
+                    a.packets,
+                    a.self_ns
+                ));
+            }
+            s.push('}');
+        }
+        s.push_str(&format!(
+            "}}{}\n",
             if i + 1 < results.len() { "," } else { "" }
         ));
     }
@@ -302,17 +371,54 @@ mod tests {
                 name: "Base".into(),
                 ns_per_packet: 100.0,
                 pool_hit_rate: 0.999,
+                attribution: Vec::new(),
             },
             EngineResult {
                 name: "All+batched".into(),
                 ns_per_packet: 50.5,
                 pool_hit_rate: 1.0,
+                attribution: vec![ClassAttribution {
+                    class: "Classifier".into(),
+                    packets: 64,
+                    self_ns: 1280,
+                }],
             },
         ];
         let j = to_json(&results);
         assert!(j.contains("\"Base\": {\"ns_per_packet\": 100.00, \"pool_hit_rate\": 0.9990}"));
-        assert!(j.contains("\"All+batched\""));
+        assert!(
+            j.contains("\"attribution\": {\"Classifier\": {\"packets\": 64, \"self_ns\": 1280}}")
+        );
         assert!(j.trim_start().starts_with('{') && j.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn attribution_aggregates_by_class_costliest_first() {
+        let mut a = ElementProfile::new("c0", "Classifier");
+        a.packets = 10;
+        a.self_ns = 100;
+        let mut b = ElementProfile::new("c1", "Classifier");
+        b.packets = 5;
+        b.self_ns = 50;
+        let mut q = ElementProfile::new("q0", "Queue");
+        q.packets = 15;
+        q.self_ns = 400;
+        let attr = attribution_by_class(&[a, b, q]);
+        assert_eq!(
+            attr,
+            vec![
+                ClassAttribution {
+                    class: "Queue".into(),
+                    packets: 15,
+                    self_ns: 400,
+                },
+                ClassAttribution {
+                    class: "Classifier".into(),
+                    packets: 15,
+                    self_ns: 150,
+                },
+            ]
+        );
     }
 
     #[test]

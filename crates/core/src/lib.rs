@@ -44,7 +44,7 @@
 //! * [`config`] — configuration-string utilities (argument splitting,
 //!   `$variable` substitution).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod archive;

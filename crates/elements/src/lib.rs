@@ -46,6 +46,7 @@ pub mod ring;
 pub mod router;
 pub mod routing;
 pub mod steer;
+pub mod telemetry;
 
 pub use batch::{BatchEmitter, PacketBatch};
 pub use element::Element;
@@ -54,3 +55,4 @@ pub use packet::Packet;
 pub use parallel::{ParallelOpts, ParallelRouter};
 pub use router::{DynRouter, Router};
 pub use steer::RssSteering;
+pub use telemetry::{ElementProfile, ShardGauges};

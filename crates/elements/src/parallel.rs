@@ -36,6 +36,7 @@ use crate::packet::{Packet, PoolStats};
 use crate::ring::{spsc, Backoff, RingConsumer, RingProducer};
 use crate::router::{Router, Slot};
 use crate::steer::RssSteering;
+use crate::telemetry::{self, ElementProfile, ShardGaugeTracker, ShardGauges};
 use click_core::error::Result;
 use click_core::graph::RouterGraph;
 use click_core::registry::Library;
@@ -108,6 +109,10 @@ enum Ctrl {
     PoolStats,
     /// Reset the worker thread's packet-pool counters.
     ResetPoolStats,
+    /// Snapshot the shard's per-element telemetry profiles.
+    Telemetry,
+    /// Snapshot the shard's runtime gauges (ring depth, backoff).
+    Gauges,
 }
 
 /// Replies to [`Ctrl`] queries.
@@ -116,6 +121,8 @@ enum CtrlReply {
     Value(u64),
     Drops { unconnected: u64, reentrant: u64 },
     Pool(PoolStats),
+    Telemetry(Vec<ElementProfile>),
+    Gauges(ShardGauges),
 }
 
 /// Main-thread handle to one worker shard.
@@ -229,6 +236,7 @@ impl ParallelRouter {
             let (reply_tx, reply_rx) = mpsc::channel::<CtrlReply>();
             let completed = Arc::new(AtomicU64::new(0));
             let cfg = WorkerCfg {
+                shard,
                 batching: opts.batching,
                 burst: opts.burst,
                 backoff_spins: opts.backoff_spins,
@@ -407,10 +415,20 @@ impl ParallelRouter {
 
     /// Drains collected TX packets for a device into a batch (storage
     /// stays warm, mirroring [`crate::router::DeviceBank::drain_tx_into`]).
+    ///
+    /// Same contract as the serial version: packets are *appended* to
+    /// `into` (which need not be empty), and the return value counts only
+    /// the packets appended by this call, not `into.len()`.
     pub fn drain_tx_into(&mut self, dev: DeviceId, into: &mut PacketBatch) -> usize {
+        let before = into.len();
         let q = &mut self.tx[dev.0];
         let n = q.len();
         into.extend(q.drain(..));
+        debug_assert_eq!(
+            into.len(),
+            before + n,
+            "drain_tx_into must append exactly the drained packets"
+        );
         n
     }
 
@@ -493,6 +511,41 @@ impl ParallelRouter {
         }
     }
 
+    /// Per-element telemetry profiles merged across shards: each worker
+    /// snapshots its own engine's counters
+    /// ([`Router::telemetry_profiles`]) and the control plane sums
+    /// records by element name, so the merged profile reads like a
+    /// serial run of the same graph. Zeroed counters unless the crate
+    /// was built with the `telemetry` feature.
+    pub fn telemetry_profiles(&self) -> Vec<ElementProfile> {
+        let shards: Vec<Vec<ElementProfile>> = self
+            .workers
+            .iter()
+            .filter_map(|w| match w.query(Ctrl::Telemetry) {
+                CtrlReply::Telemetry(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        telemetry::merge_profiles(&shards)
+    }
+
+    /// Runtime gauges of every worker shard, in shard order: inbound-ring
+    /// occupancy high-water, backoff snoozes, and batches/packets
+    /// processed. Zeroed unless built with the `telemetry` feature.
+    pub fn shard_gauges(&self) -> Vec<ShardGauges> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| match w.query(Ctrl::Gauges) {
+                CtrlReply::Gauges(mut g) => {
+                    g.shard = i;
+                    Some(g)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Stops the workers and joins their threads. Equivalent to dropping
     /// the router, but explicit.
     pub fn shutdown(mut self) {
@@ -533,6 +586,7 @@ impl Drop for ParallelRouter {
 /// Per-worker configuration handed to the worker thread.
 #[derive(Clone, Copy)]
 struct WorkerCfg {
+    shard: usize,
     batching: bool,
     burst: usize,
     backoff_spins: u32,
@@ -563,10 +617,20 @@ fn worker_main<S: Slot>(
     let mut backoff = Backoff::new(cfg.backoff_spins);
     let mut inbox: Vec<ShardItem> = Vec::new();
     let mut free: Vec<PacketBatch> = Vec::new();
+    let mut gauges = ShardGaugeTracker::new(cfg.shard);
     loop {
-        answer_ctrl(&router, &ctrl, &reply);
-        if input.pop_batch(16, &mut inbox) > 0 {
+        answer_ctrl(&router, &gauges, &ctrl, &reply);
+        // The gauge reads are const-folded away when telemetry is off
+        // (`ENABLED` is false at compile time), keeping the poll loop
+        // untouched.
+        let depth = if telemetry::ENABLED { input.len() } else { 0 };
+        let popped = input.pop_batch(16, &mut inbox);
+        if popped > 0 {
             backoff.reset();
+            if telemetry::ENABLED {
+                let packets = inbox.iter().map(|(_, b)| b.len() as u64).sum();
+                gauges.polled(depth, popped as u64, packets);
+            }
             for (dev, mut batch) in inbox.drain(..) {
                 for p in batch.drain() {
                     router.devices.inject(dev, p);
@@ -586,6 +650,7 @@ fn worker_main<S: Slot>(
                         &output,
                         (dev, out),
                         &router,
+                        &mut gauges,
                         &ctrl,
                         &reply,
                         &stop,
@@ -597,6 +662,7 @@ fn worker_main<S: Slot>(
         } else if stop.load(Ordering::Acquire) && input.is_empty() {
             return;
         } else {
+            gauges.snoozed();
             backoff.snooze();
         }
     }
@@ -606,10 +672,12 @@ fn worker_main<S: Slot>(
 /// control queries while blocked (so a stat query can never deadlock
 /// against a full ring), and abandons the burst if the runtime is
 /// shutting down.
+#[allow(clippy::too_many_arguments)]
 fn push_with_backpressure<S: Slot>(
     output: &RingProducer<ShardItem>,
     mut item: ShardItem,
     router: &Router<S>,
+    gauges: &mut ShardGaugeTracker,
     ctrl: &mpsc::Receiver<Ctrl>,
     reply: &mpsc::Sender<CtrlReply>,
     stop: &AtomicBool,
@@ -625,7 +693,8 @@ fn push_with_backpressure<S: Slot>(
             item.1.recycle_packets();
             return;
         }
-        answer_ctrl(router, ctrl, reply);
+        answer_ctrl(router, gauges, ctrl, reply);
+        gauges.snoozed();
         backoff.snooze();
     }
 }
@@ -633,6 +702,7 @@ fn push_with_backpressure<S: Slot>(
 /// Answers every pending control query against this shard's router.
 fn answer_ctrl<S: Slot>(
     router: &Router<S>,
+    gauges: &ShardGaugeTracker,
     ctrl: &mpsc::Receiver<Ctrl>,
     reply: &mpsc::Sender<CtrlReply>,
 ) {
@@ -649,6 +719,8 @@ fn answer_ctrl<S: Slot>(
                 crate::packet::reset_pool_stats();
                 CtrlReply::Value(0)
             }
+            Ctrl::Telemetry => CtrlReply::Telemetry(router.telemetry_profiles()),
+            Ctrl::Gauges => CtrlReply::Gauges(gauges.snapshot()),
         };
         if reply.send(r).is_err() {
             return; // main side gone; shutdown is imminent

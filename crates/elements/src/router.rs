@@ -11,6 +11,7 @@
 use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{CreateCtx, DeviceId, DeviceMap, Element, Emitter, PullContext, TaskContext};
 use crate::packet::Packet;
+use crate::telemetry::{self, ElementProfile, RouterTelemetry};
 use click_core::check::check;
 use click_core::error::{Error, Result};
 use click_core::graph::RouterGraph;
@@ -176,10 +177,24 @@ impl DeviceBank {
     /// Drains every packet transmitted on a device into `into` in one
     /// batched transfer, reusing the batch's storage; returns how many
     /// packets moved. The TX queue keeps its capacity for the next burst.
+    ///
+    /// `into` need not be empty: drained packets are *appended* after any
+    /// it already holds, and the return value counts only the packets
+    /// appended by this call — it is **not** `into.len()`. Callers that
+    /// accumulate several devices (or several drains) into one batch must
+    /// sum the return values rather than read the batch length, or the
+    /// earlier drains' packets are silently double-counted or lost from
+    /// the stats.
     pub fn drain_tx_into(&mut self, dev: DeviceId, into: &mut PacketBatch) -> usize {
+        let before = into.len();
         let q = &mut self.tx[dev.0];
         let n = q.len();
         into.extend(q.drain(..));
+        debug_assert_eq!(
+            into.len(),
+            before + n,
+            "drain_tx_into must append exactly the drained packets"
+        );
         n
     }
 
@@ -233,6 +248,7 @@ pub struct Router<S: Slot> {
     batching: bool,
     batch_burst: usize,
     batch_out: Option<BatchEmitter>,
+    telem: RouterTelemetry,
 }
 
 /// A router whose elements dispatch dynamically (`Box<dyn Element>`) —
@@ -299,6 +315,7 @@ impl<S: Slot> Router<S> {
             batching: false,
             batch_burst: crate::elements::device::BURST,
             batch_out: Some(BatchEmitter::new()),
+            telem: RouterTelemetry::new(n),
         };
         router.wire_red_elements();
         Ok(router)
@@ -379,6 +396,32 @@ impl<S: Slot> Router<S> {
         self.drops_reentrant
     }
 
+    // ---- telemetry -------------------------------------------------------
+
+    /// Per-element telemetry snapshots, one per element instance, in slot
+    /// order. Counters are live only when the crate is built with the
+    /// `telemetry` feature ([`telemetry::ENABLED`]); otherwise the
+    /// profiles carry names and classes but read zero.
+    pub fn telemetry_profiles(&self) -> Vec<ElementProfile> {
+        let mut by_index: Vec<&str> = vec![""; self.slots.len()];
+        for (name, &i) in &self.names {
+            by_index[i] = name;
+        }
+        let mut out: Vec<ElementProfile> = by_index
+            .iter()
+            .zip(&self.classes)
+            .map(|(n, c)| ElementProfile::new(n, c))
+            .collect();
+        self.telem.fill(&mut out);
+        out
+    }
+
+    /// Zeroes the telemetry counters (a no-op without the `telemetry`
+    /// feature).
+    pub fn telemetry_reset(&mut self) {
+        self.telem.reset();
+    }
+
     // ---- batch mode ------------------------------------------------------
 
     /// Switches the execution engine between per-packet transfers (the
@@ -450,7 +493,10 @@ impl<S: Slot> Router<S> {
                     self.drops_reentrant += 1;
                     continue;
                 };
+                let bytes = telemetry::packet_bytes(&p);
+                self.telem.enter();
                 el.push(port, p, &mut out);
+                self.telem.exit(e, 1, bytes);
             }
             let emitted: Vec<_> = out.drain().collect();
             // Reverse so the first-emitted packet is processed first
@@ -468,6 +514,7 @@ impl<S: Slot> Router<S> {
         pkt: Packet,
         stack: &mut Vec<(usize, usize, Packet)>,
     ) {
+        self.telem.record_out(e, oport, 1);
         let targets = match self.out_conns[e].get(oport) {
             Some(t) if !t.is_empty() => t.clone(),
             _ => {
@@ -531,7 +578,10 @@ impl<S: Slot> Router<S> {
                     out.recycle_storage(batch);
                     continue;
                 };
+                let (packets, bytes) = telemetry::batch_volume(&batch);
+                self.telem.enter();
                 el.push_batch(port, batch, &mut out);
+                self.telem.exit(e, packets, bytes);
             }
             // Groups pop in reverse emission order; pushing them onto the
             // stack leaves the first-emitted group on top, so processing
@@ -551,6 +601,7 @@ impl<S: Slot> Router<S> {
         stack: &mut Vec<(usize, usize, PacketBatch)>,
         out: &mut BatchEmitter,
     ) {
+        self.telem.record_out(e, oport, batch.len() as u64);
         let targets = match self.out_conns[e].get(oport) {
             Some(t) if !t.is_empty() => t.clone(),
             _ => {
@@ -596,8 +647,20 @@ impl<S: Slot> Router<S> {
     pub fn pull_output_of(&mut self, elem: usize, out_port: usize) -> Option<Packet> {
         let cell = Rc::clone(&self.slots[elem]);
         let mut el = cell.try_borrow_mut().ok()?; // Err: re-entered a puller
-        let mut ctx = RouterPullCtx { router: self, elem };
-        el.pull(out_port, &mut ctx)
+        self.telem.enter();
+        let p = {
+            let mut ctx = RouterPullCtx { router: self, elem };
+            el.pull(out_port, &mut ctx)
+        };
+        match &p {
+            Some(pkt) => {
+                let bytes = telemetry::packet_bytes(pkt);
+                self.telem.exit(elem, 1, bytes);
+                self.telem.record_out(elem, out_port, 1);
+            }
+            None => self.telem.exit(elem, 0, 0),
+        }
+        p
     }
 
     /// Pulls up to `max` packets into an element's input port in one
@@ -627,8 +690,18 @@ impl<S: Slot> Router<S> {
         let Ok(mut el) = cell.try_borrow_mut() else {
             return 0;
         };
-        let mut ctx = RouterPullCtx { router: self, elem };
-        el.pull_batch(out_port, max, &mut ctx, into)
+        let before = into.len();
+        self.telem.enter();
+        let n = {
+            let mut ctx = RouterPullCtx { router: self, elem };
+            el.pull_batch(out_port, max, &mut ctx, into)
+        };
+        let (packets, bytes) = telemetry::batch_volume_from(into, before);
+        self.telem.exit(elem, packets, bytes);
+        if n > 0 {
+            self.telem.record_out(elem, out_port, n as u64);
+        }
+        n
     }
 
     // ---- task scheduling -------------------------------------------------
@@ -642,11 +715,18 @@ impl<S: Slot> Router<S> {
             let Ok(mut el) = cell.try_borrow_mut() else {
                 continue;
             };
-            let mut ctx = RouterTaskCtx {
-                router: self,
-                elem: t,
+            self.telem.enter();
+            let n = {
+                let mut ctx = RouterTaskCtx {
+                    router: self,
+                    elem: t,
+                };
+                el.run_task(&mut ctx)
             };
-            moved += el.run_task(&mut ctx);
+            // Task self time excludes the downstream chain: pushes the
+            // task emits re-enter the engine and open their own frames.
+            self.telem.exit(t, n as u64, 0);
+            moved += n;
         }
         moved
     }

@@ -1,0 +1,534 @@
+//! Per-element runtime telemetry, compiled in or out by the `telemetry`
+//! cargo feature.
+//!
+//! The paper evaluates optimizations by *per-element cycle attribution*
+//! (Figure 9/10 style tables); this module makes the running engines
+//! produce that attribution themselves. Each element slot gets:
+//!
+//! * packet and byte counters,
+//! * per-output-port emission counts (the input `click-profile` uses to
+//!   hoist hot `Classifier` branches),
+//! * a log2-bucket latency histogram of *self time* per element call,
+//!   plus a small ring buffer of the most recent raw samples.
+//!
+//! Self time is exclusive: the engine keeps a frame stack, and a nested
+//! call (a pull chain recursing upstream, or a device task emitting into
+//! the push engine) subtracts its children's wall time from the parent.
+//! On the stack-based push engine, frames nest only under task elements,
+//! so attribution stays exact without sampling.
+//!
+//! **Zero cost when off.** Without the `telemetry` feature every probe
+//! ([`RouterTelemetry::enter`], [`RouterTelemetry::exit`], ...) is an
+//! inlined empty method on a zero-sized type and the byte-volume helpers
+//! return constants, so the optimizer removes the instrumentation
+//! entirely — the fast path stays branch-free. The snapshot types
+//! ([`ElementProfile`], [`ShardGauges`]) are always compiled so tools and
+//! benches build in both modes; with the feature off they report zeros.
+//!
+//! Per-shard gauges ([`ShardGauges`]) live in the parallel runtime: each
+//! worker tracks its inbound-ring occupancy high-water mark, backoff
+//! snoozes, and batches processed; the control plane collects them next
+//! to the merged per-element profiles.
+
+use crate::batch::PacketBatch;
+use crate::packet::Packet;
+
+/// True when the crate was compiled with the `telemetry` feature; all
+/// counters read zero when this is `false`.
+pub const ENABLED: bool = cfg!(feature = "telemetry");
+
+/// Number of log2 latency buckets. Bucket `i` counts element calls whose
+/// self time needed `i` significant bits of nanoseconds, i.e. fell in
+/// `[2^(i-1), 2^i)` ns (bucket 0 is 0 ns); the last bucket absorbs
+/// everything slower (`>= 2^22` ns ≈ 4 ms, far beyond any element call).
+pub const LATENCY_BUCKETS: usize = 24;
+
+/// Capacity of the per-element ring buffer of recent raw self-time
+/// samples (nanoseconds), kept alongside the cumulative histogram.
+pub const RECENT_WINDOW: usize = 32;
+
+/// One element instance's telemetry snapshot — the unit record of the
+/// profile export format (`click-report` emits one JSON object per
+/// [`ElementProfile`], merged across shards).
+///
+/// Always available; zeroed when [`ENABLED`] is `false`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ElementProfile {
+    /// Element instance name (configuration name, e.g. `c0`).
+    pub name: String,
+    /// Element class (e.g. `Classifier`).
+    pub class: String,
+    /// Element calls observed (push/pull/batch/task invocations,
+    /// including empty pull polls).
+    pub calls: u64,
+    /// Packets handled (pushed in, pulled out, or moved by a task).
+    pub packets: u64,
+    /// Bytes handled on push/pull boundaries (tasks count packets only).
+    pub bytes: u64,
+    /// Cumulative exclusive (self) wall time, nanoseconds.
+    pub self_ns: u64,
+    /// Packets emitted per output port, indexed by port.
+    pub out_ports: Vec<u64>,
+    /// Log2 self-time histogram, [`LATENCY_BUCKETS`] buckets.
+    pub lat_buckets: Vec<u64>,
+    /// Most recent raw self-time samples (ns), oldest first, at most
+    /// [`RECENT_WINDOW`] entries.
+    pub recent_ns: Vec<u64>,
+}
+
+impl ElementProfile {
+    /// Creates a zeroed profile for a named element instance.
+    pub fn new(name: &str, class: &str) -> ElementProfile {
+        ElementProfile {
+            name: name.to_owned(),
+            class: class.to_owned(),
+            lat_buckets: vec![0; LATENCY_BUCKETS],
+            ..ElementProfile::default()
+        }
+    }
+
+    /// Merges another shard's record for the same element instance:
+    /// counters and histogram buckets sum; the recent-sample rings
+    /// concatenate (truncated to [`RECENT_WINDOW`]).
+    pub fn merge(&mut self, other: &ElementProfile) {
+        self.calls += other.calls;
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        self.self_ns += other.self_ns;
+        if self.out_ports.len() < other.out_ports.len() {
+            self.out_ports.resize(other.out_ports.len(), 0);
+        }
+        for (i, &n) in other.out_ports.iter().enumerate() {
+            self.out_ports[i] += n;
+        }
+        if self.lat_buckets.len() < other.lat_buckets.len() {
+            self.lat_buckets.resize(other.lat_buckets.len(), 0);
+        }
+        for (i, &n) in other.lat_buckets.iter().enumerate() {
+            self.lat_buckets[i] += n;
+        }
+        self.recent_ns.extend_from_slice(&other.recent_ns);
+        if self.recent_ns.len() > RECENT_WINDOW {
+            let drop = self.recent_ns.len() - RECENT_WINDOW;
+            self.recent_ns.drain(..drop);
+        }
+    }
+
+    /// Mean exclusive nanoseconds per packet (0.0 if no packets).
+    pub fn ns_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.self_ns as f64 / self.packets as f64
+        }
+    }
+
+    /// Output ports that never emitted a packet, given the element's
+    /// total port count (ports past the end of `out_ports` are cold too).
+    pub fn cold_ports(&self, noutputs: usize) -> Vec<usize> {
+        (0..noutputs)
+            .filter(|&p| self.out_ports.get(p).copied().unwrap_or(0) == 0)
+            .collect()
+    }
+}
+
+/// Merges per-shard profile lists by element name: records with the same
+/// `name` sum (the shards run clones of one graph, so names align);
+/// order follows the first list. This is what the parallel control plane
+/// applies to worker replies.
+pub fn merge_profiles(shards: &[Vec<ElementProfile>]) -> Vec<ElementProfile> {
+    let mut out: Vec<ElementProfile> = Vec::new();
+    for shard in shards {
+        for p in shard {
+            match out.iter_mut().find(|q| q.name == p.name) {
+                Some(q) => q.merge(p),
+                None => out.push(p.clone()),
+            }
+        }
+    }
+    out
+}
+
+/// One worker shard's runtime gauges: how loaded its inbound ring ran
+/// and how often it had to back off. Zeroed when [`ENABLED`] is `false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardGauges {
+    /// Shard index.
+    pub shard: usize,
+    /// Batches popped from the inbound ring.
+    pub batches: u64,
+    /// Packets processed (popped from the inbound ring).
+    pub packets: u64,
+    /// High-water mark of inbound-ring occupancy (batches queued, read
+    /// just before each pop).
+    pub ring_high_water: usize,
+    /// Backoff snoozes while the shard waited for input or for
+    /// backpressured output-ring space.
+    pub backoff_snoozes: u64,
+}
+
+/// Log2 bucket index for a self-time sample: the number of significant
+/// bits, clamped to the histogram width.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+fn bucket_of(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+#[cfg(feature = "telemetry")]
+mod imp {
+    use super::{bucket_of, ElementProfile, ShardGauges, RECENT_WINDOW};
+    use std::time::Instant;
+
+    #[derive(Debug, Default, Clone)]
+    struct Record {
+        calls: u64,
+        packets: u64,
+        bytes: u64,
+        self_ns: u64,
+        out_ports: Vec<u64>,
+        lat_buckets: Vec<u64>,
+        recent: Vec<u64>,
+        recent_pos: usize,
+    }
+
+    #[derive(Debug)]
+    struct Frame {
+        start: Instant,
+        child_ns: u64,
+    }
+
+    /// Live per-element counters for one engine (feature-on build).
+    #[derive(Debug)]
+    pub struct RouterTelemetry {
+        records: Vec<Record>,
+        frames: Vec<Frame>,
+    }
+
+    impl RouterTelemetry {
+        /// Zeroed counters for `n` element slots.
+        pub fn new(n: usize) -> RouterTelemetry {
+            RouterTelemetry {
+                records: vec![Record::default(); n],
+                frames: Vec::with_capacity(8),
+            }
+        }
+
+        /// Opens a timing frame; pair with [`RouterTelemetry::exit`].
+        #[inline]
+        pub fn enter(&mut self) {
+            self.frames.push(Frame {
+                start: Instant::now(),
+                child_ns: 0,
+            });
+        }
+
+        /// Closes the innermost frame, attributing its exclusive time
+        /// (total minus nested frames) plus `packets`/`bytes` to `elem`.
+        #[inline]
+        pub fn exit(&mut self, elem: usize, packets: u64, bytes: u64) {
+            let f = self.frames.pop().expect("telemetry enter/exit balanced");
+            let total = f.start.elapsed().as_nanos() as u64;
+            let self_ns = total.saturating_sub(f.child_ns);
+            if let Some(parent) = self.frames.last_mut() {
+                parent.child_ns += total;
+            }
+            let r = &mut self.records[elem];
+            r.calls += 1;
+            r.packets += packets;
+            r.bytes += bytes;
+            r.self_ns += self_ns;
+            if r.lat_buckets.is_empty() {
+                r.lat_buckets = vec![0; super::LATENCY_BUCKETS];
+            }
+            r.lat_buckets[bucket_of(self_ns)] += 1;
+            if r.recent.len() < RECENT_WINDOW {
+                r.recent.push(self_ns);
+            } else {
+                r.recent[r.recent_pos % RECENT_WINDOW] = self_ns;
+            }
+            r.recent_pos = (r.recent_pos + 1) % RECENT_WINDOW;
+        }
+
+        /// Counts `n` packets emitted by `elem` on output port `oport`.
+        #[inline]
+        pub fn record_out(&mut self, elem: usize, oport: usize, n: u64) {
+            let r = &mut self.records[elem];
+            if r.out_ports.len() <= oport {
+                r.out_ports.resize(oport + 1, 0);
+            }
+            r.out_ports[oport] += n;
+        }
+
+        /// Copies counters into pre-named profiles (index-aligned with
+        /// the engine's element slots).
+        pub fn fill(&self, profiles: &mut [ElementProfile]) {
+            for (r, p) in self.records.iter().zip(profiles.iter_mut()) {
+                p.calls = r.calls;
+                p.packets = r.packets;
+                p.bytes = r.bytes;
+                p.self_ns = r.self_ns;
+                p.out_ports = r.out_ports.clone();
+                if !r.lat_buckets.is_empty() {
+                    p.lat_buckets = r.lat_buckets.clone();
+                }
+                // Unroll the ring so samples come out oldest first.
+                p.recent_ns.clear();
+                if r.recent.len() < RECENT_WINDOW {
+                    p.recent_ns.extend_from_slice(&r.recent);
+                } else {
+                    let split = r.recent_pos % RECENT_WINDOW;
+                    p.recent_ns.extend_from_slice(&r.recent[split..]);
+                    p.recent_ns.extend_from_slice(&r.recent[..split]);
+                }
+            }
+        }
+
+        /// Zeroes every counter (frames in flight are kept).
+        pub fn reset(&mut self) {
+            for r in &mut self.records {
+                *r = Record::default();
+            }
+        }
+    }
+
+    /// Live shard gauges for one parallel worker (feature-on build).
+    #[derive(Debug)]
+    pub struct ShardGaugeTracker {
+        g: ShardGauges,
+    }
+
+    impl ShardGaugeTracker {
+        /// Zeroed gauges for shard `shard`.
+        pub fn new(shard: usize) -> ShardGaugeTracker {
+            ShardGaugeTracker {
+                g: ShardGauges {
+                    shard,
+                    ..ShardGauges::default()
+                },
+            }
+        }
+
+        /// Records one inbound-ring poll: occupancy `depth` observed
+        /// before popping, `batches` batches / `packets` packets popped.
+        #[inline]
+        pub fn polled(&mut self, depth: usize, batches: u64, packets: u64) {
+            self.g.batches += batches;
+            self.g.packets += packets;
+            if depth > self.g.ring_high_water {
+                self.g.ring_high_water = depth;
+            }
+        }
+
+        /// Records one backoff snooze.
+        #[inline]
+        pub fn snoozed(&mut self) {
+            self.g.backoff_snoozes += 1;
+        }
+
+        /// Current gauge values.
+        pub fn snapshot(&self) -> ShardGauges {
+            self.g
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod imp {
+    use super::{ElementProfile, ShardGauges};
+
+    /// No-op telemetry (feature off): every probe is an inlined empty
+    /// method on this zero-sized type, so instrumented engines compile
+    /// to exactly the uninstrumented code.
+    #[derive(Debug)]
+    pub struct RouterTelemetry;
+
+    impl RouterTelemetry {
+        /// No-op.
+        #[inline(always)]
+        pub fn new(_n: usize) -> RouterTelemetry {
+            RouterTelemetry
+        }
+        /// No-op.
+        #[inline(always)]
+        pub fn enter(&mut self) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn exit(&mut self, _elem: usize, _packets: u64, _bytes: u64) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn record_out(&mut self, _elem: usize, _oport: usize, _n: u64) {}
+        /// No-op: profiles keep their zeroed counters.
+        #[inline(always)]
+        pub fn fill(&self, _profiles: &mut [ElementProfile]) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&mut self) {}
+    }
+
+    /// No-op gauge tracker (feature off).
+    #[derive(Debug)]
+    pub struct ShardGaugeTracker;
+
+    impl ShardGaugeTracker {
+        /// No-op.
+        #[inline(always)]
+        pub fn new(_shard: usize) -> ShardGaugeTracker {
+            ShardGaugeTracker
+        }
+        /// No-op.
+        #[inline(always)]
+        pub fn polled(&mut self, _depth: usize, _batches: u64, _packets: u64) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn snoozed(&mut self) {}
+        /// Zeroed gauges.
+        #[inline(always)]
+        pub fn snapshot(&self) -> ShardGauges {
+            ShardGauges::default()
+        }
+    }
+}
+
+pub use imp::{RouterTelemetry, ShardGaugeTracker};
+
+/// Bytes in a packet about to be pushed (0 when telemetry is off, so the
+/// length read folds away with the rest of the probe).
+#[cfg(feature = "telemetry")]
+#[inline]
+pub fn packet_bytes(p: &Packet) -> u64 {
+    p.len() as u64
+}
+
+/// Bytes in a packet about to be pushed (0 when telemetry is off, so the
+/// length read folds away with the rest of the probe).
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+pub fn packet_bytes(_p: &Packet) -> u64 {
+    0
+}
+
+/// `(packets, bytes)` volume of the batch's tail starting at `from` —
+/// used to attribute only the newly produced packets of a batched pull.
+/// `(0, 0)` when telemetry is off (the batch is not walked).
+#[cfg(feature = "telemetry")]
+#[inline]
+pub fn batch_volume_from(b: &PacketBatch, from: usize) -> (u64, u64) {
+    let mut packets = 0u64;
+    let mut bytes = 0u64;
+    for p in b.iter().skip(from) {
+        packets += 1;
+        bytes += p.len() as u64;
+    }
+    (packets, bytes)
+}
+
+/// `(packets, bytes)` volume of the batch's tail starting at `from` —
+/// used to attribute only the newly produced packets of a batched pull.
+/// `(0, 0)` when telemetry is off (the batch is not walked).
+#[cfg(not(feature = "telemetry"))]
+#[inline(always)]
+pub fn batch_volume_from(_b: &PacketBatch, _from: usize) -> (u64, u64) {
+    (0, 0)
+}
+
+/// `(packets, bytes)` volume of a whole batch; `(0, 0)` when telemetry
+/// is off.
+#[inline]
+pub fn batch_volume(b: &PacketBatch) -> (u64, u64) {
+    batch_volume_from(b, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn profile_merge_sums_counters() {
+        let mut a = ElementProfile::new("c0", "Classifier");
+        a.packets = 3;
+        a.bytes = 192;
+        a.out_ports = vec![1, 0, 2];
+        a.lat_buckets[2] = 3;
+        let mut b = ElementProfile::new("c0", "Classifier");
+        b.packets = 5;
+        b.bytes = 320;
+        b.out_ports = vec![0, 0, 4, 1];
+        b.lat_buckets[3] = 5;
+        a.merge(&b);
+        assert_eq!(a.packets, 8);
+        assert_eq!(a.bytes, 512);
+        assert_eq!(a.out_ports, vec![1, 0, 6, 1]);
+        assert_eq!(a.lat_buckets[2], 3);
+        assert_eq!(a.lat_buckets[3], 5);
+    }
+
+    #[test]
+    fn merge_profiles_aligns_by_name() {
+        let mut s0 = ElementProfile::new("c0", "Classifier");
+        s0.packets = 2;
+        let mut s1a = ElementProfile::new("c0", "Classifier");
+        s1a.packets = 3;
+        let s1b = ElementProfile::new("q0", "Queue");
+        let merged = merge_profiles(&[vec![s0], vec![s1a, s1b]]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].name, "c0");
+        assert_eq!(merged[0].packets, 5);
+        assert_eq!(merged[1].name, "q0");
+    }
+
+    #[test]
+    fn cold_ports_include_unindexed_tail() {
+        let mut p = ElementProfile::new("c0", "Classifier");
+        p.out_ports = vec![4, 0];
+        assert_eq!(p.cold_ports(4), vec![1, 2, 3]);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn frames_attribute_exclusive_time() {
+        let mut t = RouterTelemetry::new(2);
+        t.enter(); // elem 0 (parent)
+        t.enter(); // elem 1 (child)
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.exit(1, 1, 64);
+        t.exit(0, 1, 64);
+        let mut profiles = vec![
+            ElementProfile::new("parent", "X"),
+            ElementProfile::new("child", "Y"),
+        ];
+        t.fill(&mut profiles);
+        // The child's sleep is excluded from the parent's self time.
+        assert!(profiles[1].self_ns >= 1_000_000);
+        assert!(profiles[0].self_ns < profiles[1].self_ns);
+        assert_eq!(profiles[0].packets, 1);
+        assert_eq!(profiles[1].calls, 1);
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn disabled_probes_report_zero() {
+        let mut t = RouterTelemetry::new(2);
+        t.enter();
+        t.exit(0, 1, 64);
+        t.record_out(0, 0, 1);
+        let mut profiles = vec![ElementProfile::new("a", "X")];
+        t.fill(&mut profiles);
+        assert_eq!(profiles[0].packets, 0);
+        // `ENABLED` mirroring the cfg is itself part of the contract.
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(!ENABLED);
+        }
+    }
+}

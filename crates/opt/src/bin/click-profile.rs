@@ -1,0 +1,53 @@
+//! `click-profile`: profile-guided configuration optimization.
+//!
+//! Reads a router configuration on stdin and a runtime profile (produced
+//! by `click-report`) from `--profile`, hoists hot `Classifier` branches
+//! first where provably semantics-preserving, rewires the downstream
+//! connections to follow, and flags cold branches for `click-undead`.
+//!
+//! Usage: `click-profile --profile PROFILE.json < router.click`
+//!
+//! Composes with the static tool chain; profile first so element names
+//! still match the profile, then optimize:
+//!
+//! ```text
+//! click-profile --profile p.json < ip.click \
+//!   | click-xform | click-fastclassifier | click-devirtualize
+//! ```
+
+use click_opt::profile::{apply_profile, Profile};
+use click_opt::tool::{parse_args, run_tool};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional) = parse_args(&args, &["profile"]);
+    let mut path: Option<String> = None;
+    for (flag, value) in flags {
+        match flag.as_str() {
+            "profile" => path = value,
+            _ => {
+                eprintln!("usage: click-profile --profile PROFILE.json < router.click");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Allow the profile as a bare positional argument too.
+    let path = path
+        .or_else(|| positional.first().cloned())
+        .unwrap_or_else(|| {
+            eprintln!("usage: click-profile --profile PROFILE.json < router.click");
+            std::process::exit(2);
+        });
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("click-profile: reading {path}: {e}");
+        std::process::exit(1);
+    });
+    let profile = Profile::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("click-profile: {e}");
+        std::process::exit(1);
+    });
+    run_tool("click-profile", |graph| {
+        let report = apply_profile(graph, &profile)?;
+        Ok(report.summary())
+    });
+}

@@ -1,0 +1,302 @@
+//! `click-report`: run a router under the telemetry layer and export a
+//! merged per-element JSON profile (the input of `click-profile`).
+//!
+//! Usage:
+//!
+//! ```text
+//! click-report [--ifaces N] [--shards K] [--packets P] [--batched BURST]
+//!              [--source LABEL] [--out FILE] [--emit-config] [CONFIG.click]
+//! ```
+//!
+//! Without a positional configuration file the tool profiles the paper's
+//! `N`-interface IP router (`click_elements::ip_router`) under its
+//! standard cross-interface UDP workload; with one, it loads the
+//! configuration and injects a generic UDP trace on every device. With
+//! `--shards K > 1` the trace runs on the sharded runtime and the
+//! per-shard counters are merged by the control plane — packet totals
+//! equal the serial run, so a profile is engine-independent.
+//!
+//! The binary must be built with `--features telemetry` for live
+//! counters; without it the profile structure is emitted with zeros (and
+//! a warning on stderr).
+//!
+//! `--emit-config` prints the generated IP-router configuration to
+//! stdout instead of profiling, so the profile-guided pipeline is
+//! self-contained:
+//!
+//! ```text
+//! click-report --emit-config > ip.click
+//! click-report --out p.json
+//! click-profile --profile p.json < ip.click | click-fastclassifier | ...
+//! ```
+
+use click_core::error::Result;
+use click_core::graph::RouterGraph;
+use click_core::lang::read_config;
+use click_core::registry::Library;
+use click_elements::element::Element;
+use click_elements::fast::FastElement;
+use click_elements::headers::build_udp_packet;
+use click_elements::ip_router::{test_packet_flow, IpRouterSpec};
+use click_elements::packet::Packet;
+use click_elements::parallel::{ParallelOpts, ParallelRouter};
+use click_elements::router::{Router, Slot};
+use click_elements::telemetry::{self, ElementProfile, ShardGauges};
+use click_opt::profile::Profile;
+use click_opt::tool::parse_args;
+
+/// Distinct UDP source ports in the generated trace (distinct flows for
+/// RSS steering).
+const FLOWS: u16 = 64;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: click-report [--ifaces N] [--shards K] [--packets P] \
+         [--batched BURST] [--source LABEL] [--out FILE] [--emit-config] [CONFIG.click]"
+    );
+    std::process::exit(2);
+}
+
+/// One frame of the trace: (receiving device name, packet).
+type Frame = (String, Packet);
+
+/// The IP-router workload: cross-interface UDP flows, as in the benches.
+fn ip_router_frames(spec: &IpRouterSpec, n: usize, packets: usize) -> Vec<Frame> {
+    (0..packets)
+        .map(|i| {
+            let src = i % (n / 2);
+            let dst = src + n / 2;
+            let sport = 2000 + (i as u16 % FLOWS);
+            (
+                format!("eth{src}"),
+                test_packet_flow(spec, src, dst, sport, 7000),
+            )
+        })
+        .collect()
+}
+
+/// A generic workload for arbitrary configurations: UDP frames injected
+/// round-robin across the configuration's devices.
+fn generic_frames(devices: &[String], packets: usize) -> Vec<Frame> {
+    (0..packets)
+        .map(|i| {
+            let dev = devices[i % devices.len()].clone();
+            let sport = 2000 + (i as u16 % FLOWS);
+            let p = build_udp_packet([2; 6], [1; 6], 0x0A00_0002, 0x0A00_0102, sport, 9, 18, 64);
+            (dev, p)
+        })
+        .collect()
+}
+
+fn run_serial<S: Slot>(
+    graph: &RouterGraph,
+    frames: &[Frame],
+    batched: usize,
+) -> Result<(Vec<ElementProfile>, u64)> {
+    let mut router: Router<S> = Router::from_graph(graph, &Library::standard())?;
+    if batched > 0 {
+        router.set_batching(true);
+        router.set_batch_burst(batched);
+    }
+    for (dev, p) in frames {
+        if let Some(id) = router.devices.id(dev) {
+            router.devices.inject(id, p.clone());
+        }
+    }
+    router.run_until_idle(1_000_000);
+    let names: Vec<String> = router
+        .devices
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut tx = 0u64;
+    for name in &names {
+        let id = router.devices.id(name).expect("known device");
+        tx += router.devices.recycle_tx(id) as u64;
+    }
+    Ok((router.telemetry_profiles(), tx))
+}
+
+fn run_sharded<S: Slot + 'static>(
+    graph: &RouterGraph,
+    frames: &[Frame],
+    shards: usize,
+    batched: usize,
+) -> Result<(Vec<ElementProfile>, Vec<ShardGauges>, u64)> {
+    let mut opts = ParallelOpts::new(shards);
+    if batched > 0 {
+        opts = opts.batched(batched);
+    }
+    let mut router = ParallelRouter::from_graph::<S>(graph, opts)?;
+    for (dev, p) in frames {
+        if let Some(id) = router.device_id(dev) {
+            router.inject(id, p.clone());
+        }
+    }
+    router.run_until_idle();
+    let names: Vec<String> = router.device_names().to_vec();
+    let mut tx = 0u64;
+    for name in &names {
+        let id = router.device_id(name).expect("known device");
+        tx += router.take_tx(id).len() as u64;
+    }
+    let profiles = router.telemetry_profiles();
+    let gauges = router.shard_gauges();
+    router.shutdown();
+    Ok((profiles, gauges, tx))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional) = parse_args(
+        &args,
+        &["ifaces", "shards", "packets", "batched", "source", "out"],
+    );
+    let mut ifaces = 4usize;
+    let mut shards = 1usize;
+    let mut packets = 2048usize;
+    let mut batched = 0usize;
+    let mut source: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut emit_config = false;
+    for (flag, value) in &flags {
+        let num = || -> usize {
+            value
+                .as_deref()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "ifaces" => ifaces = num().max(2),
+            "shards" => shards = num().max(1),
+            "packets" => packets = num().max(1),
+            "batched" => batched = num(),
+            "source" => source = value.clone(),
+            "out" => out = value.clone(),
+            "emit-config" => emit_config = true,
+            "help" => usage(),
+            other => {
+                eprintln!("click-report: unknown flag --{other}");
+                usage();
+            }
+        }
+    }
+    if positional.len() > 1 {
+        usage();
+    }
+    if emit_config {
+        print!("{}", IpRouterSpec::standard(ifaces).config());
+        return;
+    }
+
+    if !telemetry::ENABLED {
+        eprintln!(
+            "click-report: warning: built without `--features telemetry`; \
+             all counters in the profile will read zero"
+        );
+    }
+
+    // Build the graph and its trace.
+    let (graph, frames, label) = match positional.first() {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("click-report: reading {path}: {e}");
+                std::process::exit(1);
+            });
+            let graph = read_config(&text).unwrap_or_else(|e| {
+                eprintln!("click-report: parsing {path}: {e}");
+                std::process::exit(1);
+            });
+            // Device names come from a throwaway instantiation.
+            let probe: Router<Box<dyn Element>> = Router::from_graph(&graph, &Library::standard())
+                .unwrap_or_else(|e| {
+                    eprintln!("click-report: {e}");
+                    std::process::exit(1);
+                });
+            let devices: Vec<String> = probe
+                .devices
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            drop(probe);
+            if devices.is_empty() {
+                eprintln!("click-report: configuration has no devices to inject on");
+                std::process::exit(1);
+            }
+            let frames = generic_frames(&devices, packets);
+            (graph, frames, path.clone())
+        }
+        None => {
+            let spec = IpRouterSpec::standard(ifaces);
+            let graph = read_config(&spec.config()).expect("generated config parses");
+            let frames = ip_router_frames(&spec, ifaces, packets);
+            (graph, frames, format!("ip-router-{ifaces}"))
+        }
+    };
+
+    let devirt = graph.has_requirement("devirtualize");
+    let (elements, gauges, tx) = if shards > 1 {
+        let r = if devirt {
+            run_sharded::<FastElement>(&graph, &frames, shards, batched)
+        } else {
+            run_sharded::<Box<dyn Element>>(&graph, &frames, shards, batched)
+        };
+        r.unwrap_or_else(|e| {
+            eprintln!("click-report: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let r = if devirt {
+            run_serial::<FastElement>(&graph, &frames, batched)
+        } else {
+            run_serial::<Box<dyn Element>>(&graph, &frames, batched)
+        };
+        let (elements, tx) = r.unwrap_or_else(|e| {
+            eprintln!("click-report: {e}");
+            std::process::exit(1);
+        });
+        (elements, Vec::new(), tx)
+    };
+
+    let profile = Profile {
+        source: source.unwrap_or(label),
+        shards,
+        telemetry: telemetry::ENABLED,
+        elements,
+        gauges,
+    };
+    let json = profile.to_json();
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("click-report: writing {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("click-report: wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    // Human summary: where the cycles went.
+    eprintln!(
+        "click-report: {} packets in, {tx} out, {} shard(s), {} element(s)",
+        frames.len(),
+        profile.shards,
+        profile.elements.len()
+    );
+    if telemetry::ENABLED {
+        let mut by_cost: Vec<&ElementProfile> = profile.elements.iter().collect();
+        by_cost.sort_by_key(|e| std::cmp::Reverse(e.self_ns));
+        for e in by_cost.iter().take(5) {
+            eprintln!(
+                "click-report:   {:<12} {:<16} {:>8} pkts  {:>8.1} ns/pkt",
+                e.name,
+                e.class,
+                e.packets,
+                e.ns_per_packet()
+            );
+        }
+    }
+}

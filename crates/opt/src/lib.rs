@@ -15,6 +15,7 @@
 //! | [`combine`] | `click-combine` / `click-uncombine` | cross-router (interprocedural) optimization |
 //! | [`mkmindriver`] | `click-mkmindriver` | tree shaking |
 //! | [`pretty`] | `click-pretty` | pretty printer |
+//! | [`profile`] | `click-report` / `click-profile` | profile-guided optimization |
 //!
 //! Like compiler passes (or Unix filters), the tools compose:
 //!
@@ -31,7 +32,7 @@
 //! # Ok::<(), click_core::Error>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod align;
@@ -40,6 +41,7 @@ pub mod devirtualize;
 pub mod fastclassifier;
 pub mod mkmindriver;
 pub mod pretty;
+pub mod profile;
 pub mod tool;
 pub mod undead;
 pub mod xform;

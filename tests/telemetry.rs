@@ -1,0 +1,344 @@
+//! Telemetry guards: the observability layer must never change what the
+//! router *does* — only what it can *report*.
+//!
+//! Three properties are pinned here:
+//!
+//! 1. **Overhead guard** — forwarding results (per-flow order, per-class
+//!    stats, tx counts) are byte-identical whether the `telemetry`
+//!    feature is on or off: the same assertions compile and pass in both
+//!    modes. With the feature off, every counter reads zero.
+//! 2. **Counter correctness** (feature on) — per-element packet counters
+//!    match independently observable statistics, and the merged 4-shard
+//!    profile equals the serial profile element-for-element.
+//! 3. **`click-profile` round-trip** (either mode) — applying a profile
+//!    to the IP router reorders hot classifier branches without changing
+//!    any per-class packet count or per-flow output sequence.
+
+use click::core::registry::Library;
+use click::core::RouterGraph;
+use click::elements::element::Element;
+use click::elements::ip_router::{test_packet_flow, IpRouterSpec};
+use click::elements::packet::Packet;
+use click::elements::parallel::{ParallelOpts, ParallelRouter};
+use click::elements::router::Slot;
+use click::elements::steer::flow_key;
+use click::elements::telemetry::{self, ElementProfile};
+use click::elements::Router;
+use click::opt::profile::{apply_profile, Profile};
+use click_bench::ip_router_variants;
+
+const N: usize = 4;
+const FLOWS: u16 = 12;
+const PER_FLOW: u8 = 6;
+
+/// The parallel-equivalence trace: FLOWS cross-interface UDP flows,
+/// PER_FLOW packets each, sequence number in the last payload byte.
+fn trace(spec: &IpRouterSpec) -> Vec<(usize, Packet)> {
+    let mut out = Vec::new();
+    for seq in 0..PER_FLOW {
+        for flow in 0..FLOWS {
+            let src = usize::from(flow) % (N / 2);
+            let dst = src + N / 2;
+            let mut p = test_packet_flow(spec, src, dst, 2000 + flow, 7000);
+            let n = p.len();
+            p.data_mut()[n - 1] = seq;
+            out.push((src, p));
+        }
+    }
+    out
+}
+
+/// Packets the trace injects on each interface.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+fn injected_per_device(spec: &IpRouterSpec) -> Vec<u64> {
+    let mut counts = vec![0u64; N];
+    for (src, _) in trace(spec) {
+        counts[src] += 1;
+    }
+    counts
+}
+
+/// The forwarding outcome every run must reproduce exactly.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    class_stats: Vec<(String, u64)>,
+    /// (output device, flow source port) → payload sequence numbers.
+    flows: Vec<((usize, u16), Vec<u8>)>,
+}
+
+const CLASSES: [(&str, &str); 3] = [
+    ("Queue", "drops"),
+    ("Discard", "count"),
+    ("IPFragmenter", "drops"),
+];
+
+fn flows_of(outputs: Vec<(usize, Vec<Packet>)>) -> Vec<((usize, u16), Vec<u8>)> {
+    let mut flows: Vec<((usize, u16), Vec<u8>)> = Vec::new();
+    for (dev, packets) in outputs {
+        for p in packets {
+            let sport = flow_key(p.data()).map_or(0, |k| k.3);
+            let seq = p.data()[p.len() - 1];
+            match flows.iter_mut().find(|(k, _)| *k == (dev, sport)) {
+                Some((_, seqs)) => seqs.push(seq),
+                None => flows.push(((dev, sport), vec![seq])),
+            }
+        }
+    }
+    flows.sort_by_key(|(k, _)| *k);
+    flows
+}
+
+/// Runs the trace on the serial engine; returns the forwarding outcome
+/// and the telemetry profiles.
+fn run_serial<S: Slot>(graph: &RouterGraph) -> (Outcome, Vec<ElementProfile>) {
+    let spec = IpRouterSpec::standard(N);
+    let mut router: Router<S> =
+        Router::from_graph(graph, &Library::standard()).expect("router builds");
+    for (src, p) in trace(&spec) {
+        let id = router.devices.id(&format!("eth{src}")).expect("device");
+        router.devices.inject(id, p);
+    }
+    router.run_until_idle(100_000);
+    let outputs = (0..N)
+        .map(|d| {
+            let id = router.devices.id(&format!("eth{d}")).expect("device");
+            (d, router.devices.take_tx(id))
+        })
+        .collect();
+    let outcome = Outcome {
+        class_stats: CLASSES
+            .iter()
+            .map(|(c, s)| (format!("{c}.{s}"), router.class_stat(c, s)))
+            .collect(),
+        flows: flows_of(outputs),
+    };
+    (outcome, router.telemetry_profiles())
+}
+
+fn base_graph() -> RouterGraph {
+    let variants = ip_router_variants(N).expect("variants build");
+    variants
+        .iter()
+        .find(|v| v.name == "Base")
+        .expect("Base variant")
+        .graph
+        .clone()
+}
+
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+fn profile_of<'a>(profiles: &'a [ElementProfile], name: &str) -> &'a ElementProfile {
+    profiles
+        .iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| panic!("no profile for {name}"))
+}
+
+/// Every packet of every flow forwarded in order, no drops anywhere —
+/// the assertions are feature-independent, so compiling and running this
+/// test with and without `--features telemetry` *is* the overhead guard.
+#[test]
+fn forwarding_outcome_is_feature_independent() {
+    let (outcome, _) = run_serial::<Box<dyn Element>>(&base_graph());
+    for (stat, v) in &outcome.class_stats {
+        assert_eq!(*v, 0, "{stat} must be zero on the clean trace");
+    }
+    assert_eq!(outcome.flows.len(), usize::from(FLOWS));
+    for ((_, sport), seqs) in &outcome.flows {
+        assert_eq!(
+            *seqs,
+            (0..PER_FLOW).collect::<Vec<u8>>(),
+            "flow {sport} lost or reordered packets"
+        );
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+#[test]
+fn profiles_read_zero_when_disabled() {
+    // `ENABLED` mirroring the cfg is itself part of the contract.
+    #[allow(clippy::assertions_on_constants)]
+    {
+        assert!(!telemetry::ENABLED);
+    }
+    let (_, profiles) = run_serial::<Box<dyn Element>>(&base_graph());
+    assert!(
+        !profiles.is_empty(),
+        "snapshot structure exists even when off"
+    );
+    for p in &profiles {
+        assert_eq!(
+            (p.calls, p.packets, p.bytes, p.self_ns),
+            (0, 0, 0, 0),
+            "{}",
+            p.name
+        );
+        assert!(p.out_ports.iter().all(|&n| n == 0), "{}", p.name);
+        assert!(p.lat_buckets.iter().all(|&n| n == 0), "{}", p.name);
+    }
+    // The sharded runtime's gauges are likewise dead weightless stubs.
+    let mut router =
+        ParallelRouter::from_graph::<Box<dyn Element>>(&base_graph(), ParallelOpts::new(2))
+            .expect("parallel router builds");
+    router.run_until_idle();
+    for g in router.shard_gauges() {
+        assert_eq!(
+            (g.batches, g.packets, g.ring_high_water, g.backoff_snoozes),
+            (0, 0, 0, 0)
+        );
+    }
+    router.shutdown();
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn counters_match_observed_statistics() {
+    // `ENABLED` mirroring the cfg is itself part of the contract.
+    #[allow(clippy::assertions_on_constants)]
+    {
+        assert!(telemetry::ENABLED);
+    }
+    let spec = IpRouterSpec::standard(N);
+    let injected = injected_per_device(&spec);
+    let (outcome, profiles) = run_serial::<Box<dyn Element>>(&base_graph());
+
+    // Each interface's Classifier sees exactly the packets injected on
+    // that interface, and the trace is pure IP: every packet leaves on
+    // the IP branch (output 2 of `Classifier(arp-req, arp-resp, ip, -)`).
+    for (i, &rx) in injected.iter().enumerate() {
+        let c = profile_of(&profiles, &format!("c{i}"));
+        assert_eq!(c.class, "Classifier");
+        assert_eq!(c.packets, rx, "c{i} packet count");
+        assert_eq!(c.out_ports.iter().sum::<u64>(), rx, "c{i} emissions");
+        // `out_ports` grows on demand, so an idle classifier's is empty.
+        assert_eq!(
+            c.out_ports.get(2).copied().unwrap_or(0),
+            rx,
+            "c{i} IP branch"
+        );
+        if rx > 0 {
+            assert!(c.self_ns > 0, "c{i} must have accumulated self time");
+            assert!(c.bytes > 0, "c{i} must have accumulated bytes");
+            assert_eq!(
+                c.lat_buckets.iter().sum::<u64>(),
+                c.calls,
+                "c{i} histogram covers every call"
+            );
+        }
+    }
+
+    // Forwarded packets cross each destination queue once in and once
+    // out (push + pull are both counted), and nothing was dropped.
+    let forwarded: u64 = outcome
+        .flows
+        .iter()
+        .map(|(_, seqs)| seqs.len() as u64)
+        .sum();
+    let queue_packets: u64 = profiles
+        .iter()
+        .filter(|p| p.class == "Queue")
+        .map(|p| p.packets)
+        .sum();
+    assert_eq!(queue_packets, 2 * forwarded, "queue in+out traffic");
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn four_shard_merge_matches_serial() {
+    let graph = base_graph();
+    let spec = IpRouterSpec::standard(N);
+    let (_, serial) = run_serial::<Box<dyn Element>>(&graph);
+
+    let mut router = ParallelRouter::from_graph::<Box<dyn Element>>(&graph, ParallelOpts::new(4))
+        .expect("parallel router builds");
+    for (src, p) in trace(&spec) {
+        let id = router.device_id(&format!("eth{src}")).expect("device");
+        router.inject(id, p);
+    }
+    router.run_until_idle();
+    let merged = router.telemetry_profiles();
+    let gauges = router.shard_gauges();
+    router.shutdown();
+
+    // Work counters merge exactly; timing (calls, self_ns) legitimately
+    // differs because idle polling depends on the schedule.
+    let key = |ps: &[ElementProfile]| {
+        let mut v: Vec<(String, String, u64, u64, Vec<u64>)> = ps
+            .iter()
+            .map(|p| {
+                (
+                    p.name.clone(),
+                    p.class.clone(),
+                    p.packets,
+                    p.bytes,
+                    p.out_ports.clone(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(
+        key(&merged),
+        key(&serial),
+        "4-shard merge diverges from serial"
+    );
+
+    // Every injected packet crossed exactly one shard's inbound ring.
+    let injected: u64 = injected_per_device(&spec).iter().sum();
+    assert_eq!(gauges.iter().map(|g| g.packets).sum::<u64>(), injected);
+    assert!(gauges.iter().all(|g| g.batches <= g.packets.max(1)));
+}
+
+/// The profile-guided reorder must be invisible to forwarding: same
+/// per-class stats, same per-flow output sequences — only the classifier
+/// pattern order (and its wiring) changes. Runs in both feature modes;
+/// the profile is synthetic, so no live counters are needed.
+#[test]
+fn click_profile_round_trip_preserves_classification() {
+    let base = base_graph();
+    let mut profiled = base.clone();
+
+    // A synthetic profile recording what the IP workload produces: all
+    // traffic on the classifiers' IP branch (output 2 of 4).
+    let elements = (0..N)
+        .map(|i| {
+            let mut p = ElementProfile::new(&format!("c{i}"), "Classifier");
+            p.packets = 500;
+            p.out_ports = vec![0, 0, 500, 0];
+            p
+        })
+        .collect();
+    let profile = Profile {
+        source: "synthetic".into(),
+        shards: 1,
+        telemetry: true,
+        elements,
+        gauges: Vec::new(),
+    };
+
+    let report = apply_profile(&mut profiled, &profile).expect("profile applies");
+    assert_eq!(report.reordered.len(), N, "all four classifiers reorder");
+    for r in &report.reordered {
+        assert_eq!(
+            r.order,
+            vec![2, 0, 1, 3],
+            "{} hoists the IP branch",
+            r.element
+        );
+    }
+    for id in profiled.element_ids().collect::<Vec<_>>() {
+        let decl = profiled.element(id);
+        if decl.class() == "Classifier" {
+            assert_eq!(
+                decl.config(),
+                "12/0800, 12/0806 20/0001, 12/0806 20/0002, -",
+                "{} pattern order",
+                decl.name()
+            );
+        }
+    }
+
+    let (before, _) = run_serial::<Box<dyn Element>>(&base);
+    let (after, _) = run_serial::<Box<dyn Element>>(&profiled);
+    assert_eq!(after, before, "reordering changed observable forwarding");
+}
