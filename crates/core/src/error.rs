@@ -58,6 +58,9 @@ pub enum Error {
     Archive { message: String },
     /// A malformed element configuration string.
     Config { element: String, message: String },
+    /// A runtime fault surfaced by the router engines (dead worker shard,
+    /// control-plane timeout, injection backpressure timeout).
+    Runtime { message: String },
 }
 
 impl Error {
@@ -96,6 +99,13 @@ impl Error {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for [`Error::Runtime`].
+    pub fn runtime(message: impl Into<String>) -> Error {
+        Error::Runtime {
+            message: message.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -111,6 +121,7 @@ impl fmt::Display for Error {
             Error::Config { element, message } => {
                 write!(f, "configuration error in {element}: {message}")
             }
+            Error::Runtime { message } => write!(f, "runtime error: {message}"),
         }
     }
 }
@@ -151,5 +162,6 @@ mod tests {
         assert!(matches!(Error::spec("x"), Error::Spec { .. }));
         assert!(matches!(Error::check("x"), Error::Check { .. }));
         assert!(matches!(Error::config("e", "m"), Error::Config { .. }));
+        assert!(matches!(Error::runtime("x"), Error::Runtime { .. }));
     }
 }

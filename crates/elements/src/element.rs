@@ -279,12 +279,24 @@ impl DeviceMap {
 pub struct CreateCtx {
     /// Device name registry.
     pub devices: DeviceMap,
+    /// The worker shard this router instance runs in (0 for a serial
+    /// router). Elements that scope behavior to one shard — `FaultInject`
+    /// with a `SHARD` clause — read it at construction time.
+    pub shard: usize,
 }
 
 impl CreateCtx {
-    /// Creates an empty context.
+    /// Creates an empty context (shard 0).
     pub fn new() -> CreateCtx {
         CreateCtx::default()
+    }
+
+    /// Creates a context for a router built inside worker shard `shard`.
+    pub fn for_shard(shard: usize) -> CreateCtx {
+        CreateCtx {
+            shard,
+            ..CreateCtx::default()
+        }
     }
 }
 

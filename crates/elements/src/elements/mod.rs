@@ -5,6 +5,7 @@ pub mod classify;
 pub mod combo;
 pub mod device;
 pub mod ether;
+pub mod fault;
 pub mod ip;
 pub mod queueing;
 
@@ -59,6 +60,7 @@ pub fn create_element(class: &str, config: &str, ctx: &mut CreateCtx) -> Result<
         "PrioSched" => Box::new(basic::PrioSched::from_config(config, ctx)?),
         "Idle" => Box::new(basic::Idle::from_config(config, ctx)?),
         "Null" => Box::new(basic::Null::from_config(config, ctx)?),
+        "FaultInject" => Box::new(fault::FaultInject::from_config(config, ctx)?),
         "InfiniteSource" | "RatedSource" | "TimedSource" => {
             Box::new(basic::InfiniteSource::from_config(config, ctx)?)
         }

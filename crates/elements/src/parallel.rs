@@ -1,10 +1,12 @@
 //! The multi-core router runtime: N independent shards of the compiled
-//! element graph, RSS flow steering, and bounded ring queues.
+//! element graph, RSS flow steering, bounded ring queues — and a
+//! supervisor that keeps the router forwarding when a shard dies.
 //!
 //! The paper's runtime is a "constantly-active kernel thread" — one core
-//! runs the whole element graph. [`ParallelRouter`] scales that model
-//! across cores the way production packet processors (and Click's own
-//! SMP successor) do:
+//! runs the whole element graph, and any element misbehavior takes the
+//! whole router down. [`ParallelRouter`] scales that model across cores
+//! the way production packet processors (and Click's own SMP successor)
+//! do, and adds the fault-isolation discipline they need:
 //!
 //! * **Per-shard graph clones.** Every worker thread builds its *own*
 //!   [`Router<S>`] from the same configuration graph. Nothing on the
@@ -25,25 +27,63 @@
 //!   backoff knob, and backpressure instead of drops when a shard falls
 //!   behind.
 //!
+//! # Fault isolation and supervision
+//!
+//! Each worker wraps its packet-processing loop in
+//! [`std::panic::catch_unwind`]: a panic inside an element (a bug, a
+//! malformed frame tripping an assertion, or a deliberate
+//! `FaultInject(PANIC …)` chaos element) is confined to that shard. The
+//! panicked worker publishes its death through a *health word* (an
+//! atomic the supervisor reads on every unproductive poll — never on the
+//! per-packet fast path) and then parks as a **zombie**: its thread
+//! stays alive answering control-plane queries, so the dead shard's
+//! element statistics and telemetry remain readable until shutdown.
+//!
+//! The supervisor — the main thread, inside [`ParallelRouter::flush`] /
+//! [`ParallelRouter::run_until_idle`] — reacts to a death by:
+//!
+//! 1. salvaging every in-flight batch from the dead shard's rings
+//!    ([`crate::ring::RingProducer::reclaim`] is sound once the consumer
+//!    is inert) and accounting the irrecoverable remainder (packets that
+//!    were *inside* the engine when it died) in [`FaultGauges`];
+//! 2. either **restarting** the shard — a fresh worker thread built from
+//!    the retained [`RouterGraph`] ([`Recovery::Restart`]) — or entering
+//!    **degraded mode** ([`Recovery::Degrade`]): the steering stage's
+//!    live-shard mask ([`crate::steer::RssSteering::mark_dead`])
+//!    deterministically re-homes the dead shard's flows across the
+//!    survivors, while flows homed on live shards keep their original
+//!    assignment (and therefore their per-flow order);
+//! 3. re-injecting the salvaged packets in FIFO order through the
+//!    (updated) steering stage.
+//!
+//! The control plane is typed-error clean: queries honor
+//! [`CTRL_TIMEOUT`] and return [`Error::Runtime`] instead of panicking
+//! when a worker is gone or wedged, injection into a wedged router
+//! reports a backpressure timeout instead of spinning forever
+//! ([`ParallelRouter::try_flush`]), and `Drop` performs a bounded,
+//! orderly drain.
+//!
 //! Statistics aggregate through a control channel:
 //! [`ParallelRouter::stat`] / [`ParallelRouter::class_stat`] query every
-//! worker and sum, so a sharded router answers exactly like a serial
-//! [`Router`] and equivalence tests run unchanged.
+//! worker (including zombies and restarted shards' predecessors) and
+//! sum, so a sharded router answers exactly like a serial [`Router`] and
+//! equivalence tests run unchanged.
 
 use crate::batch::PacketBatch;
 use crate::element::DeviceId;
 use crate::packet::{Packet, PoolStats};
 use crate::ring::{spsc, Backoff, RingConsumer, RingProducer};
 use crate::router::{Router, Slot};
-use crate::steer::RssSteering;
-use crate::telemetry::{self, ElementProfile, ShardGaugeTracker, ShardGauges};
-use click_core::error::Result;
+use crate::steer::{RssSteering, MAX_SHARDS};
+use crate::telemetry::{self, ElementProfile, FaultGauges, ShardGaugeTracker, ShardGauges};
+use click_core::error::{Error, Result};
 use click_core::graph::RouterGraph;
 use click_core::registry::Library;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One unit of ring transfer: a burst of packets for (or from) one
 /// simulated device.
@@ -54,8 +94,33 @@ type ShardItem = (DeviceId, PacketBatch);
 const WORKER_ROUNDS: usize = 100_000;
 
 /// How long a control query may wait on a worker before the runtime
-/// declares it wedged.
-const CTRL_TIMEOUT: Duration = Duration::from_secs(10);
+/// declares it wedged and returns [`Error::Runtime`].
+pub const CTRL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Health-word states a worker publishes (see [`WorkerShared`]).
+const HEALTH_RUNNING: u8 = 0;
+/// The worker's packet loop panicked; the thread is parked as a zombie
+/// that still answers control queries.
+const HEALTH_PANICKED: u8 = 1;
+/// The worker exited cleanly (shutdown).
+const HEALTH_EXITED: u8 = 2;
+/// The worker could not build its router clone (cannot normally happen:
+/// the graph was validated on the main thread).
+const HEALTH_BUILD_FAILED: u8 = 3;
+
+/// What the supervisor does when a worker shard dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Enter degraded mode: mark the shard dead in the steering mask and
+    /// spread its flows across the survivors. The default.
+    Degrade,
+    /// Restart the shard from the retained configuration graph, at most
+    /// `max_per_shard` times per shard; further deaths degrade.
+    Restart {
+        /// Restart budget per shard before falling back to degradation.
+        max_per_shard: u32,
+    },
+}
 
 /// Configuration knobs of the sharded runtime.
 #[derive(Debug, Clone)]
@@ -73,11 +138,20 @@ pub struct ParallelOpts {
     /// Busy-poll backoff knob: how many times an idle endpoint spins
     /// before it starts yielding and napping ([`Backoff`]).
     pub backoff_spins: u32,
+    /// What to do when a worker shard dies.
+    pub recovery: Recovery,
+    /// How long injection may make zero progress (all target rings full,
+    /// nothing arriving) before [`ParallelRouter::try_flush`] /
+    /// [`ParallelRouter::try_run_until_idle`] report a backpressure
+    /// timeout, and how long `Drop` waits for workers before abandoning
+    /// a wedged thread.
+    pub wedge_timeout: Duration,
 }
 
 impl ParallelOpts {
     /// Defaults for `shards` workers: scalar engine, device burst,
-    /// 256-batch rings, 128-spin backoff.
+    /// 256-batch rings, 128-spin backoff, degrade-on-fault, 10 s wedge
+    /// timeout.
     pub fn new(shards: usize) -> ParallelOpts {
         ParallelOpts {
             shards,
@@ -85,6 +159,8 @@ impl ParallelOpts {
             burst: crate::elements::device::BURST,
             ring_capacity: 256,
             backoff_spins: 128,
+            recovery: Recovery::Degrade,
+            wedge_timeout: CTRL_TIMEOUT,
         }
     }
 
@@ -94,11 +170,32 @@ impl ParallelOpts {
         self.burst = burst.max(1);
         self
     }
+
+    /// Restart dead shards from the retained graph, at most `max` times
+    /// per shard.
+    pub fn restart_on_fault(mut self, max: u32) -> ParallelOpts {
+        self.recovery = Recovery::Restart { max_per_shard: max };
+        self
+    }
+
+    /// Never restart: re-steer a dead shard's flows across survivors.
+    pub fn degrade_on_fault(mut self) -> ParallelOpts {
+        self.recovery = Recovery::Degrade;
+        self
+    }
+
+    /// Sets the zero-progress deadline for injection and shutdown.
+    pub fn with_wedge_timeout(mut self, t: Duration) -> ParallelOpts {
+        self.wedge_timeout = t;
+        self
+    }
 }
 
 /// Control-plane queries the injection thread sends to workers. Rare and
 /// cheap; the packet path never touches this channel.
 enum Ctrl {
+    /// Liveness probe (the control-plane heartbeat).
+    Ping,
     /// Read one element's named statistic.
     Stat(String, String),
     /// Sum a statistic across all elements of a class.
@@ -117,51 +214,103 @@ enum Ctrl {
 
 /// Replies to [`Ctrl`] queries.
 enum CtrlReply {
+    Pong,
     Stat(Option<u64>),
     Value(u64),
-    Drops { unconnected: u64, reentrant: u64 },
+    Drops {
+        unconnected: u64,
+        reentrant: u64,
+    },
     Pool(PoolStats),
     Telemetry(Vec<ElementProfile>),
     Gauges(ShardGauges),
+    /// The worker has no router to answer with (build failure zombie).
+    Gone,
 }
 
-/// Main-thread handle to one worker shard.
+/// State a worker shares with the supervisor: the health word, a
+/// heartbeat the worker bumps every poll, and completion counters the
+/// supervisor balances against its own enqueue counters to detect both
+/// idleness and in-flight loss.
+#[derive(Debug, Default)]
+struct WorkerShared {
+    health: AtomicU8,
+    heartbeat: AtomicU64,
+    completed_batches: AtomicU64,
+    completed_pkts: AtomicU64,
+}
+
+/// Main-thread handle to one worker shard (or to a dead predecessor
+/// retired to the graveyard, kept for its statistics).
 struct Worker {
+    shard: usize,
     to_worker: RingProducer<ShardItem>,
     from_worker: RingConsumer<ShardItem>,
     ctrl: mpsc::Sender<Ctrl>,
     reply: mpsc::Receiver<CtrlReply>,
     /// Batches handed to this worker (main thread is the only writer).
-    enqueued: u64,
-    /// Batches the worker has fully processed (incremented by the
-    /// worker after the batch's TX output reached the out ring).
-    completed: Arc<AtomicU64>,
+    enqueued_batches: u64,
+    /// Packets handed to this worker.
+    enqueued_pkts: u64,
+    shared: Arc<WorkerShared>,
+    /// Restarts already spent on this shard slot (carried across
+    /// replacements so the budget is per shard, not per incarnation).
+    restarts: u32,
+    /// Set once the supervisor has processed this worker's death; a dead
+    /// worker is skipped by injection and counts as idle.
+    dead: bool,
     handle: Option<JoinHandle<()>>,
 }
 
 impl Worker {
+    /// All handed-over batches processed (a reconciled dead worker
+    /// counts as idle: the supervisor already settled its accounts).
     fn is_idle(&self) -> bool {
-        self.completed.load(Ordering::Acquire) == self.enqueued
+        self.dead || self.shared.completed_batches.load(Ordering::Acquire) == self.enqueued_batches
     }
 
-    fn check_alive(&self) {
-        if let Some(h) = &self.handle {
-            if h.is_finished() && !self.is_idle() {
-                panic!("parallel router: a worker shard died with work outstanding");
-            }
+    /// True when the worker is no longer processing packets: it
+    /// panicked, failed to build, or its thread is gone.
+    fn is_dead(&self) -> bool {
+        if self.dead {
+            return true;
+        }
+        match self.shared.health.load(Ordering::Acquire) {
+            HEALTH_PANICKED | HEALTH_BUILD_FAILED => true,
+            HEALTH_EXITED => true,
+            _ => self.handle.as_ref().is_none_or(JoinHandle::is_finished),
         }
     }
 
-    fn query(&self, q: Ctrl) -> CtrlReply {
-        self.ctrl.send(q).expect("worker control channel closed");
-        self.reply
-            .recv_timeout(CTRL_TIMEOUT)
-            .expect("worker did not answer a control query")
+    /// Sends a control query and waits (bounded) for the answer.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Runtime`] when the worker is gone, answers [`CtrlReply::Gone`],
+    /// or does not answer within [`CTRL_TIMEOUT`].
+    fn query(&self, q: Ctrl) -> Result<CtrlReply> {
+        let shard = self.shard;
+        self.ctrl
+            .send(q)
+            .map_err(|_| Error::runtime(format!("shard {shard}: control channel closed")))?;
+        match self.reply.recv_timeout(CTRL_TIMEOUT) {
+            Ok(CtrlReply::Gone) => Err(Error::runtime(format!(
+                "shard {shard}: worker has no router (build failed)"
+            ))),
+            Ok(r) => Ok(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(Error::runtime(format!(
+                "shard {shard}: control query timed out after {CTRL_TIMEOUT:?} (worker wedged?)"
+            ))),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(Error::runtime(format!(
+                "shard {shard}: worker exited without answering"
+            ))),
+        }
     }
 }
 
 /// A router running as N independent shards on worker threads, fed
-/// through RSS flow steering. See the module docs for the architecture.
+/// through RSS flow steering and watched by a supervisor. See the module
+/// docs for the architecture.
 ///
 /// # Examples
 ///
@@ -186,6 +335,9 @@ impl Worker {
 /// ```
 pub struct ParallelRouter {
     workers: Vec<Worker>,
+    /// Dead predecessors of restarted shards, kept alive (as zombies)
+    /// so their statistics stay queryable until shutdown.
+    graveyard: Vec<Worker>,
     steer: RssSteering,
     stop: Arc<AtomicBool>,
     /// Device names; a device's id is its index.
@@ -198,6 +350,12 @@ pub struct ParallelRouter {
     storage: Vec<PacketBatch>,
     burst: usize,
     backoff_spins: u32,
+    recovery: Recovery,
+    wedge_timeout: Duration,
+    faults: FaultGauges,
+    /// Spawns a replacement worker for a shard slot (captures the
+    /// retained graph, the worker config, and the engine type `S`).
+    make_worker: Box<dyn Fn(usize) -> Result<Worker>>,
 }
 
 impl ParallelRouter {
@@ -209,13 +367,22 @@ impl ParallelRouter {
     /// # Errors
     ///
     /// Returns the same errors as [`Router::from_graph`] (configuration
-    /// check failures, element construction errors); no threads are
-    /// spawned in that case.
+    /// check failures, element construction errors), or
+    /// [`Error::Runtime`] for an invalid shard count or a failed thread
+    /// spawn; no threads are leaked in either case.
     pub fn from_graph<S: Slot + 'static>(
         graph: &RouterGraph,
         opts: ParallelOpts,
     ) -> Result<ParallelRouter> {
-        assert!(opts.shards >= 1, "need at least one shard");
+        if opts.shards < 1 || opts.shards > MAX_SHARDS {
+            return Err(Error::runtime(format!(
+                "shard count {} outside 1..={MAX_SHARDS}",
+                opts.shards
+            )));
+        }
+        if opts.ring_capacity < 1 {
+            return Err(Error::runtime("ring capacity must be at least 1"));
+        }
         // Validate once on this thread so errors surface synchronously;
         // the prototype also yields the device name table.
         let prototype: Router<S> = Router::from_graph(graph, &Library::standard())?;
@@ -228,50 +395,27 @@ impl ParallelRouter {
         drop(prototype);
 
         let stop = Arc::new(AtomicBool::new(false));
+        let cfg = WorkerCfg {
+            shard: 0,
+            batching: opts.batching,
+            burst: opts.burst,
+            backoff_spins: opts.backoff_spins,
+            ring_capacity: opts.ring_capacity,
+        };
+        let retained = Arc::new(graph.clone());
+        let make_worker: Box<dyn Fn(usize) -> Result<Worker>> = {
+            let graph = Arc::clone(&retained);
+            let stop = Arc::clone(&stop);
+            Box::new(move |shard| spawn_worker::<S>(&graph, WorkerCfg { shard, ..cfg }, &stop))
+        };
         let mut workers = Vec::with_capacity(opts.shards);
         for shard in 0..opts.shards {
-            let (to_worker, worker_in) = spsc::<ShardItem>(opts.ring_capacity);
-            let (worker_out, from_worker) = spsc::<ShardItem>(opts.ring_capacity);
-            let (ctrl_tx, ctrl_rx) = mpsc::channel::<Ctrl>();
-            let (reply_tx, reply_rx) = mpsc::channel::<CtrlReply>();
-            let completed = Arc::new(AtomicU64::new(0));
-            let cfg = WorkerCfg {
-                shard,
-                batching: opts.batching,
-                burst: opts.burst,
-                backoff_spins: opts.backoff_spins,
-            };
-            let g = graph.clone();
-            let stop_w = Arc::clone(&stop);
-            let completed_w = Arc::clone(&completed);
-            let handle = std::thread::Builder::new()
-                .name(format!("click-shard-{shard}"))
-                .spawn(move || {
-                    worker_main::<S>(
-                        &g,
-                        cfg,
-                        worker_in,
-                        worker_out,
-                        ctrl_rx,
-                        reply_tx,
-                        stop_w,
-                        completed_w,
-                    );
-                })
-                .expect("spawn worker thread");
-            workers.push(Worker {
-                to_worker,
-                from_worker,
-                ctrl: ctrl_tx,
-                reply: reply_rx,
-                enqueued: 0,
-                completed,
-                handle: Some(handle),
-            });
+            workers.push(make_worker(shard)?);
         }
         let n_dev = devices.len();
         Ok(ParallelRouter {
             workers,
+            graveyard: Vec::new(),
             steer: RssSteering::new(opts.shards),
             stop,
             devices,
@@ -280,12 +424,35 @@ impl ParallelRouter {
             storage: Vec::new(),
             burst: opts.burst.max(1),
             backoff_spins: opts.backoff_spins,
+            recovery: opts.recovery,
+            wedge_timeout: opts.wedge_timeout,
+            faults: FaultGauges {
+                shards: opts.shards,
+                live_shards: opts.shards,
+                ..FaultGauges::default()
+            },
+            make_worker,
         })
     }
 
     /// Number of worker shards.
     pub fn shards(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of shards currently accepting traffic.
+    pub fn live_shards(&self) -> usize {
+        self.steer.live_count()
+    }
+
+    /// Supervisor fault gauges: shard deaths, restarts, degraded-mode
+    /// entries, and in-flight packet loss. All zero on a healthy run.
+    pub fn fault_gauges(&self) -> FaultGauges {
+        FaultGauges {
+            live_shards: self.steer.live_count(),
+            shards: self.workers.len(),
+            ..self.faults
+        }
     }
 
     /// Looks up a device id by name (same table every shard uses).
@@ -298,19 +465,24 @@ impl ParallelRouter {
         &self.devices
     }
 
-    /// The shard a frame received on `dev` steers to (exposed for tests
-    /// and the core-scaling benchmark, which pre-partitions traces with
-    /// the very same function).
+    /// The shard a frame received on `dev` steers to when every shard is
+    /// live (exposed for tests and the core-scaling benchmark, which
+    /// pre-partitions traces with the very same function).
     pub fn shard_for(&self, frame: &[u8], dev: DeviceId) -> usize {
         self.steer.shard_for(frame, dev)
     }
 
-    /// Steers a packet to its shard and buffers it for injection on
-    /// `dev`. Call [`ParallelRouter::flush`] (or
+    /// Steers a packet to its (live) shard and buffers it for injection
+    /// on `dev`. Call [`ParallelRouter::flush`] (or
     /// [`ParallelRouter::run_until_idle`]) to hand buffered bursts to
-    /// the workers.
+    /// the workers. If no live shard remains the packet is dropped and
+    /// counted in [`FaultGauges::no_live_shard_drops`].
     pub fn inject(&mut self, dev: DeviceId, p: Packet) {
-        let shard = self.steer.shard_for(p.data(), dev);
+        let Some(shard) = self.steer.live_shard_for(p.data(), dev) else {
+            self.faults.no_live_shard_drops += 1;
+            p.recycle();
+            return;
+        };
         let groups = &mut self.pending[shard];
         match groups.last_mut() {
             Some((d, batch)) if *d == dev && batch.len() < self.burst => batch.push(p),
@@ -323,37 +495,29 @@ impl ParallelRouter {
     }
 
     /// Enqueues every buffered burst onto its shard's ring, spinning
-    /// with backpressure (and draining TX output) while rings are full.
-    /// Returns the number of packets collected into the TX banks while
-    /// waiting for ring space.
+    /// with backpressure (and draining TX output) while rings are full,
+    /// and supervising worker health while blocked. Returns the number
+    /// of packets collected into the TX banks while waiting for ring
+    /// space.
+    ///
+    /// If a live worker wedges (zero progress for the configured
+    /// `wedge_timeout`), this returns early with the packets collected
+    /// so far; un-handed bursts stay buffered. Use
+    /// [`ParallelRouter::try_flush`] to observe the timeout as an error.
     pub fn flush(&mut self) -> usize {
-        let mut collected = 0;
-        let mut backoff = Backoff::new(self.backoff_spins);
-        loop {
-            let mut remaining = 0;
-            for shard in 0..self.workers.len() {
-                let mut groups = std::mem::take(&mut self.pending[shard]);
-                let n = self.workers[shard].to_worker.push_batch(&mut groups);
-                self.workers[shard].enqueued += n as u64;
-                remaining += groups.len();
-                self.pending[shard] = groups;
-            }
-            if remaining == 0 {
-                return collected;
-            }
-            // A full ring means a busy shard: keep its TX side moving so
-            // the pipeline cannot deadlock, then retry.
-            let got = self.collect();
-            collected += got;
-            if got == 0 {
-                for w in &self.workers {
-                    w.check_alive();
-                }
-                backoff.snooze();
-            } else {
-                backoff.reset();
-            }
-        }
+        self.pump(false).0
+    }
+
+    /// Like [`ParallelRouter::flush`], but reports a wedged router.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Runtime`] when injection made no progress for the
+    /// configured `wedge_timeout` (a live worker stopped consuming and
+    /// its ring is full — backpressure timeout).
+    pub fn try_flush(&mut self) -> Result<usize> {
+        let (collected, r) = self.pump(false);
+        r.map(|()| collected)
     }
 
     /// Drains every worker's outbound ring into the merged TX banks;
@@ -375,31 +539,239 @@ impl ParallelRouter {
     }
 
     /// Flushes buffered injections and busy-polls (with backoff) until
-    /// every shard has processed everything handed to it and all TX
-    /// output has been collected. Returns the number of packets that
-    /// arrived in the TX banks during this call.
+    /// every live shard has processed everything handed to it and all TX
+    /// output has been collected, supervising worker health along the
+    /// way. Returns the number of packets that arrived in the TX banks
+    /// during this call.
     ///
     /// This is the sharded counterpart of [`Router::run_until_idle`].
+    /// If a live worker wedges, returns early with what was collected;
+    /// use [`ParallelRouter::try_run_until_idle`] to observe the timeout
+    /// as an error.
     pub fn run_until_idle(&mut self) -> usize {
-        let mut collected = self.flush();
+        self.pump(true).0
+    }
+
+    /// Like [`ParallelRouter::run_until_idle`], but reports a wedged
+    /// router.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Runtime`] when no progress was made for the configured
+    /// `wedge_timeout` while work was still outstanding.
+    pub fn try_run_until_idle(&mut self) -> Result<usize> {
+        let (collected, r) = self.pump(true);
+        r.map(|()| collected)
+    }
+
+    /// The shared injection/collection engine. Pushes pending bursts,
+    /// drains TX, supervises health when unproductive, and (for
+    /// `until_idle`) waits for every live worker to finish. Returns the
+    /// packets collected plus `Err` if progress stalled past the wedge
+    /// timeout.
+    fn pump(&mut self, until_idle: bool) -> (usize, Result<()>) {
+        let mut collected = 0;
         let mut backoff = Backoff::new(self.backoff_spins);
+        let mut last_progress = Instant::now();
+        // One cheap health sweep per burst of work — faults that occurred
+        // since the last call are handled before new packets commit to a
+        // dead shard's ring.
+        self.supervise();
         loop {
+            let mut progressed = false;
+            // Hand buffered bursts to their shards' rings.
+            let mut outstanding = 0usize;
+            for shard in 0..self.workers.len() {
+                if self.pending[shard].is_empty() {
+                    continue;
+                }
+                if self.workers[shard].dead {
+                    // Death detected mid-loop; supervise() re-steers.
+                    outstanding += self.pending[shard].len();
+                    continue;
+                }
+                if self.workers[shard].to_worker.is_full() {
+                    outstanding += self.pending[shard].len();
+                    continue;
+                }
+                let mut groups = std::mem::take(&mut self.pending[shard]);
+                let before_pkts: usize = groups.iter().map(|(_, b)| b.len()).sum();
+                let n = self.workers[shard].to_worker.push_batch(&mut groups);
+                let after_pkts: usize = groups.iter().map(|(_, b)| b.len()).sum();
+                self.workers[shard].enqueued_batches += n as u64;
+                self.workers[shard].enqueued_pkts += (before_pkts - after_pkts) as u64;
+                if n > 0 {
+                    progressed = true;
+                }
+                outstanding += groups.len();
+                self.pending[shard] = groups;
+            }
             let got = self.collect();
             collected += got;
-            if self.workers.iter().all(Worker::is_idle) {
-                // Workers are done; one final sweep picks up anything
-                // published between the last collect and the idle check.
-                collected += self.collect();
-                return collected;
+            if got > 0 {
+                progressed = true;
             }
-            if got == 0 {
-                for w in &self.workers {
-                    w.check_alive();
+            // Done?
+            if outstanding == 0 {
+                if !until_idle {
+                    return (collected, Ok(()));
                 }
-                backoff.snooze();
-            } else {
-                backoff.reset();
+                if self.workers.iter().all(Worker::is_idle) {
+                    // Workers are done; one final sweep picks up anything
+                    // published between the last collect and the idle
+                    // check.
+                    collected += self.collect();
+                    return (collected, Ok(()));
+                }
             }
+            if progressed {
+                last_progress = Instant::now();
+                backoff.reset();
+                continue;
+            }
+            // Unproductive poll: the cheap per-burst health-word check.
+            if self.supervise() {
+                last_progress = Instant::now();
+                continue;
+            }
+            if last_progress.elapsed() >= self.wedge_timeout {
+                return (
+                    collected,
+                    Err(Error::runtime(format!(
+                        "backpressure timeout: no progress for {:?} with work outstanding \
+                         (a worker shard appears wedged)",
+                        self.wedge_timeout
+                    ))),
+                );
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Scans worker health words and handles any newly dead shard:
+    /// salvage, account, recover (restart or degrade), re-steer.
+    /// Returns `true` if a fault was handled.
+    fn supervise(&mut self) -> bool {
+        let mut handled = false;
+        for i in 0..self.workers.len() {
+            if !self.workers[i].dead && self.workers[i].is_dead() {
+                self.handle_dead_shard(i);
+                handled = true;
+            }
+        }
+        handled
+    }
+
+    /// The supervisor's fault path for one dead shard.
+    fn handle_dead_shard(&mut self, shard: usize) {
+        self.faults.shard_deaths += 1;
+        self.steer.mark_dead(shard);
+        self.workers[shard].dead = true;
+
+        // Salvage: everything still in the inbound ring (the dead
+        // consumer is inert, so reclaiming through the producer side is
+        // sound), every published TX burst in the outbound ring, and
+        // every not-yet-enqueued pending burst, in FIFO order.
+        let mut salvaged: Vec<ShardItem> = Vec::new();
+        self.workers[shard].to_worker.reclaim(&mut salvaged);
+        let ring_pkts: u64 = salvaged.iter().map(|(_, b)| b.len() as u64).sum();
+        let mut published: Vec<ShardItem> = Vec::new();
+        self.workers[shard]
+            .from_worker
+            .pop_batch(usize::MAX, &mut published);
+        for (dev, mut batch) in published {
+            self.tx[dev.0].extend(batch.drain());
+            if self.storage.len() < 64 {
+                self.storage.push(batch);
+            }
+        }
+        salvaged.append(&mut self.pending[shard]);
+        let salvaged_pkts: u64 = salvaged.iter().map(|(_, b)| b.len() as u64).sum();
+
+        // Account the irrecoverable loss: packets handed to the worker
+        // that it neither completed nor left in the ring were inside the
+        // engine when it died.
+        let w = &mut self.workers[shard];
+        let completed_b = w.shared.completed_batches.load(Ordering::Acquire);
+        let completed_p = w.shared.completed_pkts.load(Ordering::Acquire);
+        let lost = w
+            .enqueued_pkts
+            .saturating_sub(completed_p)
+            .saturating_sub(ring_pkts);
+        self.faults.lost_packets += lost;
+        self.faults.reclaimed_packets += salvaged_pkts;
+        // Reconcile the dead worker's books so it reads as idle.
+        w.enqueued_batches = completed_b;
+        w.enqueued_pkts = completed_p;
+
+        // Recover.
+        let restart_budget = match self.recovery {
+            Recovery::Restart { max_per_shard } => max_per_shard,
+            Recovery::Degrade => 0,
+        };
+        let mut restarted = false;
+        if self.workers[shard].restarts < restart_budget {
+            match (self.make_worker)(shard) {
+                Ok(mut fresh) => {
+                    fresh.restarts = self.workers[shard].restarts + 1;
+                    let old = std::mem::replace(&mut self.workers[shard], fresh);
+                    self.graveyard.push(old);
+                    self.steer.mark_live(shard);
+                    self.faults.restarts += 1;
+                    restarted = true;
+                }
+                Err(_) => {
+                    // Could not spawn a replacement; degrade instead.
+                }
+            }
+        }
+        if !restarted {
+            self.faults.degraded_entries += 1;
+        }
+
+        // Re-inject the salvaged packets through the updated steering:
+        // back to the restarted shard, or re-homed across survivors.
+        for (dev, mut batch) in salvaged {
+            for p in batch.drain() {
+                self.inject(dev, p);
+            }
+            if self.storage.len() < 64 {
+                self.storage.push(batch);
+            }
+        }
+    }
+
+    /// Health snapshot of every worker shard: `(shard, live, heartbeat,
+    /// restarts)`. A live worker's heartbeat advances on every poll, so
+    /// two snapshots distinguish busy from wedged.
+    pub fn shard_health(&self) -> Vec<ShardHealth> {
+        self.workers
+            .iter()
+            .map(|w| ShardHealth {
+                shard: w.shard,
+                live: !w.dead && !w.is_dead(),
+                heartbeat: w.shared.heartbeat.load(Ordering::Relaxed),
+                restarts: w.restarts,
+            })
+            .collect()
+    }
+
+    /// Pings a worker over the control plane.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Runtime`] when the shard index is out of range or the
+    /// worker is gone/wedged.
+    pub fn ping(&self, shard: usize) -> Result<()> {
+        let w = self
+            .workers
+            .get(shard)
+            .ok_or_else(|| Error::runtime(format!("no shard {shard}")))?;
+        match w.query(Ctrl::Ping)? {
+            CtrlReply::Pong => Ok(()),
+            _ => Err(Error::runtime(format!(
+                "shard {shard}: unexpected control reply to ping"
+            ))),
         }
     }
 
@@ -432,13 +804,23 @@ impl ParallelRouter {
         n
     }
 
+    /// Every worker that can still answer a control query: the live
+    /// shards, zombies, and the graveyard (dead predecessors of
+    /// restarted shards) — so merged statistics keep counting packets
+    /// the dead saw.
+    fn respondents(&self) -> impl Iterator<Item = &Worker> {
+        self.workers.iter().chain(self.graveyard.iter())
+    }
+
     /// Reads a named statistic from an element, summed across shards —
     /// the merged view that makes a sharded router answer like a serial
-    /// one. `None` if no shard knows the element/statistic.
+    /// one. `None` if no shard knows the element/statistic. Shards that
+    /// cannot answer (gone, wedged) are skipped; use
+    /// [`ParallelRouter::try_stat`] to observe those as errors.
     pub fn stat(&self, element: &str, stat: &str) -> Option<u64> {
         let mut total = None;
-        for w in &self.workers {
-            if let CtrlReply::Stat(Some(v)) =
+        for w in self.respondents() {
+            if let Ok(CtrlReply::Stat(Some(v))) =
                 w.query(Ctrl::Stat(element.to_owned(), stat.to_owned()))
             {
                 *total.get_or_insert(0) += v;
@@ -447,18 +829,55 @@ impl ParallelRouter {
         total
     }
 
+    /// Like [`ParallelRouter::stat`], but propagates control-plane
+    /// failures instead of skipping unreachable shards.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Runtime`] if any shard fails to answer within
+    /// [`CTRL_TIMEOUT`].
+    pub fn try_stat(&self, element: &str, stat: &str) -> Result<Option<u64>> {
+        let mut total = None;
+        for w in self.respondents() {
+            if let CtrlReply::Stat(Some(v)) =
+                w.query(Ctrl::Stat(element.to_owned(), stat.to_owned()))?
+            {
+                *total.get_or_insert(0) += v;
+            }
+        }
+        Ok(total)
+    }
+
     /// Sum of a statistic across all elements of a class, across all
-    /// shards.
+    /// shards (unreachable shards skipped).
     pub fn class_stat(&self, class: &str, stat: &str) -> u64 {
-        self.workers
-            .iter()
+        self.respondents()
             .map(
                 |w| match w.query(Ctrl::ClassStat(class.to_owned(), stat.to_owned())) {
-                    CtrlReply::Value(v) => v,
+                    Ok(CtrlReply::Value(v)) => v,
                     _ => 0,
                 },
             )
             .sum()
+    }
+
+    /// Like [`ParallelRouter::class_stat`], but propagates control-plane
+    /// failures.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Runtime`] if any shard fails to answer within
+    /// [`CTRL_TIMEOUT`].
+    pub fn try_class_stat(&self, class: &str, stat: &str) -> Result<u64> {
+        let mut total = 0;
+        for w in self.respondents() {
+            if let CtrlReply::Value(v) =
+                w.query(Ctrl::ClassStat(class.to_owned(), stat.to_owned()))?
+            {
+                total += v;
+            }
+        }
+        Ok(total)
     }
 
     /// Packets dropped on unconnected ports, summed across shards.
@@ -475,11 +894,11 @@ impl ParallelRouter {
     fn engine_drops(&self) -> (u64, u64) {
         let mut u = 0;
         let mut r = 0;
-        for w in &self.workers {
-            if let CtrlReply::Drops {
+        for w in self.respondents() {
+            if let Ok(CtrlReply::Drops {
                 unconnected,
                 reentrant,
-            } = w.query(Ctrl::EngineDrops)
+            }) = w.query(Ctrl::EngineDrops)
             {
                 u += unconnected;
                 r += reentrant;
@@ -492,8 +911,8 @@ impl ParallelRouter {
     /// allocates from its own thread-local pool).
     pub fn pool_stats(&self) -> PoolStats {
         let mut total = PoolStats::default();
-        for w in &self.workers {
-            if let CtrlReply::Pool(s) = w.query(Ctrl::PoolStats) {
+        for w in self.respondents() {
+            if let Ok(CtrlReply::Pool(s)) = w.query(Ctrl::PoolStats) {
                 total.hits += s.hits;
                 total.misses += s.misses;
                 total.recycled += s.recycled;
@@ -506,7 +925,7 @@ impl ParallelRouter {
     /// Resets every worker thread's packet-pool counters (benchmark
     /// warmup).
     pub fn reset_pool_stats(&self) {
-        for w in &self.workers {
+        for w in self.respondents() {
             let _ = w.query(Ctrl::ResetPoolStats);
         }
     }
@@ -519,10 +938,9 @@ impl ParallelRouter {
     /// was built with the `telemetry` feature.
     pub fn telemetry_profiles(&self) -> Vec<ElementProfile> {
         let shards: Vec<Vec<ElementProfile>> = self
-            .workers
-            .iter()
+            .respondents()
             .filter_map(|w| match w.query(Ctrl::Telemetry) {
-                CtrlReply::Telemetry(v) => Some(v),
+                Ok(CtrlReply::Telemetry(v)) => Some(v),
                 _ => None,
             })
             .collect();
@@ -535,10 +953,9 @@ impl ParallelRouter {
     pub fn shard_gauges(&self) -> Vec<ShardGauges> {
         self.workers
             .iter()
-            .enumerate()
-            .filter_map(|(i, w)| match w.query(Ctrl::Gauges) {
-                CtrlReply::Gauges(mut g) => {
-                    g.shard = i;
+            .filter_map(|w| match w.query(Ctrl::Gauges) {
+                Ok(CtrlReply::Gauges(mut g)) => {
+                    g.shard = w.shard;
                     Some(g)
                 }
                 _ => None,
@@ -552,26 +969,48 @@ impl ParallelRouter {
         self.shutdown_inner();
     }
 
+    /// Orderly, bounded teardown: signal stop, keep draining TX so no
+    /// worker deadlocks against a full outbound ring, join every thread
+    /// that exits within the wedge timeout (wedged threads are
+    /// abandoned, never blocked on), then reclaim and recycle every
+    /// packet still sitting in the rings of joined workers so pool
+    /// accounting balances even after an abortive teardown.
     fn shutdown_inner(&mut self) {
         self.stop.store(true, Ordering::Release);
-        // Keep the TX side draining while workers wind down: a worker
-        // blocked on a full outbound ring frees itself either way (it
-        // re-checks `stop`), but collecting lets it finish cleanly.
+        let deadline = Instant::now() + self.wedge_timeout;
         loop {
             self.collect();
-            if self
+            let all_finished = self
                 .workers
                 .iter()
-                .all(|w| w.handle.as_ref().is_none_or(JoinHandle::is_finished))
-            {
+                .chain(self.graveyard.iter())
+                .all(|w| w.handle.as_ref().is_none_or(JoinHandle::is_finished));
+            if all_finished || Instant::now() >= deadline {
                 break;
             }
             std::thread::yield_now();
         }
-        for w in &mut self.workers {
+        let mut leftovers: Vec<ShardItem> = Vec::new();
+        for w in self.workers.iter_mut().chain(self.graveyard.iter_mut()) {
             if let Some(h) = w.handle.take() {
-                let _ = h.join();
+                if h.is_finished() {
+                    let _ = h.join();
+                    // The consumer is gone: reclaim the inbound ring.
+                    w.to_worker.reclaim(&mut leftovers);
+                } else {
+                    // Wedged thread: abandon it (detached). Its rings may
+                    // still be touched, so leave them alone.
+                    w.handle = None;
+                }
             }
+            w.from_worker.pop_batch(usize::MAX, &mut leftovers);
+        }
+        // Buffered-but-never-handed bursts also recycle.
+        for groups in &mut self.pending {
+            leftovers.append(groups);
+        }
+        for (_, mut batch) in leftovers.drain(..) {
+            batch.recycle_packets();
         }
         self.collect();
     }
@@ -583,6 +1022,19 @@ impl Drop for ParallelRouter {
     }
 }
 
+/// One row of [`ParallelRouter::shard_health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Whether the worker is alive and processing.
+    pub live: bool,
+    /// Poll-loop heartbeat (advances while the worker is responsive).
+    pub heartbeat: u64,
+    /// Restarts spent on this shard slot.
+    pub restarts: u32,
+}
+
 /// Per-worker configuration handed to the worker thread.
 #[derive(Clone, Copy)]
 struct WorkerCfg {
@@ -590,11 +1042,52 @@ struct WorkerCfg {
     batching: bool,
     burst: usize,
     backoff_spins: u32,
+    ring_capacity: usize,
+}
+
+/// Creates the rings, channels, and thread for one worker shard.
+fn spawn_worker<S: Slot + 'static>(
+    graph: &Arc<RouterGraph>,
+    cfg: WorkerCfg,
+    stop: &Arc<AtomicBool>,
+) -> Result<Worker> {
+    let (to_worker, worker_in) = spsc::<ShardItem>(cfg.ring_capacity);
+    let (worker_out, from_worker) = spsc::<ShardItem>(cfg.ring_capacity);
+    let (ctrl_tx, ctrl_rx) = mpsc::channel::<Ctrl>();
+    let (reply_tx, reply_rx) = mpsc::channel::<CtrlReply>();
+    let shared = Arc::new(WorkerShared::default());
+    let g = Arc::clone(graph);
+    let stop_w = Arc::clone(stop);
+    let shared_w = Arc::clone(&shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("click-shard-{}", cfg.shard))
+        .spawn(move || {
+            worker_main::<S>(
+                &g, cfg, worker_in, worker_out, ctrl_rx, reply_tx, stop_w, shared_w,
+            );
+        })
+        .map_err(|e| Error::runtime(format!("spawning shard {}: {e}", cfg.shard)))?;
+    Ok(Worker {
+        shard: cfg.shard,
+        to_worker,
+        from_worker,
+        ctrl: ctrl_tx,
+        reply: reply_rx,
+        enqueued_batches: 0,
+        enqueued_pkts: 0,
+        shared,
+        restarts: 0,
+        dead: false,
+        handle: Some(handle),
+    })
 }
 
 /// The worker thread: builds its shard's router clone and busy-polls the
 /// inbound ring, forwarding each burst to quiescence and publishing TX
-/// output.
+/// output. The packet loop runs under `catch_unwind`; on a panic the
+/// worker publishes [`HEALTH_PANICKED`] and parks as a zombie that keeps
+/// answering control queries (so the dead shard's statistics survive)
+/// until shutdown.
 #[allow(clippy::too_many_arguments)]
 fn worker_main<S: Slot>(
     graph: &RouterGraph,
@@ -604,12 +1097,24 @@ fn worker_main<S: Slot>(
     ctrl: mpsc::Receiver<Ctrl>,
     reply: mpsc::Sender<CtrlReply>,
     stop: Arc<AtomicBool>,
-    completed: Arc<AtomicU64>,
+    shared: Arc<WorkerShared>,
 ) {
     // The graph was validated on the main thread; a failure here is a
-    // bug, and the panic surfaces through `check_alive`.
-    let mut router: Router<S> =
-        Router::from_graph(graph, &Library::standard()).expect("validated graph builds");
+    // bug, surfaced as a health-word state rather than a panic.
+    shared.health.store(HEALTH_RUNNING, Ordering::Release);
+    let Ok(mut router) = Router::<S>::from_graph_in_shard(graph, &Library::standard(), cfg.shard)
+    else {
+        shared.health.store(HEALTH_BUILD_FAILED, Ordering::Release);
+        zombie_loop::<S>(
+            None,
+            &ShardGaugeTracker::new(cfg.shard),
+            &ctrl,
+            &reply,
+            &stop,
+            &shared,
+        );
+        return;
+    };
     router.set_batching(cfg.batching);
     router.set_batch_burst(cfg.burst);
     let n_dev = router.devices.len();
@@ -619,6 +1124,7 @@ fn worker_main<S: Slot>(
     let mut free: Vec<PacketBatch> = Vec::new();
     let mut gauges = ShardGaugeTracker::new(cfg.shard);
     loop {
+        shared.heartbeat.fetch_add(1, Ordering::Relaxed);
         answer_ctrl(&router, &gauges, &ctrl, &reply);
         // The gauge reads are const-folded away when telemetry is off
         // (`ENABLED` is false at compile time), keeping the poll loop
@@ -631,39 +1137,107 @@ fn worker_main<S: Slot>(
                 let packets = inbox.iter().map(|(_, b)| b.len() as u64).sum();
                 gauges.polled(depth, popped as u64, packets);
             }
-            for (dev, mut batch) in inbox.drain(..) {
-                for p in batch.drain() {
-                    router.devices.inject(dev, p);
-                }
-                if free.len() < 64 {
-                    free.push(batch);
-                }
-                router.run_until_idle(WORKER_ROUNDS);
-                for d in 0..n_dev {
-                    let dev = DeviceId(d);
-                    if router.devices.tx_len(dev) == 0 {
-                        continue;
+            // Fault isolation: a panic anywhere in the element graph is
+            // confined to this shard. The router lives outside the catch
+            // so its statistics remain readable afterwards.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                for (dev, mut batch) in inbox.drain(..) {
+                    let batch_pkts = batch.len() as u64;
+                    for p in batch.drain() {
+                        router.devices.inject(dev, p);
                     }
-                    let mut out = free.pop().unwrap_or_default();
-                    router.devices.drain_tx_into(dev, &mut out);
-                    push_with_backpressure(
-                        &output,
-                        (dev, out),
-                        &router,
-                        &mut gauges,
-                        &ctrl,
-                        &reply,
-                        &stop,
-                        cfg.backoff_spins,
-                    );
+                    if free.len() < 64 {
+                        free.push(batch);
+                    }
+                    router.run_until_idle(WORKER_ROUNDS);
+                    for d in 0..n_dev {
+                        let dev = DeviceId(d);
+                        if router.devices.tx_len(dev) == 0 {
+                            continue;
+                        }
+                        let mut out = free.pop().unwrap_or_default();
+                        router.devices.drain_tx_into(dev, &mut out);
+                        push_with_backpressure(
+                            &output,
+                            (dev, out),
+                            &router,
+                            &mut gauges,
+                            &ctrl,
+                            &reply,
+                            &stop,
+                            cfg.backoff_spins,
+                        );
+                    }
+                    shared.completed_batches.fetch_add(1, Ordering::Release);
+                    shared
+                        .completed_pkts
+                        .fetch_add(batch_pkts, Ordering::Release);
                 }
-                completed.fetch_add(1, Ordering::Release);
+            }));
+            if outcome.is_err() {
+                // Unprocessed inbox items are part of the in-flight loss
+                // the supervisor accounts; drop their buffers here.
+                inbox.clear();
+                shared.health.store(HEALTH_PANICKED, Ordering::Release);
+                zombie_loop(Some(&router), &gauges, &ctrl, &reply, &stop, &shared);
+                return;
             }
         } else if stop.load(Ordering::Acquire) && input.is_empty() {
+            shared.health.store(HEALTH_EXITED, Ordering::Release);
             return;
         } else {
             gauges.snoozed();
             backoff.snooze();
+        }
+    }
+}
+
+/// The parked state of a dead worker: never touches packets again, but
+/// keeps the control plane honest — statistics queries against the dead
+/// shard's router still answer (stats salvage), and a build-failure
+/// zombie answers [`CtrlReply::Gone`]. Exits when the runtime shuts
+/// down or the main side drops the control channel.
+fn zombie_loop<S: Slot>(
+    router: Option<&Router<S>>,
+    gauges: &ShardGaugeTracker,
+    ctrl: &mpsc::Receiver<Ctrl>,
+    reply: &mpsc::Sender<CtrlReply>,
+    stop: &AtomicBool,
+    shared: &WorkerShared,
+) {
+    loop {
+        shared.heartbeat.fetch_add(1, Ordering::Relaxed);
+        match router {
+            Some(r) => answer_ctrl(r, gauges, ctrl, reply),
+            None => {
+                while let Ok(_q) = ctrl.try_recv() {
+                    if reply.send(CtrlReply::Gone).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        if stop.load(Ordering::Acquire) {
+            shared.health.store(HEALTH_EXITED, Ordering::Release);
+            return;
+        }
+        // Nothing to do but answer queries; sleep instead of spinning.
+        match ctrl.recv_timeout(Duration::from_millis(1)) {
+            Ok(q) => {
+                let r = match router {
+                    Some(rt) => answer_one(rt, gauges, q),
+                    None => CtrlReply::Gone,
+                };
+                if reply.send(r).is_err() {
+                    shared.health.store(HEALTH_EXITED, Ordering::Release);
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                shared.health.store(HEALTH_EXITED, Ordering::Release);
+                return;
+            }
         }
     }
 }
@@ -699,6 +1273,26 @@ fn push_with_backpressure<S: Slot>(
     }
 }
 
+/// Answers one control query against this shard's router.
+fn answer_one<S: Slot>(router: &Router<S>, gauges: &ShardGaugeTracker, q: Ctrl) -> CtrlReply {
+    match q {
+        Ctrl::Ping => CtrlReply::Pong,
+        Ctrl::Stat(elem, stat) => CtrlReply::Stat(router.stat(&elem, &stat)),
+        Ctrl::ClassStat(class, stat) => CtrlReply::Value(router.class_stat(&class, &stat)),
+        Ctrl::EngineDrops => CtrlReply::Drops {
+            unconnected: router.unconnected_drops(),
+            reentrant: router.reentrant_drops(),
+        },
+        Ctrl::PoolStats => CtrlReply::Pool(crate::packet::pool_stats()),
+        Ctrl::ResetPoolStats => {
+            crate::packet::reset_pool_stats();
+            CtrlReply::Value(0)
+        }
+        Ctrl::Telemetry => CtrlReply::Telemetry(router.telemetry_profiles()),
+        Ctrl::Gauges => CtrlReply::Gauges(gauges.snapshot()),
+    }
+}
+
 /// Answers every pending control query against this shard's router.
 fn answer_ctrl<S: Slot>(
     router: &Router<S>,
@@ -707,22 +1301,7 @@ fn answer_ctrl<S: Slot>(
     reply: &mpsc::Sender<CtrlReply>,
 ) {
     while let Ok(q) = ctrl.try_recv() {
-        let r = match q {
-            Ctrl::Stat(elem, stat) => CtrlReply::Stat(router.stat(&elem, &stat)),
-            Ctrl::ClassStat(class, stat) => CtrlReply::Value(router.class_stat(&class, &stat)),
-            Ctrl::EngineDrops => CtrlReply::Drops {
-                unconnected: router.unconnected_drops(),
-                reentrant: router.reentrant_drops(),
-            },
-            Ctrl::PoolStats => CtrlReply::Pool(crate::packet::pool_stats()),
-            Ctrl::ResetPoolStats => {
-                crate::packet::reset_pool_stats();
-                CtrlReply::Value(0)
-            }
-            Ctrl::Telemetry => CtrlReply::Telemetry(router.telemetry_profiles()),
-            Ctrl::Gauges => CtrlReply::Gauges(gauges.snapshot()),
-        };
-        if reply.send(r).is_err() {
+        if reply.send(answer_one(router, gauges, q)).is_err() {
             return; // main side gone; shutdown is imminent
         }
     }
@@ -761,6 +1340,14 @@ mod tests {
         assert_eq!(r.tx_len(out0), 40);
         assert_eq!(r.stat("c", "count"), Some(40));
         assert_eq!(r.class_stat("Counter", "count"), 40);
+        assert_eq!(
+            r.fault_gauges(),
+            FaultGauges {
+                live_shards: 1,
+                shards: 1,
+                ..FaultGauges::default()
+            }
+        );
         r.shutdown();
     }
 
@@ -835,9 +1422,31 @@ mod tests {
     }
 
     #[test]
+    fn absurd_shard_counts_error() {
+        let g = counter_graph();
+        assert!(ParallelRouter::from_graph::<Box<dyn Element>>(&g, ParallelOpts::new(0)).is_err());
+        assert!(
+            ParallelRouter::from_graph::<Box<dyn Element>>(&g, ParallelOpts::new(129)).is_err()
+        );
+    }
+
+    #[test]
     fn drop_joins_worker_threads() {
         let g = counter_graph();
         let r = ParallelRouter::from_graph::<Box<dyn Element>>(&g, ParallelOpts::new(3)).unwrap();
         drop(r); // must not hang or leak spinning threads
+    }
+
+    #[test]
+    fn ping_and_health_report_live_workers() {
+        let g = counter_graph();
+        let r = ParallelRouter::from_graph::<Box<dyn Element>>(&g, ParallelOpts::new(2)).unwrap();
+        r.ping(0).unwrap();
+        r.ping(1).unwrap();
+        assert!(r.ping(2).is_err(), "no such shard");
+        let health = r.shard_health();
+        assert_eq!(health.len(), 2);
+        assert!(health.iter().all(|h| h.live && h.restarts == 0));
+        r.shutdown();
     }
 }

@@ -78,9 +78,12 @@ impl<T: Send> RingProducer<T> {
         if tail.wrapping_sub(head) >= ring.slots.len() {
             return Err(value);
         }
+        // A peer that panicked while holding the slot lock poisons it;
+        // the Option protocol stays consistent regardless, so recover the
+        // guard instead of propagating the panic into this thread.
         let mut slot = ring.slots[tail % ring.slots.len()]
             .lock()
-            .expect("ring slot poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         debug_assert!(slot.is_none(), "producer overran consumer");
         *slot = Some(value);
         drop(slot);
@@ -95,13 +98,57 @@ impl<T: Send> RingProducer<T> {
         // With a single producer the free-slot count can only grow while
         // this runs (the consumer drains concurrently), so one probe
         // bounds the whole batch safely.
-        let free = self.capacity() - self.len();
-        let moved = free.min(items.len());
-        for value in items.drain(..moved) {
-            self.try_push(value)
-                .unwrap_or_else(|_| unreachable!("probed free slot vanished"));
+        let want = (self.capacity() - self.len()).min(items.len());
+        let mut moved = 0;
+        // Cannot fail under the SPSC discipline (the probe bounds the
+        // batch), but a lost value would be a leaked packet buffer — on a
+        // refused push, keep the stragglers and put them back in order
+        // instead of asserting.
+        let mut leftover: Vec<T> = Vec::new();
+        for value in items.drain(..want) {
+            if leftover.is_empty() {
+                match self.try_push(value) {
+                    Ok(()) => moved += 1,
+                    Err(v) => leftover.push(v),
+                }
+            } else {
+                leftover.push(value);
+            }
+        }
+        if !leftover.is_empty() {
+            leftover.append(items);
+            *items = leftover;
         }
         moved
+    }
+
+    /// Drains every queued value back out through the *producer* side.
+    ///
+    /// This deliberately breaks the SPSC role split and is only sound
+    /// once the consumer is inert: the supervisor calls it after a worker
+    /// shard's thread has died (panicked or exited) to salvage in-flight
+    /// items for re-steering, and at shutdown to reclaim buffers. Values
+    /// are appended to `into` in FIFO order; returns how many were
+    /// salvaged.
+    pub fn reclaim(&self, into: &mut Vec<T>) -> usize {
+        let ring = &*self.ring;
+        let mut moved = 0;
+        loop {
+            let head = ring.head.load(Ordering::Acquire);
+            let tail = ring.tail.load(Ordering::Acquire);
+            if head == tail {
+                return moved;
+            }
+            let mut slot = ring.slots[head % ring.slots.len()]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(value) = slot.take() {
+                into.push(value);
+                moved += 1;
+            }
+            drop(slot);
+            ring.head.store(head.wrapping_add(1), Ordering::Release);
+        }
     }
 
     /// Number of values currently queued.
@@ -140,9 +187,11 @@ impl<T: Send> RingConsumer<T> {
         if head == tail {
             return None;
         }
+        // See `try_push`: recover a poisoned slot lock rather than
+        // cascading a peer's panic.
         let mut slot = ring.slots[head % ring.slots.len()]
             .lock()
-            .expect("ring slot poisoned");
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let value = slot.take();
         debug_assert!(value.is_some(), "consumer overran producer");
         drop(slot);

@@ -263,6 +263,23 @@ impl<S: Slot> Router<S> {
     /// Returns the first check error if the configuration is invalid, or a
     /// configuration error from an element constructor.
     pub fn from_graph(graph: &RouterGraph, library: &Library) -> Result<Router<S>> {
+        Router::from_graph_in_shard(graph, library, 0)
+    }
+
+    /// Instantiates a router that knows it is worker shard `shard` of a
+    /// sharded runtime: element constructors see the shard index through
+    /// [`CreateCtx::shard`], so shard-scoped elements (`FaultInject` with
+    /// a `SHARD` clause) can tell which clone they are. A serial router
+    /// is shard 0.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Router::from_graph`].
+    pub fn from_graph_in_shard(
+        graph: &RouterGraph,
+        library: &Library,
+        shard: usize,
+    ) -> Result<Router<S>> {
         let report = check(graph, library);
         if !report.is_ok() {
             let first = report.errors().next().expect("has errors");
@@ -273,7 +290,7 @@ impl<S: Slot> Router<S> {
         let index: HashMap<_, _> = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let n = ids.len();
 
-        let mut ctx = CreateCtx::new();
+        let mut ctx = CreateCtx::for_shard(shard);
         let mut slots = Vec::with_capacity(n);
         let mut names = HashMap::new();
         let mut classes = Vec::with_capacity(n);

@@ -32,6 +32,12 @@ pub fn flow_key(frame: &[u8]) -> Option<FlowKey> {
         return None;
     }
     let ihl = ipv4::header_len(ip);
+    if ihl < ipv4::HLEN || ip.len() < ihl {
+        // Runt or lying header: the IHL field claims more header than the
+        // frame carries (or less than the minimum 20 bytes). Treat it like
+        // non-IP rather than reading past the options area.
+        return None;
+    }
     let proto = ipv4::protocol(ip);
     let (sport, dport) =
         if matches!(proto, ipv4::PROTO_TCP | ipv4::PROTO_UDP) && ip.len() >= ihl + udp::HLEN {
@@ -67,28 +73,115 @@ pub fn flow_hash(key: FlowKey) -> u64 {
 
 /// A shard picker: `shards` workers, 5-tuple hash for IPv4, receiving
 /// device otherwise.
+///
+/// Carries a live-shard bitmask for degraded-mode operation: when the
+/// supervisor marks a shard dead ([`RssSteering::mark_dead`]), flows
+/// homed on it are deterministically re-steered across the survivors,
+/// while flows homed on live shards keep their original assignment (and
+/// therefore their per-flow order).
 #[derive(Debug, Clone, Copy)]
 pub struct RssSteering {
     shards: usize,
+    /// Bit `k` set ⇔ shard `k` accepts traffic. Sized for up to 128
+    /// shards, which keeps the struct `Copy` for the simulator's cost
+    /// model.
+    live: u128,
 }
 
+/// Upper bound on shard count imposed by the `u128` liveness mask.
+pub const MAX_SHARDS: usize = 128;
+
 impl RssSteering {
-    /// A steering stage over `shards` workers.
+    /// A steering stage over `shards` workers, all initially live.
     ///
     /// # Panics
     ///
-    /// Panics if `shards` is zero.
+    /// Panics if `shards` is zero or exceeds [`MAX_SHARDS`].
     pub fn new(shards: usize) -> RssSteering {
         assert!(shards >= 1, "steering needs at least one shard");
-        RssSteering { shards }
+        assert!(
+            shards <= MAX_SHARDS,
+            "steering supports at most {MAX_SHARDS} shards"
+        );
+        let live = if shards == MAX_SHARDS {
+            u128::MAX
+        } else {
+            (1u128 << shards) - 1
+        };
+        RssSteering { shards, live }
     }
 
-    /// Number of shards steered across.
+    /// Number of shards steered across (live or not).
     pub fn shards(&self) -> usize {
         self.shards
     }
 
-    /// Picks the shard for a frame received on `dev`.
+    /// Marks `shard` as dead: its flows re-steer across the survivors.
+    pub fn mark_dead(&mut self, shard: usize) {
+        if shard < self.shards {
+            self.live &= !(1u128 << shard);
+        }
+    }
+
+    /// Marks `shard` as accepting traffic again (after a restart).
+    pub fn mark_live(&mut self, shard: usize) {
+        if shard < self.shards {
+            self.live |= 1u128 << shard;
+        }
+    }
+
+    /// Whether `shard` currently accepts traffic.
+    pub fn is_live(&self, shard: usize) -> bool {
+        shard < self.shards && self.live & (1u128 << shard) != 0
+    }
+
+    /// Number of live shards.
+    pub fn live_count(&self) -> usize {
+        self.live.count_ones() as usize
+    }
+
+    /// Maps a home shard onto a live one: the home itself when alive,
+    /// otherwise the `hash % live_count`-th live shard. Returns `None`
+    /// when every shard is dead.
+    fn remap(&self, home: usize, hash: u64) -> Option<usize> {
+        if self.live & (1u128 << home) != 0 {
+            return Some(home);
+        }
+        let alive = self.live.count_ones() as u64;
+        if alive == 0 {
+            return None;
+        }
+        let mut k = hash % alive;
+        for shard in 0..self.shards {
+            if self.live & (1u128 << shard) != 0 {
+                if k == 0 {
+                    return Some(shard);
+                }
+                k -= 1;
+            }
+        }
+        None
+    }
+
+    /// Picks a live shard for a frame received on `dev`, or `None` when
+    /// no shard is live.
+    pub fn live_shard_for(&self, frame: &[u8], dev: DeviceId) -> Option<usize> {
+        if self.shards == 1 {
+            return if self.live & 1 != 0 { Some(0) } else { None };
+        }
+        let (home, hash) = match flow_key(frame) {
+            Some(key) => {
+                let h = flow_hash(key);
+                ((h % self.shards as u64) as usize, h)
+            }
+            None => (dev.0 % self.shards, dev.0 as u64),
+        };
+        self.remap(home, hash)
+    }
+
+    /// Picks the shard for a frame received on `dev`, ignoring liveness
+    /// (the historical single-owner mapping; still what the simulator's
+    /// cost model charges).
     pub fn shard_for(&self, frame: &[u8], dev: DeviceId) -> usize {
         if self.shards == 1 {
             return 0;
@@ -171,5 +264,75 @@ mod tests {
     fn single_shard_short_circuits() {
         let s = RssSteering::new(1);
         assert_eq!(s.shard_for(&[0u8; 1], DeviceId(9)), 0);
+    }
+
+    #[test]
+    fn truncated_headers_have_no_flow_key() {
+        // Frame long enough for Ethernet + minimal IP, but the IHL field
+        // claims a 60-byte header the frame doesn't carry.
+        let p = udp_frame(0x0A000001, 0x0A000102, 1, 2);
+        let mut lying = p.clone();
+        lying.data_mut()[ether::HLEN] = 0x4F; // version 4, IHL 15 (60 bytes)
+        let truncated = &lying.data()[..ether::HLEN + ipv4::HLEN + 4];
+        assert_eq!(flow_key(truncated), None);
+        // IHL below the legal minimum of 5 words.
+        let mut runt = p.clone();
+        runt.data_mut()[ether::HLEN] = 0x43; // version 4, IHL 3 (12 bytes)
+        assert_eq!(flow_key(runt.data()), None);
+    }
+
+    #[test]
+    fn dead_shard_flows_remap_to_survivors() {
+        let mut s = RssSteering::new(4);
+        assert_eq!(s.live_count(), 4);
+        // Record every flow's home, then kill shard 2.
+        let frames: Vec<_> = (0..64u16)
+            .map(|f| udp_frame(0x0A000002, 0x0A000302, 1000 + f, 5678))
+            .collect();
+        let homes: Vec<_> = frames
+            .iter()
+            .map(|p| s.shard_for(p.data(), DeviceId(0)))
+            .collect();
+        s.mark_dead(2);
+        assert_eq!(s.live_count(), 3);
+        assert!(!s.is_live(2));
+        for (p, &home) in frames.iter().zip(&homes) {
+            let now = s.live_shard_for(p.data(), DeviceId(0)).unwrap();
+            assert_ne!(now, 2, "dead shard must receive nothing");
+            if home != 2 {
+                assert_eq!(now, home, "live-homed flows must not move");
+            }
+        }
+        // Revival restores the original mapping exactly.
+        s.mark_live(2);
+        for (p, &home) in frames.iter().zip(&homes) {
+            assert_eq!(s.live_shard_for(p.data(), DeviceId(0)), Some(home));
+        }
+    }
+
+    #[test]
+    fn all_dead_steers_nowhere() {
+        let mut s = RssSteering::new(2);
+        s.mark_dead(0);
+        s.mark_dead(1);
+        let p = udp_frame(1, 2, 3, 4);
+        assert_eq!(s.live_shard_for(p.data(), DeviceId(0)), None);
+        assert_eq!(s.live_count(), 0);
+    }
+
+    #[test]
+    fn non_ip_also_avoids_dead_shards() {
+        let mut arp = Packet::new(60);
+        arp.data_mut()[12] = 0x08;
+        arp.data_mut()[13] = 0x06;
+        let mut s = RssSteering::new(4);
+        s.mark_dead(1);
+        for d in 0..8usize {
+            let shard = s.live_shard_for(arp.data(), DeviceId(d)).unwrap();
+            assert_ne!(shard, 1);
+            if d % 4 != 1 {
+                assert_eq!(shard, d % 4);
+            }
+        }
     }
 }

@@ -167,6 +167,35 @@ pub struct ShardGauges {
     pub backoff_snoozes: u64,
 }
 
+/// Supervisor fault gauges of a sharded runtime: how many worker shards
+/// died, what recovery did about it, and how many packets were lost in
+/// flight. Unlike the per-element counters these are **always live** —
+/// they are maintained on the rare fault path by the supervisor in
+/// [`crate::parallel`], not on the per-packet fast path, so they are not
+/// gated behind the `telemetry` feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultGauges {
+    /// Worker shards that died (panicked, or exited unexpectedly).
+    pub shard_deaths: u64,
+    /// Shards restarted from the retained configuration graph.
+    pub restarts: u64,
+    /// Times the runtime entered degraded mode (a dead shard's flows
+    /// re-steered across the survivors instead of restarting it).
+    pub degraded_entries: u64,
+    /// Packets that were inside a shard's engine when it died —
+    /// irrecoverably lost. Bounded by the dead shard's in-flight ring
+    /// occupancy at the time of death.
+    pub lost_packets: u64,
+    /// Packets salvaged from a dead shard's rings and re-steered.
+    pub reclaimed_packets: u64,
+    /// Packets dropped at injection because no live shard remained.
+    pub no_live_shard_drops: u64,
+    /// Currently live shards (snapshot at read time).
+    pub live_shards: usize,
+    /// Configured shard count.
+    pub shards: usize,
+}
+
 /// Log2 bucket index for a self-time sample: the number of significant
 /// bits, clamped to the histogram width.
 #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]

@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! click-report [--ifaces N] [--shards K] [--packets P] [--batched BURST]
-//!              [--source LABEL] [--out FILE] [--emit-config] [CONFIG.click]
+//!              [--source LABEL] [--out FILE] [--emit-config] [--faults]
+//!              [CONFIG.click]
 //! ```
 //!
 //! Without a positional configuration file the tool profiles the paper's
@@ -19,6 +20,13 @@
 //! The binary must be built with `--features telemetry` for live
 //! counters; without it the profile structure is emitted with zeros (and
 //! a warning on stderr).
+//!
+//! `--faults` includes the sharded runtime's supervisor gauges (shard
+//! deaths, restarts, degraded-mode entries, in-flight loss — see
+//! [`click_elements::telemetry::FaultGauges`]) in the exported JSON, so
+//! `click-profile` consumers can see the run's fault history. The gauges
+//! are always live (not feature-gated): a configuration carrying a
+//! `FaultInject(PANIC …)` element profiles its own chaos run.
 //!
 //! `--emit-config` prints the generated IP-router configuration to
 //! stdout instead of profiling, so the profile-guided pipeline is
@@ -41,7 +49,7 @@ use click_elements::ip_router::{test_packet_flow, IpRouterSpec};
 use click_elements::packet::Packet;
 use click_elements::parallel::{ParallelOpts, ParallelRouter};
 use click_elements::router::{Router, Slot};
-use click_elements::telemetry::{self, ElementProfile, ShardGauges};
+use click_elements::telemetry::{self, ElementProfile, FaultGauges, ShardGauges};
 use click_opt::profile::Profile;
 use click_opt::tool::parse_args;
 
@@ -52,7 +60,8 @@ const FLOWS: u16 = 64;
 fn usage() -> ! {
     eprintln!(
         "usage: click-report [--ifaces N] [--shards K] [--packets P] \
-         [--batched BURST] [--source LABEL] [--out FILE] [--emit-config] [CONFIG.click]"
+         [--batched BURST] [--source LABEL] [--out FILE] [--emit-config] \
+         [--faults] [CONFIG.click]"
     );
     std::process::exit(2);
 }
@@ -123,7 +132,7 @@ fn run_sharded<S: Slot + 'static>(
     frames: &[Frame],
     shards: usize,
     batched: usize,
-) -> Result<(Vec<ElementProfile>, Vec<ShardGauges>, u64)> {
+) -> Result<(Vec<ElementProfile>, Vec<ShardGauges>, FaultGauges, u64)> {
     let mut opts = ParallelOpts::new(shards);
     if batched > 0 {
         opts = opts.batched(batched);
@@ -143,8 +152,9 @@ fn run_sharded<S: Slot + 'static>(
     }
     let profiles = router.telemetry_profiles();
     let gauges = router.shard_gauges();
+    let faults = router.fault_gauges();
     router.shutdown();
-    Ok((profiles, gauges, tx))
+    Ok((profiles, gauges, faults, tx))
 }
 
 fn main() {
@@ -160,6 +170,7 @@ fn main() {
     let mut source: Option<String> = None;
     let mut out: Option<String> = None;
     let mut emit_config = false;
+    let mut faults_flag = false;
     for (flag, value) in &flags {
         let num = || -> usize {
             value
@@ -175,6 +186,7 @@ fn main() {
             "source" => source = value.clone(),
             "out" => out = value.clone(),
             "emit-config" => emit_config = true,
+            "faults" => faults_flag = true,
             "help" => usage(),
             other => {
                 eprintln!("click-report: unknown flag --{other}");
@@ -237,16 +249,17 @@ fn main() {
     };
 
     let devirt = graph.has_requirement("devirtualize");
-    let (elements, gauges, tx) = if shards > 1 {
+    let (elements, gauges, fault_gauges, tx) = if shards > 1 {
         let r = if devirt {
             run_sharded::<FastElement>(&graph, &frames, shards, batched)
         } else {
             run_sharded::<Box<dyn Element>>(&graph, &frames, shards, batched)
         };
-        r.unwrap_or_else(|e| {
+        let (elements, gauges, faults, tx) = r.unwrap_or_else(|e| {
             eprintln!("click-report: {e}");
             std::process::exit(1);
-        })
+        });
+        (elements, gauges, Some(faults), tx)
     } else {
         let r = if devirt {
             run_serial::<FastElement>(&graph, &frames, batched)
@@ -257,8 +270,14 @@ fn main() {
             eprintln!("click-report: {e}");
             std::process::exit(1);
         });
-        (elements, Vec::new(), tx)
+        (elements, Vec::new(), None, tx)
     };
+    if faults_flag && fault_gauges.is_none() {
+        eprintln!(
+            "click-report: warning: --faults with a serial run (--shards 1); \
+             no supervisor gauges to export"
+        );
+    }
 
     let profile = Profile {
         source: source.unwrap_or(label),
@@ -266,6 +285,7 @@ fn main() {
         telemetry: telemetry::ENABLED,
         elements,
         gauges,
+        faults: if faults_flag { fault_gauges } else { None },
     };
     let json = profile.to_json();
     match &out {
@@ -277,6 +297,14 @@ fn main() {
             eprintln!("click-report: wrote {path}");
         }
         None => print!("{json}"),
+    }
+
+    if let Some(f) = profile.faults {
+        eprintln!(
+            "click-report: faults: {} death(s), {} restart(s), {} degraded, \
+             {} lost, {}/{} shards live",
+            f.shard_deaths, f.restarts, f.degraded_entries, f.lost_packets, f.live_shards, f.shards
+        );
     }
 
     // Human summary: where the cycles went.

@@ -33,7 +33,7 @@ use click_classifier::{Check, Cond};
 use click_core::config::split_args;
 use click_core::error::{Error, Result};
 use click_core::graph::{PortRef, RouterGraph};
-use click_elements::telemetry::{ElementProfile, ShardGauges};
+use click_elements::telemetry::{ElementProfile, FaultGauges, ShardGauges};
 
 /// A runtime profile: one record per element instance, merged across
 /// shards, plus per-shard runtime gauges. Produced by `click-report`,
@@ -51,6 +51,10 @@ pub struct Profile {
     pub elements: Vec<ElementProfile>,
     /// Per-shard runtime gauges (empty for serial runs).
     pub gauges: Vec<ShardGauges>,
+    /// Supervisor fault gauges (restarts, degraded-mode entries,
+    /// in-flight loss), exported when `click-report` runs with
+    /// `--faults`; `None` for serial runs or older profiles.
+    pub faults: Option<FaultGauges>,
 }
 
 impl Profile {
@@ -107,7 +111,24 @@ impl Profile {
                 if i + 1 < self.gauges.len() { "," } else { "" }
             ));
         }
-        s.push_str("  ]\n}\n");
+        s.push_str("  ]");
+        if let Some(f) = self.faults {
+            s.push_str(&format!(
+                ",\n  \"faults\": {{\"shard_deaths\": {}, \"restarts\": {}, \
+                 \"degraded_entries\": {}, \"lost_packets\": {}, \
+                 \"reclaimed_packets\": {}, \"no_live_shard_drops\": {}, \
+                 \"live_shards\": {}, \"shards\": {}}}",
+                f.shard_deaths,
+                f.restarts,
+                f.degraded_entries,
+                f.lost_packets,
+                f.reclaimed_packets,
+                f.no_live_shard_drops,
+                f.live_shards,
+                f.shards
+            ));
+        }
+        s.push_str("\n}\n");
         s
     }
 
@@ -125,6 +146,7 @@ impl Profile {
             telemetry: v.get("telemetry").and_then(Json::as_bool).unwrap_or(false),
             elements: Vec::new(),
             gauges: Vec::new(),
+            faults: None,
         };
         if let Some(Json::Arr(items)) = v.get("elements") {
             for item in items {
@@ -164,6 +186,19 @@ impl Profile {
                         .unwrap_or(0),
                 });
             }
+        }
+        if let Some(f) = v.get("faults") {
+            let g = |k: &str| f.get(k).and_then(Json::as_u64).unwrap_or(0);
+            p.faults = Some(FaultGauges {
+                shard_deaths: g("shard_deaths"),
+                restarts: g("restarts"),
+                degraded_entries: g("degraded_entries"),
+                lost_packets: g("lost_packets"),
+                reclaimed_packets: g("reclaimed_packets"),
+                no_live_shard_drops: g("no_live_shard_drops"),
+                live_shards: g("live_shards") as usize,
+                shards: g("shards") as usize,
+            });
         }
         Ok(p)
     }
@@ -658,6 +693,7 @@ mod tests {
             telemetry: true,
             elements: vec![e],
             gauges: Vec::new(),
+            faults: None,
         }
     }
 
@@ -683,9 +719,36 @@ mod tests {
                 ring_high_water: 2,
                 backoff_snoozes: 9,
             }],
+            faults: None,
         };
         let back = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn fault_gauges_round_trip() {
+        let p = Profile {
+            source: "chaos".into(),
+            shards: 4,
+            telemetry: false,
+            elements: Vec::new(),
+            gauges: Vec::new(),
+            faults: Some(FaultGauges {
+                shard_deaths: 2,
+                restarts: 1,
+                degraded_entries: 1,
+                lost_packets: 17,
+                reclaimed_packets: 40,
+                no_live_shard_drops: 0,
+                live_shards: 3,
+                shards: 4,
+            }),
+        };
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        // Profiles without the section stay `None` (older exports load).
+        let old = Profile::from_json("{\"elements\": []}").unwrap();
+        assert_eq!(old.faults, None);
     }
 
     #[test]

@@ -560,8 +560,10 @@ pub fn router_cpu_cost_parallel(
     let steer_cycles = params.steer_hash + 2.0 * params.ring_hop / batch as f64;
     let steer_ns = platform.cycles_to_ns(steer_cycles);
 
-    // Steer the actual traffic to find the bottleneck shard.
-    let steering = click_elements::steer::RssSteering::new(shards);
+    // Steer the actual traffic to find the bottleneck shard. This is
+    // the runtime's own hash (steer::flow_key / flow_hash) applied
+    // directly, so the model can explore shard counts beyond the
+    // runtime's live-mask limit (steer::MAX_SHARDS).
     let mut dev_names: Vec<&str> = Vec::new();
     let mut bins = vec![0usize; shards];
     for (dev, frame) in traffic {
@@ -572,7 +574,11 @@ pub fn router_cpu_cost_parallel(
                 dev_names.len() - 1
             }
         };
-        bins[steering.shard_for(frame, click_elements::element::DeviceId(idx))] += 1;
+        let shard = match click_elements::steer::flow_key(frame) {
+            Some(key) => (click_elements::steer::flow_hash(key) % shards as u64) as usize,
+            None => idx % shards,
+        };
+        bins[shard] += 1;
     }
     let mean = traffic.len() as f64 / shards as f64;
     let max = bins.iter().copied().max().unwrap_or(0) as f64;

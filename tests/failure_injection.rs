@@ -4,8 +4,11 @@
 use click::core::archive::{Archive, CONFIG_ENTRY};
 use click::core::lang::read_config;
 use click::core::registry::Library;
-use click::elements::router::DynRouter;
-use click::elements::Router;
+use click::elements::headers::{ether, ipv4};
+use click::elements::ip_router::{test_packet_flow, IpRouterSpec};
+use click::elements::router::{DynRouter, Slot};
+use click::elements::steer::{flow_key, RssSteering};
+use click::elements::{Packet, Router};
 
 #[test]
 fn malformed_sources_error_cleanly() {
@@ -122,6 +125,151 @@ fn runtime_survives_adversarial_packets() {
     r.run_until_idle(10_000);
     // Whatever happened, the router reached quiescence without panicking.
     assert_eq!(r.devices.rx_len(eth0), 0);
+}
+
+/// CheckIPHeader semantics are drop-and-count, not panic: malformed IP
+/// frames land in the `bad` counter (and are engine-dropped off the
+/// unconnected error port) while good traffic keeps forwarding.
+fn check_ip_header_counts_bad_frames<S: Slot>() {
+    let spec = IpRouterSpec::standard(2);
+    let graph = read_config(&spec.config()).unwrap();
+    let mut r: Router<S> = Router::from_graph(&graph, &Library::standard()).unwrap();
+    let eth0 = r.devices.id("eth0").unwrap();
+    let eth1 = r.devices.id("eth1").unwrap();
+
+    let good = || test_packet_flow(&spec, 0, 1, 1234, 5678);
+
+    // Bad checksum: flip one bit in the IP checksum field.
+    let mut bad_csum = good();
+    bad_csum.data_mut()[ether::HLEN + 10] ^= 0x01;
+
+    // Bad version: not IPv4 behind an 0x0800 ethertype.
+    let mut bad_version = good();
+    bad_version.data_mut()[ether::HLEN] = 0x60 | 0x05;
+
+    // Truncated: the header claims more payload than the frame carries.
+    let mut truncated = good();
+    let keep = ether::HLEN + ipv4::HLEN + 2;
+    let cut = truncated.len() - keep;
+    truncated.take(cut);
+
+    // IHL shorter than a minimal header.
+    let mut runt_ihl = good();
+    runt_ihl.data_mut()[ether::HLEN] = 0x41; // version 4, IHL 1 word
+    let h = &mut runt_ihl.data_mut()[ether::HLEN..];
+    let c = ipv4::compute_checksum(h);
+    h[10..12].copy_from_slice(&c.to_be_bytes());
+
+    let bad: Vec<Packet> = vec![bad_csum, bad_version, truncated, runt_ihl];
+    let n_bad = bad.len() as u64;
+    for p in bad {
+        r.devices.inject(eth0, p);
+    }
+    r.devices.inject(eth0, good());
+    r.run_until_idle(100_000);
+
+    assert_eq!(
+        r.class_stat("CheckIPHeader", "bad"),
+        n_bad,
+        "every malformed frame counted, none forwarded"
+    );
+    assert_eq!(
+        r.devices.tx_len(eth1),
+        1,
+        "the good packet still forwards next to the bad ones"
+    );
+}
+
+#[test]
+fn check_ip_header_counts_bad_frames_dyn_engine() {
+    check_ip_header_counts_bad_frames::<Box<dyn click::elements::Element>>();
+}
+
+#[test]
+fn check_ip_header_counts_bad_frames_compiled_engine() {
+    check_ip_header_counts_bad_frames::<click::elements::fast::FastElement>();
+}
+
+#[test]
+fn flow_key_fuzz_never_panics_and_steers_stably() {
+    // LCG-driven fuzz over frame lengths and contents — including frames
+    // whose ethertype says IPv4 but whose header lies about its IHL, and
+    // runts shorter than an Ethernet header. `flow_key` must never
+    // panic, and shard assignment must be a pure function of the bytes.
+    let steer = RssSteering::new(4);
+    let dev = click::elements::element::DeviceId(1);
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut rand = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        state >> 32
+    };
+    for round in 0..2000 {
+        let len = (rand() as usize) % 80;
+        let mut frame = vec![0u8; len];
+        for b in &mut frame {
+            *b = rand() as u8;
+        }
+        if round % 3 == 0 && len >= 14 {
+            // Force the IPv4 ethertype so the parser goes deep.
+            frame[12] = 0x08;
+            frame[13] = 0x00;
+            if len >= 15 {
+                // Claimed IHL often exceeds the actual frame.
+                frame[14] = 0x40 | (rand() as u8 & 0x0F);
+            }
+        }
+        let k1 = flow_key(&frame);
+        let k2 = flow_key(&frame);
+        assert_eq!(k1, k2, "flow_key must be deterministic");
+        let s1 = steer.shard_for(&frame, dev);
+        let s2 = steer.shard_for(&frame, dev);
+        assert_eq!(s1, s2, "shard assignment must be stable");
+        assert!(s1 < 4);
+        // A frame too short for a full IP header must have no key at all
+        // (never a garbage key built from out-of-bounds reads), and a
+        // header claiming more IHL than the frame carries is a runt too.
+        if frame.len() < 14 + 20 {
+            assert_eq!(k1, None, "short frame produced a key: len {len}");
+        }
+        if frame.len() >= 15 && usize::from(frame[14] & 0x0F) * 4 > frame.len() - 14 {
+            assert_eq!(k1, None, "lying IHL produced a key: len {len}");
+        }
+    }
+}
+
+#[test]
+fn dead_shard_mask_keeps_assignments_stable_for_survivors() {
+    // Killing one shard re-homes only that shard's flows: every flow
+    // homed elsewhere keeps its exact assignment (the per-flow-order
+    // guarantee of degraded mode), and nothing ever lands on the corpse.
+    let mut steer = RssSteering::new(4);
+    let dev = click::elements::element::DeviceId(0);
+    let frames: Vec<Vec<u8>> = (0..64u16)
+        .map(|f| {
+            let p = click::elements::headers::build_udp_packet(
+                [1; 6],
+                [2; 6],
+                0x0A00_0002,
+                0x0A00_0102,
+                6000 + f,
+                9,
+                18,
+                64,
+            );
+            p.data().to_vec()
+        })
+        .collect();
+    let before: Vec<usize> = frames.iter().map(|f| steer.shard_for(f, dev)).collect();
+    steer.mark_dead(2);
+    for (frame, &home) in frames.iter().zip(&before) {
+        let now = steer
+            .live_shard_for(frame, dev)
+            .expect("three shards remain");
+        assert_ne!(now, 2, "steered to the dead shard");
+        if home != 2 {
+            assert_eq!(now, home, "survivor-homed flow moved");
+        }
+    }
 }
 
 #[test]

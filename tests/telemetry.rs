@@ -314,6 +314,7 @@ fn click_profile_round_trip_preserves_classification() {
         telemetry: true,
         elements,
         gauges: Vec::new(),
+        faults: None,
     };
 
     let report = apply_profile(&mut profiled, &profile).expect("profile applies");
