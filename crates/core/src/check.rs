@@ -136,6 +136,17 @@ pub fn check(graph: &RouterGraph, library: &Library) -> CheckReport {
                         format!("information element {} must not be connected", decl.class()),
                     );
                 }
+                // A packet element that could legally stand alone but has
+                // no connections at all is almost always a leftover from
+                // editing; warn (fatal under `click-check --Werror`).
+                if !spec.information && nin == 0 && nout == 0 && spec.port_count.allows(0, 0) {
+                    diag(
+                        &mut ds,
+                        Severity::Warning,
+                        Some(decl.name()),
+                        format!("{} is not connected to anything", decl.class()),
+                    );
+                }
                 // Unconnected required ports.
                 if nin < spec.port_count.inputs.min {
                     diag(
@@ -334,6 +345,20 @@ mod tests {
         assert!(r
             .errors()
             .any(|d| d.message.contains("requires at least 1 connected input")));
+    }
+
+    #[test]
+    fn disconnected_element_warns_but_passes() {
+        let r = report("i :: Idle; FromDevice(0) -> Queue -> ToDevice(0);");
+        assert!(r.is_ok(), "{:?}", r.diagnostics);
+        let w: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .collect();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].element.as_deref(), Some("i"));
+        assert!(w[0].message.contains("not connected to anything"));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Exact-diagnostic tests for `click_core::check`: these pin the
+//! severity, element attribution, and message text that `click-check`
+//! prints (and that the hot-swap validation gate reports), so tool
+//! output stays stable for scripts that grep it.
+
+use click_core::check::{check, CheckReport, Diagnostic, Severity};
+use click_core::lang::read_config;
+use click_core::registry::Library;
+
+fn report(src: &str) -> CheckReport {
+    check(&read_config(src).unwrap(), &Library::standard())
+}
+
+/// Finds the one diagnostic whose message contains `needle`.
+fn find<'r>(r: &'r CheckReport, needle: &str) -> &'r Diagnostic {
+    let hits: Vec<&Diagnostic> = r
+        .diagnostics
+        .iter()
+        .filter(|d| d.message.contains(needle))
+        .collect();
+    assert_eq!(
+        hits.len(),
+        1,
+        "expected exactly one diagnostic matching {needle:?}, got {:?}",
+        r.diagnostics
+    );
+    hits[0]
+}
+
+#[test]
+fn unknown_class_names_the_element() {
+    let r = report("z :: Zorp; d :: Discard; z -> d;");
+    assert!(!r.is_ok());
+    // The class check attributes the error to the element; the push/pull
+    // resolver also fails (it cannot type an unknown class), but that
+    // echo carries no element attribution.
+    let d = r
+        .diagnostics
+        .iter()
+        .find(|d| d.message == "unknown element class \"Zorp\"")
+        .unwrap_or_else(|| panic!("missing class diagnostic in {:?}", r.diagnostics));
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.element.as_deref(), Some("z"));
+}
+
+#[test]
+fn port_arity_violation_states_counts_and_spec() {
+    // Strip is an agnostic 1-in/1-out element; a second output violates
+    // its port count.
+    let r = report("Idle -> s :: Strip(14); s [0] -> d1 :: Discard; s [1] -> d2 :: Discard;");
+    assert!(!r.is_ok());
+    let d = find(&r, "allows");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.element.as_deref(), Some("s"));
+    assert_eq!(
+        d.message,
+        "Strip has 1 input(s) and 2 output(s), but Strip allows 1/1"
+    );
+}
+
+#[test]
+fn unconnected_port_below_a_used_port_is_an_error() {
+    let r = report("c :: Classifier(12/0800, -); Idle -> c; c [1] -> Discard;");
+    assert!(!r.is_ok());
+    let d = find(&r, "unconnected");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.element.as_deref(), Some("c"));
+    assert_eq!(
+        d.message,
+        "output port 0 unconnected but a higher port is in use"
+    );
+}
+
+#[test]
+fn push_pull_conflict_names_both_endpoints() {
+    // FromDevice pushes; ToDevice pulls; connecting them directly (no
+    // Queue) cannot be scheduled.
+    let r = report("f :: FromDevice(0); t :: ToDevice(0); f -> t;");
+    assert!(!r.is_ok());
+    let d = find(&r, "push/pull conflict");
+    assert_eq!(d.severity, Severity::Error);
+    // Resolution failures concern a connection, not a single element.
+    assert_eq!(d.element, None);
+    assert_eq!(
+        d.message,
+        "check error: push/pull conflict on connection f output port 0 -> t input port 0"
+    );
+}
+
+#[test]
+fn disconnected_element_is_a_named_warning() {
+    let r = report("leftover :: Idle; FromDevice(0) -> Queue -> ToDevice(0);");
+    assert!(r.is_ok(), "{:?}", r.diagnostics);
+    let d = find(&r, "not connected");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.element.as_deref(), Some("leftover"));
+    assert_eq!(d.message, "Idle is not connected to anything");
+}
+
+#[test]
+fn errors_sort_before_warnings() {
+    let r = report("leftover :: Idle; z :: Zorp; d :: Discard; z -> d;");
+    assert!(!r.is_ok());
+    let sevs: Vec<Severity> = r.diagnostics.iter().map(|d| d.severity).collect();
+    let first_warning = sevs.iter().position(|&s| s == Severity::Warning);
+    let last_error = sevs.iter().rposition(|&s| s == Severity::Error);
+    if let (Some(w), Some(e)) = (first_warning, last_error) {
+        assert!(e < w, "errors must sort before warnings: {sevs:?}");
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::batch::{BatchEmitter, PacketBatch};
 use crate::packet::Packet;
+use crate::swap::ElementState;
 use click_core::error::Result;
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -225,6 +226,23 @@ pub trait Element {
     /// downstream storage element after the router is wired.
     fn attach_downstream_queue(&mut self, handle: Rc<Cell<usize>>) {
         let _ = handle;
+    }
+
+    /// Surrenders this element's transferable state for a hot swap
+    /// ([`crate::router::Router::hot_swap`]): counters and buffered
+    /// packets that should survive a configuration change. The element is
+    /// left empty (it is about to be discarded). Stateless elements — the
+    /// default — return `None`.
+    fn take_state(&mut self) -> Option<ElementState> {
+        None
+    }
+
+    /// Absorbs state taken from this element's predecessor in the old
+    /// configuration (matched by name and class, see
+    /// [`crate::swap::TransferPlan`]). The default discards the state,
+    /// recycling any buffered packets.
+    fn restore_state(&mut self, state: ElementState) {
+        state.recycle_packets();
     }
 }
 

@@ -7,6 +7,7 @@ use crate::element::{
     args, config_err, int_arg, CreateCtx, Element, Emitter, PullContext, TaskContext,
 };
 use crate::packet::Packet;
+use crate::swap::ElementState;
 use click_core::error::Result;
 
 /// `Discard`: consumes every packet.
@@ -41,6 +42,13 @@ impl Element for Discard {
     }
     fn stat(&self, name: &str) -> Option<u64> {
         (name == "count").then_some(self.count)
+    }
+    fn take_state(&mut self) -> Option<ElementState> {
+        Some(ElementState::new("Discard").counter("count", self.count))
+    }
+    fn restore_state(&mut self, state: ElementState) {
+        self.count += state.get("count");
+        state.recycle_packets();
     }
 }
 
@@ -81,6 +89,18 @@ impl Element for Counter {
             "byte_count" => Some(self.byte_count),
             _ => None,
         }
+    }
+    fn take_state(&mut self) -> Option<ElementState> {
+        Some(
+            ElementState::new("Counter")
+                .counter("count", self.count)
+                .counter("byte_count", self.byte_count),
+        )
+    }
+    fn restore_state(&mut self, state: ElementState) {
+        self.count += state.get("count");
+        self.byte_count += state.get("byte_count");
+        state.recycle_packets();
     }
 }
 

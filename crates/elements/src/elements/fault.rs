@@ -37,6 +37,7 @@
 
 use crate::element::{args, config_err, int_arg, CreateCtx, Element, Emitter};
 use crate::packet::Packet;
+use crate::swap::ElementState;
 use click_core::error::Result;
 use std::collections::VecDeque;
 
@@ -206,6 +207,29 @@ impl Element for FaultInject {
             "delayed" => Some(self.line.len() as u64),
             _ => None,
         }
+    }
+    fn take_state(&mut self) -> Option<ElementState> {
+        // Arm-state: the fault counters, the arming progress (`seen`
+        // gates AFTER clauses), the LCG cursor so the random sequence
+        // continues instead of restarting, and the delay line's packets.
+        let mut s = ElementState::new("FaultInject")
+            .counter("seen", self.seen)
+            .counter("lcg", self.state)
+            .counter("drops", self.dropped)
+            .counter("corrupted", self.corrupted)
+            .counter("duplicated", self.duplicated);
+        s.packets = self.line.drain(..).collect();
+        Some(s)
+    }
+    fn restore_state(&mut self, state: ElementState) {
+        self.seen += state.get("seen");
+        self.dropped += state.get("drops");
+        self.corrupted += state.get("corrupted");
+        self.duplicated += state.get("duplicated");
+        if let Some(lcg) = state.find("lcg") {
+            self.state = lcg;
+        }
+        self.line.extend(state.packets);
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{args, config_err, int_arg, CreateCtx, Element, Emitter, PullContext};
 use crate::packet::Packet;
+use crate::swap::ElementState;
 use click_core::error::Result;
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -115,6 +116,31 @@ impl Element for Queue {
     }
     fn queue_depth_handle(&self) -> Option<Rc<Cell<usize>>> {
         Some(Rc::clone(&self.depth))
+    }
+    fn take_state(&mut self) -> Option<ElementState> {
+        let mut s = ElementState::new("Queue")
+            .counter("drops", self.drops)
+            .counter("highwater", self.highwater as u64);
+        s.packets = self.q.drain(..).collect();
+        self.depth.set(0);
+        Some(s)
+    }
+    fn restore_state(&mut self, state: ElementState) {
+        self.drops += state.get("drops");
+        self.highwater = self.highwater.max(state.get("highwater") as usize);
+        // Re-enqueue the predecessor's contents in FIFO order; if the new
+        // queue is smaller, the overflow drops here and is visible in the
+        // `drops` gauge, keeping the swap's loss accounted.
+        for p in state.packets {
+            if self.q.len() >= self.capacity {
+                self.drops += 1;
+                p.recycle();
+            } else {
+                self.q.push_back(p);
+            }
+        }
+        self.highwater = self.highwater.max(self.q.len());
+        self.depth.set(self.q.len());
     }
 }
 

@@ -16,6 +16,7 @@ use crate::element::{CreateCtx, Element, Emitter, PullContext, TaskContext};
 use crate::elements::{basic, classify, combo, device, ether, ip, queueing};
 use crate::packet::Packet;
 use crate::router::{Router, Slot};
+use crate::swap::ElementState;
 use click_core::error::Result;
 use click_core::registry::{devirt_base, FASTCLASSIFIER_PREFIX, FASTIPFILTER_PREFIX};
 use std::cell::Cell;
@@ -187,6 +188,20 @@ macro_rules! fast_elements {
                 match self {
                     $( FastElement::$variant(e) => e.attach_downstream_queue(handle), )*
                     FastElement::Dyn(e) => e.attach_downstream_queue(handle),
+                }
+            }
+
+            fn take_state(&mut self) -> Option<ElementState> {
+                match self {
+                    $( FastElement::$variant(e) => e.take_state(), )*
+                    FastElement::Dyn(e) => e.take_state(),
+                }
+            }
+
+            fn restore_state(&mut self, state: ElementState) {
+                match self {
+                    $( FastElement::$variant(e) => e.restore_state(state), )*
+                    FastElement::Dyn(e) => e.restore_state(state),
                 }
             }
         }

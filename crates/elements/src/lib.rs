@@ -46,6 +46,7 @@ pub mod ring;
 pub mod router;
 pub mod routing;
 pub mod steer;
+pub mod swap;
 pub mod telemetry;
 
 pub use batch::{BatchEmitter, PacketBatch};
@@ -55,4 +56,5 @@ pub use packet::Packet;
 pub use parallel::{ParallelOpts, ParallelRouter};
 pub use router::{DynRouter, Router};
 pub use steer::RssSteering;
-pub use telemetry::{ElementProfile, ShardGauges};
+pub use swap::{ElementState, SwapReport, TransferPlan};
+pub use telemetry::{ElementProfile, ShardGauges, SwapGauges};

@@ -75,19 +75,27 @@ use crate::packet::{Packet, PoolStats};
 use crate::ring::{spsc, Backoff, RingConsumer, RingProducer};
 use crate::router::{Router, Slot};
 use crate::steer::{RssSteering, MAX_SHARDS};
-use crate::telemetry::{self, ElementProfile, FaultGauges, ShardGaugeTracker, ShardGauges};
+use crate::swap::SwapReport;
+use crate::telemetry::{
+    self, ElementProfile, FaultGauges, ShardGaugeTracker, ShardGauges, SwapGauges,
+};
 use click_core::error::{Error, Result};
 use click_core::graph::RouterGraph;
 use click_core::registry::Library;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One unit of ring transfer: a burst of packets for (or from) one
 /// simulated device.
 type ShardItem = (DeviceId, PacketBatch);
+
+/// A boxed configuration validator: builds a prototype router on the
+/// calling thread so a hot swap rejects a bad config before any worker
+/// sees it (captures the engine type `S`).
+type Validator = Box<dyn Fn(&RouterGraph) -> Result<()>>;
 
 /// Task-scheduling budget a worker grants each ring item; generous —
 /// one item carries at most a burst of packets.
@@ -191,6 +199,38 @@ impl ParallelOpts {
     }
 }
 
+/// Knobs of a canary rollout ([`ParallelRouter::hot_swap_with`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SwapOpts {
+    /// How many packets the canary shard should process under the new
+    /// configuration before its drop gauge is judged. The window also
+    /// ends early when the buffered traffic drains.
+    pub canary_window: u64,
+    /// Allowed excess in the canary's drops-per-packet rate over the
+    /// surviving shards' aggregate rate. A canary whose rate exceeds
+    /// `survivor_rate + drop_margin` is rolled back.
+    pub drop_margin: f64,
+}
+
+impl Default for SwapOpts {
+    fn default() -> SwapOpts {
+        SwapOpts {
+            canary_window: 256,
+            drop_margin: 0.05,
+        }
+    }
+}
+
+/// Reads the retained configuration graph, tolerating lock poisoning
+/// (the lock only ever guards an `Arc` pointer swap, so a poisoned
+/// value is still intact).
+fn read_retained(retained: &RwLock<Arc<RouterGraph>>) -> Arc<RouterGraph> {
+    match retained.read() {
+        Ok(g) => Arc::clone(&g),
+        Err(p) => Arc::clone(&p.into_inner()),
+    }
+}
+
 /// Control-plane queries the injection thread sends to workers. Rare and
 /// cheap; the packet path never touches this channel.
 enum Ctrl {
@@ -210,6 +250,13 @@ enum Ctrl {
     Telemetry,
     /// Snapshot the shard's runtime gauges (ring depth, backoff).
     Gauges,
+    /// Read the shard's aggregate drop gauge
+    /// ([`Router::total_drops`]) — the canary-regression signal.
+    DropGauge,
+    /// Hot-swap the shard's engine to this configuration graph. Only the
+    /// worker's main loop (which owns `&mut Router`) performs the swap;
+    /// read-only contexts answer with a busy error.
+    Swap(Arc<RouterGraph>),
 }
 
 /// Replies to [`Ctrl`] queries.
@@ -224,6 +271,8 @@ enum CtrlReply {
     Pool(PoolStats),
     Telemetry(Vec<ElementProfile>),
     Gauges(ShardGauges),
+    /// Outcome of a [`Ctrl::Swap`] request against this shard's engine.
+    Swapped(Result<SwapReport>),
     /// The worker has no router to answer with (build failure zombie).
     Gone,
 }
@@ -353,9 +402,18 @@ pub struct ParallelRouter {
     recovery: Recovery,
     wedge_timeout: Duration,
     faults: FaultGauges,
+    swap: SwapGauges,
+    /// The configuration the shards are (supposed to be) running:
+    /// restarts rebuild from it, and a canary rollback re-installs it.
+    /// A completed hot swap replaces it with the new graph.
+    retained: Arc<RwLock<Arc<RouterGraph>>>,
     /// Spawns a replacement worker for a shard slot (captures the
     /// retained graph, the worker config, and the engine type `S`).
     make_worker: Box<dyn Fn(usize) -> Result<Worker>>,
+    /// Validates a candidate configuration by building a prototype
+    /// `Router<S>` on the calling thread (captures the engine type `S`),
+    /// so a hot swap rejects a bad config before any worker sees it.
+    validate: Validator,
 }
 
 impl ParallelRouter {
@@ -402,12 +460,17 @@ impl ParallelRouter {
             backoff_spins: opts.backoff_spins,
             ring_capacity: opts.ring_capacity,
         };
-        let retained = Arc::new(graph.clone());
+        let retained = Arc::new(RwLock::new(Arc::new(graph.clone())));
         let make_worker: Box<dyn Fn(usize) -> Result<Worker>> = {
-            let graph = Arc::clone(&retained);
+            let retained = Arc::clone(&retained);
             let stop = Arc::clone(&stop);
-            Box::new(move |shard| spawn_worker::<S>(&graph, WorkerCfg { shard, ..cfg }, &stop))
+            Box::new(move |shard| {
+                let graph = read_retained(&retained);
+                spawn_worker::<S>(&graph, WorkerCfg { shard, ..cfg }, &stop)
+            })
         };
+        let validate: Validator =
+            Box::new(|g| Router::<S>::from_graph(g, &Library::standard()).map(|_| ()));
         let mut workers = Vec::with_capacity(opts.shards);
         for shard in 0..opts.shards {
             workers.push(make_worker(shard)?);
@@ -431,7 +494,10 @@ impl ParallelRouter {
                 live_shards: opts.shards,
                 ..FaultGauges::default()
             },
+            swap: SwapGauges::default(),
+            retained,
             make_worker,
+            validate,
         })
     }
 
@@ -452,6 +518,236 @@ impl ParallelRouter {
             live_shards: self.steer.live_count(),
             shards: self.workers.len(),
             ..self.faults
+        }
+    }
+
+    /// Live-reconfiguration gauges: completed swaps, rollbacks, canary
+    /// failures, packets transferred, and rejected configs. Always live
+    /// (not feature-gated), like [`ParallelRouter::fault_gauges`].
+    pub fn swap_gauges(&self) -> SwapGauges {
+        self.swap
+    }
+
+    /// Rolls `new_graph` out across the shards behind a canary with the
+    /// default [`SwapOpts`]. See [`ParallelRouter::hot_swap_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ParallelRouter::hot_swap_with`].
+    pub fn hot_swap(&mut self, new_graph: &RouterGraph) -> Result<SwapReport> {
+        self.hot_swap_with(new_graph, SwapOpts::default())
+    }
+
+    /// Live reconfiguration: installs `new_graph` with a two-phase canary
+    /// rollout, preserving element state ([`Router::hot_swap`]) on every
+    /// swapped shard.
+    ///
+    /// 1. **Validate.** The candidate graph is checked and a prototype
+    ///    engine is built on this thread; a config that fails
+    ///    `click_core::check::check` is rejected here — counted in
+    ///    [`SwapGauges::rejected_configs`] — and no worker ever sees it.
+    /// 2. **Canary.** The lowest-index live shard is quiesced (its ring
+    ///    drains; other shards keep forwarding, so per-flow order on
+    ///    their flows is untouched) and swapped to the new graph with
+    ///    full state transfer.
+    /// 3. **Window.** Buffered traffic is pumped until the canary has
+    ///    processed [`SwapOpts::canary_window`] packets (or the traffic
+    ///    drains), then the canary's drops-per-packet delta is compared
+    ///    against the surviving shards' aggregate delta.
+    /// 4. **Roll or roll back.** Within margin: every remaining live
+    ///    shard is quiesced and swapped in turn and the new graph becomes
+    ///    the retained configuration (future restarts build it). Past
+    ///    margin: the canary is quiesced and swapped *back* to the
+    ///    retained old graph — again with state transfer, so its counters
+    ///    survive the round trip — and the old configuration stays
+    ///    installed everywhere.
+    ///
+    /// Loss is bounded exactly as in the fault path: a quiesced shard
+    /// swap loses nothing (queue contents and device queues transfer);
+    /// packets the canary *dropped* while running a regressing config are
+    /// visible in its drop gauges and reported via
+    /// [`SwapReport::canary_drops`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Check`] for an invalid config (old config untouched);
+    /// [`Error::Runtime`] when no live shard exists, a shard fails to
+    /// quiesce within the wedge timeout, or a worker's swap fails. If a
+    /// later shard of the rollout fails, earlier shards keep the new
+    /// graph while the retained configuration stays old — a retry (or a
+    /// rollback swap to the old graph) converges the fleet.
+    pub fn hot_swap_with(&mut self, new_graph: &RouterGraph, opts: SwapOpts) -> Result<SwapReport> {
+        if let Err(e) = (self.validate)(new_graph) {
+            self.swap.rejected_configs += 1;
+            return Err(e);
+        }
+        self.supervise();
+        let canary = (0..self.workers.len())
+            .find(|&i| !self.workers[i].dead && !self.workers[i].is_dead())
+            .ok_or_else(|| Error::runtime("hot swap: no live shard to canary"))?;
+        let new_arc = Arc::new(new_graph.clone());
+
+        // Phase 1: quiesce and swap the canary.
+        self.quiesce_shard(canary)?;
+        let before = self.gauge_snapshot();
+        let mut report = self.swap_shard(canary, &new_arc)?;
+        report.canary_shard = Some(canary);
+
+        // Phase 2: the canary window, over whatever traffic the caller
+        // has buffered. Non-canary shards process their share under the
+        // old configuration and serve as the comparison baseline.
+        let start_pkts = before[canary].map_or(0, |(_, p)| p);
+        self.pump_window(canary, opts.canary_window, start_pkts);
+        let after = self.gauge_snapshot();
+
+        let (canary_drops, canary_pkts) = match (before[canary], after[canary]) {
+            (Some((bd, bp)), Some((ad, ap))) => (ad.saturating_sub(bd), ap.saturating_sub(bp)),
+            _ => (0, 0),
+        };
+        let mut surv_drops = 0u64;
+        let mut surv_pkts = 0u64;
+        for i in 0..self.workers.len() {
+            if i == canary {
+                continue;
+            }
+            if let (Some((bd, bp)), Some((ad, ap))) = (before[i], after[i]) {
+                surv_drops += ad.saturating_sub(bd);
+                surv_pkts += ap.saturating_sub(bp);
+            }
+        }
+        let canary_rate = if canary_pkts > 0 {
+            canary_drops as f64 / canary_pkts as f64
+        } else {
+            0.0
+        };
+        let surv_rate = if surv_pkts > 0 {
+            surv_drops as f64 / surv_pkts as f64
+        } else {
+            0.0
+        };
+        let regressed = canary_pkts > 0 && canary_rate > surv_rate + opts.drop_margin;
+
+        if regressed {
+            // Auto-rollback: drain what the canary still holds under the
+            // regressing config, measure the full faulty-regime drop
+            // delta, then swap it back to the retained old graph.
+            self.swap.canary_failures += 1;
+            self.quiesce_shard(canary)?;
+            let final_snap = self.gauge_snapshot();
+            let old = read_retained(&self.retained);
+            let rb = self.swap_shard(canary, &old)?;
+            report.packets_transferred += rb.packets_transferred;
+            report.packets_dropped += rb.packets_dropped;
+            report.swapped_shards = 0;
+            report.rolled_back = true;
+            if let (Some((bd, bp)), Some((fd, fp))) = (before[canary], final_snap[canary]) {
+                report.canary_drops = fd.saturating_sub(bd);
+                report.canary_packets = fp.saturating_sub(bp);
+            }
+            self.swap.rollbacks += 1;
+            self.swap.packets_transferred += report.packets_transferred;
+            return Ok(report);
+        }
+
+        // Phase 3: roll the remaining live shards and retain the new
+        // graph (restarts now rebuild it).
+        report.canary_drops = canary_drops;
+        report.canary_packets = canary_pkts;
+        for i in 0..self.workers.len() {
+            if i == canary || self.workers[i].dead || self.workers[i].is_dead() {
+                continue;
+            }
+            self.quiesce_shard(i)?;
+            let r = self.swap_shard(i, &new_arc)?;
+            report.packets_transferred += r.packets_transferred;
+            report.packets_dropped += r.packets_dropped;
+            report.swapped_shards += 1;
+        }
+        match self.retained.write() {
+            Ok(mut g) => *g = Arc::clone(&new_arc),
+            Err(mut p) => **p.get_mut() = Arc::clone(&new_arc),
+        }
+        self.swap.swaps += 1;
+        self.swap.packets_transferred += report.packets_transferred;
+        Ok(report)
+    }
+
+    /// Waits (bounded) for one live shard to finish everything handed to
+    /// it, without handing it anything new; other shards' pending traffic
+    /// stays buffered too, but TX keeps draining.
+    fn quiesce_shard(&mut self, shard: usize) -> Result<()> {
+        let deadline = Instant::now() + self.wedge_timeout;
+        let mut backoff = Backoff::new(self.backoff_spins);
+        loop {
+            self.collect();
+            self.supervise();
+            if self.workers[shard].dead || self.workers[shard].is_dead() {
+                return Err(Error::runtime(format!(
+                    "hot swap: shard {shard} died while quiescing"
+                )));
+            }
+            if self.workers[shard].is_idle() {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::runtime(format!(
+                    "hot swap: shard {shard} did not quiesce within {:?}",
+                    self.wedge_timeout
+                )));
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Asks one worker to hot-swap its engine (it must be quiesced).
+    fn swap_shard(&mut self, shard: usize, graph: &Arc<RouterGraph>) -> Result<SwapReport> {
+        match self.workers[shard].query(Ctrl::Swap(Arc::clone(graph)))? {
+            CtrlReply::Swapped(r) => r,
+            _ => Err(Error::runtime(format!(
+                "shard {shard}: unexpected control reply to swap"
+            ))),
+        }
+    }
+
+    /// Per-shard `(total_drops, completed_packets)` snapshot; `None` for
+    /// shards that are dead or unreachable.
+    fn gauge_snapshot(&self) -> Vec<Option<(u64, u64)>> {
+        self.workers
+            .iter()
+            .map(|w| {
+                if w.dead || w.is_dead() {
+                    return None;
+                }
+                match w.query(Ctrl::DropGauge) {
+                    Ok(CtrlReply::Value(d)) => {
+                        Some((d, w.shared.completed_pkts.load(Ordering::Acquire)))
+                    }
+                    _ => None,
+                }
+            })
+            .collect()
+    }
+
+    /// Hands buffered traffic to the shards and pumps until the canary
+    /// has processed `window` packets beyond `start_pkts`, everything
+    /// drains, or the wedge timeout passes.
+    fn pump_window(&mut self, canary: usize, window: u64, start_pkts: u64) {
+        let deadline = Instant::now() + self.wedge_timeout;
+        let mut backoff = Backoff::new(self.backoff_spins);
+        loop {
+            self.flush();
+            self.collect();
+            let canary_pkts = self.workers[canary]
+                .shared
+                .completed_pkts
+                .load(Ordering::Acquire)
+                .saturating_sub(start_pkts);
+            let idle =
+                self.workers.iter().all(Worker::is_idle) && self.pending.iter().all(Vec::is_empty);
+            if canary_pkts >= window || idle || Instant::now() >= deadline {
+                return;
+            }
+            backoff.snooze();
         }
     }
 
@@ -1117,7 +1413,7 @@ fn worker_main<S: Slot>(
     };
     router.set_batching(cfg.batching);
     router.set_batch_burst(cfg.burst);
-    let n_dev = router.devices.len();
+    let mut n_dev = router.devices.len();
 
     let mut backoff = Backoff::new(cfg.backoff_spins);
     let mut inbox: Vec<ShardItem> = Vec::new();
@@ -1125,7 +1421,22 @@ fn worker_main<S: Slot>(
     let mut gauges = ShardGaugeTracker::new(cfg.shard);
     loop {
         shared.heartbeat.fetch_add(1, Ordering::Relaxed);
-        answer_ctrl(&router, &gauges, &ctrl, &reply);
+        // Control drain. `Ctrl::Swap` is handled only here — the one
+        // point with `&mut router` — so every other answer path can stay
+        // read-only and simply report the shard as busy.
+        while let Ok(q) = ctrl.try_recv() {
+            let r = match q {
+                Ctrl::Swap(g) => {
+                    let outcome = router.hot_swap(&g, &Library::standard());
+                    n_dev = router.devices.len();
+                    CtrlReply::Swapped(outcome)
+                }
+                other => answer_one(&router, &gauges, other),
+            };
+            if reply.send(r).is_err() {
+                break; // main side gone; shutdown is imminent
+            }
+        }
         // The gauge reads are const-folded away when telemetry is off
         // (`ENABLED` is false at compile time), keeping the poll loop
         // untouched.
@@ -1290,6 +1601,13 @@ fn answer_one<S: Slot>(router: &Router<S>, gauges: &ShardGaugeTracker, q: Ctrl) 
         }
         Ctrl::Telemetry => CtrlReply::Telemetry(router.telemetry_profiles()),
         Ctrl::Gauges => CtrlReply::Gauges(gauges.snapshot()),
+        Ctrl::DropGauge => CtrlReply::Value(router.total_drops()),
+        // A swap needs `&mut Router`; only the worker's top-of-loop has
+        // it. Anywhere else (zombies, backpressure stalls) the shard is
+        // by definition not quiesced, so refuse.
+        Ctrl::Swap(_) => CtrlReply::Swapped(Err(Error::runtime(
+            "shard busy: hot swap requires a quiesced worker",
+        ))),
     }
 }
 

@@ -11,6 +11,7 @@
 use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{CreateCtx, DeviceId, DeviceMap, Element, Emitter, PullContext, TaskContext};
 use crate::packet::Packet;
+use crate::swap::{ElementState, SwapReport, TransferPlan};
 use crate::telemetry::{self, ElementProfile, RouterTelemetry};
 use click_core::check::check;
 use click_core::error::{Error, Result};
@@ -56,6 +57,10 @@ pub trait Slot: Sized {
     fn queue_depth_handle(&self) -> Option<Rc<Cell<usize>>>;
     /// See [`Element::attach_downstream_queue`].
     fn attach_downstream_queue(&mut self, handle: Rc<Cell<usize>>);
+    /// See [`Element::take_state`].
+    fn take_state(&mut self) -> Option<ElementState>;
+    /// See [`Element::restore_state`].
+    fn restore_state(&mut self, state: ElementState);
 }
 
 impl Slot for Box<dyn Element> {
@@ -94,6 +99,12 @@ impl Slot for Box<dyn Element> {
     }
     fn attach_downstream_queue(&mut self, handle: Rc<Cell<usize>>) {
         (**self).attach_downstream_queue(handle)
+    }
+    fn take_state(&mut self) -> Option<ElementState> {
+        (**self).take_state()
+    }
+    fn restore_state(&mut self, state: ElementState) {
+        (**self).restore_state(state)
     }
 }
 
@@ -218,6 +229,37 @@ impl DeviceBank {
         self.tx[dev.0].len()
     }
 
+    /// Moves every queued packet out of `old` into this bank, matching
+    /// devices by name: the hot-swap path for in-flight device traffic.
+    /// Returns `(moved, orphaned)` packet counts; packets on devices the
+    /// new configuration lacks are recycled and counted as orphaned.
+    fn adopt(&mut self, old: &mut DeviceBank) -> (u64, u64) {
+        let mut moved = 0u64;
+        let mut orphaned = 0u64;
+        for old_id in 0..old.rx.len() {
+            let target = self.map.get(old.map.name(DeviceId(old_id)));
+            let rx = std::mem::take(&mut old.rx[old_id]);
+            let tx = std::mem::take(&mut old.tx[old_id]);
+            match target {
+                Some(new_id) => {
+                    moved += (rx.len() + tx.len()) as u64;
+                    self.rx[new_id.0].extend(rx);
+                    self.tx[new_id.0].extend(tx);
+                }
+                None => {
+                    orphaned += (rx.len() + tx.len()) as u64;
+                    for p in rx {
+                        p.recycle();
+                    }
+                    for p in tx {
+                        p.recycle();
+                    }
+                }
+            }
+        }
+        (moved, orphaned)
+    }
+
     /// Number of devices.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -249,6 +291,9 @@ pub struct Router<S: Slot> {
     batch_burst: usize,
     batch_out: Option<BatchEmitter>,
     telem: RouterTelemetry,
+    /// Which worker shard this engine is (0 for a serial router); a hot
+    /// swap rebuilds the replacement engine in the same shard.
+    shard: usize,
 }
 
 /// A router whose elements dispatch dynamically (`Box<dyn Element>`) —
@@ -282,8 +327,11 @@ impl<S: Slot> Router<S> {
     ) -> Result<Router<S>> {
         let report = check(graph, library);
         if !report.is_ok() {
-            let first = report.errors().next().expect("has errors");
-            return Err(Error::check(first.to_string()));
+            // Join every error diagnostic: a rejected config (especially on
+            // the hot-swap path) should surface all of its problems at
+            // once, and this avoids assuming the report is non-empty.
+            let msgs: Vec<String> = report.errors().map(ToString::to_string).collect();
+            return Err(Error::check(msgs.join("; ")));
         }
 
         let ids: Vec<_> = graph.element_ids().collect();
@@ -333,6 +381,7 @@ impl<S: Slot> Router<S> {
             batch_burst: crate::elements::device::BURST,
             batch_out: Some(BatchEmitter::new()),
             telem: RouterTelemetry::new(n),
+            shard,
         };
         router.wire_red_elements();
         Ok(router)
@@ -411,6 +460,97 @@ impl<S: Slot> Router<S> {
     /// the call stack (a configuration loop).
     pub fn reentrant_drops(&self) -> u64 {
         self.drops_reentrant
+    }
+
+    /// The router's aggregate drop gauge: every element's `drops`
+    /// statistic plus the engine's unconnected/reentrant drops. Monotonic
+    /// across a hot swap (matched elements carry their counters over and
+    /// the engine drops transfer), which is what makes it usable as the
+    /// canary-regression signal in
+    /// [`crate::parallel::ParallelRouter::hot_swap`].
+    pub fn total_drops(&self) -> u64 {
+        let elem: u64 = self
+            .slots
+            .iter()
+            .filter_map(|s| s.borrow().stat("drops"))
+            .sum();
+        elem + self.drops_unconnected + self.drops_reentrant
+    }
+
+    /// `(name, class)` of every element, in slot order — the table
+    /// [`TransferPlan::compute`] matches on.
+    fn name_class_table(&self) -> Vec<(String, String)> {
+        let mut t = vec![(String::new(), String::new()); self.slots.len()];
+        for (name, &i) in &self.names {
+            t[i] = (name.clone(), self.classes[i].clone());
+        }
+        t
+    }
+
+    /// Atomically replaces the running configuration with `new_graph`,
+    /// carrying state across: element counters and buffered packets move
+    /// to same-name, same-class successors ([`TransferPlan`]), device
+    /// RX/TX queues move by device name, engine drop gauges stay
+    /// monotonic, and (with the `telemetry` feature) per-element profiles
+    /// of matched elements merge into the new engine.
+    ///
+    /// The caller must have drained in-flight work first — for a serial
+    /// router that simply means calling this between transfers, since
+    /// nothing is in flight outside [`Router::run_until_idle`]. `Queue`
+    /// contents intentionally survive (they are the state being
+    /// preserved, not in-flight work).
+    ///
+    /// The swap is all-or-nothing: `new_graph` is validated by
+    /// [`click_core::check::check`] and its elements are constructed
+    /// *before* any state moves, so on error the old configuration keeps
+    /// running untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Check`] with every check diagnostic when `new_graph` is
+    /// invalid; element-construction errors otherwise. The old
+    /// configuration is unchanged in both cases.
+    pub fn hot_swap(&mut self, new_graph: &RouterGraph, library: &Library) -> Result<SwapReport> {
+        let mut next: Router<S> = Router::from_graph_in_shard(new_graph, library, self.shard)?;
+        next.set_batching(self.batching);
+        next.set_batch_burst(self.batch_burst);
+
+        let plan = TransferPlan::compute(&self.name_class_table(), &next.name_class_table());
+        let mut transferred = 0u64;
+        let mut dropped = 0u64;
+        for &(oi, ni) in &plan.matched {
+            if let Some(state) = self.slots[oi].borrow_mut().take_state() {
+                transferred += state.packets.len() as u64;
+                next.slots[ni].borrow_mut().restore_state(state);
+            }
+        }
+        for &oi in &plan.retired {
+            if let Some(state) = self.slots[oi].borrow_mut().take_state() {
+                dropped += state.packets.len() as u64;
+                state.recycle_packets();
+            }
+        }
+
+        let (moved, orphaned) = next.devices.adopt(&mut self.devices);
+        transferred += moved;
+        dropped += orphaned;
+
+        // Engine gauges stay monotonic across the swap.
+        next.drops_unconnected += self.drops_unconnected;
+        next.drops_reentrant += self.drops_reentrant;
+        next.telem.transfer_from(&self.telem, &plan.matched);
+
+        let report = SwapReport {
+            matched: plan.matched.len(),
+            fresh: plan.fresh.len(),
+            retired: plan.retired.len(),
+            packets_transferred: transferred,
+            packets_dropped: dropped,
+            swapped_shards: 1,
+            ..SwapReport::default()
+        };
+        *self = next;
+        Ok(report)
     }
 
     // ---- telemetry -------------------------------------------------------
@@ -628,7 +768,14 @@ impl<S: Slot> Router<S> {
                 return;
             }
         };
-        let (first, rest) = targets.split_first().expect("targets nonempty");
+        // The match above guarantees non-emptiness; degrade to the
+        // unconnected-drop path rather than panicking if that ever breaks.
+        let Some((first, rest)) = targets.split_first() else {
+            self.drops_unconnected += batch.len() as u64;
+            batch.recycle_packets();
+            out.recycle_storage(batch);
+            return;
+        };
         if rest.is_empty() {
             stack.push((first.0, first.1, batch));
             return;

@@ -1,0 +1,228 @@
+//! Live reconfiguration: element-state transfer between an old and a new
+//! router graph.
+//!
+//! The paper's optimizers rewrite *configurations*, but a production
+//! router cannot afford to restart — and lose every queued packet and
+//! counter — just to adopt an optimized graph. This module provides the
+//! pieces a hot swap needs:
+//!
+//! * [`ElementState`] — the portable state one element surrenders
+//!   ([`crate::element::Element::take_state`]) and its successor absorbs
+//!   ([`crate::element::Element::restore_state`]): named counters plus
+//!   buffered packets (queue contents, delay lines).
+//! * [`TransferPlan`] — which old element hands its state to which new
+//!   element. Matching is Click-style: by element *name*, provided the
+//!   (devirtualization-normalized) class agrees, so a `Counter` named
+//!   `c` carries its totals into the optimized graph's `Counter__DV3`
+//!   also named `c`.
+//! * [`SwapReport`] — what a completed swap did: how much state moved,
+//!   what was retired, and (for the sharded runtime) how the canary
+//!   rollout went.
+//!
+//! The swap itself lives on the engines:
+//! [`crate::router::Router::hot_swap`] performs the quiesced, atomic
+//! serial swap; [`crate::parallel::ParallelRouter::hot_swap`] rolls the
+//! new graph out shard by shard behind a canary with automatic rollback.
+
+use click_core::registry::devirt_base;
+use std::collections::HashMap;
+
+use crate::packet::Packet;
+
+/// Portable state extracted from one element for transfer into its
+/// successor across a hot swap.
+///
+/// The representation is deliberately schema-free — named counters plus
+/// a packet list — so elements evolve their state without touching the
+/// transfer machinery, and a mismatch degrades to "counter ignored"
+/// rather than an error.
+#[derive(Debug, Default)]
+pub struct ElementState {
+    /// Class name of the donor element (normalized by the *plan*, not
+    /// here: a devirtualized donor reports its mangled class).
+    pub class: String,
+    /// Named counters, e.g. `("drops", 3)`. Order is not significant.
+    pub counters: Vec<(String, u64)>,
+    /// Buffered packets in FIFO order (queue contents, delay lines).
+    pub packets: Vec<Packet>,
+}
+
+impl ElementState {
+    /// Creates empty state tagged with the donor's class name.
+    pub fn new(class: &str) -> ElementState {
+        ElementState {
+            class: class.to_owned(),
+            counters: Vec::new(),
+            packets: Vec::new(),
+        }
+    }
+
+    /// Adds a named counter (builder style).
+    #[must_use]
+    pub fn counter(mut self, name: &str, value: u64) -> ElementState {
+        self.counters.push((name.to_owned(), value));
+        self
+    }
+
+    /// Looks up a counter by name.
+    pub fn find(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a counter by name, defaulting to zero when absent.
+    pub fn get(&self, name: &str) -> u64 {
+        self.find(name).unwrap_or(0)
+    }
+
+    /// Recycles every buffered packet back into the thread-local pool
+    /// (the fate of state nobody adopts).
+    pub fn recycle_packets(self) {
+        for p in self.packets {
+            p.recycle();
+        }
+    }
+}
+
+/// The pairing of old-graph elements to new-graph elements computed
+/// before a hot swap.
+///
+/// Indices refer to the two `(name, class)` tables handed to
+/// [`TransferPlan::compute`] (element slot order in each engine).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TransferPlan {
+    /// `(old_index, new_index)` pairs whose state carries over.
+    pub matched: Vec<(usize, usize)>,
+    /// Old elements with no successor: their state is retired (packets
+    /// recycled and counted by the swap).
+    pub retired: Vec<usize>,
+    /// New elements with no predecessor: they start fresh.
+    pub fresh: Vec<usize>,
+}
+
+impl TransferPlan {
+    /// Computes the transfer plan between two `(name, class)` tables.
+    ///
+    /// An old element's state carries over iff the new graph declares an
+    /// element of the same name whose class — after stripping any
+    /// `click-devirtualize` mangling on either side — agrees. A same-name
+    /// element of a *different* class starts fresh (its predecessor's
+    /// state is retired), exactly like Click's install-time matching.
+    pub fn compute(old: &[(String, String)], new: &[(String, String)]) -> TransferPlan {
+        let base = |class: &str| -> String { devirt_base(class).unwrap_or(class).to_owned() };
+        let new_by_name: HashMap<&str, usize> = new
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (name.as_str(), i))
+            .collect();
+        let mut plan = TransferPlan::default();
+        let mut claimed = vec![false; new.len()];
+        for (oi, (name, class)) in old.iter().enumerate() {
+            match new_by_name.get(name.as_str()) {
+                Some(&ni) if base(class) == base(&new[ni].1) => {
+                    plan.matched.push((oi, ni));
+                    claimed[ni] = true;
+                }
+                _ => plan.retired.push(oi),
+            }
+        }
+        plan.fresh = (0..new.len()).filter(|&ni| !claimed[ni]).collect();
+        plan
+    }
+}
+
+/// What a hot swap did.
+///
+/// A serial [`crate::router::Router::hot_swap`] fills the state-transfer
+/// fields and reports one swapped shard; the sharded
+/// [`crate::parallel::ParallelRouter::hot_swap`] additionally reports the
+/// canary outcome.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Elements whose state carried over (matched by name + base class).
+    pub matched: usize,
+    /// New elements that started with fresh state.
+    pub fresh: usize,
+    /// Old elements retired with no successor.
+    pub retired: usize,
+    /// Packets moved into the new graph: element state (queue contents,
+    /// delay lines) plus device RX/TX queues carried by device name.
+    pub packets_transferred: u64,
+    /// Buffered packets with no home in the new graph — retired-element
+    /// state and queues of devices the new graph lacks. Recycled, and
+    /// part of the swap's bounded loss.
+    pub packets_dropped: u64,
+    /// Shards now running the configuration this swap installed.
+    pub swapped_shards: usize,
+    /// The shard that ran the new configuration first (sharded swaps).
+    pub canary_shard: Option<usize>,
+    /// Packets the canary processed during its judgment window.
+    pub canary_packets: u64,
+    /// Drop-gauge delta on the canary while it ran the new
+    /// configuration (through rollback, if one happened).
+    pub canary_drops: u64,
+    /// True when the canary's drop gauge regressed past the margin and
+    /// the shard was rolled back to the retained old graph.
+    pub rolled_back: bool,
+}
+
+impl SwapReport {
+    /// Folds one shard's serial swap into this rollout-level report
+    /// (packet accounting sums; element matching is per-shard identical,
+    /// so those fields keep the canary's values).
+    pub fn absorb(&mut self, shard: &SwapReport) {
+        self.packets_transferred += shard.packets_transferred;
+        self.packets_dropped += shard.packets_dropped;
+        self.swapped_shards += shard.swapped_shards;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: &[(&str, &str)]) -> Vec<(String, String)> {
+        rows.iter()
+            .map(|&(n, c)| (n.to_owned(), c.to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn plan_matches_by_name_and_class() {
+        let old = table(&[("c", "Counter"), ("q", "Queue"), ("d", "Discard")]);
+        let new = table(&[("q", "Queue"), ("c", "Counter"), ("t", "Tee")]);
+        let plan = TransferPlan::compute(&old, &new);
+        assert_eq!(plan.matched, vec![(0, 1), (1, 0)]);
+        assert_eq!(plan.retired, vec![2]);
+        assert_eq!(plan.fresh, vec![2]);
+    }
+
+    #[test]
+    fn plan_normalizes_devirtualized_classes() {
+        let old = table(&[("c", "Counter")]);
+        let new = table(&[("c", "Counter__DV3")]);
+        let plan = TransferPlan::compute(&old, &new);
+        assert_eq!(plan.matched, vec![(0, 0)]);
+        assert!(plan.retired.is_empty() && plan.fresh.is_empty());
+    }
+
+    #[test]
+    fn plan_retires_same_name_different_class() {
+        let old = table(&[("x", "Counter")]);
+        let new = table(&[("x", "Queue")]);
+        let plan = TransferPlan::compute(&old, &new);
+        assert!(plan.matched.is_empty());
+        assert_eq!(plan.retired, vec![0]);
+        assert_eq!(plan.fresh, vec![0]);
+    }
+
+    #[test]
+    fn state_counters_round_trip() {
+        let s = ElementState::new("Queue").counter("drops", 7);
+        assert_eq!(s.get("drops"), 7);
+        assert_eq!(s.find("missing"), None);
+        assert_eq!(s.get("missing"), 0);
+    }
+}

@@ -196,6 +196,27 @@ pub struct FaultGauges {
     pub shards: usize,
 }
 
+/// Live-reconfiguration gauges of a hot-swapping router: how many swaps
+/// completed, how canaries fared, and how much state moved. Like
+/// [`FaultGauges`] these are **always live** — hot swaps are rare
+/// control-plane events maintained off the per-packet fast path, so the
+/// bookkeeping is not gated behind the `telemetry` feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapGauges {
+    /// Completed rollouts: every live shard now runs the new graph.
+    pub swaps: u64,
+    /// Canary shards rolled back to the retained old graph.
+    pub rollbacks: u64,
+    /// Canary windows whose drop gauge regressed past the margin.
+    pub canary_failures: u64,
+    /// Packets carried across swaps (element state plus device queues),
+    /// including state moved back by rollbacks.
+    pub packets_transferred: u64,
+    /// Configurations rejected by `click_core::check::check` before any
+    /// shard saw them.
+    pub rejected_configs: u64,
+}
+
 /// Log2 bucket index for a self-time sample: the number of significant
 /// bits, clamped to the histogram width.
 #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
@@ -318,6 +339,37 @@ mod imp {
                 *r = Record::default();
             }
         }
+
+        /// Folds a predecessor engine's counters into this one across a
+        /// hot swap: `map` pairs `(old_index, new_index)` of elements
+        /// matched by the transfer plan, and each matched record's
+        /// counters and histogram sum into the successor (recent-sample
+        /// rings restart — they describe the retired engine).
+        pub fn transfer_from(&mut self, old: &RouterTelemetry, map: &[(usize, usize)]) {
+            for &(oi, ni) in map {
+                if oi >= old.records.len() || ni >= self.records.len() {
+                    continue;
+                }
+                let o = &old.records[oi];
+                let n = &mut self.records[ni];
+                n.calls += o.calls;
+                n.packets += o.packets;
+                n.bytes += o.bytes;
+                n.self_ns += o.self_ns;
+                if n.out_ports.len() < o.out_ports.len() {
+                    n.out_ports.resize(o.out_ports.len(), 0);
+                }
+                for (d, s) in n.out_ports.iter_mut().zip(&o.out_ports) {
+                    *d += s;
+                }
+                if n.lat_buckets.len() < o.lat_buckets.len() {
+                    n.lat_buckets.resize(o.lat_buckets.len(), 0);
+                }
+                for (d, s) in n.lat_buckets.iter_mut().zip(&o.lat_buckets) {
+                    *d += s;
+                }
+            }
+        }
     }
 
     /// Live shard gauges for one parallel worker (feature-on build).
@@ -392,6 +444,9 @@ mod imp {
         /// No-op.
         #[inline(always)]
         pub fn reset(&mut self) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn transfer_from(&mut self, _old: &RouterTelemetry, _map: &[(usize, usize)]) {}
     }
 
     /// No-op gauge tracker (feature off).

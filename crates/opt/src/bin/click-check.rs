@@ -1,35 +1,142 @@
 //! `click-check`: validate a configuration (paper §7).
 //!
-//! Usage: `click-check < router.click`; exits nonzero on errors.
+//! Usage:
+//!
+//! ```text
+//! click-check [--Werror] [-e EXPR] [CONFIG.click ...]
+//! ```
+//!
+//! Inputs are checked in order: every `-e EXPR` argument is a
+//! configuration given inline (Click's `click -e`), every positional
+//! argument is a file, and with neither the configuration is read from
+//! stdin (the classic pipe position: `click-xform < r.click |
+//! click-check`). Each input is parsed and run through
+//! `click_core::check::check`; diagnostics go to stderr prefixed with
+//! the input's name.
+//!
+//! `--Werror` promotes warnings to errors, so a configuration that
+//! checks clean but carries warnings fails the run (for CI gates).
+//!
+//! Exit codes distinguish the failure layer, highest across all inputs:
+//!
+//! * `0` — every input parsed and checked clean.
+//! * `1` — at least one input failed the semantic check (or warned,
+//!   under `--Werror`).
+//! * `2` — at least one input failed to lex/parse at all.
+//! * `3` — usage or I/O error (unreadable file, bad flag).
 
+use click_core::check::{check, Severity};
+use click_core::registry::Library;
 use std::io::Read as _;
 
-fn main() {
-    let mut text = String::new();
-    if let Err(e) = std::io::stdin().read_to_string(&mut text) {
-        eprintln!("click-check: reading stdin: {e}");
-        std::process::exit(1);
-    }
-    match click_core::lang::read_config(&text) {
-        Ok(graph) => {
-            let lib = click_core::registry::Library::standard();
-            let report = click_core::check::check(&graph, &lib);
-            for d in &report.diagnostics {
-                eprintln!("click-check: {d}");
-            }
-            if report.is_ok() {
-                println!(
-                    "configuration OK: {} element(s), {} connection(s)",
-                    graph.element_count(),
-                    graph.connections().len()
-                );
-            } else {
-                std::process::exit(1);
-            }
-        }
+const EXIT_OK: i32 = 0;
+const EXIT_CHECK: i32 = 1;
+const EXIT_PARSE: i32 = 2;
+const EXIT_USAGE: i32 = 3;
+
+fn usage() -> ! {
+    eprintln!("usage: click-check [--Werror] [-e EXPR] [CONFIG.click ...]");
+    std::process::exit(EXIT_USAGE);
+}
+
+/// One input to validate: a display name and the configuration text.
+struct Input {
+    name: String,
+    text: String,
+}
+
+/// Checks one configuration, printing diagnostics; returns its exit
+/// code (`EXIT_OK`, `EXIT_CHECK`, or `EXIT_PARSE`).
+fn check_one(input: &Input, lib: &Library, werror: bool) -> i32 {
+    let graph = match click_core::lang::read_config(&input.text) {
+        Ok(g) => g,
         Err(e) => {
-            eprintln!("click-check: {e}");
-            std::process::exit(1);
+            eprintln!("click-check: {}: {e}", input.name);
+            return EXIT_PARSE;
         }
+    };
+    let report = check(&graph, lib);
+    let mut warned = false;
+    for d in &report.diagnostics {
+        if d.severity == Severity::Warning {
+            warned = true;
+        }
+        eprintln!("click-check: {}: {d}", input.name);
     }
+    if !report.is_ok() || (werror && warned) {
+        if report.is_ok() {
+            eprintln!(
+                "click-check: {}: warnings treated as errors (--Werror)",
+                input.name
+            );
+        }
+        return EXIT_CHECK;
+    }
+    println!(
+        "{}: configuration OK: {} element(s), {} connection(s)",
+        input.name,
+        graph.element_count(),
+        graph.connections().len()
+    );
+    EXIT_OK
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut werror = false;
+    let mut inputs: Vec<Input> = Vec::new();
+    let mut exprs = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--Werror" => werror = true,
+            "--help" | "-h" => usage(),
+            "-e" | "--expression" => {
+                let Some(expr) = args.get(i + 1) else {
+                    eprintln!("click-check: {} needs an expression argument", args[i]);
+                    usage();
+                };
+                exprs += 1;
+                inputs.push(Input {
+                    name: format!("<expr {exprs}>"),
+                    text: expr.clone(),
+                });
+                i += 1;
+            }
+            flag if flag.starts_with('-') && flag != "-" => {
+                eprintln!("click-check: unknown flag {flag}");
+                usage();
+            }
+            path => {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("click-check: reading {path}: {e}");
+                    std::process::exit(EXIT_USAGE);
+                });
+                inputs.push(Input {
+                    name: path.to_owned(),
+                    text,
+                });
+            }
+        }
+        i += 1;
+    }
+    if inputs.is_empty() {
+        let mut text = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut text) {
+            eprintln!("click-check: reading stdin: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
+        inputs.push(Input {
+            name: "<stdin>".to_owned(),
+            text,
+        });
+    }
+
+    let lib = Library::standard();
+    let code = inputs
+        .iter()
+        .map(|input| check_one(input, &lib, werror))
+        .max()
+        .unwrap_or(EXIT_OK);
+    std::process::exit(code);
 }

@@ -6,7 +6,7 @@
 //! ```text
 //! click-report [--ifaces N] [--shards K] [--packets P] [--batched BURST]
 //!              [--source LABEL] [--out FILE] [--emit-config] [--faults]
-//!              [CONFIG.click]
+//!              [--swap NEW.click] [CONFIG.click]
 //! ```
 //!
 //! Without a positional configuration file the tool profiles the paper's
@@ -27,6 +27,17 @@
 //! `click-profile` consumers can see the run's fault history. The gauges
 //! are always live (not feature-gated): a configuration carrying a
 //! `FaultInject(PANIC …)` element profiles its own chaos run.
+//!
+//! `--swap NEW.click` exercises live reconfiguration: the first half of
+//! the trace runs under the starting configuration, the router is
+//! hot-swapped to `NEW.click` (validated, state-transferring, canary +
+//! rollback on the sharded runtime — see
+//! [`click_elements::parallel::ParallelRouter::hot_swap`]), and the
+//! second half runs under whichever configuration survived. The
+//! resulting [`click_elements::telemetry::SwapGauges`] are exported in
+//! the profile's `"swap"` section and summarized on stderr. A `NEW.click`
+//! that fails `click-check` is rejected; the run continues (and the
+//! profile records it) under the old configuration.
 //!
 //! `--emit-config` prints the generated IP-router configuration to
 //! stdout instead of profiling, so the profile-guided pipeline is
@@ -49,7 +60,7 @@ use click_elements::ip_router::{test_packet_flow, IpRouterSpec};
 use click_elements::packet::Packet;
 use click_elements::parallel::{ParallelOpts, ParallelRouter};
 use click_elements::router::{Router, Slot};
-use click_elements::telemetry::{self, ElementProfile, FaultGauges, ShardGauges};
+use click_elements::telemetry::{self, ElementProfile, FaultGauges, ShardGauges, SwapGauges};
 use click_opt::profile::Profile;
 use click_opt::tool::parse_args;
 
@@ -61,7 +72,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: click-report [--ifaces N] [--shards K] [--packets P] \
          [--batched BURST] [--source LABEL] [--out FILE] [--emit-config] \
-         [--faults] [CONFIG.click]"
+         [--faults] [--swap NEW.click] [CONFIG.click]"
     );
     std::process::exit(2);
 }
@@ -99,20 +110,49 @@ fn generic_frames(devices: &[String], packets: usize) -> Vec<Frame> {
 
 fn run_serial<S: Slot>(
     graph: &RouterGraph,
+    swap_to: Option<&RouterGraph>,
     frames: &[Frame],
     batched: usize,
-) -> Result<(Vec<ElementProfile>, u64)> {
+) -> Result<(Vec<ElementProfile>, Option<SwapGauges>, u64)> {
     let mut router: Router<S> = Router::from_graph(graph, &Library::standard())?;
     if batched > 0 {
         router.set_batching(true);
         router.set_batch_burst(batched);
     }
-    for (dev, p) in frames {
+    // With --swap, the first half of the trace runs on the old
+    // configuration and the second half on the new one.
+    let split = if swap_to.is_some() {
+        frames.len() / 2
+    } else {
+        frames.len()
+    };
+    for (dev, p) in &frames[..split] {
         if let Some(id) = router.devices.id(dev) {
             router.devices.inject(id, p.clone());
         }
     }
     router.run_until_idle(1_000_000);
+    let mut swap_gauges = None;
+    if let Some(new_graph) = swap_to {
+        let mut g = SwapGauges::default();
+        match router.hot_swap(new_graph, &Library::standard()) {
+            Ok(rep) => {
+                g.swaps = 1;
+                g.packets_transferred = rep.packets_transferred;
+            }
+            Err(e) => {
+                g.rejected_configs = 1;
+                eprintln!("click-report: hot swap rejected: {e}");
+            }
+        }
+        swap_gauges = Some(g);
+        for (dev, p) in &frames[split..] {
+            if let Some(id) = router.devices.id(dev) {
+                router.devices.inject(id, p.clone());
+            }
+        }
+        router.run_until_idle(1_000_000);
+    }
     let names: Vec<String> = router
         .devices
         .names()
@@ -124,26 +164,55 @@ fn run_serial<S: Slot>(
         let id = router.devices.id(name).expect("known device");
         tx += router.devices.recycle_tx(id) as u64;
     }
-    Ok((router.telemetry_profiles(), tx))
+    Ok((router.telemetry_profiles(), swap_gauges, tx))
 }
+
+type ShardedRun = (
+    Vec<ElementProfile>,
+    Vec<ShardGauges>,
+    FaultGauges,
+    Option<SwapGauges>,
+    u64,
+);
 
 fn run_sharded<S: Slot + 'static>(
     graph: &RouterGraph,
+    swap_to: Option<&RouterGraph>,
     frames: &[Frame],
     shards: usize,
     batched: usize,
-) -> Result<(Vec<ElementProfile>, Vec<ShardGauges>, FaultGauges, u64)> {
+) -> Result<ShardedRun> {
     let mut opts = ParallelOpts::new(shards);
     if batched > 0 {
         opts = opts.batched(batched);
     }
     let mut router = ParallelRouter::from_graph::<S>(graph, opts)?;
-    for (dev, p) in frames {
+    let split = if swap_to.is_some() {
+        frames.len() / 2
+    } else {
+        frames.len()
+    };
+    for (dev, p) in &frames[..split] {
         if let Some(id) = router.device_id(dev) {
             router.inject(id, p.clone());
         }
     }
     router.run_until_idle();
+    let mut swap_gauges = None;
+    if let Some(new_graph) = swap_to {
+        // Buffer the second half first: it becomes the canary-window
+        // traffic the rollout judges the new configuration against.
+        for (dev, p) in &frames[split..] {
+            if let Some(id) = router.device_id(dev) {
+                router.inject(id, p.clone());
+            }
+        }
+        if let Err(e) = router.hot_swap(new_graph) {
+            eprintln!("click-report: hot swap rejected: {e}");
+        }
+        swap_gauges = Some(router.swap_gauges());
+        router.run_until_idle();
+    }
     let names: Vec<String> = router.device_names().to_vec();
     let mut tx = 0u64;
     for name in &names {
@@ -154,14 +223,16 @@ fn run_sharded<S: Slot + 'static>(
     let gauges = router.shard_gauges();
     let faults = router.fault_gauges();
     router.shutdown();
-    Ok((profiles, gauges, faults, tx))
+    Ok((profiles, gauges, faults, swap_gauges, tx))
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (flags, positional) = parse_args(
         &args,
-        &["ifaces", "shards", "packets", "batched", "source", "out"],
+        &[
+            "ifaces", "shards", "packets", "batched", "source", "out", "swap",
+        ],
     );
     let mut ifaces = 4usize;
     let mut shards = 1usize;
@@ -169,6 +240,7 @@ fn main() {
     let mut batched = 0usize;
     let mut source: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut swap_path: Option<String> = None;
     let mut emit_config = false;
     let mut faults_flag = false;
     for (flag, value) in &flags {
@@ -185,6 +257,7 @@ fn main() {
             "batched" => batched = num(),
             "source" => source = value.clone(),
             "out" => out = value.clone(),
+            "swap" => swap_path = value.clone(),
             "emit-config" => emit_config = true,
             "faults" => faults_flag = true,
             "help" => usage(),
@@ -248,29 +321,46 @@ fn main() {
         }
     };
 
-    let devirt = graph.has_requirement("devirtualize");
-    let (elements, gauges, fault_gauges, tx) = if shards > 1 {
+    let swap_graph: Option<RouterGraph> = swap_path.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("click-report: reading {path}: {e}");
+            std::process::exit(1);
+        });
+        read_config(&text).unwrap_or_else(|e| {
+            eprintln!("click-report: parsing {path}: {e}");
+            std::process::exit(1);
+        })
+    });
+
+    // Engine selection must cover both sides of a swap: a devirtualized
+    // graph on either end runs the whole drill on the compiled engine.
+    let devirt = graph.has_requirement("devirtualize")
+        || swap_graph
+            .as_ref()
+            .is_some_and(|g| g.has_requirement("devirtualize"));
+    let swap_to = swap_graph.as_ref();
+    let (elements, gauges, fault_gauges, swap_gauges, tx) = if shards > 1 {
         let r = if devirt {
-            run_sharded::<FastElement>(&graph, &frames, shards, batched)
+            run_sharded::<FastElement>(&graph, swap_to, &frames, shards, batched)
         } else {
-            run_sharded::<Box<dyn Element>>(&graph, &frames, shards, batched)
+            run_sharded::<Box<dyn Element>>(&graph, swap_to, &frames, shards, batched)
         };
-        let (elements, gauges, faults, tx) = r.unwrap_or_else(|e| {
+        let (elements, gauges, faults, swap, tx) = r.unwrap_or_else(|e| {
             eprintln!("click-report: {e}");
             std::process::exit(1);
         });
-        (elements, gauges, Some(faults), tx)
+        (elements, gauges, Some(faults), swap, tx)
     } else {
         let r = if devirt {
-            run_serial::<FastElement>(&graph, &frames, batched)
+            run_serial::<FastElement>(&graph, swap_to, &frames, batched)
         } else {
-            run_serial::<Box<dyn Element>>(&graph, &frames, batched)
+            run_serial::<Box<dyn Element>>(&graph, swap_to, &frames, batched)
         };
-        let (elements, tx) = r.unwrap_or_else(|e| {
+        let (elements, swap, tx) = r.unwrap_or_else(|e| {
             eprintln!("click-report: {e}");
             std::process::exit(1);
         });
-        (elements, Vec::new(), None, tx)
+        (elements, Vec::new(), None, swap, tx)
     };
     if faults_flag && fault_gauges.is_none() {
         eprintln!(
@@ -286,6 +376,7 @@ fn main() {
         elements,
         gauges,
         faults: if faults_flag { fault_gauges } else { None },
+        swap: swap_gauges,
     };
     let json = profile.to_json();
     match &out {
@@ -304,6 +395,13 @@ fn main() {
             "click-report: faults: {} death(s), {} restart(s), {} degraded, \
              {} lost, {}/{} shards live",
             f.shard_deaths, f.restarts, f.degraded_entries, f.lost_packets, f.live_shards, f.shards
+        );
+    }
+    if let Some(w) = profile.swap {
+        eprintln!(
+            "click-report: swap: {} swap(s), {} rollback(s), {} canary failure(s), \
+             {} packet(s) transferred",
+            w.swaps, w.rollbacks, w.canary_failures, w.packets_transferred
         );
     }
 

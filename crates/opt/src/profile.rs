@@ -33,7 +33,7 @@ use click_classifier::{Check, Cond};
 use click_core::config::split_args;
 use click_core::error::{Error, Result};
 use click_core::graph::{PortRef, RouterGraph};
-use click_elements::telemetry::{ElementProfile, FaultGauges, ShardGauges};
+use click_elements::telemetry::{ElementProfile, FaultGauges, ShardGauges, SwapGauges};
 
 /// A runtime profile: one record per element instance, merged across
 /// shards, plus per-shard runtime gauges. Produced by `click-report`,
@@ -55,6 +55,10 @@ pub struct Profile {
     /// in-flight loss), exported when `click-report` runs with
     /// `--faults`; `None` for serial runs or older profiles.
     pub faults: Option<FaultGauges>,
+    /// Live-reconfiguration gauges (swaps, rollbacks, canary failures),
+    /// exported when `click-report` runs with `--swap`; `None` when no
+    /// hot swap was exercised or for older profiles.
+    pub swap: Option<SwapGauges>,
 }
 
 impl Profile {
@@ -128,6 +132,14 @@ impl Profile {
                 f.shards
             ));
         }
+        if let Some(w) = self.swap {
+            s.push_str(&format!(
+                ",\n  \"swap\": {{\"swaps\": {}, \"rollbacks\": {}, \
+                 \"canary_failures\": {}, \"packets_transferred\": {}, \
+                 \"rejected_configs\": {}}}",
+                w.swaps, w.rollbacks, w.canary_failures, w.packets_transferred, w.rejected_configs
+            ));
+        }
         s.push_str("\n}\n");
         s
     }
@@ -147,6 +159,7 @@ impl Profile {
             elements: Vec::new(),
             gauges: Vec::new(),
             faults: None,
+            swap: None,
         };
         if let Some(Json::Arr(items)) = v.get("elements") {
             for item in items {
@@ -198,6 +211,16 @@ impl Profile {
                 no_live_shard_drops: g("no_live_shard_drops"),
                 live_shards: g("live_shards") as usize,
                 shards: g("shards") as usize,
+            });
+        }
+        if let Some(w) = v.get("swap") {
+            let g = |k: &str| w.get(k).and_then(Json::as_u64).unwrap_or(0);
+            p.swap = Some(SwapGauges {
+                swaps: g("swaps"),
+                rollbacks: g("rollbacks"),
+                canary_failures: g("canary_failures"),
+                packets_transferred: g("packets_transferred"),
+                rejected_configs: g("rejected_configs"),
             });
         }
         Ok(p)
@@ -694,6 +717,7 @@ mod tests {
             elements: vec![e],
             gauges: Vec::new(),
             faults: None,
+            swap: None,
         }
     }
 
@@ -720,6 +744,7 @@ mod tests {
                 backoff_snoozes: 9,
             }],
             faults: None,
+            swap: None,
         };
         let back = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
@@ -743,12 +768,37 @@ mod tests {
                 live_shards: 3,
                 shards: 4,
             }),
+            swap: None,
         };
         let back = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
         // Profiles without the section stay `None` (older exports load).
         let old = Profile::from_json("{\"elements\": []}").unwrap();
         assert_eq!(old.faults, None);
+    }
+
+    #[test]
+    fn swap_gauges_round_trip() {
+        let p = Profile {
+            source: "swap-drill".into(),
+            shards: 4,
+            telemetry: true,
+            elements: Vec::new(),
+            gauges: Vec::new(),
+            faults: None,
+            swap: Some(SwapGauges {
+                swaps: 1,
+                rollbacks: 1,
+                canary_failures: 1,
+                packets_transferred: 321,
+                rejected_configs: 2,
+            }),
+        };
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        // Profiles without the section stay `None` (older exports load).
+        let old = Profile::from_json("{\"elements\": []}").unwrap();
+        assert_eq!(old.swap, None);
     }
 
     #[test]

@@ -1,0 +1,361 @@
+//! Live-reconfiguration drill: hot-swapping a running router to a
+//! `click-profile`-optimized configuration, rejecting configurations
+//! that fail `click-check`, and rolling back a canary whose drop gauge
+//! regresses. Exercises the full stack — serial [`Router::hot_swap`],
+//! sharded [`ParallelRouter::hot_swap`] with canary + rollback, the
+//! always-live [`SwapGauges`], and the JSON profile round-trip.
+
+use click_core::graph::RouterGraph;
+use click_core::lang::read_config;
+use click_core::registry::Library;
+use click_elements::element::Element;
+use click_elements::fast::FastElement;
+use click_elements::headers::build_udp_packet;
+use click_elements::ip_router::{test_packet_flow, IpRouterSpec};
+use click_elements::packet::Packet;
+use click_elements::parallel::{ParallelOpts, ParallelRouter, SwapOpts};
+use click_elements::router::{DynRouter, Router};
+use click_elements::steer::flow_key;
+use click_elements::telemetry::ElementProfile;
+use click_opt::profile::{apply_profile, Profile};
+
+// ---- workloads -----------------------------------------------------------
+
+/// A UDP packet with a sequence marker in its last payload byte.
+fn udp(sport: u16, seq: u8) -> Packet {
+    let mut p = build_udp_packet([1; 6], [2; 6], 0x0A00_0002, 0x0A00_0102, sport, 9, 18, 64);
+    let n = p.len();
+    p.data_mut()[n - 1] = seq;
+    p
+}
+
+/// A forwarded IP-router packet (src interface's neighbor to dst's) with
+/// a sequence marker.
+fn router_udp(spec: &IpRouterSpec, src: usize, dst: usize, sport: u16, seq: u8) -> Packet {
+    let mut p = test_packet_flow(spec, src, dst, sport, 7000);
+    let n = p.len();
+    p.data_mut()[n - 1] = seq;
+    p
+}
+
+/// Asserts each flow's sequence markers appear in increasing order.
+fn assert_per_flow_order(tx: &[Packet], flows: std::ops::Range<u16>) {
+    for flow in flows {
+        let seqs: Vec<u8> = tx
+            .iter()
+            .filter(|p| flow_key(p.data()).map(|k| k.3) == Some(flow))
+            .map(|p| p.data()[p.len() - 1])
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted, "flow {flow} reordered: {seqs:?}");
+    }
+}
+
+const SERIAL_GRAPH: &str = "FromDevice(in0) -> c :: Counter -> q :: Queue(4096) -> ToDevice(out0);";
+
+/// The swapped-in serial configuration: same pipeline plus a second,
+/// fresh counter on the pull side (so the swap mixes matched, fresh, and
+/// device adoption).
+const SERIAL_GRAPH_V2: &str =
+    "FromDevice(in0) -> c :: Counter -> q :: Queue(2048) -> c2 :: Counter -> ToDevice(out0);";
+
+/// The `click-profile`-optimized Figure-1 configuration: every
+/// per-interface classifier's hot IP branch hoisted first, with a
+/// handcrafted profile so the test is identical with and without the
+/// `telemetry` feature.
+fn optimized_figure1(spec: &IpRouterSpec, graph: &RouterGraph) -> RouterGraph {
+    let n = spec.interfaces.len();
+    let elements = (0..n)
+        .map(|i| {
+            let mut e = ElementProfile::new(&format!("c{i}"), "Classifier");
+            // ARP trickle on ports 0/1, the IP torrent on port 2, and a
+            // cold catch-all: the profile pass hoists port 2 first.
+            e.out_ports = vec![1, 1, 60, 0];
+            e.packets = e.out_ports.iter().sum();
+            e
+        })
+        .collect();
+    let profile = Profile {
+        source: "hot-swap-drill".into(),
+        shards: 1,
+        telemetry: true,
+        elements,
+        gauges: Vec::new(),
+        faults: None,
+        swap: None,
+    };
+    let mut optimized = graph.clone();
+    let report = apply_profile(&mut optimized, &profile).expect("profile applies");
+    assert_eq!(report.reordered.len(), n, "every classifier reorders");
+    for r in &report.reordered {
+        assert_eq!(r.order, vec![2, 0, 1, 3], "{}", r.element);
+    }
+    optimized
+}
+
+// ---- (a) state transfer --------------------------------------------------
+
+#[test]
+fn quiesced_serial_swap_loses_nothing() {
+    let old = read_config(SERIAL_GRAPH).unwrap();
+    let new = read_config(SERIAL_GRAPH_V2).unwrap();
+    let mut r: DynRouter = Router::from_graph(&old, &Library::standard()).unwrap();
+
+    // Push 50 packets through the push side only: the Counter sees them
+    // and the Queue holds them (nothing runs the pull side yet).
+    let c = r.find("c").unwrap();
+    for i in 0..50u8 {
+        r.push_to(c, 0, udp(5000 + u16::from(i % 4), i));
+    }
+    assert_eq!(r.stat("c", "count"), Some(50));
+    assert_eq!(r.stat("q", "length"), Some(50));
+
+    let rep = r.hot_swap(&new, &Library::standard()).unwrap();
+    assert!(!rep.rolled_back);
+    assert_eq!(rep.packets_transferred, 50, "queue contents carry over");
+    assert_eq!(rep.packets_dropped, 0, "a quiesced swap loses zero packets");
+    assert!(rep.matched >= 2, "c and q match by name + class");
+    assert!(rep.fresh >= 1, "c2 is new");
+
+    // Counter totals and Queue contents survived the swap.
+    assert_eq!(r.stat("c", "count"), Some(50));
+    assert_eq!(r.stat("q", "length"), Some(50));
+
+    // Draining the new pipeline forwards every held packet — zero loss.
+    r.run_until_idle(100_000);
+    let out0 = r.devices.id("out0").unwrap();
+    assert_eq!(r.devices.tx_len(out0), 50);
+    assert_eq!(
+        r.stat("c2", "count"),
+        Some(50),
+        "fresh counter sees the drain"
+    );
+    assert_eq!(r.total_drops(), 0);
+}
+
+#[test]
+fn sharded_swap_to_profiled_figure1_preserves_order_and_accounting() {
+    let spec = IpRouterSpec::standard(4);
+    let graph = read_config(&spec.config()).unwrap();
+    let optimized = optimized_figure1(&spec, &graph);
+
+    let mut r =
+        ParallelRouter::from_graph::<Box<dyn Element>>(&graph, ParallelOpts::new(4).batched(8))
+            .unwrap();
+    let eth0 = r.device_id("eth0").unwrap();
+    let eth1 = r.device_id("eth1").unwrap();
+
+    // Wave 1 under the original configuration: 16 flows × 8 packets.
+    let mut injected = 0u64;
+    for seq in 0..8u8 {
+        for flow in 0..16u16 {
+            let src = usize::from(flow % 2);
+            let dev = if src == 0 { eth0 } else { eth1 };
+            r.inject(dev, router_udp(&spec, src, src + 2, 2000 + flow, seq));
+            injected += 1;
+        }
+    }
+    r.run_until_idle();
+
+    // Wave 2 buffered before the swap: it becomes the canary-window
+    // traffic and drains through whichever configuration each shard runs.
+    for seq in 8..16u8 {
+        for flow in 0..16u16 {
+            let src = usize::from(flow % 2);
+            let dev = if src == 0 { eth0 } else { eth1 };
+            r.inject(dev, router_udp(&spec, src, src + 2, 2000 + flow, seq));
+            injected += 1;
+        }
+    }
+
+    let rep = r.hot_swap(&optimized).unwrap();
+    assert!(!rep.rolled_back, "identical semantics must not regress");
+    assert_eq!(rep.canary_shard, Some(0));
+    assert_eq!(rep.swapped_shards, 4, "canary + the three survivors");
+    r.run_until_idle();
+
+    // Exact accounting: everything injected is transmitted; the swap
+    // itself lost nothing (in-flight bound is zero without faults).
+    let eth2 = r.device_id("eth2").unwrap();
+    let eth3 = r.device_id("eth3").unwrap();
+    let mut tx = r.take_tx(eth2);
+    tx.extend(r.take_tx(eth3));
+    let faults = r.fault_gauges();
+    assert_eq!(
+        tx.len() as u64 + faults.lost_packets,
+        injected,
+        "injected == tx + lost"
+    );
+    assert_eq!(faults.lost_packets, 0);
+    assert_per_flow_order(&tx, 2000..2016);
+
+    let gauges = r.swap_gauges();
+    assert_eq!(gauges.swaps, 1);
+    assert_eq!(gauges.rollbacks, 0);
+    assert_eq!(gauges.canary_failures, 0);
+    assert_eq!(gauges.packets_transferred, rep.packets_transferred);
+    r.shutdown();
+}
+
+// ---- (b) validation gate -------------------------------------------------
+
+const BAD_GRAPH: &str = "FromDevice(in0) -> ToDevice(out0);";
+
+#[test]
+fn serial_swap_rejects_invalid_config_on_both_engines() {
+    let old = read_config(SERIAL_GRAPH).unwrap();
+    let bad = read_config(BAD_GRAPH).unwrap();
+
+    // Dynamic engine.
+    let mut dy: DynRouter = Router::from_graph(&old, &Library::standard()).unwrap();
+    let err = dy.hot_swap(&bad, &Library::standard()).unwrap_err();
+    assert!(
+        err.to_string().contains("push/pull conflict"),
+        "diagnostics surface: {err}"
+    );
+    // The old configuration is untouched and still forwards.
+    let in0 = dy.devices.id("in0").unwrap();
+    let out0 = dy.devices.id("out0").unwrap();
+    for i in 0..10u8 {
+        dy.devices.inject(in0, udp(6000, i));
+    }
+    dy.run_until_idle(100_000);
+    assert_eq!(dy.devices.tx_len(out0), 10);
+    assert_eq!(dy.stat("c", "count"), Some(10));
+
+    // Compiled engine.
+    let mut fast: Router<FastElement> = Router::from_graph(&old, &Library::standard()).unwrap();
+    let err = fast.hot_swap(&bad, &Library::standard()).unwrap_err();
+    assert!(err.to_string().contains("push/pull conflict"), "{err}");
+    let in0 = fast.devices.id("in0").unwrap();
+    let out0 = fast.devices.id("out0").unwrap();
+    for i in 0..10u8 {
+        fast.devices.inject(in0, udp(6100, i));
+    }
+    fast.run_until_idle(100_000);
+    assert_eq!(fast.devices.tx_len(out0), 10);
+}
+
+#[test]
+fn sharded_swap_rejects_invalid_config_and_keeps_forwarding() {
+    let old = read_config(SERIAL_GRAPH).unwrap();
+    let bad = read_config(BAD_GRAPH).unwrap();
+    let mut r =
+        ParallelRouter::from_graph::<Box<dyn Element>>(&old, ParallelOpts::new(4).batched(8))
+            .unwrap();
+    let in0 = r.device_id("in0").unwrap();
+    let out0 = r.device_id("out0").unwrap();
+
+    let err = r.hot_swap(&bad).unwrap_err();
+    assert!(err.to_string().contains("push/pull conflict"), "{err}");
+    assert_eq!(r.swap_gauges().rejected_configs, 1);
+    assert_eq!(r.swap_gauges().swaps, 0);
+
+    // No worker ever saw the bad graph; the fleet keeps forwarding.
+    for seq in 0..8u8 {
+        for flow in 0..8u16 {
+            r.inject(in0, udp(7000 + flow, seq));
+        }
+    }
+    assert_eq!(r.run_until_idle(), 64);
+    assert_eq!(r.tx_len(out0), 64);
+    assert_eq!(r.stat("c", "count"), Some(64));
+    r.shutdown();
+}
+
+// ---- (c) canary rollback -------------------------------------------------
+
+#[test]
+fn regressing_canary_rolls_back_with_exact_accounting() {
+    let old = read_config(SERIAL_GRAPH).unwrap();
+    // The candidate checks clean but drops every packet: the canary's
+    // drop gauge regresses against the surviving shards and the rollout
+    // must abort.
+    let faulty = read_config(
+        "FromDevice(in0) -> FaultInject(DROP 1, SEED 3) -> c :: Counter \
+         -> q :: Queue(8192) -> ToDevice(out0);",
+    )
+    .unwrap();
+
+    let mut r =
+        ParallelRouter::from_graph::<Box<dyn Element>>(&old, ParallelOpts::new(4).batched(8))
+            .unwrap();
+    let in0 = r.device_id("in0").unwrap();
+    let out0 = r.device_id("out0").unwrap();
+
+    // Wave 1: warm every shard under the old configuration.
+    let mut injected = 0u64;
+    for seq in 0..8u8 {
+        for flow in 0..16u16 {
+            r.inject(in0, udp(8000 + flow, seq));
+            injected += 1;
+        }
+    }
+    r.run_until_idle();
+
+    // Wave 2 buffered: the canary's share drains under the faulty
+    // configuration (and drops), the survivors' shares under the old one.
+    for seq in 8..72u8 {
+        for flow in 0..16u16 {
+            r.inject(in0, udp(8000 + flow, seq));
+            injected += 1;
+        }
+    }
+
+    let rep = r
+        .hot_swap_with(
+            &faulty,
+            SwapOpts {
+                canary_window: 64,
+                drop_margin: 0.05,
+            },
+        )
+        .unwrap();
+    assert!(rep.rolled_back, "a 100% drop rate must trigger rollback");
+    assert_eq!(rep.canary_shard, Some(0));
+    assert_eq!(rep.swapped_shards, 0, "no survivor ever ran the bad graph");
+    assert!(
+        rep.canary_drops > 0,
+        "the regression is measured, not guessed"
+    );
+    r.run_until_idle();
+
+    let gauges = r.swap_gauges();
+    assert_eq!(gauges.swaps, 0);
+    assert_eq!(gauges.rollbacks, 1);
+    assert_eq!(gauges.canary_failures, 1);
+
+    // Exact accounting: every injected packet either made it out or is
+    // visible in the canary's measured faulty-regime drops.
+    let tx = r.take_tx(out0);
+    assert_eq!(
+        tx.len() as u64 + rep.canary_drops,
+        injected,
+        "injected == tx + canary drops"
+    );
+    assert!(
+        (tx.len() as u64) < injected,
+        "the canary really dropped traffic while regressing"
+    );
+    // Survivors' flows stay ordered through the whole drill.
+    assert_per_flow_order(&tx, 8000..8016);
+
+    // The gauges round-trip through the JSON profile (what
+    // `click-report --swap` exports).
+    let profile = Profile {
+        source: "rollback-drill".into(),
+        shards: 4,
+        telemetry: false,
+        elements: Vec::new(),
+        gauges: Vec::new(),
+        faults: Some(r.fault_gauges()),
+        swap: Some(gauges),
+    };
+    let json = profile.to_json();
+    assert!(json.contains("\"rollbacks\": 1"), "{json}");
+    assert!(json.contains("\"canary_failures\": 1"), "{json}");
+    let back = Profile::from_json(&json).unwrap();
+    assert_eq!(back.swap, Some(gauges));
+    r.shutdown();
+}

@@ -315,6 +315,7 @@ fn click_profile_round_trip_preserves_classification() {
         elements,
         gauges: Vec::new(),
         faults: None,
+        swap: None,
     };
 
     let report = apply_profile(&mut profiled, &profile).expect("profile applies");
