@@ -11,17 +11,113 @@
 //! methodology.
 //!
 //! Run: `cargo run --release -p click-bench --bin fig09_parallel`
+//!
+//! With `--tuned FILE` (a `click-autotune` report), the trace is
+//! additionally replayed under each workload's tuned knobs and compared
+//! against its hand-picked default, verifying the search's win on the
+//! bench harness rather than the tuner's own timer.
 
-use click_bench::parallel_bench::{run_fig09_parallel, FLOWS, SHARD_COUNTS};
+use click_bench::harness::Harness;
+use click_bench::parallel_bench::{
+    flow_frames, measure_parallel_wall_opts, run_fig09_parallel, FLOWS, SHARD_COUNTS,
+};
 use click_bench::{evaluation_spec, ip_router_variants};
+use click_elements::ip_router::IpRouterSpec;
+use click_opt::autotune::AutotuneReport;
 use click_sim::cost::path::router_cpu_cost_parallel;
 use click_sim::{parallel_traffic, Platform};
 
+fn usage() -> ! {
+    eprintln!("usage: fig09_parallel [--tuned FILE]");
+    std::process::exit(2);
+}
+
+/// Replays the bench trace under the report's tuned and default knobs
+/// and prints the comparison (harness-timed, engine matched to graph).
+fn report_tuned(report: &AutotuneReport, tuned_path: &str) {
+    let h = Harness::default();
+    let spec = IpRouterSpec::standard(4);
+    let variants = ip_router_variants(4).expect("variants build");
+    let frames = flow_frames(&spec);
+    println!();
+    println!("tuned configs from {tuned_path} (re-measured on the bench harness):");
+    for w in &report.workloads {
+        let vname = w.workload.split('+').next().unwrap_or(&w.workload);
+        let Some(variant) = variants.iter().find(|v| v.name == vname) else {
+            println!("  {}: no matching router variant, skipping", w.workload);
+            continue;
+        };
+        let graph = &variant.graph;
+        let (default_ns, best_ns) = if graph.has_requirement("devirtualize") {
+            (
+                measure_parallel_wall_opts::<click_elements::fast::FastElement>(
+                    &h,
+                    graph,
+                    &frames,
+                    w.default.to_opts(),
+                ),
+                measure_parallel_wall_opts::<click_elements::fast::FastElement>(
+                    &h,
+                    graph,
+                    &frames,
+                    w.best.to_opts(),
+                ),
+            )
+        } else {
+            (
+                measure_parallel_wall_opts::<Box<dyn click_elements::Element>>(
+                    &h,
+                    graph,
+                    &frames,
+                    w.default.to_opts(),
+                ),
+                measure_parallel_wall_opts::<Box<dyn click_elements::Element>>(
+                    &h,
+                    graph,
+                    &frames,
+                    w.best.to_opts(),
+                ),
+            )
+        };
+        println!(
+            "  {}: default {:7.1} ns/pkt ({}) -> tuned {:7.1} ns/pkt ({}), {:+.1}%",
+            w.workload,
+            default_ns,
+            w.default.describe(),
+            best_ns,
+            w.best.describe(),
+            (best_ns - default_ns) / default_ns * 100.0
+        );
+    }
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tuned: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tuned" => tuned = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .join("BENCH_fig09_parallel.json");
     run_fig09_parallel(Some(&path));
+
+    if let Some(tuned_path) = &tuned {
+        let text = std::fs::read_to_string(tuned_path).unwrap_or_else(|e| {
+            eprintln!("fig09_parallel: reading {tuned_path}: {e}");
+            std::process::exit(1);
+        });
+        let report = AutotuneReport::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("fig09_parallel: parsing {tuned_path}: {e}");
+            std::process::exit(1);
+        });
+        report_tuned(&report, tuned_path);
+    }
 
     // The cost model's prediction for the same trace shape (64 flows,
     // batched "All" graph on P0) — compared against the measured numbers

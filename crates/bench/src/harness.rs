@@ -111,7 +111,11 @@ mod tests {
     fn slower_work_measures_slower() {
         let h = Harness::quick();
         let fast = h.measure(|| std::hint::black_box(1u64) + 1);
-        let slow = h.measure(|| (0..2000u64).fold(0u64, |a, b| a.wrapping_add(b * b)));
+        // black_box the range bound so LLVM cannot const-fold the loop
+        // to a constant in release builds.
+        let slow = h.measure(|| {
+            (0..std::hint::black_box(2000u64)).fold(0u64, |a, b| a.wrapping_add(b * b))
+        });
         assert!(slow > fast * 3.0, "fast {fast} vs slow {slow}");
     }
 }

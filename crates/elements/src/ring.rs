@@ -226,42 +226,160 @@ impl<T: Send> RingConsumer<T> {
     }
 }
 
+/// Which pause a [`Backoff`] would take on its next unproductive poll.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffPhase {
+    /// Busy-spin: the peer is expected to act within a few cycles.
+    Spin,
+    /// Yield the core to whoever holds the data we are waiting for.
+    Yield,
+    /// Sleep; each consecutive nap doubles up to the configured cap.
+    Nap,
+}
+
 /// Busy-poll pacing for ring endpoints: spin briefly (the common case —
-/// the peer is about to act), then yield the core, then sleep in short
-/// naps so an idle worker does not monopolize a CPU. The spin budget is
-/// the runtime's backoff knob
+/// the peer is about to act), then yield the core, then sleep in naps
+/// that grow *exponentially* — 2 µs doubling to a cap — so a worker
+/// that has been idle for a while stops burning its CPU, yet wakes
+/// quickly after a short stall. The spin budget and the nap cap are the
+/// runtime's per-ring backoff knobs
 /// ([`ParallelOpts::backoff_spins`](crate::parallel::ParallelOpts)).
+///
+/// `reset()` after productive work returns the machine to the spin
+/// phase *and* shrinks the nap back to its floor, so one long idle
+/// stretch cannot make the next stall start with a long sleep.
 #[derive(Debug, Clone)]
 pub struct Backoff {
     spins: u32,
     budget: u32,
+    nap: std::time::Duration,
+    max_nap: std::time::Duration,
 }
 
-/// Nap length once the spin budget is exhausted.
-const NAP: std::time::Duration = std::time::Duration::from_micros(50);
+/// First nap length once spins and yields are exhausted.
+const NAP_FLOOR: std::time::Duration = std::time::Duration::from_micros(2);
+
+/// Default ceiling for the exponential nap growth.
+const NAP_CAP: std::time::Duration = std::time::Duration::from_micros(512);
 
 impl Backoff {
-    /// A backoff that spins `budget` times before yielding/sleeping.
+    /// A backoff that spins `budget` times before yielding/sleeping,
+    /// with the default nap cap.
     pub fn new(budget: u32) -> Backoff {
-        Backoff { spins: 0, budget }
+        Backoff::with_max_nap(budget, NAP_CAP)
+    }
+
+    /// A backoff with an explicit nap ceiling (per-ring tuning): short
+    /// caps favor latency, long caps favor an idle core.
+    pub fn with_max_nap(budget: u32, max_nap: std::time::Duration) -> Backoff {
+        Backoff {
+            spins: 0,
+            budget,
+            nap: NAP_FLOOR,
+            max_nap: max_nap.max(NAP_FLOOR),
+        }
+    }
+
+    /// The phase the next [`snooze`](Backoff::snooze) will execute.
+    pub fn phase(&self) -> BackoffPhase {
+        if self.spins < self.budget {
+            BackoffPhase::Spin
+        } else if self.spins < self.budget.saturating_mul(2).saturating_add(8) {
+            BackoffPhase::Yield
+        } else {
+            BackoffPhase::Nap
+        }
+    }
+
+    /// The nap the next [`snooze`](Backoff::snooze) would take if the
+    /// machine is in (or reaches) the nap phase.
+    pub fn next_nap(&self) -> std::time::Duration {
+        self.nap
     }
 
     /// Records an unproductive poll and pauses accordingly.
     pub fn snooze(&mut self) {
-        if self.spins < self.budget {
-            self.spins += 1;
-            std::hint::spin_loop();
-        } else if self.spins < self.budget.saturating_mul(2).saturating_add(8) {
-            self.spins += 1;
-            std::thread::yield_now();
-        } else {
-            std::thread::sleep(NAP);
+        match self.phase() {
+            BackoffPhase::Spin => {
+                self.spins += 1;
+                std::hint::spin_loop();
+            }
+            BackoffPhase::Yield => {
+                self.spins += 1;
+                std::thread::yield_now();
+            }
+            BackoffPhase::Nap => {
+                // `park_timeout`, not `sleep`: a producer that knows this
+                // endpoint's `Thread` can `unpark` it after a push (a
+                // doorbell), cutting the nap short the moment work
+                // arrives. Spurious or stale unparks only cost one extra
+                // loop through the caller's poll.
+                std::thread::park_timeout(self.nap);
+                self.nap = self.nap.saturating_mul(2).min(self.max_nap);
+            }
         }
     }
 
-    /// Resets the pacing after productive work.
+    /// Resets the pacing after productive work: back to the spin phase
+    /// with the nap length at its floor.
     pub fn reset(&mut self) {
         self.spins = 0;
+        self.nap = NAP_FLOOR;
+    }
+}
+
+/// Occupancy-driven burst controller: grows the per-ring transfer burst
+/// while the ring runs hot (amortizing hand-off cost over more packets)
+/// and shrinks it while the ring runs cold (keeping latency low and the
+/// peer busy). Replaces the fixed `batch_burst` on the sharded runtime's
+/// enqueue and dequeue sides when
+/// [`ParallelOpts::adaptive_burst`](crate::parallel::ParallelOpts) is on.
+///
+/// The rule is deliberately simple and branch-cheap: observe occupancy
+/// after each transfer; above 3/4 capacity double the burst (up to
+/// `max`), below 1/4 halve it (down to `min`). Hysteresis between the
+/// two thresholds keeps the burst stable under steady load.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBurst {
+    cur: usize,
+    min: usize,
+    max: usize,
+}
+
+impl AdaptiveBurst {
+    /// A controller starting at `initial`, clamped to `[min, max]`.
+    pub fn new(initial: usize, min: usize, max: usize) -> AdaptiveBurst {
+        let min = min.max(1);
+        let max = max.max(min);
+        AdaptiveBurst {
+            cur: initial.clamp(min, max),
+            min,
+            max,
+        }
+    }
+
+    /// A degenerate controller pinned at `n` — used when adaptive burst
+    /// sizing is disabled so call sites need no branching.
+    pub fn fixed(n: usize) -> AdaptiveBurst {
+        let n = n.max(1);
+        AdaptiveBurst::new(n, n, n)
+    }
+
+    /// The burst to use for the next transfer.
+    pub fn get(&self) -> usize {
+        self.cur
+    }
+
+    /// Feeds back the ring occupancy observed after a transfer.
+    pub fn observe(&mut self, occupancy: usize, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        if occupancy.saturating_mul(4) >= capacity.saturating_mul(3) {
+            self.cur = self.cur.saturating_mul(2).min(self.max);
+        } else if occupancy.saturating_mul(4) <= capacity {
+            self.cur = (self.cur / 2).max(self.min);
+        }
     }
 }
 
@@ -388,5 +506,108 @@ mod tests {
         }
         b.reset();
         b.snooze();
+    }
+
+    #[test]
+    fn backoff_walks_spin_yield_nap_in_order() {
+        let mut b = Backoff::with_max_nap(2, std::time::Duration::from_micros(8));
+        // budget = 2 → 2 spins, then yields until 2*2+8 = 12, then naps.
+        assert_eq!(b.phase(), BackoffPhase::Spin);
+        b.snooze();
+        b.snooze();
+        assert_eq!(b.phase(), BackoffPhase::Yield);
+        for _ in 2..12 {
+            assert_eq!(b.phase(), BackoffPhase::Yield);
+            b.snooze();
+        }
+        assert_eq!(b.phase(), BackoffPhase::Nap);
+    }
+
+    #[test]
+    fn backoff_naps_double_to_the_cap() {
+        let cap = std::time::Duration::from_micros(16);
+        let mut b = Backoff::with_max_nap(0, cap);
+        // Skip the yield phase (8 yields at budget 0).
+        for _ in 0..8 {
+            b.snooze();
+        }
+        assert_eq!(b.phase(), BackoffPhase::Nap);
+        let first = b.next_nap();
+        assert_eq!(first, std::time::Duration::from_micros(2));
+        b.snooze();
+        assert_eq!(b.next_nap(), first * 2, "nap doubles after each sleep");
+        b.snooze();
+        b.snooze();
+        b.snooze();
+        assert_eq!(b.next_nap(), cap, "nap growth is capped");
+        b.snooze();
+        assert_eq!(b.next_nap(), cap, "stays at the cap");
+    }
+
+    #[test]
+    fn backoff_reset_restores_spin_phase_and_nap_floor() {
+        let mut b = Backoff::new(1);
+        for _ in 0..64 {
+            b.snooze();
+        }
+        assert_eq!(b.phase(), BackoffPhase::Nap);
+        assert!(b.next_nap() > std::time::Duration::from_micros(2));
+        b.reset();
+        assert_eq!(b.phase(), BackoffPhase::Spin);
+        assert_eq!(
+            b.next_nap(),
+            std::time::Duration::from_micros(2),
+            "reset shrinks the nap back to the floor"
+        );
+    }
+
+    #[test]
+    fn backoff_nap_cap_never_below_floor() {
+        let mut b = Backoff::with_max_nap(0, std::time::Duration::ZERO);
+        for _ in 0..10 {
+            b.snooze();
+        }
+        assert_eq!(b.next_nap(), std::time::Duration::from_micros(2));
+    }
+
+    #[test]
+    fn adaptive_burst_grows_when_hot_and_shrinks_when_cold() {
+        let mut ab = AdaptiveBurst::new(8, 1, 64);
+        assert_eq!(ab.get(), 8);
+        // Hot ring (≥ 3/4 full): burst doubles, capped at max.
+        ab.observe(96, 128);
+        assert_eq!(ab.get(), 16);
+        ab.observe(128, 128);
+        ab.observe(128, 128);
+        assert_eq!(ab.get(), 64);
+        ab.observe(128, 128);
+        assert_eq!(ab.get(), 64, "capped at max");
+        // Cold ring (≤ 1/4 full): burst halves, floored at min.
+        ab.observe(32, 128);
+        assert_eq!(ab.get(), 32);
+        for _ in 0..10 {
+            ab.observe(0, 128);
+        }
+        assert_eq!(ab.get(), 1, "floored at min");
+        // Mid-band occupancy: hysteresis, no change.
+        ab.observe(64, 128);
+        assert_eq!(ab.get(), 1);
+    }
+
+    #[test]
+    fn adaptive_burst_fixed_never_moves() {
+        let mut ab = AdaptiveBurst::fixed(16);
+        ab.observe(128, 128);
+        assert_eq!(ab.get(), 16);
+        ab.observe(0, 128);
+        assert_eq!(ab.get(), 16);
+    }
+
+    #[test]
+    fn adaptive_burst_clamps_constructor_arguments() {
+        let ab = AdaptiveBurst::new(1000, 0, 32);
+        assert_eq!(ab.get(), 32);
+        let ab = AdaptiveBurst::new(0, 4, 32);
+        assert_eq!(ab.get(), 4);
     }
 }

@@ -167,6 +167,26 @@ pub struct ShardGauges {
     pub backoff_snoozes: u64,
 }
 
+/// One steering stage's runtime gauges: how much ingress classification
+/// work it did and what it cost. In serial-steering mode a single record
+/// (steerer 0) covers the inject path on the control-plane thread; in
+/// parallel-steering mode each steerer thread reports one record. Zeroed
+/// when [`ENABLED`] is `false`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SteerGauges {
+    /// Steerer index (0 for the serial inject path).
+    pub steerer: usize,
+    /// Ingress batches classified and handed off.
+    pub batches: u64,
+    /// Packets classified (hashed and routed to a shard ring).
+    pub packets: u64,
+    /// Cumulative steering self time, nanoseconds — hash + classify +
+    /// hand-off, excluding worker processing.
+    pub steer_ns: u64,
+    /// Backoff snoozes while waiting for ring space or input.
+    pub snoozes: u64,
+}
+
 /// Supervisor fault gauges of a sharded runtime: how many worker shards
 /// died, what recovery did about it, and how many packets were lost in
 /// flight. Unlike the per-element counters these are **always live** —
@@ -226,7 +246,8 @@ fn bucket_of(ns: u64) -> usize {
 
 #[cfg(feature = "telemetry")]
 mod imp {
-    use super::{bucket_of, ElementProfile, ShardGauges, RECENT_WINDOW};
+    use super::{bucket_of, ElementProfile, ShardGauges, SteerGauges, RECENT_WINDOW};
+    use std::cell::Cell;
     use std::time::Instant;
 
     #[derive(Debug, Default, Clone)]
@@ -411,11 +432,62 @@ mod imp {
             self.g
         }
     }
+
+    /// Live steering gauges for one ingress stage (feature-on build).
+    /// Counters are `Cell`s so the steerer hot loop can update them
+    /// through a shared reference; each tracker stays on one thread.
+    #[derive(Debug)]
+    pub struct SteerGaugeTracker {
+        steerer: usize,
+        batches: Cell<u64>,
+        packets: Cell<u64>,
+        steer_ns: Cell<u64>,
+        snoozes: Cell<u64>,
+    }
+
+    impl SteerGaugeTracker {
+        /// Zeroed gauges for steering stage `steerer`.
+        pub fn new(steerer: usize) -> SteerGaugeTracker {
+            SteerGaugeTracker {
+                steerer,
+                batches: Cell::new(0),
+                packets: Cell::new(0),
+                steer_ns: Cell::new(0),
+                snoozes: Cell::new(0),
+            }
+        }
+
+        /// Records classification work: `batches` ingress batches /
+        /// `packets` packets steered, costing `ns` of self time.
+        #[inline]
+        pub fn steered(&self, batches: u64, packets: u64, ns: u64) {
+            self.batches.set(self.batches.get() + batches);
+            self.packets.set(self.packets.get() + packets);
+            self.steer_ns.set(self.steer_ns.get() + ns);
+        }
+
+        /// Records one backoff snooze.
+        #[inline]
+        pub fn snoozed(&self) {
+            self.snoozes.set(self.snoozes.get() + 1);
+        }
+
+        /// Current gauge values.
+        pub fn snapshot(&self) -> SteerGauges {
+            SteerGauges {
+                steerer: self.steerer,
+                batches: self.batches.get(),
+                packets: self.packets.get(),
+                steer_ns: self.steer_ns.get(),
+                snoozes: self.snoozes.get(),
+            }
+        }
+    }
 }
 
 #[cfg(not(feature = "telemetry"))]
 mod imp {
-    use super::{ElementProfile, ShardGauges};
+    use super::{ElementProfile, ShardGauges, SteerGauges};
 
     /// No-op telemetry (feature off): every probe is an inlined empty
     /// method on this zero-sized type, so instrumented engines compile
@@ -471,9 +543,32 @@ mod imp {
             ShardGauges::default()
         }
     }
+
+    /// No-op steering gauge tracker (feature off).
+    #[derive(Debug)]
+    pub struct SteerGaugeTracker;
+
+    impl SteerGaugeTracker {
+        /// No-op.
+        #[inline(always)]
+        pub fn new(_steerer: usize) -> SteerGaugeTracker {
+            SteerGaugeTracker
+        }
+        /// No-op.
+        #[inline(always)]
+        pub fn steered(&self, _batches: u64, _packets: u64, _ns: u64) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn snoozed(&self) {}
+        /// Zeroed gauges.
+        #[inline(always)]
+        pub fn snapshot(&self) -> SteerGauges {
+            SteerGauges::default()
+        }
+    }
 }
 
-pub use imp::{RouterTelemetry, ShardGaugeTracker};
+pub use imp::{RouterTelemetry, ShardGaugeTracker, SteerGaugeTracker};
 
 /// Bytes in a packet about to be pushed (0 when telemetry is off, so the
 /// length read folds away with the rest of the probe).

@@ -1,0 +1,557 @@
+//! Parasol-style knob search for the sharded runtime
+//! (`click-autotune`).
+//!
+//! The parallel runtime exposes a handful of performance knobs — shard
+//! count, steerer count, ring capacity, transfer burst, backoff spin
+//! budget, adaptive-burst mode, the core-affinity pacing hint — whose
+//! best values depend on the host (core count, scheduler quantum) and
+//! the workload (flow count, per-packet cost). Hand-picking them bakes
+//! one host's trade-offs into every run. Following the approach of
+//! "Automated Optimization of Parameterized Data-Plane Programs with
+//! Parasol" (PAPERS.md), this module searches the knob space against a
+//! real measurement instead: a greedy hill-climb from the hand-picked
+//! default, evaluating each candidate's wall-clock ns/packet on the
+//! in-tree benchmark trace and moving while an evaluation budget lasts.
+//!
+//! Two properties the consumers rely on:
+//!
+//! * **The chosen config is never slower than the default.** The climb
+//!   starts at the default and only moves to a strictly better
+//!   neighbor, so `best_ns <= default_ns` by construction (ties keep
+//!   the default).
+//! * **The report is plain JSON** (rendered and parsed with the same
+//!   zero-dependency machinery as the profile format), so
+//!   `fig09_parallel --tuned FILE` and the CI smoke job can consume it
+//!   without a JSON library.
+//!
+//! The search itself is measurement-agnostic: [`hill_climb`] takes the
+//! evaluation function as a callback, so unit tests drive it with
+//! synthetic cost surfaces and the `click-autotune` binary drives it
+//! with the threaded runtime.
+
+use crate::profile::{parse_json, Json};
+use click_core::error::{Error, Result};
+use click_elements::parallel::ParallelOpts;
+
+/// One point in the knob space: everything [`ParallelOpts`] lets a
+/// caller tune, minus fault-recovery policy (tuning recovery would
+/// trade correctness, not time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TuneConfig {
+    /// Worker shard count.
+    pub shards: usize,
+    /// Steerer threads (0 = classify on the injection thread).
+    pub steerers: usize,
+    /// SPSC ring capacity, in batches.
+    pub ring_capacity: usize,
+    /// Transfer burst (batch size) — the floor when adaptive.
+    pub burst: usize,
+    /// Busy-poll spins before an idle endpoint yields and naps.
+    pub backoff_spins: u32,
+    /// Grow/shrink bursts from ring occupancy.
+    pub adaptive_burst: bool,
+    /// Latency-biased backoff pacing (the affinity hint).
+    pub pin_cores: bool,
+}
+
+impl TuneConfig {
+    /// The hand-picked default the benches use: `shards` workers with
+    /// [`ParallelOpts::new`]'s ring/backoff defaults and the standard
+    /// batched transfer burst.
+    pub fn default_for(shards: usize, burst: usize) -> TuneConfig {
+        let o = ParallelOpts::new(shards).batched(burst);
+        TuneConfig {
+            shards: o.shards,
+            steerers: o.steerers,
+            ring_capacity: o.ring_capacity,
+            burst: o.burst,
+            backoff_spins: o.backoff_spins,
+            adaptive_burst: o.adaptive_burst,
+            pin_cores: o.pin_cores,
+        }
+    }
+
+    /// Materializes the config as runtime options (batched engine mode —
+    /// the tuned workloads are the batched ones).
+    pub fn to_opts(&self) -> ParallelOpts {
+        let mut o = ParallelOpts::new(self.shards)
+            .batched(self.burst)
+            .with_steerers(self.steerers)
+            .with_ring_capacity(self.ring_capacity)
+            .with_backoff_spins(self.backoff_spins);
+        if !self.adaptive_burst {
+            o = o.fixed_burst();
+        }
+        if self.pin_cores {
+            o = o.pin_cores();
+        }
+        o
+    }
+
+    /// Compact one-line rendering for logs:
+    /// `shards=4 steerers=1 ring=256 burst=64 spins=128 adaptive pin`.
+    pub fn describe(&self) -> String {
+        format!(
+            "shards={} steerers={} ring={} burst={} spins={}{}{}",
+            self.shards,
+            self.steerers,
+            self.ring_capacity,
+            self.burst,
+            self.backoff_spins,
+            if self.adaptive_burst {
+                " adaptive"
+            } else {
+                " fixed"
+            },
+            if self.pin_cores { " pin" } else { "" },
+        )
+    }
+
+    fn to_json(self, ns: f64) -> String {
+        format!(
+            "{{\"shards\": {}, \"steerers\": {}, \"ring_capacity\": {}, \
+             \"burst\": {}, \"backoff_spins\": {}, \"adaptive_burst\": {}, \
+             \"pin_cores\": {}, \"wall_ns_per_packet\": {:.2}}}",
+            self.shards,
+            self.steerers,
+            self.ring_capacity,
+            self.burst,
+            self.backoff_spins,
+            self.adaptive_burst,
+            self.pin_cores,
+            ns
+        )
+    }
+
+    fn from_json(v: &Json) -> (TuneConfig, f64) {
+        let u = |k: &str, d: u64| v.get(k).and_then(Json::as_u64).unwrap_or(d);
+        (
+            TuneConfig {
+                shards: u("shards", 1) as usize,
+                steerers: u("steerers", 0) as usize,
+                ring_capacity: u("ring_capacity", 256) as usize,
+                burst: u("burst", 8) as usize,
+                backoff_spins: u("backoff_spins", 128) as u32,
+                adaptive_burst: v
+                    .get("adaptive_burst")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(true),
+                pin_cores: v.get("pin_cores").and_then(Json::as_bool).unwrap_or(false),
+            },
+            v.get("wall_ns_per_packet")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        )
+    }
+}
+
+/// Bounds of the search: how far each knob may wander. The defaults are
+/// generous without being silly (rings and bursts move in powers of
+/// two, so the whole space is small enough for a tiny budget to cover
+/// its interesting corner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchSpace {
+    /// Highest shard count to consider.
+    pub max_shards: usize,
+    /// Highest steerer count to consider.
+    pub max_steerers: usize,
+    /// Ring capacity bounds (batches).
+    pub min_ring: usize,
+    /// Ring capacity bounds (batches).
+    pub max_ring: usize,
+    /// Burst bounds.
+    pub min_burst: usize,
+    /// Burst bounds.
+    pub max_burst: usize,
+    /// Spin-budget bounds.
+    pub min_spins: u32,
+    /// Spin-budget bounds.
+    pub max_spins: u32,
+}
+
+impl Default for SearchSpace {
+    fn default() -> SearchSpace {
+        SearchSpace {
+            max_shards: 8,
+            max_steerers: 4,
+            min_ring: 2,
+            max_ring: 4096,
+            min_burst: 1,
+            max_burst: 256,
+            min_spins: 1,
+            max_spins: 65_536,
+        }
+    }
+}
+
+impl SearchSpace {
+    fn clamp(&self, mut c: TuneConfig) -> TuneConfig {
+        c.shards = c.shards.clamp(1, self.max_shards);
+        c.steerers = c.steerers.min(self.max_steerers);
+        c.ring_capacity = c.ring_capacity.clamp(self.min_ring, self.max_ring);
+        c.burst = c.burst.clamp(self.min_burst, self.max_burst);
+        c.backoff_spins = c.backoff_spins.clamp(self.min_spins, self.max_spins);
+        c
+    }
+
+    /// Single-knob moves from `c`: each knob halved/doubled (or
+    /// stepped/toggled), clamped to the space. Duplicates of `c` itself
+    /// are filtered out, so a config at a bound produces fewer moves.
+    fn neighbors(&self, c: &TuneConfig) -> Vec<TuneConfig> {
+        let mut out = Vec::new();
+        let mut push = |n: TuneConfig| {
+            let n = self.clamp(n);
+            if n != *c && !out.contains(&n) {
+                out.push(n);
+            }
+        };
+        push(TuneConfig {
+            shards: c.shards * 2,
+            ..*c
+        });
+        push(TuneConfig {
+            shards: (c.shards / 2).max(1),
+            ..*c
+        });
+        push(TuneConfig {
+            steerers: c.steerers + 1,
+            ..*c
+        });
+        push(TuneConfig {
+            steerers: c.steerers.saturating_sub(1),
+            ..*c
+        });
+        push(TuneConfig {
+            ring_capacity: c.ring_capacity * 2,
+            ..*c
+        });
+        push(TuneConfig {
+            ring_capacity: (c.ring_capacity / 2).max(1),
+            ..*c
+        });
+        push(TuneConfig {
+            burst: c.burst * 2,
+            ..*c
+        });
+        push(TuneConfig {
+            burst: (c.burst / 2).max(1),
+            ..*c
+        });
+        push(TuneConfig {
+            backoff_spins: c.backoff_spins.saturating_mul(2),
+            ..*c
+        });
+        push(TuneConfig {
+            backoff_spins: (c.backoff_spins / 2).max(1),
+            ..*c
+        });
+        push(TuneConfig {
+            adaptive_burst: !c.adaptive_burst,
+            ..*c
+        });
+        push(TuneConfig {
+            pin_cores: !c.pin_cores,
+            ..*c
+        });
+        out
+    }
+}
+
+/// Outcome of one workload's search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedWorkload {
+    /// Workload label (e.g. `All+batched`).
+    pub workload: String,
+    /// The hand-picked starting config.
+    pub default: TuneConfig,
+    /// Its measured wall-clock ns/packet.
+    pub default_ns: f64,
+    /// The best config found (== `default` if nothing beat it).
+    pub best: TuneConfig,
+    /// Its measured wall-clock ns/packet (`<= default_ns`).
+    pub best_ns: f64,
+    /// Evaluations spent (each is one measured candidate).
+    pub evaluations: usize,
+}
+
+impl TunedWorkload {
+    /// Speedup of the chosen config over the default (>= 1.0 minus
+    /// measurement noise, by construction of the search).
+    pub fn improvement(&self) -> f64 {
+        if self.best_ns > 0.0 {
+            self.default_ns / self.best_ns
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Greedy hill-climb from `default`: evaluate the default, then
+/// repeatedly evaluate every unvisited neighbor of the current config
+/// (while `budget` evaluations last) and move to the best one if it
+/// strictly improves. Deterministic given a deterministic evaluator.
+///
+/// `eval` returns the config's cost in wall-clock ns/packet (lower is
+/// better). It is called at most `budget` times.
+pub fn hill_climb(
+    default: TuneConfig,
+    space: &SearchSpace,
+    budget: usize,
+    eval: &mut dyn FnMut(&TuneConfig) -> f64,
+) -> (TuneConfig, f64, f64, usize) {
+    let start = space.clamp(default);
+    let default_ns = eval(&start);
+    let mut evals = 1usize;
+    let mut visited = vec![start];
+    let (mut cur, mut cur_ns) = (start, default_ns);
+    loop {
+        let mut best_move: Option<(TuneConfig, f64)> = None;
+        for n in space.neighbors(&cur) {
+            if evals >= budget {
+                break;
+            }
+            if visited.contains(&n) {
+                continue;
+            }
+            let ns = eval(&n);
+            evals += 1;
+            visited.push(n);
+            if ns < cur_ns && best_move.as_ref().is_none_or(|(_, b)| ns < *b) {
+                best_move = Some((n, ns));
+            }
+        }
+        match best_move {
+            Some((n, ns)) => {
+                cur = n;
+                cur_ns = ns;
+            }
+            None => break,
+        }
+        if evals >= budget {
+            break;
+        }
+    }
+    (cur, cur_ns, default_ns, evals)
+}
+
+/// The autotune report: one [`TunedWorkload`] per tuned workload, plus
+/// the run's budget and host shape. Written by `click-autotune`,
+/// consumed by `fig09_parallel --tuned` and the CI smoke job.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AutotuneReport {
+    /// Evaluation budget per workload the run was given.
+    pub budget: usize,
+    /// `available_parallelism()` of the measuring host.
+    pub host_cpus: usize,
+    /// Per-workload outcomes.
+    pub workloads: Vec<TunedWorkload>,
+}
+
+impl AutotuneReport {
+    /// Finds a workload's outcome by label.
+    pub fn workload(&self, name: &str) -> Option<&TunedWorkload> {
+        self.workloads.iter().find(|w| w.workload == name)
+    }
+
+    /// Renders the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"report\": \"click-autotune\",\n");
+        s.push_str(&format!("  \"budget\": {},\n", self.budget));
+        s.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        s.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"workload\": \"{}\",\n", w.workload));
+            s.push_str(&format!(
+                "      \"default\": {},\n",
+                w.default.to_json(w.default_ns)
+            ));
+            s.push_str(&format!("      \"best\": {},\n", w.best.to_json(w.best_ns)));
+            s.push_str(&format!("      \"evaluations\": {},\n", w.evaluations));
+            s.push_str(&format!("      \"improvement\": {:.3}\n", w.improvement()));
+            s.push_str(if i + 1 < self.workloads.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses a report back from its JSON export.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Spec`] on malformed JSON or a document that is
+    /// not a `click-autotune` report.
+    pub fn from_json(text: &str) -> Result<AutotuneReport> {
+        let v = parse_json(text)?;
+        if v.get("report").and_then(Json::as_str).as_deref() != Some("click-autotune") {
+            return Err(Error::spec("not a click-autotune report"));
+        }
+        let mut r = AutotuneReport {
+            budget: v.get("budget").and_then(Json::as_u64).unwrap_or(0) as usize,
+            host_cpus: v.get("host_cpus").and_then(Json::as_u64).unwrap_or(1) as usize,
+            workloads: Vec::new(),
+        };
+        if let Some(Json::Arr(items)) = v.get("workloads") {
+            for item in items {
+                let (default, default_ns) = item
+                    .get("default")
+                    .map(TuneConfig::from_json)
+                    .unwrap_or((TuneConfig::default_for(1, 8), 0.0));
+                let (best, best_ns) = item
+                    .get("best")
+                    .map(TuneConfig::from_json)
+                    .unwrap_or((default, default_ns));
+                r.workloads.push(TunedWorkload {
+                    workload: item
+                        .get("workload")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default(),
+                    default,
+                    default_ns,
+                    best,
+                    best_ns,
+                    evaluations: item.get("evaluations").and_then(Json::as_u64).unwrap_or(0)
+                        as usize,
+                });
+            }
+        }
+        Ok(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A smooth synthetic cost surface with its minimum inside the
+    /// space: best at 4 shards, 1 steerer, ring 512, burst 32, adaptive.
+    fn synthetic_cost(c: &TuneConfig) -> f64 {
+        let dist = |a: usize, b: usize| ((a as f64).log2() - (b as f64).log2()).abs();
+        100.0
+            + 40.0 * dist(c.shards, 4)
+            + 25.0 * (c.steerers as f64 - 1.0).abs()
+            + 10.0 * dist(c.ring_capacity, 512)
+            + 10.0 * dist(c.burst.max(1), 32)
+            + if c.adaptive_burst { 0.0 } else { 15.0 }
+    }
+
+    #[test]
+    fn hill_climb_improves_on_the_default() {
+        let default = TuneConfig::default_for(1, 8);
+        let mut evals = 0usize;
+        let (best, best_ns, default_ns, used) =
+            hill_climb(default, &SearchSpace::default(), 200, &mut |c| {
+                evals += 1;
+                synthetic_cost(c)
+            });
+        assert_eq!(evals, used);
+        assert!(used <= 200);
+        assert!(best_ns < default_ns, "{best_ns} vs {default_ns}");
+        // The smooth surface's optimum is reachable by single-knob moves.
+        assert_eq!(best.shards, 4);
+        assert_eq!(best.steerers, 1);
+        assert!(best.adaptive_burst);
+    }
+
+    #[test]
+    fn best_is_never_worse_than_default() {
+        // Adversarial surface: the default is the global minimum.
+        let default = TuneConfig::default_for(2, 64);
+        let (best, best_ns, default_ns, _) =
+            hill_climb(default, &SearchSpace::default(), 50, &mut |c| {
+                if *c == SearchSpace::default().clamp(default) {
+                    10.0
+                } else {
+                    1000.0
+                }
+            });
+        assert_eq!(best, default);
+        assert!(best_ns <= default_ns);
+    }
+
+    #[test]
+    fn budget_bounds_evaluations() {
+        let default = TuneConfig::default_for(1, 8);
+        let mut evals = 0usize;
+        let (_, _, _, used) = hill_climb(default, &SearchSpace::default(), 5, &mut |c| {
+            evals += 1;
+            synthetic_cost(c)
+        });
+        assert_eq!(evals, used);
+        assert!(used <= 5);
+    }
+
+    #[test]
+    fn neighbors_stay_in_bounds_and_move_one_knob() {
+        let space = SearchSpace::default();
+        let c = TuneConfig::default_for(8, 256); // shards and burst at the cap
+        for n in space.neighbors(&c) {
+            assert!(n.shards >= 1 && n.shards <= space.max_shards);
+            assert!(n.steerers <= space.max_steerers);
+            assert!(n.ring_capacity >= space.min_ring && n.ring_capacity <= space.max_ring);
+            assert!(n.burst >= space.min_burst && n.burst <= space.max_burst);
+            assert_ne!(n, c);
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let default = TuneConfig::default_for(4, 64);
+        let best = TuneConfig {
+            steerers: 2,
+            ring_capacity: 512,
+            adaptive_burst: true,
+            pin_cores: true,
+            ..default
+        };
+        let report = AutotuneReport {
+            budget: 48,
+            host_cpus: 2,
+            workloads: vec![TunedWorkload {
+                workload: "All+batched".into(),
+                default,
+                default_ns: 412.25,
+                best,
+                best_ns: 333.5,
+                evaluations: 37,
+            }],
+        };
+        let back = AutotuneReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert!(back.workload("All+batched").unwrap().improvement() > 1.2);
+    }
+
+    #[test]
+    fn from_json_rejects_non_reports() {
+        assert!(AutotuneReport::from_json("{}").is_err());
+        assert!(AutotuneReport::from_json("{\"report\": \"other\"}").is_err());
+        assert!(AutotuneReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn configs_materialize_as_runtime_options() {
+        let c = TuneConfig {
+            shards: 4,
+            steerers: 2,
+            ring_capacity: 128,
+            burst: 16,
+            backoff_spins: 64,
+            adaptive_burst: false,
+            pin_cores: true,
+        };
+        let o = c.to_opts();
+        assert_eq!(o.shards, 4);
+        assert_eq!(o.steerers, 2);
+        assert_eq!(o.ring_capacity, 128);
+        assert_eq!(o.burst, 16);
+        assert_eq!(o.backoff_spins, 64);
+        assert!(o.batching);
+        assert!(!o.adaptive_burst);
+        assert!(o.pin_cores);
+    }
+}

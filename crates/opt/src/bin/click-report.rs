@@ -60,7 +60,9 @@ use click_elements::ip_router::{test_packet_flow, IpRouterSpec};
 use click_elements::packet::Packet;
 use click_elements::parallel::{ParallelOpts, ParallelRouter};
 use click_elements::router::{Router, Slot};
-use click_elements::telemetry::{self, ElementProfile, FaultGauges, ShardGauges, SwapGauges};
+use click_elements::telemetry::{
+    self, ElementProfile, FaultGauges, ShardGauges, SteerGauges, SwapGauges,
+};
 use click_opt::profile::Profile;
 use click_opt::tool::parse_args;
 
@@ -70,9 +72,9 @@ const FLOWS: u16 = 64;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: click-report [--ifaces N] [--shards K] [--packets P] \
-         [--batched BURST] [--source LABEL] [--out FILE] [--emit-config] \
-         [--faults] [--swap NEW.click] [CONFIG.click]"
+        "usage: click-report [--ifaces N] [--shards K] [--steerers J] \
+         [--packets P] [--batched BURST] [--source LABEL] [--out FILE] \
+         [--emit-config] [--faults] [--swap NEW.click] [CONFIG.click]"
     );
     std::process::exit(2);
 }
@@ -170,6 +172,7 @@ fn run_serial<S: Slot>(
 type ShardedRun = (
     Vec<ElementProfile>,
     Vec<ShardGauges>,
+    Vec<SteerGauges>,
     FaultGauges,
     Option<SwapGauges>,
     u64,
@@ -180,9 +183,10 @@ fn run_sharded<S: Slot + 'static>(
     swap_to: Option<&RouterGraph>,
     frames: &[Frame],
     shards: usize,
+    steerers: usize,
     batched: usize,
 ) -> Result<ShardedRun> {
-    let mut opts = ParallelOpts::new(shards);
+    let mut opts = ParallelOpts::new(shards).with_steerers(steerers);
     if batched > 0 {
         opts = opts.batched(batched);
     }
@@ -221,9 +225,10 @@ fn run_sharded<S: Slot + 'static>(
     }
     let profiles = router.telemetry_profiles();
     let gauges = router.shard_gauges();
+    let steering = router.steer_gauges();
     let faults = router.fault_gauges();
     router.shutdown();
-    Ok((profiles, gauges, faults, swap_gauges, tx))
+    Ok((profiles, gauges, steering, faults, swap_gauges, tx))
 }
 
 fn main() {
@@ -231,11 +236,12 @@ fn main() {
     let (flags, positional) = parse_args(
         &args,
         &[
-            "ifaces", "shards", "packets", "batched", "source", "out", "swap",
+            "ifaces", "shards", "steerers", "packets", "batched", "source", "out", "swap",
         ],
     );
     let mut ifaces = 4usize;
     let mut shards = 1usize;
+    let mut steerers = 0usize;
     let mut packets = 2048usize;
     let mut batched = 0usize;
     let mut source: Option<String> = None;
@@ -253,6 +259,7 @@ fn main() {
         match flag.as_str() {
             "ifaces" => ifaces = num().max(2),
             "shards" => shards = num().max(1),
+            "steerers" => steerers = num(),
             "packets" => packets = num().max(1),
             "batched" => batched = num(),
             "source" => source = value.clone(),
@@ -339,18 +346,24 @@ fn main() {
             .as_ref()
             .is_some_and(|g| g.has_requirement("devirtualize"));
     let swap_to = swap_graph.as_ref();
-    let (elements, gauges, fault_gauges, swap_gauges, tx) = if shards > 1 {
+    let (elements, gauges, steering, fault_gauges, swap_gauges, tx) = if shards > 1 {
         let r = if devirt {
-            run_sharded::<FastElement>(&graph, swap_to, &frames, shards, batched)
+            run_sharded::<FastElement>(&graph, swap_to, &frames, shards, steerers, batched)
         } else {
-            run_sharded::<Box<dyn Element>>(&graph, swap_to, &frames, shards, batched)
+            run_sharded::<Box<dyn Element>>(&graph, swap_to, &frames, shards, steerers, batched)
         };
-        let (elements, gauges, faults, swap, tx) = r.unwrap_or_else(|e| {
+        let (elements, gauges, steering, faults, swap, tx) = r.unwrap_or_else(|e| {
             eprintln!("click-report: {e}");
             std::process::exit(1);
         });
-        (elements, gauges, Some(faults), swap, tx)
+        (elements, gauges, steering, Some(faults), swap, tx)
     } else {
+        if steerers > 0 {
+            eprintln!(
+                "click-report: warning: --steerers with a serial run (--shards 1); \
+                 steering happens inline, ignoring"
+            );
+        }
         let r = if devirt {
             run_serial::<FastElement>(&graph, swap_to, &frames, batched)
         } else {
@@ -360,7 +373,7 @@ fn main() {
             eprintln!("click-report: {e}");
             std::process::exit(1);
         });
-        (elements, Vec::new(), None, swap, tx)
+        (elements, Vec::new(), Vec::new(), None, swap, tx)
     };
     if faults_flag && fault_gauges.is_none() {
         eprintln!(
@@ -375,6 +388,7 @@ fn main() {
         telemetry: telemetry::ENABLED,
         elements,
         gauges,
+        steering,
         faults: if faults_flag { fault_gauges } else { None },
         swap: swap_gauges,
     };
@@ -422,6 +436,20 @@ fn main() {
                 e.class,
                 e.packets,
                 e.ns_per_packet()
+            );
+        }
+        // Where ingress time goes: the steering stage(s) sit in front of
+        // every element above, so their self time is the hand-off tax.
+        for g in &profile.steering {
+            let ns_per_pkt = if g.packets == 0 {
+                0.0
+            } else {
+                g.steer_ns as f64 / g.packets as f64
+            };
+            eprintln!(
+                "click-report:   steerer {:<4} ingress          {:>8} pkts  {:>8.1} ns/pkt  \
+                 ({} snoozes)",
+                g.steerer, g.packets, ns_per_pkt, g.snoozes
             );
         }
     }

@@ -33,7 +33,9 @@ use click_classifier::{Check, Cond};
 use click_core::config::split_args;
 use click_core::error::{Error, Result};
 use click_core::graph::{PortRef, RouterGraph};
-use click_elements::telemetry::{ElementProfile, FaultGauges, ShardGauges, SwapGauges};
+use click_elements::telemetry::{
+    ElementProfile, FaultGauges, ShardGauges, SteerGauges, SwapGauges,
+};
 
 /// A runtime profile: one record per element instance, merged across
 /// shards, plus per-shard runtime gauges. Produced by `click-report`,
@@ -51,6 +53,10 @@ pub struct Profile {
     pub elements: Vec<ElementProfile>,
     /// Per-shard runtime gauges (empty for serial runs).
     pub gauges: Vec<ShardGauges>,
+    /// Per-steering-stage ingress gauges: one record for the serial
+    /// inject path, or one per steerer thread in parallel-steering mode
+    /// (empty for serial-engine runs or older profiles).
+    pub steering: Vec<SteerGauges>,
     /// Supervisor fault gauges (restarts, degraded-mode entries,
     /// in-flight loss), exported when `click-report` runs with
     /// `--faults`; `None` for serial runs or older profiles.
@@ -116,6 +122,22 @@ impl Profile {
             ));
         }
         s.push_str("  ]");
+        if !self.steering.is_empty() {
+            s.push_str(",\n  \"steering\": [\n");
+            for (i, g) in self.steering.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"steerer\": {}, \"batches\": {}, \"packets\": {}, \
+                     \"steer_ns\": {}, \"snoozes\": {}}}{}\n",
+                    g.steerer,
+                    g.batches,
+                    g.packets,
+                    g.steer_ns,
+                    g.snoozes,
+                    if i + 1 < self.steering.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("  ]");
+        }
         if let Some(f) = self.faults {
             s.push_str(&format!(
                 ",\n  \"faults\": {{\"shard_deaths\": {}, \"restarts\": {}, \
@@ -158,6 +180,7 @@ impl Profile {
             telemetry: v.get("telemetry").and_then(Json::as_bool).unwrap_or(false),
             elements: Vec::new(),
             gauges: Vec::new(),
+            steering: Vec::new(),
             faults: None,
             swap: None,
         };
@@ -197,6 +220,17 @@ impl Profile {
                         .get("backoff_snoozes")
                         .and_then(Json::as_u64)
                         .unwrap_or(0),
+                });
+            }
+        }
+        if let Some(Json::Arr(items)) = v.get("steering") {
+            for item in items {
+                p.steering.push(SteerGauges {
+                    steerer: item.get("steerer").and_then(Json::as_u64).unwrap_or(0) as usize,
+                    batches: item.get("batches").and_then(Json::as_u64).unwrap_or(0),
+                    packets: item.get("packets").and_then(Json::as_u64).unwrap_or(0),
+                    steer_ns: item.get("steer_ns").and_then(Json::as_u64).unwrap_or(0),
+                    snoozes: item.get("snoozes").and_then(Json::as_u64).unwrap_or(0),
                 });
             }
         }
@@ -252,9 +286,10 @@ fn json_u64s(v: &[u64]) -> String {
 
 // ---- minimal JSON reader (no external dependencies) ----------------------
 
-/// A parsed JSON value (just enough JSON for the profile format).
+/// A parsed JSON value (just enough JSON for the profile and autotune
+/// report formats).
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(f64),
@@ -264,25 +299,31 @@ enum Json {
 }
 
 impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
+    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) if *n >= 0.0 => Some(*n as u64),
             _ => None,
         }
     }
-    fn as_bool(&self) -> Option<bool> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub(crate) fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
-    fn as_str(&self) -> Option<String> {
+    pub(crate) fn as_str(&self) -> Option<String> {
         match self {
             Json::Str(s) => Some(s.clone()),
             _ => None,
@@ -465,8 +506,9 @@ impl<'a> JsonParser<'a> {
     }
 }
 
-/// Parses a JSON document (used by [`Profile::from_json`]).
-fn parse_json(text: &str) -> Result<Json> {
+/// Parses a JSON document (used by [`Profile::from_json`] and the
+/// autotune report reader).
+pub(crate) fn parse_json(text: &str) -> Result<Json> {
     let mut p = JsonParser {
         s: text.as_bytes(),
         i: 0,
@@ -716,6 +758,7 @@ mod tests {
             telemetry: true,
             elements: vec![e],
             gauges: Vec::new(),
+            steering: Vec::new(),
             faults: None,
             swap: None,
         }
@@ -743,6 +786,7 @@ mod tests {
                 ring_high_water: 2,
                 backoff_snoozes: 9,
             }],
+            steering: Vec::new(),
             faults: None,
             swap: None,
         };
@@ -758,6 +802,7 @@ mod tests {
             telemetry: false,
             elements: Vec::new(),
             gauges: Vec::new(),
+            steering: Vec::new(),
             faults: Some(FaultGauges {
                 shard_deaths: 2,
                 restarts: 1,
@@ -778,6 +823,40 @@ mod tests {
     }
 
     #[test]
+    fn steering_gauges_round_trip() {
+        let p = Profile {
+            source: "steered".into(),
+            shards: 4,
+            telemetry: true,
+            elements: Vec::new(),
+            gauges: Vec::new(),
+            steering: vec![
+                SteerGauges {
+                    steerer: 0,
+                    batches: 12,
+                    packets: 96,
+                    steer_ns: 4800,
+                    snoozes: 2,
+                },
+                SteerGauges {
+                    steerer: 1,
+                    batches: 11,
+                    packets: 88,
+                    steer_ns: 4100,
+                    snoozes: 0,
+                },
+            ],
+            faults: None,
+            swap: None,
+        };
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        // Profiles without the section stay empty (older exports load).
+        let old = Profile::from_json("{\"elements\": []}").unwrap();
+        assert!(old.steering.is_empty());
+    }
+
+    #[test]
     fn swap_gauges_round_trip() {
         let p = Profile {
             source: "swap-drill".into(),
@@ -785,6 +864,7 @@ mod tests {
             telemetry: true,
             elements: Vec::new(),
             gauges: Vec::new(),
+            steering: Vec::new(),
             faults: None,
             swap: Some(SwapGauges {
                 swaps: 1,

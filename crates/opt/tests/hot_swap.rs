@@ -82,6 +82,7 @@ fn optimized_figure1(spec: &IpRouterSpec, graph: &RouterGraph) -> RouterGraph {
         telemetry: true,
         elements,
         gauges: Vec::new(),
+        steering: Vec::new(),
         faults: None,
         swap: None,
     };
@@ -349,6 +350,7 @@ fn regressing_canary_rolls_back_with_exact_accounting() {
         telemetry: false,
         elements: Vec::new(),
         gauges: Vec::new(),
+        steering: Vec::new(),
         faults: Some(r.fault_gauges()),
         swap: Some(gauges),
     };

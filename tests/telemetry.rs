@@ -289,6 +289,49 @@ fn four_shard_merge_matches_serial() {
     assert!(gauges.iter().all(|g| g.batches <= g.packets.max(1)));
 }
 
+#[cfg(feature = "telemetry")]
+#[test]
+fn steering_gauges_attribute_every_packet_to_one_steerer() {
+    let graph = base_graph();
+    let spec = IpRouterSpec::standard(N);
+    let opts = ParallelOpts::new(4).batched(8).with_steerers(2);
+    let mut router = ParallelRouter::from_graph::<Box<dyn Element>>(&graph, opts)
+        .expect("parallel router builds");
+    for (src, p) in trace(&spec) {
+        let id = router.device_id(&format!("eth{src}")).expect("device");
+        router.inject(id, p);
+    }
+    router.run_until_idle();
+    let steering = router.steer_gauges();
+    router.shutdown();
+
+    assert_eq!(steering.len(), 2, "one gauge record per steerer");
+    let injected: u64 = injected_per_device(&spec).iter().sum();
+    assert_eq!(
+        steering.iter().map(|g| g.packets).sum::<u64>(),
+        injected,
+        "every packet classified by exactly one steerer"
+    );
+    // The flow hash splits this 64-flow trace across both steerers, and
+    // classification work takes measurable time.
+    assert!(steering.iter().all(|g| g.packets > 0), "both steerers fed");
+    assert!(steering.iter().any(|g| g.steer_ns > 0), "self time tracked");
+
+    // The export format carries the records losslessly.
+    let profile = Profile {
+        source: "steering-test".into(),
+        shards: 4,
+        telemetry: true,
+        elements: Vec::new(),
+        gauges: Vec::new(),
+        steering,
+        faults: None,
+        swap: None,
+    };
+    let back = Profile::from_json(&profile.to_json()).expect("round trip");
+    assert_eq!(back, profile);
+}
+
 /// The profile-guided reorder must be invisible to forwarding: same
 /// per-class stats, same per-flow output sequences — only the classifier
 /// pattern order (and its wiring) changes. Runs in both feature modes;
@@ -314,6 +357,7 @@ fn click_profile_round_trip_preserves_classification() {
         telemetry: true,
         elements,
         gauges: Vec::new(),
+        steering: Vec::new(),
         faults: None,
         swap: None,
     };
