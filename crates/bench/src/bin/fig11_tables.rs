@@ -1,0 +1,69 @@
+//! Table-scaling curves: longest-prefix match and classification cost
+//! as the tables grow, old one-bit trie vs Poptrie-style multibit trie
+//! and first-match decision tree vs hash-consed decision diagram,
+//! serial and 4-shard.
+//!
+//! Writes `BENCH_fig11_tables.json` at the repository root, including
+//! the two grep-able sanity verdicts the CI `tables-smoke` job checks:
+//! `"sanity_multibit_beats_old_at_scale": true` and
+//! `"sanity_diagram_depth_bounded": true`.
+//!
+//! Run: `cargo run --release -p click-bench --bin fig11_tables`
+//! (`--quick` trims to the CI sizes: 100k routes, 1k rules).
+
+use click_bench::tables_bench::{run_fig11_tables, to_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    for a in &args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            _ => {
+                eprintln!("usage: fig11_tables [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let results = run_fig11_tables(quick);
+
+    println!();
+    for p in &results.lpm {
+        let old = p.old.as_ref().map_or("      (skipped)".to_string(), |o| {
+            format!("{:7.1} ns/pkt", o.ns_serial)
+        });
+        println!(
+            "lpm {:>9} routes: old {old}  multibit {:7.1} ns/pkt  (build {:.1} ms, x4 {:5.1})",
+            p.routes, p.multibit.ns_serial, p.multibit.build_ms, p.multibit.ns_x4
+        );
+    }
+    for p in &results.classifier {
+        println!(
+            "acl {:>6} rules: tree {:8.1} ns/pkt  diagram {:7.1} ns/pkt  \
+             (depth {}/{} fields, {} nodes, build {:.1} ms)",
+            p.rules,
+            p.tree.ns_serial,
+            p.diagram.ns_serial,
+            p.diagram_depth,
+            p.fields,
+            p.diagram_nodes,
+            p.diagram.build_ms
+        );
+    }
+    println!();
+    println!(
+        "sanity: multibit beats old at >=100k routes: {}",
+        results.multibit_beats_old_at_scale()
+    );
+    println!(
+        "sanity: diagram depth bounded by field count: {}",
+        results.diagram_depth_bounded()
+    );
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_fig11_tables.json");
+    std::fs::write(&path, to_json(&results)).expect("write BENCH json");
+    println!("wrote {}", path.display());
+}

@@ -78,6 +78,54 @@ impl Harness {
     }
 }
 
+/// A tiny seeded linear congruential generator (MMIX multiplier) for
+/// deterministic trace synthesis: destination streams, prefix sets,
+/// rule tables. Every bench that wants "random but reproducible" input
+/// derives it from one of these, so two runs of the same binary measure
+/// the same workload.
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// Creates a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Lcg {
+        Lcg(seed)
+    }
+
+    /// Next 32 pseudo-random bits (the high half of the LCG state, which
+    /// has much longer period than the low bits).
+    pub fn next_u32(&mut self) -> u32 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as u32
+    }
+
+    /// A value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: u32) -> u32 {
+        assert!(n > 0, "Lcg::below(0)");
+        self.next_u32() % n
+    }
+}
+
+/// Builds a destination stream with a *diversity knob*: `len` addresses
+/// drawn (seeded by `lcg`) from a working set of `diversity` distinct
+/// members of `pool`. `diversity = 1` replays one destination (every
+/// lookup hot in cache); `diversity = pool.len()` sweeps the whole pool
+/// (table-sized working set). The table-scaling benches use this to
+/// separate "table is big" from "traffic actually touches it".
+pub fn destination_stream(lcg: &mut Lcg, pool: &[u32], diversity: usize, len: usize) -> Vec<u32> {
+    assert!(!pool.is_empty(), "empty destination pool");
+    let diversity = diversity.clamp(1, pool.len());
+    let working: Vec<u32> = (0..diversity)
+        .map(|_| pool[lcg.below(pool.len() as u32) as usize])
+        .collect();
+    (0..len)
+        .map(|_| working[lcg.below(diversity as u32) as usize])
+        .collect()
+}
+
 /// Prints one result line in a fixed `group/name  ns` format; when
 /// `per` > 1 the time is also broken down per element of the workload
 /// (e.g. per packet of a 64-packet batch).
@@ -105,6 +153,39 @@ mod tests {
             x
         });
         assert!(ns > 0.0 && ns < 1_000_000.0, "implausible: {ns}");
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_spreads() {
+        let a: Vec<u32> = {
+            let mut l = Lcg::new(7);
+            (0..64).map(|_| l.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut l = Lcg::new(7);
+            (0..64).map(|_| l.next_u32()).collect()
+        };
+        assert_eq!(a, b, "same seed, same stream");
+        let distinct: std::collections::HashSet<u32> = a.iter().copied().collect();
+        assert!(distinct.len() > 60, "stream should not repeat early");
+    }
+
+    #[test]
+    fn destination_stream_respects_diversity() {
+        let pool: Vec<u32> = (0..1000).collect();
+        let mut lcg = Lcg::new(42);
+        for diversity in [1usize, 8, 200] {
+            let s = destination_stream(&mut lcg, &pool, diversity, 4096);
+            let distinct: std::collections::HashSet<u32> = s.iter().copied().collect();
+            assert!(
+                distinct.len() <= diversity,
+                "diversity {diversity}: {} distinct",
+                distinct.len()
+            );
+            // Sampling 4096 times from a small working set touches most
+            // of it.
+            assert!(distinct.len() * 2 > diversity, "under-sampled");
+        }
     }
 
     #[test]

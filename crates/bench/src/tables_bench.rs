@@ -1,0 +1,565 @@
+//! Table-scaling measurement: longest-prefix match and classification
+//! as the tables grow. Used by the `fig11_tables` binary, which emits
+//! `BENCH_fig11_tables.json`.
+//!
+//! Two sweeps, both over seeded-LCG synthetic workloads:
+//!
+//! * **LPM** — a synthetic-BGP prefix set (default-route anchor, a
+//!   /24-heavy mix echoing public BGP plen histograms) at 1k/10k/100k/1M
+//!   prefixes, looked up by the one-bit-per-level [`IpTrie`] and the
+//!   Poptrie-style [`MultibitTrie`], serial and 4-shard. The old trie is
+//!   capped at 100k prefixes — a 1M binary trie is exactly the
+//!   pointer-chasing memory blow-up the compressed layout exists to
+//!   avoid, and building one would dominate the run.
+//! * **Classifier** — generated 4-field ACLs at 10/100/1k/10k rules,
+//!   matched by the first-match decision *tree* (`build_tree`) and the
+//!   hash-consed decision *diagram* (`build_diagram`), serial and
+//!   4-shard. The diagram's match depth is bounded by the field count,
+//!   not the rule count; the JSON records both so the claim is checkable
+//!   by grep.
+//!
+//! 4-shard numbers use the repo's critical-path methodology: the probe
+//! stream is partitioned by a destination hash, the busiest shard's
+//! serial time is divided by the whole stream's packet count.
+
+use crate::harness::{destination_stream, report, Harness, Lcg};
+use click_classifier::{build_diagram, build_tree, Action, Check, Cond, Rule};
+use click_elements::routing::{IpTrie, MultibitTrie};
+use std::time::Instant;
+
+/// Prefix-set sizes of the LPM sweep.
+pub const ROUTE_SIZES: [usize; 4] = [1_000, 10_000, 100_000, 1_000_000];
+
+/// Largest prefix set the old one-bit trie is asked to hold.
+pub const OLD_TRIE_CAP: usize = 100_000;
+
+/// Rule counts of the classifier sweep.
+pub const RULE_SIZES: [usize; 4] = [10, 100, 1_000, 10_000];
+
+/// Probe addresses (or frames) per measured pass.
+pub const PROBES: usize = 4096;
+
+/// Distinct destinations in the probe working set (the
+/// [`destination_stream`] diversity knob).
+pub const DIVERSITY: usize = 1024;
+
+/// Shard count of the partitioned measurement.
+pub const SHARDS: usize = 4;
+
+/// One engine's numbers at one table size.
+#[derive(Debug, Clone)]
+pub struct EnginePoint {
+    /// Wall-clock table/classifier build time, milliseconds.
+    pub build_ms: f64,
+    /// Median ns per lookup (or per classified packet), serial.
+    pub ns_serial: f64,
+    /// Critical-path ns per packet with the probe stream partitioned
+    /// over [`SHARDS`] shards.
+    pub ns_x4: f64,
+}
+
+/// One LPM sweep point: both engines at one prefix count.
+#[derive(Debug, Clone)]
+pub struct LpmPoint {
+    /// Number of distinct prefixes inserted.
+    pub routes: usize,
+    /// The one-bit-per-level trie (absent above [`OLD_TRIE_CAP`]).
+    pub old: Option<EnginePoint>,
+    /// The compressed multibit trie.
+    pub multibit: EnginePoint,
+}
+
+/// One classifier sweep point: both engines at one rule count.
+#[derive(Debug, Clone)]
+pub struct ClassifierPoint {
+    /// Number of ACL rules (excluding the default-allow).
+    pub rules: usize,
+    /// First-match decision tree.
+    pub tree: EnginePoint,
+    /// Hash-consed decision diagram.
+    pub diagram: EnginePoint,
+    /// Diagram match depth (maximum nodes on any root-to-leaf path).
+    pub diagram_depth: usize,
+    /// Distinct header fields the rule set tests.
+    pub fields: usize,
+    /// Diagram node count after hash-consing.
+    pub diagram_nodes: usize,
+}
+
+/// The full sweep, plus the derived sanity verdicts the CI job greps.
+#[derive(Debug, Clone)]
+pub struct TablesResults {
+    /// LPM curve.
+    pub lpm: Vec<LpmPoint>,
+    /// Classifier curve.
+    pub classifier: Vec<ClassifierPoint>,
+}
+
+/// Generates `n` distinct synthetic-BGP prefixes `(addr, plen)`:
+/// a default route, then an LCG-driven mix skewed toward /24s the way
+/// public BGP tables are (roughly: 55% /24, 20% /20–/23, 15% /16–/19,
+/// 5% /8–/15, 5% /25–/32).
+pub fn synthetic_bgp_prefixes(seed: u64, n: usize) -> Vec<(u32, u8)> {
+    let mut lcg = Lcg::new(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    out.push((0u32, 0u8)); // default route anchors every lookup
+    seen.insert((0u32, 0u8));
+    while out.len() < n {
+        let roll = lcg.below(100);
+        let plen: u8 = if roll < 55 {
+            24
+        } else if roll < 75 {
+            20 + lcg.below(4) as u8
+        } else if roll < 90 {
+            16 + lcg.below(4) as u8
+        } else if roll < 95 {
+            8 + lcg.below(8) as u8
+        } else {
+            25 + lcg.below(8) as u8
+        };
+        let addr = lcg.next_u32() & (u32::MAX << (32 - u32::from(plen)));
+        if seen.insert((addr, plen)) {
+            out.push((addr, plen));
+        }
+    }
+    out
+}
+
+/// Host addresses covered by the prefix set (prefix address with random
+/// host bits), the pool [`destination_stream`] samples from.
+fn covered_addresses(lcg: &mut Lcg, prefixes: &[(u32, u8)], n: usize) -> Vec<u32> {
+    (0..n)
+        .map(|_| {
+            let (addr, plen) = prefixes[lcg.below(prefixes.len() as u32) as usize];
+            if plen >= 32 {
+                addr
+            } else {
+                addr | (lcg.next_u32() & (u32::MAX >> plen))
+            }
+        })
+        .collect()
+}
+
+fn shard_of(addr: u32) -> usize {
+    (addr.wrapping_mul(0x9E37_79B1) >> 16) as usize % SHARDS
+}
+
+/// Measures serial and 4-shard ns/lookup of one already-built engine
+/// over the probe stream.
+fn measure_lookups(h: &Harness, probes: &[u32], mut f: impl FnMut(u32) -> usize) -> (f64, f64) {
+    let serial = h.measure(|| {
+        probes
+            .iter()
+            .map(|&a| std::hint::black_box(f(a)))
+            .sum::<usize>()
+    }) / probes.len() as f64;
+    let mut parts: Vec<Vec<u32>> = (0..SHARDS).map(|_| Vec::new()).collect();
+    for &a in probes {
+        parts[shard_of(a)].push(a);
+    }
+    let mut worst = 0.0f64;
+    for part in &parts {
+        if part.is_empty() {
+            continue;
+        }
+        let t = h.measure(|| {
+            part.iter()
+                .map(|&a| std::hint::black_box(f(a)))
+                .sum::<usize>()
+        });
+        worst = worst.max(t);
+    }
+    (serial, worst / probes.len() as f64)
+}
+
+/// Runs the LPM sweep over `sizes`.
+pub fn run_lpm_sweep(h: &Harness, sizes: &[usize]) -> Vec<LpmPoint> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let prefixes = synthetic_bgp_prefixes(0xB6_D0 + n as u64, n);
+        let mut lcg = Lcg::new(0xD1CE + n as u64);
+        let pool = covered_addresses(&mut lcg, &prefixes, 4 * DIVERSITY);
+        let probes = destination_stream(&mut lcg, &pool, DIVERSITY, PROBES);
+
+        let t = Instant::now();
+        let mut multibit = MultibitTrie::new();
+        for (i, &(addr, plen)) in prefixes.iter().enumerate() {
+            multibit.insert(addr, plen, i as u32);
+        }
+        let mb_build = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(multibit.len(), n, "multibit dropped prefixes");
+        let (mb_serial, mb_x4) = measure_lookups(h, &probes, |a| {
+            *multibit.lookup(a).expect("default") as usize
+        });
+        report("fig11_tables", &format!("lpm/{n}/multibit"), mb_serial, 1);
+        let multibit_pt = EnginePoint {
+            build_ms: mb_build,
+            ns_serial: mb_serial,
+            ns_x4: mb_x4,
+        };
+
+        let old = (n <= OLD_TRIE_CAP).then(|| {
+            let t = Instant::now();
+            let mut trie = IpTrie::new();
+            for (i, &(addr, plen)) in prefixes.iter().enumerate() {
+                trie.insert(addr, plen, i as u32);
+            }
+            let build = t.elapsed().as_secs_f64() * 1e3;
+            let (serial, x4) =
+                measure_lookups(h, &probes, |a| *trie.lookup(a).expect("default") as usize);
+            report("fig11_tables", &format!("lpm/{n}/old"), serial, 1);
+            EnginePoint {
+                build_ms: build,
+                ns_serial: serial,
+                ns_x4: x4,
+            }
+        });
+
+        // Both engines must agree on the probe stream (spot equivalence
+        // on the measured workload, on top of the unit-level fuzzing).
+        if n <= OLD_TRIE_CAP {
+            let mut trie = IpTrie::new();
+            for (i, &(addr, plen)) in prefixes.iter().enumerate() {
+                trie.insert(addr, plen, i as u32);
+            }
+            for &a in &probes {
+                assert_eq!(trie.lookup(a), multibit.lookup(a), "divergence at {a:#x}");
+            }
+        }
+
+        out.push(LpmPoint {
+            routes: n,
+            old,
+            multibit: multibit_pt,
+        });
+    }
+    out
+}
+
+/// Field layout of the generated ACLs: src net, dst net, protocol,
+/// destination port — all word-aligned the way [`Check`] requires.
+const ACL_FIELDS: [(u32, u32); 4] = [
+    (24, 0xFFFF_FF00),
+    (28, 0xFFFF_FF00),
+    (20, 0x00FF_0000),
+    (32, 0xFFFF_0000),
+];
+
+/// Value pools per field (bounded pools make subtree sharing possible,
+/// like real ACLs reusing the same nets and ports).
+const ACL_POOLS: [u32; 4] = [48, 48, 3, 256];
+
+fn acl_field_value(lcg: &mut Lcg, field: usize) -> u32 {
+    let (_, mask) = ACL_FIELDS[field];
+    let pick = lcg.below(ACL_POOLS[field]);
+    let v = match field {
+        0 => pick << 12,
+        1 => pick << 12,
+        2 => [1u32, 6, 17][pick as usize] << 16,
+        _ => (pick + 1) << 16,
+    };
+    assert_eq!(v & !mask, 0, "value escapes mask");
+    v
+}
+
+/// Generates an `n`-rule fully-specified 4-field ACL plus a trailing
+/// default-allow, deterministic in `seed`.
+pub fn synthetic_acl(seed: u64, n: usize) -> Vec<Rule> {
+    let mut lcg = Lcg::new(seed);
+    let mut rules: Vec<Rule> = (0..n)
+        .map(|_| {
+            let checks: Vec<Cond> = (0..ACL_FIELDS.len())
+                .map(|f| {
+                    let (off, mask) = ACL_FIELDS[f];
+                    Cond::Check(Check::new(off, mask, acl_field_value(&mut lcg, f)))
+                })
+                .collect();
+            let action = if lcg.below(4) == 0 {
+                Action::Drop
+            } else {
+                Action::Emit(lcg.below(4) as usize)
+            };
+            Rule {
+                cond: Cond::And(checks),
+                action,
+            }
+        })
+        .collect();
+    rules.push(Rule {
+        cond: Cond::True,
+        action: Action::Emit(0),
+    });
+    rules
+}
+
+/// Probe frames for the ACL: half plant a random rule's exact field
+/// values (a hit somewhere in the table), half sample the pools
+/// uniformly (almost always falling through to the default).
+fn acl_probes(seed: u64, rules: &[Rule], n: usize) -> Vec<Vec<u8>> {
+    let mut lcg = Lcg::new(seed);
+    (0..n)
+        .map(|_| {
+            let mut frame = vec![0u8; 64];
+            let values: Vec<u32> = if lcg.below(2) == 0 {
+                let r = &rules[lcg.below(rules.len() as u32 - 1) as usize];
+                match &r.cond {
+                    Cond::And(cs) => cs
+                        .iter()
+                        .map(|c| match c {
+                            Cond::Check(chk) => chk.value,
+                            _ => 0,
+                        })
+                        .collect(),
+                    _ => vec![0; ACL_FIELDS.len()],
+                }
+            } else {
+                (0..ACL_FIELDS.len())
+                    .map(|f| acl_field_value(&mut lcg, f))
+                    .collect()
+            };
+            for (f, &(off, _)) in ACL_FIELDS.iter().enumerate() {
+                frame[off as usize..off as usize + 4].copy_from_slice(&values[f].to_be_bytes());
+            }
+            frame
+        })
+        .collect()
+}
+
+/// Measures serial and 4-shard ns/packet of one classify function over
+/// the probe frames.
+fn measure_classify(
+    h: &Harness,
+    probes: &[Vec<u8>],
+    mut f: impl FnMut(&[u8]) -> usize,
+) -> (f64, f64) {
+    let serial = h.measure(|| {
+        probes
+            .iter()
+            .map(|p| std::hint::black_box(f(p)))
+            .sum::<usize>()
+    }) / probes.len() as f64;
+    let mut parts: Vec<Vec<&Vec<u8>>> = (0..SHARDS).map(|_| Vec::new()).collect();
+    for (i, p) in probes.iter().enumerate() {
+        parts[i % SHARDS].push(p);
+    }
+    let mut worst = 0.0f64;
+    for part in &parts {
+        if part.is_empty() {
+            continue;
+        }
+        let t = h.measure(|| {
+            part.iter()
+                .map(|p| std::hint::black_box(f(p)))
+                .sum::<usize>()
+        });
+        worst = worst.max(t);
+    }
+    (serial, worst / probes.len() as f64)
+}
+
+/// Runs the classifier sweep over `sizes`.
+pub fn run_classifier_sweep(h: &Harness, sizes: &[usize]) -> Vec<ClassifierPoint> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        let rules = synthetic_acl(0xAC1 + n as u64, n);
+        let probes = acl_probes(0xF10 + n as u64, &rules, PROBES);
+
+        let t = Instant::now();
+        let tree = build_tree(&rules, 4);
+        let tree_build = t.elapsed().as_secs_f64() * 1e3;
+        let (tree_serial, tree_x4) =
+            measure_classify(h, &probes, |p| tree.classify(p).unwrap_or(4));
+        report("fig11_tables", &format!("acl/{n}/tree"), tree_serial, 1);
+
+        let t = Instant::now();
+        let diagram = build_diagram(&rules, 4);
+        let diag_build = t.elapsed().as_secs_f64() * 1e3;
+        diagram.validate().expect("diagram validates");
+        let depth = diagram.depth();
+        assert!(
+            depth <= diagram.fields.len(),
+            "depth {depth} exceeds field count {}",
+            diagram.fields.len()
+        );
+        let (diag_serial, diag_x4) =
+            measure_classify(h, &probes, |p| diagram.classify(p).unwrap_or(4));
+        report("fig11_tables", &format!("acl/{n}/diagram"), diag_serial, 1);
+
+        // Semantic agreement on the measured workload.
+        for p in &probes {
+            assert_eq!(tree.classify(p), diagram.classify(p), "ACL divergence");
+        }
+
+        out.push(ClassifierPoint {
+            rules: n,
+            tree: EnginePoint {
+                build_ms: tree_build,
+                ns_serial: tree_serial,
+                ns_x4: tree_x4,
+            },
+            diagram: EnginePoint {
+                build_ms: diag_build,
+                ns_serial: diag_serial,
+                ns_x4: diag_x4,
+            },
+            diagram_depth: depth,
+            fields: diagram.fields.len(),
+            diagram_nodes: diagram.nodes.len(),
+        });
+    }
+    out
+}
+
+/// Runs both sweeps. `quick` trims each curve to its CI-sized prefix
+/// (100k routes, 1k rules) and uses the short harness.
+pub fn run_fig11_tables(quick: bool) -> TablesResults {
+    let h = if quick {
+        Harness::quick()
+    } else {
+        Harness::default()
+    };
+    let route_sizes: Vec<usize> = ROUTE_SIZES
+        .iter()
+        .copied()
+        .filter(|&n| !quick || n <= 100_000)
+        .collect();
+    let rule_sizes: Vec<usize> = RULE_SIZES
+        .iter()
+        .copied()
+        .filter(|&n| !quick || n <= 1_000)
+        .collect();
+    TablesResults {
+        lpm: run_lpm_sweep(&h, &route_sizes),
+        classifier: run_classifier_sweep(&h, &rule_sizes),
+    }
+}
+
+impl TablesResults {
+    /// True when the multibit trie is at least as fast as the old trie
+    /// at every measured size of 100k routes and up (the PR's headline
+    /// claim; the CI job greps the JSON field this feeds).
+    pub fn multibit_beats_old_at_scale(&self) -> bool {
+        self.lpm
+            .iter()
+            .filter(|p| p.routes >= 100_000)
+            .filter_map(|p| p.old.as_ref().map(|o| (o, &p.multibit)))
+            .all(|(o, m)| m.ns_serial <= o.ns_serial)
+    }
+
+    /// True when every diagram's match depth is bounded by its field
+    /// count.
+    pub fn diagram_depth_bounded(&self) -> bool {
+        self.classifier.iter().all(|p| p.diagram_depth <= p.fields)
+    }
+}
+
+fn engine_json(e: &EnginePoint) -> String {
+    format!(
+        "{{\"build_ms\": {:.2}, \"ns_per_packet\": {:.1}, \"ns_per_packet_x4\": {:.1}}}",
+        e.build_ms, e.ns_serial, e.ns_x4
+    )
+}
+
+/// Renders the sweep as a stable JSON document.
+pub fn to_json(r: &TablesResults) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"figure\": \"fig11_tables\",\n");
+    s.push_str(&format!("  \"probes\": {PROBES},\n"));
+    s.push_str(&format!("  \"diversity\": {DIVERSITY},\n"));
+    s.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    s.push_str(&format!(
+        "  \"sanity_multibit_beats_old_at_scale\": {},\n",
+        r.multibit_beats_old_at_scale()
+    ));
+    s.push_str(&format!(
+        "  \"sanity_diagram_depth_bounded\": {},\n",
+        r.diagram_depth_bounded()
+    ));
+    s.push_str(
+        "  \"methodology\": \"seeded-LCG synthetic-BGP prefixes and 4-field ACLs; \
+         ns_per_packet is the harness median over the probe stream; x4 partitions the \
+         stream by destination hash and charges the busiest shard; the old one-bit trie \
+         is capped at 100k prefixes\",\n",
+    );
+    s.push_str("  \"lpm\": {\n");
+    for (i, p) in r.lpm.iter().enumerate() {
+        let old = p.old.as_ref().map_or("null".to_string(), engine_json);
+        s.push_str(&format!(
+            "    \"{}\": {{\"old\": {old}, \"multibit\": {}}}{}\n",
+            p.routes,
+            engine_json(&p.multibit),
+            if i + 1 < r.lpm.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"classifier\": {\n");
+    for (i, p) in r.classifier.iter().enumerate() {
+        s.push_str(&format!(
+            "    \"{}\": {{\"tree\": {}, \"diagram\": {}, \"diagram_depth\": {}, \
+             \"fields\": {}, \"diagram_nodes\": {}}}{}\n",
+            p.rules,
+            engine_json(&p.tree),
+            engine_json(&p.diagram),
+            p.diagram_depth,
+            p.fields,
+            p.diagram_nodes,
+            if i + 1 < r.classifier.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_prefixes_are_distinct_and_masked() {
+        let p = synthetic_bgp_prefixes(1, 5_000);
+        assert_eq!(p.len(), 5_000);
+        assert_eq!(p[0], (0, 0), "default route first");
+        let distinct: std::collections::HashSet<_> = p.iter().collect();
+        assert_eq!(distinct.len(), p.len());
+        for &(addr, plen) in &p[1..] {
+            assert!((8..=32).contains(&plen));
+            if plen < 32 {
+                assert_eq!(
+                    addr & (u32::MAX >> plen),
+                    0,
+                    "host bits in {addr:#x}/{plen}"
+                );
+            }
+        }
+        // The /24 skew is present.
+        let slash24 = p.iter().filter(|&&(_, l)| l == 24).count();
+        assert!(slash24 * 10 > p.len() * 4, "{slash24} /24s in {}", p.len());
+    }
+
+    #[test]
+    fn acl_tree_and_diagram_agree() {
+        let rules = synthetic_acl(9, 300);
+        let tree = build_tree(&rules, 4);
+        let diagram = build_diagram(&rules, 4);
+        assert!(diagram.depth() <= diagram.fields.len());
+        for p in acl_probes(10, &rules, 512) {
+            assert_eq!(tree.classify(&p), diagram.classify(&p));
+        }
+    }
+
+    #[test]
+    fn quick_sweep_produces_sane_json() {
+        // Miniature end-to-end pass: tiny sizes, quick harness.
+        let h = Harness::quick();
+        let r = TablesResults {
+            lpm: run_lpm_sweep(&h, &[1_000]),
+            classifier: run_classifier_sweep(&h, &[10, 100]),
+        };
+        assert!(r.diagram_depth_bounded());
+        let j = to_json(&r);
+        assert!(j.contains("\"figure\": \"fig11_tables\""));
+        assert!(j.contains("\"1000\": {\"old\": {"));
+        assert!(j.contains("\"sanity_diagram_depth_bounded\": true"));
+    }
+}

@@ -38,7 +38,7 @@ impl Check {
 }
 
 /// A boolean condition over word compares.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// A single comparison.
     Check(Check),
@@ -113,7 +113,7 @@ impl Cond {
 }
 
 /// What happens to packets matching a rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Emit on the given output port (Classifier outputs, IPFilter `allow`).
     Emit(usize),

@@ -8,6 +8,7 @@
 //! contiguous [`ClassifierProgram`]. Either way the generic tree-walk and
 //! its memory traffic are gone.
 
+use crate::diagram::DecisionDiagram;
 use crate::program::ClassifierProgram;
 use crate::tree::{DecisionTree, Step};
 use click_core::error::{Error, Result};
@@ -108,6 +109,9 @@ pub enum FastMatcher {
     },
     /// General case: a contiguous compiled program.
     Program(ClassifierProgram),
+    /// Large rule sets: an ordered-field decision diagram whose match
+    /// depth is bounded by the field count (see [`crate::diagram`]).
+    Diagram(DecisionDiagram),
 }
 
 impl FastMatcher {
@@ -193,6 +197,7 @@ impl FastMatcher {
                 }
             }
             FastMatcher::Program(p) => p.classify(data),
+            FastMatcher::Diagram(d) => d.classify(data),
         }
     }
 
@@ -203,6 +208,7 @@ impl FastMatcher {
             | FastMatcher::SingleCheck { noutputs, .. }
             | FastMatcher::DoubleCheck { noutputs, .. } => *noutputs,
             FastMatcher::Program(p) => p.noutputs(),
+            FastMatcher::Diagram(d) => d.noutputs,
         }
     }
 
@@ -214,6 +220,7 @@ impl FastMatcher {
             FastMatcher::SingleCheck { .. } => "single-check",
             FastMatcher::DoubleCheck { .. } => "double-check",
             FastMatcher::Program(_) => "program",
+            FastMatcher::Diagram(_) => "diagram",
         }
     }
 }
@@ -249,6 +256,7 @@ impl fmt::Display for FastMatcher {
                 first.0, first.1, first.2, second.0, second.1, second.2
             ),
             FastMatcher::Program(p) => write!(f, "fast {p}"),
+            FastMatcher::Diagram(d) => write!(f, "fast {d}"),
         }
     }
 }
@@ -327,6 +335,7 @@ impl std::str::FromStr for FastMatcher {
                 })
             }
             Some("prog") => Ok(FastMatcher::Program(rest.parse()?)),
+            Some("diag") => Ok(FastMatcher::Diagram(rest.parse()?)),
             _ => Err(bad("unknown shape")),
         }
     }

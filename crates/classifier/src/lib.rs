@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod build;
+pub mod diagram;
 pub mod fast;
 pub mod firewall;
 pub mod interp;
@@ -43,6 +44,7 @@ pub mod program;
 pub mod tree;
 
 pub use build::{build_tree, Action, Check, Cond, Rule};
+pub use diagram::{build_diagram, DecisionDiagram};
 pub use fast::FastMatcher;
 pub use interp::TreeClassifier;
 pub use optimize::optimize;

@@ -5,10 +5,12 @@
 //! element's specification, unconnected ports, and push/pull violations
 //! (a push output or pull input must have exactly one connection).
 
+use crate::config::split_args;
 use crate::graph::{ElementId, RouterGraph};
 use crate::pushpull::{resolve, PortAssignment};
 use crate::registry::Library;
 use crate::spec::PortKind;
+use std::collections::HashMap;
 use std::fmt;
 
 /// How serious a diagnostic is.
@@ -200,6 +202,8 @@ pub fn check(graph: &RouterGraph, library: &Library) -> CheckReport {
         }
     }
 
+    check_route_tables(graph, &mut ds);
+
     // Push/pull resolution and connection-count rules.
     let ports = match resolve(graph, library) {
         Ok(pa) => {
@@ -216,6 +220,78 @@ pub fn check(graph: &RouterGraph, library: &Library) -> CheckReport {
     CheckReport {
         diagnostics: ds,
         ports,
+    }
+}
+
+/// Parses one `ADDR[/PLEN] [GW] PORT` route entry; `None` for anything the
+/// element itself would reject (the install-time error already covers it).
+fn parse_route(entry: &str) -> Option<(u32, u32, usize)> {
+    let words: Vec<&str> = entry.split_whitespace().collect();
+    if !(2..=3).contains(&words.len()) {
+        return None;
+    }
+    let (addr_str, plen) = match words[0].split_once('/') {
+        Some((a, p)) => (a, p.parse::<u32>().ok().filter(|&p| p <= 32)?),
+        None => (words[0], 32),
+    };
+    let mut addr = 0u32;
+    let mut octets = 0;
+    for o in addr_str.split('.') {
+        addr = (addr << 8) | u32::from(o.parse::<u8>().ok()?);
+        octets += 1;
+    }
+    if octets != 4 {
+        return None;
+    }
+    let mask = if plen == 0 {
+        0
+    } else {
+        u32::MAX << (32 - plen)
+    };
+    let port = words[words.len() - 1].parse::<usize>().ok()?;
+    Some((addr & mask, plen, port))
+}
+
+/// Route-table lint for `StaticIPLookup` / `LookupIPRoute`: the element
+/// builds its table with later duplicates overriding earlier entries, so a
+/// repeated prefix is at best dead configuration and at worst (when the
+/// output ports disagree) silently rewires traffic. Both cases warn.
+fn check_route_tables(graph: &RouterGraph, ds: &mut Vec<Diagnostic>) {
+    for (_, decl) in graph.elements() {
+        if !matches!(decl.class(), "StaticIPLookup" | "LookupIPRoute") {
+            continue;
+        }
+        let mut seen: HashMap<(u32, u32), usize> = HashMap::new();
+        for entry in split_args(decl.config()) {
+            let Some((addr, plen, port)) = parse_route(&entry) else {
+                continue;
+            };
+            let ip = format!(
+                "{}.{}.{}.{}",
+                addr >> 24,
+                (addr >> 16) & 0xFF,
+                (addr >> 8) & 0xFF,
+                addr & 0xFF
+            );
+            match seen.insert((addr, plen), port) {
+                Some(prev) if prev != port => diag(
+                    ds,
+                    Severity::Warning,
+                    Some(decl.name()),
+                    format!(
+                        "route {ip}/{plen} -> output {prev} is shadowed by a \
+                         later duplicate -> output {port}"
+                    ),
+                ),
+                Some(_) => diag(
+                    ds,
+                    Severity::Warning,
+                    Some(decl.name()),
+                    format!("duplicate route {ip}/{plen} -> output {port}"),
+                ),
+                None => {}
+            }
+        }
     }
 }
 
@@ -359,6 +435,55 @@ mod tests {
         assert_eq!(w.len(), 1);
         assert_eq!(w[0].element.as_deref(), Some("i"));
         assert!(w[0].message.contains("not connected to anything"));
+    }
+
+    #[test]
+    fn route_table_lint_warns_on_duplicates_and_shadows() {
+        // 10.0.0.0/8 repeats with the same port (dead entry); 10.1.2.9/24
+        // masks to 10.1.2.0/24 and flips the port (silent rewire).
+        let r = report(
+            "Idle -> rt :: StaticIPLookup(0.0.0.0/0 0, 10.0.0.0/8 1, 10.0.0.0/8 1, \
+             10.1.2.0/24 0, 10.1.2.9/24 1); rt [0] -> Discard; rt [1] -> Discard;",
+        );
+        assert!(r.is_ok(), "{:?}", r.diagnostics);
+        let warnings: Vec<&Diagnostic> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .collect();
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert!(warnings
+            .iter()
+            .any(|d| d.message == "duplicate route 10.0.0.0/8 -> output 1"));
+        assert!(warnings.iter().any(|d| d.message
+            == "route 10.1.2.0/24 -> output 0 is shadowed by a later duplicate -> output 1"));
+    }
+
+    #[test]
+    fn route_table_lint_accepts_clean_tables() {
+        // Gateway form, host routes without /32, and distinct prefixes at
+        // the same address but different lengths are all fine.
+        let r = report(
+            "Idle -> rt :: LookupIPRoute(0.0.0.0/0 18.26.4.1 0, 10.0.0.0/8 1, \
+             10.0.0.0/16 1, 10.0.0.1 1); rt [0] -> Discard; rt [1] -> Discard;",
+        );
+        assert!(r.is_ok(), "{:?}", r.diagnostics);
+        assert!(
+            r.diagnostics.is_empty(),
+            "clean table must not warn: {:?}",
+            r.diagnostics
+        );
+    }
+
+    #[test]
+    fn route_table_lint_skips_malformed_entries() {
+        // Malformed entries fail at install time; the lint stays quiet
+        // rather than double-reporting.
+        let r = report(
+            "Idle -> rt :: StaticIPLookup(bogus, 10.0.0.0/99 0, 0.0.0.0/0 0); \
+             rt [0] -> Discard;",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 
     #[test]

@@ -98,6 +98,37 @@ fn disconnected_element_is_a_named_warning() {
 }
 
 #[test]
+fn shadowed_route_prefix_is_a_named_warning() {
+    // 10.1.2.77/24 masks to the same prefix as 10.1.2.0/24 but routes to a
+    // different output; the later entry wins when the table is built.
+    let r = report(
+        "Idle -> rt :: LookupIPRoute(0.0.0.0/0 0, 10.1.2.0/24 1, 10.1.2.77/24 2); \
+         rt [0] -> Discard; rt [1] -> Discard; rt [2] -> Discard;",
+    );
+    assert!(r.is_ok(), "{:?}", r.diagnostics);
+    let d = find(&r, "shadowed");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.element.as_deref(), Some("rt"));
+    assert_eq!(
+        d.message,
+        "route 10.1.2.0/24 -> output 1 is shadowed by a later duplicate -> output 2"
+    );
+}
+
+#[test]
+fn duplicate_route_prefix_is_a_named_warning() {
+    let r = report(
+        "Idle -> rt :: StaticIPLookup(0.0.0.0/0 0, 10.0.0.0/8 1, 10.0.0.0/8 1); \
+         rt [0] -> Discard; rt [1] -> Discard;",
+    );
+    assert!(r.is_ok(), "{:?}", r.diagnostics);
+    let d = find(&r, "duplicate route");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.element.as_deref(), Some("rt"));
+    assert_eq!(d.message, "duplicate route 10.0.0.0/8 -> output 1");
+}
+
+#[test]
 fn errors_sort_before_warnings() {
     let r = report("leftover :: Idle; z :: Zorp; d :: Discard; z -> d;");
     assert!(!r.is_ok());

@@ -8,8 +8,10 @@ use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{args, config_err, int_arg, CreateCtx, Element, Emitter};
 use crate::headers::{ipv4, parse_ip};
 use crate::packet::Packet;
-use crate::routing::IpTrie;
+use crate::routing::MultibitTrie;
+use crate::swap::ElementState;
 use click_core::error::Result;
+use std::cell::OnceCell;
 
 /// `CheckIPHeader`: validates the IP header; bad packets go to output 1
 /// (or are dropped if output 1 is unconnected).
@@ -505,13 +507,41 @@ impl Element for ICMPError {
     }
 }
 
+/// The bulk payload `StaticIPLookup` moves across a hot swap: the live
+/// multibit trie, tagged with a hash of the configuration it was built
+/// from so a successor with different routes rejects it.
+struct CarriedTable {
+    config_fnv: u64,
+    table: MultibitTrie<(Option<u32>, usize)>,
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// `StaticIPLookup` / `LookupIPRoute`: longest-prefix-match routing. Route
 /// entries are `addr/prefix [gateway] output`.
+///
+/// Backed by a Poptrie-style [`MultibitTrie`], built lazily on first
+/// lookup so a hot swap can hand the predecessor's live table over
+/// ([`Element::take_state`]/[`Element::restore_state`]) without ever
+/// rebuilding it — at a million routes, the rebuild is the expensive
+/// part of a swap.
 #[derive(Debug)]
 pub struct StaticIPLookup {
-    trie: IpTrie<(Option<u32>, usize)>,
+    /// Parsed route entries, in configuration order (later duplicates
+    /// override earlier ones when the table is built).
+    routes: Vec<(u32, u8, Option<u32>, usize)>,
+    table: OnceCell<MultibitTrie<(Option<u32>, usize)>>,
+    config_fnv: u64,
     class: &'static str,
     no_route: u64,
+    table_adoptions: u64,
 }
 
 impl StaticIPLookup {
@@ -530,7 +560,7 @@ impl StaticIPLookup {
         if a.is_empty() {
             return Err(config_err(class, "expects at least one route"));
         }
-        let mut trie = IpTrie::new();
+        let mut routes = Vec::with_capacity(a.len());
         for route in &a {
             let words: Vec<&str> = route.split_whitespace().collect();
             if !(2..=3).contains(&words.len()) {
@@ -563,20 +593,73 @@ impl StaticIPLookup {
             } else {
                 addr & (u32::MAX << (32 - plen))
             };
-            trie.insert(masked, plen, (gw, port));
+            routes.push((masked, plen, gw, port));
         }
         Ok(StaticIPLookup {
-            trie,
+            routes,
+            table: OnceCell::new(),
+            config_fnv: fnv64(config),
             class,
             no_route: 0,
+            table_adoptions: 0,
+        })
+    }
+
+    /// The live table, built from the parsed routes on first use (unless
+    /// a hot swap already installed a carried one).
+    fn table(&self) -> &MultibitTrie<(Option<u32>, usize)> {
+        self.table.get_or_init(|| {
+            let mut t = MultibitTrie::new();
+            for &(addr, plen, gw, port) in &self.routes {
+                t.insert(addr, plen, (gw, port));
+            }
+            t
         })
     }
 
     /// Looks up an address, returning `(next_hop_annotation, output port)`.
     pub fn route(&self, dst: u32) -> Option<(u32, usize)> {
-        self.trie
+        self.table()
             .lookup(dst)
             .map(|&(gw, port)| (gw.unwrap_or(dst), port))
+    }
+
+    /// Like [`StaticIPLookup::route`], also reporting the number of
+    /// interior stride nodes the lookup visited (for the cost model).
+    pub fn route_steps(&self, dst: u32) -> (Option<(u32, usize)>, usize) {
+        let (v, steps) = self.table().lookup_steps(dst);
+        (v.map(|&(gw, port)| (gw.unwrap_or(dst), port)), steps)
+    }
+
+    /// Incrementally adds (or updates) one route in the live table.
+    pub fn insert_route(&mut self, addr: u32, plen: u8, gw: Option<u32>, port: usize) {
+        self.table();
+        self.table
+            .get_mut()
+            .expect("table just initialized")
+            .insert(addr, plen, (gw, port));
+    }
+
+    /// Incrementally removes one exact prefix from the live table,
+    /// returning true if it was present.
+    pub fn remove_route(&mut self, addr: u32, plen: u8) -> bool {
+        self.table();
+        self.table
+            .get_mut()
+            .expect("table just initialized")
+            .remove(addr, plen)
+            .is_some()
+    }
+
+    /// Number of distinct prefixes in the live table.
+    pub fn route_count(&self) -> usize {
+        self.table().len()
+    }
+
+    /// How many times this element (across its hot-swap lineage) adopted
+    /// a predecessor's table instead of rebuilding.
+    pub fn table_adoptions(&self) -> u64 {
+        self.table_adoptions
     }
 }
 
@@ -627,7 +710,40 @@ impl Element for StaticIPLookup {
         out.recycle_storage(batch);
     }
     fn stat(&self, name: &str) -> Option<u64> {
-        (name == "no_route").then_some(self.no_route)
+        match name {
+            "no_route" => Some(self.no_route),
+            "table_adoptions" => Some(self.table_adoptions),
+            _ => None,
+        }
+    }
+    fn take_state(&mut self) -> Option<ElementState> {
+        let mut state = ElementState::new(self.class)
+            .counter("no_route", self.no_route)
+            .counter("table_adoptions", self.table_adoptions);
+        // Move the live table out whole; never rebuilt on the far side
+        // if the successor's routes are identical.
+        if let Some(table) = self.table.take() {
+            state = state.with_payload(CarriedTable {
+                config_fnv: self.config_fnv,
+                table,
+            });
+        }
+        Some(state)
+    }
+    fn restore_state(&mut self, mut state: ElementState) {
+        self.no_route += state.get("no_route");
+        let mut adoptions = state.get("table_adoptions");
+        if let Some(carried) = state.take_payload::<CarriedTable>() {
+            // Adopt only when built from the same configuration and our
+            // own lazy build has not run yet — otherwise the new
+            // configuration wins and the carried table is dropped.
+            if carried.config_fnv == self.config_fnv && self.table.get().is_none() {
+                let _ = self.table.set(carried.table);
+                adoptions += 1;
+            }
+        }
+        self.table_adoptions = adoptions;
+        state.recycle_packets();
     }
 }
 
@@ -835,6 +951,42 @@ mod tests {
         let outs = push_one(&mut r, p);
         assert_eq!(outs[0].0, 2);
         assert_eq!(outs[0].1.anno.dst_ip, Some(0x0A000209)); // via gateway
+    }
+
+    #[test]
+    fn static_ip_lookup_carries_table_across_swap() {
+        let config = "10.0.1.0/24 0, 10.0.2.0/24 1, 0.0.0.0/0 2";
+        let mut old = StaticIPLookup::from_config(config, &mut ctx()).unwrap();
+        assert_eq!(old.route(0x0A000105), Some((0x0A000105, 0)));
+        old.no_route += 3;
+        let state = old.take_state().unwrap();
+
+        // Same configuration: the live table is adopted, not rebuilt.
+        let mut new = StaticIPLookup::from_config(config, &mut ctx()).unwrap();
+        new.restore_state(state);
+        assert_eq!(new.stat("table_adoptions"), Some(1));
+        assert_eq!(new.stat("no_route"), Some(3));
+        assert_eq!(new.route(0x0A000205), Some((0x0A000205, 1)));
+
+        // Different configuration: carried table rejected, own routes win.
+        let state = new.take_state().unwrap();
+        let mut other = StaticIPLookup::from_config("10.9.0.0/16 1", &mut ctx()).unwrap();
+        other.restore_state(state);
+        assert_eq!(other.stat("table_adoptions"), Some(1)); // lineage count, no new adoption
+        assert_eq!(other.route(0x0A000105), None);
+        assert_eq!(other.route(0x0A090001), Some((0x0A090001, 1)));
+    }
+
+    #[test]
+    fn static_ip_lookup_incremental_updates() {
+        let mut r = StaticIPLookup::from_config("10.0.0.0/8 0", &mut ctx()).unwrap();
+        assert_eq!(r.route_count(), 1);
+        r.insert_route(0x0A010000, 16, None, 1);
+        assert_eq!(r.route(0x0A010203), Some((0x0A010203, 1)));
+        assert_eq!(r.route_count(), 2);
+        assert!(r.remove_route(0x0A010000, 16));
+        assert!(!r.remove_route(0x0A010000, 16));
+        assert_eq!(r.route(0x0A010203), Some((0x0A010203, 0)));
     }
 
     #[test]

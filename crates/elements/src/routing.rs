@@ -1,8 +1,18 @@
-//! Longest-prefix-match IP routing table.
+//! Longest-prefix-match IP routing tables.
 //!
-//! The substrate for `StaticIPLookup`/`LookupIPRoute`: a binary trie over
-//! address bits, built from scratch (no dependency), with exact
-//! longest-match semantics.
+//! The substrate for `StaticIPLookup`/`LookupIPRoute`. Two engines with
+//! identical semantics:
+//!
+//! * [`IpTrie`] — the original one-bit-per-level binary trie, kept as
+//!   the reference implementation and for small tables.
+//! * [`MultibitTrie`] — a Poptrie/DXR-style compressed multibit trie: a
+//!   16-bit direct-index root stride followed by popcount-compressed
+//!   6/6/4-bit strides with flat `Vec`-backed node and leaf arrays, so
+//!   a full-BGP-sized table answers a lookup in at most four indexed
+//!   loads. Insert/remove/update are incremental (chunk-local), so a
+//!   live million-route table survives a hot swap without a rebuild.
+
+use std::collections::HashMap;
 
 /// A binary trie mapping IPv4 prefixes to values.
 #[derive(Debug, Clone)]
@@ -89,6 +99,17 @@ impl<T> IpTrie<T> {
         self.nodes[cur].value.as_ref()
     }
 
+    /// Removes an exact prefix, returning its value. Interior nodes are
+    /// left in place (they are tiny and may be reused by reinserts).
+    pub fn remove(&mut self, addr: u32, plen: u8) -> Option<T> {
+        let mut cur = 0usize;
+        for i in 0..plen {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            cur = self.nodes[cur].children[bit].map(|n| n as usize)?;
+        }
+        self.nodes[cur].value.take()
+    }
+
     /// Number of stored prefixes.
     pub fn len(&self) -> usize {
         self.nodes.iter().filter(|n| n.value.is_some()).count()
@@ -97,6 +118,408 @@ impl<T> IpTrie<T> {
     /// True if no prefixes are stored.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Sentinel for "no value / no node" in the packed arrays.
+const NONE: u32 = u32::MAX;
+
+/// Stride plan over the low 16 bits: `(shift, width)` per level. The
+/// top 16 bits are consumed by the direct-index root, the rest by at
+/// most three popcount-compressed strides (6 + 6 + 4 = 16).
+const LEVELS: [(u32, u32); 3] = [(10, 6), (4, 6), (0, 4)];
+
+fn mask_addr(addr: u32, plen: u8) -> u32 {
+    if plen == 0 {
+        0
+    } else {
+        addr & (u32::MAX << (32 - u32::from(plen)))
+    }
+}
+
+/// One entry of the 2^16-slot direct-index root: the leaf-pushed best
+/// short-prefix value (`plen <= 16`) plus the root of the chunk's
+/// subtree of longer prefixes, if any.
+#[derive(Debug, Clone, Copy)]
+struct RootSlot {
+    leaf: u32,
+    child: u32,
+    leaf_plen: u8,
+}
+
+const EMPTY_SLOT: RootSlot = RootSlot {
+    leaf: NONE,
+    child: NONE,
+    leaf_plen: 0,
+};
+
+/// A popcount-compressed interior node: two 64-bit occupancy bitmaps
+/// and base offsets into the shared [`MultibitTrie::pool`] where the
+/// node's leaf values and child indices are stored contiguously.
+#[derive(Debug, Clone, Copy)]
+struct PackedNode {
+    child_bm: u64,
+    leaf_bm: u64,
+    base_children: u32,
+    base_leaves: u32,
+}
+
+/// A Poptrie/DXR-style compressed multibit trie over IPv4 prefixes.
+///
+/// Layout: a 65 536-slot direct-index array covers the top 16 address
+/// bits; each slot carries the leaf-pushed longest short prefix
+/// (`plen <= 16`) covering it and, when the chunk holds longer
+/// prefixes, the root of a subtree of packed nodes with 6-, 6- and
+/// 4-bit strides. Per-node leaf/child arrays live contiguously in one
+/// shared pool, so a lookup is a root load plus at most three
+/// bitmap-popcount hops regardless of table size.
+///
+/// Mutation is incremental: a short-prefix insert or remove repaints
+/// only the root slots it covers; a long-prefix insert or remove
+/// rebuilds only its own chunk's subtree (a handful of nodes).
+/// Replacing the value of an existing prefix is O(1) — the value arena
+/// is updated in place and no nodes move. Freed nodes and pool ranges
+/// are recycled, with the pool compacted when over half garbage.
+#[derive(Debug, Clone)]
+pub struct MultibitTrie<T> {
+    root: Vec<RootSlot>,
+    nodes: Vec<PackedNode>,
+    /// Shared storage for per-node leaf-value and child-index ranges.
+    pool: Vec<u32>,
+    /// Value arena; one slot per stored prefix.
+    values: Vec<Option<T>>,
+    free_values: Vec<u32>,
+    free_nodes: Vec<u32>,
+    pool_garbage: usize,
+    /// Authoritative store for prefixes with `plen <= 16`:
+    /// prefix -> (value index, plen).
+    short: IpTrie<(u32, u8)>,
+    /// Authoritative store for prefixes with `plen > 16`, keyed by the
+    /// top-16-bit chunk they live in.
+    long: HashMap<u16, Vec<LongEntry>>,
+    count: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LongEntry {
+    addr: u32,
+    plen: u8,
+    validx: u32,
+}
+
+impl<T> Default for MultibitTrie<T> {
+    fn default() -> Self {
+        MultibitTrie {
+            root: vec![EMPTY_SLOT; 1 << 16],
+            nodes: Vec::new(),
+            pool: Vec::new(),
+            values: Vec::new(),
+            free_values: Vec::new(),
+            free_nodes: Vec::new(),
+            pool_garbage: 0,
+            short: IpTrie::new(),
+            long: HashMap::new(),
+            count: 0,
+        }
+    }
+}
+
+impl<T> MultibitTrie<T> {
+    /// Creates an empty table.
+    pub fn new() -> MultibitTrie<T> {
+        MultibitTrie::default()
+    }
+
+    /// Inserts a prefix of `plen` bits. Replaces any existing value for
+    /// the exact same prefix and returns the old value. Replacement is
+    /// O(1); a fresh insert touches only the root slots or the one
+    /// chunk subtree the prefix lives in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plen > 32`.
+    pub fn insert(&mut self, addr: u32, plen: u8, value: T) -> Option<T> {
+        assert!(plen <= 32, "prefix length must be at most 32");
+        let addr = mask_addr(addr, plen);
+        if plen <= 16 {
+            self.insert_short(addr, plen, value)
+        } else {
+            self.insert_long(addr, plen, value)
+        }
+    }
+
+    fn alloc_value(&mut self, value: T) -> u32 {
+        if let Some(i) = self.free_values.pop() {
+            self.values[i as usize] = Some(value);
+            i
+        } else {
+            self.values.push(Some(value));
+            (self.values.len() - 1) as u32
+        }
+    }
+
+    fn insert_short(&mut self, addr: u32, plen: u8, value: T) -> Option<T> {
+        if let Some(&(vi, _)) = self.short.get(addr, plen) {
+            return self.values[vi as usize].replace(value);
+        }
+        let vi = self.alloc_value(value);
+        self.short.insert(addr, plen, (vi, plen));
+        self.count += 1;
+        // Leaf-push: paint every root slot this prefix covers, unless a
+        // longer short prefix already owns the slot. Two distinct short
+        // prefixes of equal length never cover the same slot.
+        let start = (addr >> 16) as usize;
+        for slot in &mut self.root[start..start + (1usize << (16 - plen))] {
+            if slot.leaf == NONE || slot.leaf_plen < plen {
+                slot.leaf = vi;
+                slot.leaf_plen = plen;
+            }
+        }
+        None
+    }
+
+    fn insert_long(&mut self, addr: u32, plen: u8, value: T) -> Option<T> {
+        let chunk = (addr >> 16) as u16;
+        if let Some(list) = self.long.get(&chunk) {
+            if let Some(e) = list.iter().find(|e| e.addr == addr && e.plen == plen) {
+                // In-place value update: no structure moves.
+                return self.values[e.validx as usize].replace(value);
+            }
+        }
+        let vi = self.alloc_value(value);
+        self.long.entry(chunk).or_default().push(LongEntry {
+            addr,
+            plen,
+            validx: vi,
+        });
+        self.count += 1;
+        self.rebuild_chunk(chunk);
+        None
+    }
+
+    /// Removes an exact prefix, returning its value. Touches only the
+    /// root slots or the one chunk subtree the prefix lives in.
+    pub fn remove(&mut self, addr: u32, plen: u8) -> Option<T> {
+        assert!(plen <= 32, "prefix length must be at most 32");
+        let addr = mask_addr(addr, plen);
+        if plen <= 16 {
+            let (vi, _) = self.short.remove(addr, plen)?;
+            let old = self.values[vi as usize].take();
+            self.free_values.push(vi);
+            self.count -= 1;
+            // Repaint the covered slots that the removed prefix owned
+            // with the next-longest short prefix covering them.
+            let start = (addr >> 16) as usize;
+            for s in start..start + (1usize << (16 - plen)) {
+                if self.root[s].leaf != vi {
+                    continue;
+                }
+                let (leaf, leaf_plen) = match self.short.lookup((s as u32) << 16) {
+                    Some(&(v, p)) => (v, p),
+                    None => (NONE, 0),
+                };
+                self.root[s].leaf = leaf;
+                self.root[s].leaf_plen = leaf_plen;
+            }
+            old
+        } else {
+            let chunk = (addr >> 16) as u16;
+            let list = self.long.get_mut(&chunk)?;
+            let pos = list.iter().position(|e| e.addr == addr && e.plen == plen)?;
+            let entry = list.remove(pos);
+            if list.is_empty() {
+                self.long.remove(&chunk);
+            }
+            let old = self.values[entry.validx as usize].take();
+            self.free_values.push(entry.validx);
+            self.count -= 1;
+            self.rebuild_chunk(chunk);
+            old
+        }
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: u32) -> Option<&T> {
+        self.lookup_steps(addr).0
+    }
+
+    /// Longest-prefix-match lookup that also reports how many interior
+    /// stride nodes were visited (0–3); the cost model charges lookups
+    /// by this depth.
+    pub fn lookup_steps(&self, addr: u32) -> (Option<&T>, usize) {
+        let slot = self.root[(addr >> 16) as usize];
+        let mut best = slot.leaf;
+        let mut node = slot.child;
+        let mut steps = 0usize;
+        if node != NONE {
+            let low = addr & 0xFFFF;
+            for (shift, width) in LEVELS {
+                steps += 1;
+                let n = self.nodes[node as usize];
+                let i = (low >> shift) & ((1 << width) - 1);
+                let bit = 1u64 << i;
+                if n.leaf_bm & bit != 0 {
+                    let pos = (n.leaf_bm & (bit - 1)).count_ones() as usize;
+                    best = self.pool[n.base_leaves as usize + pos];
+                }
+                if n.child_bm & bit != 0 {
+                    let pos = (n.child_bm & (bit - 1)).count_ones() as usize;
+                    node = self.pool[n.base_children as usize + pos];
+                } else {
+                    break;
+                }
+            }
+        }
+        if best == NONE {
+            (None, steps)
+        } else {
+            (self.values[best as usize].as_ref(), steps)
+        }
+    }
+
+    /// Exact-prefix lookup.
+    pub fn get(&self, addr: u32, plen: u8) -> Option<&T> {
+        let addr = mask_addr(addr, plen.min(32));
+        if plen <= 16 {
+            let &(vi, _) = self.short.get(addr, plen)?;
+            self.values[vi as usize].as_ref()
+        } else {
+            let list = self.long.get(&((addr >> 16) as u16))?;
+            let e = list.iter().find(|e| e.addr == addr && e.plen == plen)?;
+            self.values[e.validx as usize].as_ref()
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Tears down and rebuilds the subtree for one 16-bit chunk from
+    /// the chunk's authoritative long-prefix list. Old nodes and pool
+    /// ranges go on free lists; the pool is compacted when over half
+    /// garbage.
+    fn rebuild_chunk(&mut self, chunk: u16) {
+        let old = self.root[chunk as usize].child;
+        if old != NONE {
+            self.free_subtree(old);
+        }
+        let entries = self.long.get(&chunk).cloned().unwrap_or_default();
+        self.root[chunk as usize].child = if entries.is_empty() {
+            NONE
+        } else {
+            self.build_node(&entries, 0)
+        };
+        self.maybe_compact();
+    }
+
+    fn free_subtree(&mut self, idx: u32) {
+        let mut stack = vec![idx];
+        while let Some(i) = stack.pop() {
+            let n = self.nodes[i as usize];
+            let nc = n.child_bm.count_ones() as usize;
+            self.pool_garbage += nc + n.leaf_bm.count_ones() as usize;
+            for k in 0..nc {
+                stack.push(self.pool[n.base_children as usize + k]);
+            }
+            self.free_nodes.push(i);
+        }
+    }
+
+    /// Builds one stride node (and its descendants) covering `entries`,
+    /// which all share the address bits above this level. Returns the
+    /// node index.
+    fn build_node(&mut self, entries: &[LongEntry], level: usize) -> u32 {
+        let (shift, width) = LEVELS[level];
+        // Address bits of the low 16 consumed once this level resolves.
+        let boundary = 16 - shift;
+        let wmask = (1u32 << width) - 1;
+        let mut leaf_bm = 0u64;
+        let mut child_bm = 0u64;
+        let mut leaf_vals: Vec<u32> = Vec::new();
+        let mut child_idxs: Vec<u32> = Vec::new();
+        for i in 0..(1u32 << width) {
+            // Leaf-push: the longest prefix resolving at this level
+            // that covers slot `i`.
+            let mut best: Option<(u32, u32)> = None;
+            let mut sub: Vec<LongEntry> = Vec::new();
+            for e in entries {
+                let low = e.addr & 0xFFFF;
+                let plen_low = u32::from(e.plen) - 16;
+                let slot = (low >> shift) & wmask;
+                if plen_low <= boundary {
+                    let free = boundary - plen_low;
+                    if (i & !((1u32 << free) - 1)) == slot && best.is_none_or(|(p, _)| p < plen_low)
+                    {
+                        best = Some((plen_low, e.validx));
+                    }
+                } else if slot == i {
+                    sub.push(*e);
+                }
+            }
+            if let Some((_, vi)) = best {
+                leaf_bm |= 1u64 << i;
+                leaf_vals.push(vi);
+            }
+            if !sub.is_empty() {
+                child_bm |= 1u64 << i;
+                child_idxs.push(self.build_node(&sub, level + 1));
+            }
+        }
+        let base_leaves = self.pool.len() as u32;
+        self.pool.extend_from_slice(&leaf_vals);
+        let base_children = self.pool.len() as u32;
+        self.pool.extend_from_slice(&child_idxs);
+        let node = PackedNode {
+            child_bm,
+            leaf_bm,
+            base_children,
+            base_leaves,
+        };
+        if let Some(i) = self.free_nodes.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.pool.len() < 1024 || self.pool_garbage * 2 <= self.pool.len() {
+            return;
+        }
+        let mut new_pool = Vec::with_capacity(self.pool.len() - self.pool_garbage);
+        for s in 0..self.root.len() {
+            let c = self.root[s].child;
+            if c != NONE {
+                self.compact_node(c, &mut new_pool);
+            }
+        }
+        self.pool = new_pool;
+        self.pool_garbage = 0;
+    }
+
+    fn compact_node(&mut self, idx: u32, new_pool: &mut Vec<u32>) {
+        let n = self.nodes[idx as usize];
+        let nl = n.leaf_bm.count_ones() as usize;
+        let nc = n.child_bm.count_ones() as usize;
+        let bl = new_pool.len() as u32;
+        new_pool.extend_from_slice(&self.pool[n.base_leaves as usize..n.base_leaves as usize + nl]);
+        let bc = new_pool.len() as u32;
+        new_pool
+            .extend_from_slice(&self.pool[n.base_children as usize..n.base_children as usize + nc]);
+        self.nodes[idx as usize].base_leaves = bl;
+        self.nodes[idx as usize].base_children = bc;
+        for k in 0..nc {
+            let child = new_pool[bc as usize + k];
+            self.compact_node(child, new_pool);
+        }
     }
 }
 
@@ -218,5 +641,204 @@ mod tests {
                 .map(|&(_, _, v)| v);
             assert_eq!(t.lookup(q).copied(), expected, "query {q:#x}");
         }
+    }
+
+    fn lcg(seed: u64) -> impl FnMut() -> u32 {
+        let mut s = seed;
+        move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as u32
+        }
+    }
+
+    /// Brute-force longest-prefix scan: the ground truth.
+    fn linear_lpm(prefixes: &[(u32, u8, usize)], q: u32) -> Option<usize> {
+        prefixes
+            .iter()
+            .filter(|&&(a, l, _)| l == 0 || (q ^ a) >> (32 - u32::from(l)) == 0)
+            .max_by_key(|&&(_, l, _)| l)
+            .map(|&(_, _, v)| v)
+    }
+
+    #[test]
+    fn multibit_default_route_matches_everything() {
+        let mut t = MultibitTrie::new();
+        t.insert(0, 0, "default");
+        assert_eq!(t.lookup(ip("1.2.3.4")), Some(&"default"));
+        assert_eq!(t.lookup(ip("255.255.255.255")), Some(&"default"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn multibit_longest_prefix_wins_across_root_boundary() {
+        let mut t = MultibitTrie::new();
+        t.insert(0, 0, 0);
+        t.insert(ip("10.0.0.0"), 8, 1);
+        t.insert(ip("10.1.0.0"), 16, 2);
+        t.insert(ip("10.1.2.0"), 24, 3);
+        t.insert(ip("10.1.2.3"), 32, 4);
+        assert_eq!(t.lookup(ip("9.9.9.9")), Some(&0));
+        assert_eq!(t.lookup(ip("10.7.7.7")), Some(&1));
+        assert_eq!(t.lookup(ip("10.1.200.200")), Some(&2));
+        assert_eq!(t.lookup(ip("10.1.2.200")), Some(&3));
+        assert_eq!(t.lookup(ip("10.1.2.3")), Some(&4));
+    }
+
+    #[test]
+    fn multibit_insert_replaces_and_remove_restores() {
+        let mut t = MultibitTrie::new();
+        assert_eq!(t.insert(ip("10.0.0.0"), 8, 1), None);
+        assert_eq!(t.insert(ip("10.0.0.0"), 8, 2), Some(1));
+        assert_eq!(t.insert(ip("10.0.1.0"), 24, 3), None);
+        assert_eq!(t.insert(ip("10.0.1.0"), 24, 4), Some(3));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(ip("10.0.1.9")), Some(&4));
+        assert_eq!(t.remove(ip("10.0.1.0"), 24), Some(4));
+        assert_eq!(t.lookup(ip("10.0.1.9")), Some(&2));
+        assert_eq!(t.remove(ip("10.0.0.0"), 8), Some(2));
+        assert_eq!(t.lookup(ip("10.0.1.9")), None);
+        assert!(t.is_empty());
+        assert_eq!(t.remove(ip("10.0.0.0"), 8), None);
+    }
+
+    #[test]
+    fn multibit_exact_get_and_depth_bound() {
+        let mut t = MultibitTrie::new();
+        t.insert(ip("10.0.0.0"), 8, 1);
+        t.insert(ip("10.0.0.0"), 28, 2);
+        assert_eq!(t.get(ip("10.0.0.0"), 8), Some(&1));
+        assert_eq!(t.get(ip("10.0.0.0"), 28), Some(&2));
+        assert_eq!(t.get(ip("10.0.0.0"), 9), None);
+        let (v, steps) = t.lookup_steps(ip("10.0.0.1"));
+        assert_eq!(v, Some(&2));
+        assert!(steps <= 3, "stride depth {steps} exceeds plan");
+    }
+
+    #[test]
+    fn multibit_host_routes_at_chunk_edges() {
+        let mut t = MultibitTrie::new();
+        // /32s straddling a 16-bit chunk boundary.
+        for i in 0..8u32 {
+            t.insert(0x0A00FFFC + i, 32, i);
+        }
+        for i in 0..8u32 {
+            assert_eq!(t.lookup(0x0A00FFFC + i), Some(&i));
+        }
+        assert_eq!(t.lookup(0x0A00FFFB), None);
+        assert_eq!(t.lookup(0x0A010004), None);
+    }
+
+    /// Fuzz-style differential test (churn): LCG-generated prefix sets
+    /// with overlaps, a /0 default, /32 hosts, and inserts interleaved
+    /// with removes, checked address-by-address against a naive linear
+    /// longest-prefix scan — for both the old and the new trie.
+    #[test]
+    fn differential_churn_old_and_multibit_vs_linear_scan() {
+        let mut next = lcg(0xfeed_beef);
+        let mut old: IpTrie<usize> = IpTrie::new();
+        let mut multi: MultibitTrie<usize> = MultibitTrie::new();
+        let mut model: Vec<(u32, u8, usize)> = Vec::new();
+        for step in 0..600usize {
+            let roll = next() % 10;
+            if roll < 7 || model.is_empty() {
+                // Insert, with plen biased toward interesting shapes.
+                let plen = match next() % 8 {
+                    0 => 0,
+                    1 => 32,
+                    2 => 16,
+                    3 => 17,
+                    _ => (next() % 33) as u8,
+                };
+                let addr = mask_addr(next(), plen);
+                let o = old.insert(addr, plen, step);
+                let m = multi.insert(addr, plen, step);
+                assert_eq!(o, m, "insert {addr:#x}/{plen}");
+                model.retain(|&(a, l, _)| !(a == addr && l == plen));
+                model.push((addr, plen, step));
+            } else {
+                // Remove: usually an existing prefix, sometimes a miss.
+                let (addr, plen) = if next().is_multiple_of(4) {
+                    let plen = (next() % 33) as u8;
+                    (mask_addr(next(), plen), plen)
+                } else {
+                    let &(a, l, _) = &model[(next() as usize) % model.len()];
+                    (a, l)
+                };
+                let o = old.remove(addr, plen);
+                let m = multi.remove(addr, plen);
+                assert_eq!(o, m, "remove {addr:#x}/{plen}");
+                model.retain(|&(a, l, _)| !(a == addr && l == plen));
+            }
+            assert_eq!(multi.len(), model.len(), "count after step {step}");
+            if step % 40 != 0 {
+                continue;
+            }
+            // Random probes plus targeted probes around stored prefixes.
+            let mut probes: Vec<u32> = (0..200).map(|_| next()).collect();
+            for &(a, l, _) in model.iter().take(40) {
+                probes.push(a);
+                probes.push(a.wrapping_add(1));
+                probes.push(a.wrapping_sub(1));
+                probes.push(a | !mask_addr(u32::MAX, l));
+            }
+            for q in probes {
+                let want = linear_lpm(&model, q);
+                assert_eq!(old.lookup(q).copied(), want, "old trie, query {q:#x}");
+                assert_eq!(multi.lookup(q).copied(), want, "multibit, query {q:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn multibit_dense_chunk_rebuild_recycles_storage() {
+        // Hammer one chunk with inserts and removes; storage must not
+        // grow without bound and lookups must stay correct.
+        let mut t = MultibitTrie::new();
+        let mut model: Vec<(u32, u8, usize)> = Vec::new();
+        let mut next = lcg(42);
+        for round in 0..40usize {
+            for i in 0..32u32 {
+                let plen = 17 + (next() % 16) as u8;
+                let addr = mask_addr(0x0A0A0000 | (next() % 0x10000), plen);
+                if t.insert(addr, plen, round * 100 + i as usize).is_some() {
+                    model.retain(|&(a, l, _)| !(a == addr && l == plen));
+                }
+                model.push((addr, plen, round * 100 + i as usize));
+            }
+            while model.len() > 24 {
+                let (a, l, v) = model.remove((next() as usize) % model.len());
+                assert_eq!(t.remove(a, l), Some(v));
+            }
+            for _ in 0..64 {
+                let q = 0x0A0A0000 | (next() % 0x10000);
+                assert_eq!(t.lookup(q).copied(), linear_lpm(&model, q));
+            }
+        }
+        // Bounded: a 24-entry table must not retain hundreds of nodes.
+        assert!(
+            t.nodes.len() - t.free_nodes.len() <= 4 * 24,
+            "live nodes {} for {} prefixes",
+            t.nodes.len() - t.free_nodes.len(),
+            t.len()
+        );
+        assert!(
+            t.pool.len() < 1 << 14,
+            "pool grew without compaction: {}",
+            t.pool.len()
+        );
+    }
+
+    #[test]
+    fn iptrie_remove_returns_value_and_unshadows() {
+        let mut t = IpTrie::new();
+        t.insert(ip("10.0.0.0"), 8, 1);
+        t.insert(ip("10.0.0.0"), 16, 2);
+        assert_eq!(t.lookup(ip("10.0.9.9")), Some(&2));
+        assert_eq!(t.remove(ip("10.0.0.0"), 16), Some(2));
+        assert_eq!(t.lookup(ip("10.0.9.9")), Some(&1));
+        assert_eq!(t.remove(ip("10.0.0.0"), 16), None);
+        assert_eq!(t.remove(ip("11.0.0.0"), 8), None);
     }
 }

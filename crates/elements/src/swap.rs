@@ -25,9 +25,26 @@
 //! new graph out shard by shard behind a canary with automatic rollback.
 
 use click_core::registry::devirt_base;
+use std::any::Any;
 use std::collections::HashMap;
 
 use crate::packet::Packet;
+
+/// A typed-but-opaque payload an element can attach to its
+/// [`ElementState`]: bulk structures (a million-route trie, a compiled
+/// classifier) that would be absurd to serialize through the named
+/// counters and must move, not rebuild, across a hot swap.
+///
+/// The transfer machinery never looks inside; the successor element
+/// downcasts with [`ElementState::take_payload`] and decides whether the
+/// carried structure is still valid for its own configuration.
+pub struct OpaqueState(Box<dyn Any + Send>);
+
+impl std::fmt::Debug for OpaqueState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OpaqueState(..)")
+    }
+}
 
 /// Portable state extracted from one element for transfer into its
 /// successor across a hot swap.
@@ -45,6 +62,9 @@ pub struct ElementState {
     pub counters: Vec<(String, u64)>,
     /// Buffered packets in FIFO order (queue contents, delay lines).
     pub packets: Vec<Packet>,
+    /// Optional bulk payload ([`OpaqueState`]) moved by reference, not
+    /// rebuilt — e.g. a live routing table.
+    pub payload: Option<OpaqueState>,
 }
 
 impl ElementState {
@@ -54,6 +74,7 @@ impl ElementState {
             class: class.to_owned(),
             counters: Vec::new(),
             packets: Vec::new(),
+            payload: None,
         }
     }
 
@@ -62,6 +83,26 @@ impl ElementState {
     pub fn counter(mut self, name: &str, value: u64) -> ElementState {
         self.counters.push((name.to_owned(), value));
         self
+    }
+
+    /// Attaches a bulk payload (builder style). The successor element
+    /// reclaims it with [`ElementState::take_payload`].
+    #[must_use]
+    pub fn with_payload<P: Any + Send>(mut self, payload: P) -> ElementState {
+        self.payload = Some(OpaqueState(Box::new(payload)));
+        self
+    }
+
+    /// Takes the payload out, if present and of the expected type.
+    /// A payload of the wrong type is left in place (and eventually
+    /// dropped with the state).
+    pub fn take_payload<P: Any>(&mut self) -> Option<Box<P>> {
+        if self.payload.as_ref().is_some_and(|p| p.0.is::<P>()) {
+            let OpaqueState(boxed) = self.payload.take()?;
+            boxed.downcast::<P>().ok()
+        } else {
+            None
+        }
     }
 
     /// Looks up a counter by name.
@@ -224,5 +265,17 @@ mod tests {
         assert_eq!(s.get("drops"), 7);
         assert_eq!(s.find("missing"), None);
         assert_eq!(s.get("missing"), 0);
+    }
+
+    #[test]
+    fn payload_round_trips_by_type() {
+        let mut s = ElementState::new("X").with_payload(vec![1u32, 2, 3]);
+        // Wrong type: left in place.
+        assert!(s.take_payload::<String>().is_none());
+        assert!(s.payload.is_some());
+        // Right type: moved out exactly once.
+        assert_eq!(*s.take_payload::<Vec<u32>>().unwrap(), vec![1, 2, 3]);
+        assert!(s.payload.is_none());
+        assert!(s.take_payload::<Vec<u32>>().is_none());
     }
 }

@@ -18,7 +18,8 @@
 //!    `FastClassifier@@name` class.
 
 use click_classifier::{
-    build_tree, optimize, parse_rules, rules_noutputs, DecisionTree, FastMatcher, Step,
+    build_diagram, build_tree, optimize, parse_rules, rules_noutputs, DecisionTree, FastMatcher,
+    Step,
 };
 use click_core::error::Result;
 use click_core::graph::{ElementId, PortRef, RouterGraph};
@@ -28,6 +29,27 @@ use std::fmt::Write as _;
 
 /// Classes the tool specializes.
 pub const CLASSIFIER_CLASSES: [&str; 3] = ["Classifier", "IPClassifier", "IPFilter"];
+
+/// Rule count at which specialization switches from the per-rule
+/// decision tree to the ordered-field decision diagram: below this the
+/// tree's straight-line shapes win; above it the diagram's bounded
+/// depth and shared subtrees do (generated 10k-rule ACLs compile in
+/// seconds instead of exploding a node per check per rule).
+pub const DIAGRAM_THRESHOLD: usize = 32;
+
+/// Chooses the specialization for one classifier: large rule sets lower
+/// to a decision diagram, everything else (including merged-tree
+/// markers, which no longer have a rule list) to the best tree shape.
+fn matcher_for(class: &str, config: &str, tree: &DecisionTree) -> FastMatcher {
+    if let Ok(rules) = parse_rules(class, config) {
+        if rules.len() >= DIAGRAM_THRESHOLD {
+            let d = build_diagram(&rules, rules_noutputs(&rules));
+            debug_assert!(d.validate().is_ok());
+            return FastMatcher::Diagram(d);
+        }
+    }
+    FastMatcher::compile(tree)
+}
 
 /// What the tool did, for reporting.
 #[derive(Debug, Default)]
@@ -169,6 +191,22 @@ fn generate_source(class_name: &str, matcher: &FastMatcher, tree: &DecisionTree)
                 );
             }
         }
+        FastMatcher::Diagram(d) => {
+            let _ = writeln!(
+                s,
+                "        // ordered-field decision diagram: {} fields, {} nodes, depth {}",
+                d.fields.len(),
+                d.nodes.len(),
+                d.depth()
+            );
+            for (i, fd) in d.fields.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "        // field_{i}: load_be32(data, {}) & {:#010x}",
+                    fd.offset, fd.mask
+                );
+            }
+        }
     }
     let _ = writeln!(s, "        unreachable!(\"serialized form: {matcher}\")");
     let _ = writeln!(s, "    }}");
@@ -240,32 +278,31 @@ pub fn fastclassifier(graph: &mut RouterGraph) -> Result<FastClassifierReport> {
         .archive_mut()
         .insert("fastclassifier_harness_output", dumps);
 
-    // Step 4 & 5: generate one class per distinct optimized tree and
-    // rewrite declarations.
-    let mut class_by_tree: HashMap<String, String> = HashMap::new();
+    // Step 4 & 5: generate one class per distinct specialized matcher
+    // and rewrite declarations.
+    let mut class_by_matcher: HashMap<String, String> = HashMap::new();
     for &id in &targets {
         let name = graph.element(id).name().to_owned();
         let tree = optimize(&trees[&name]);
-        let key = tree.to_string();
-        let class = match class_by_tree.get(&key) {
+        let matcher = matcher_for(graph.element(id).class(), graph.element(id).config(), &tree);
+        let key = matcher.to_string();
+        let class = match class_by_matcher.get(&key) {
             Some(c) => c.clone(),
             None => {
                 let class = format!("FastClassifier@@{}", name.replace('/', "_"));
-                let matcher = FastMatcher::compile(&tree);
                 graph.archive_mut().insert(
                     format!("{}.rs", class.replace("@@", "_")),
                     generate_source(&class, &matcher, &tree),
                 );
-                class_by_tree.insert(key, class.clone());
+                class_by_matcher.insert(key.clone(), class.clone());
                 class
             }
         };
-        let matcher = FastMatcher::compile(&tree);
         report
             .specialized
             .push((name, class.clone(), matcher.shape()));
         graph.set_class(id, class);
-        graph.set_config(id, matcher.to_string());
+        graph.set_config(id, key);
     }
     graph.add_requirement("fastclassifier");
     Ok(report)
@@ -505,6 +542,43 @@ mod tests {
         let report = fastclassifier(&mut g).unwrap();
         assert!(report.combined.is_empty());
         assert!(g.find("b").is_some());
+    }
+
+    #[test]
+    fn large_rule_sets_lower_to_a_diagram() {
+        // 40 ethertype patterns + catch-all: over DIAGRAM_THRESHOLD, so
+        // the specialization is an ordered-field diagram with depth
+        // bounded by the field count (1), not a 40-deep check chain.
+        let mut patterns = String::new();
+        for i in 0..40 {
+            let _ = write!(patterns, "12/{:04x}, ", 0x0800 + i);
+        }
+        patterns.push('-');
+        let mut src = format!("Idle -> c :: Classifier({patterns}); ");
+        for p in 0..41 {
+            let _ = write!(src, "c [{p}] -> Discard; ");
+        }
+        let mut g = read_config(&src).unwrap();
+        let report = fastclassifier(&mut g).unwrap();
+        assert_eq!(report.specialized.len(), 1);
+        assert_eq!(report.specialized[0].2, "diagram");
+        let c = g.find("c").unwrap();
+        let matcher: FastMatcher = g.element(c).config().parse().unwrap();
+        let FastMatcher::Diagram(d) = &matcher else {
+            panic!("expected diagram, got {}", matcher.shape());
+        };
+        assert!(d.depth() <= d.fields.len());
+        // Semantics agree with the generic tree.
+        let tree = classifier_tree("Classifier", &patterns).unwrap();
+        let mut pkt = vec![0u8; 64];
+        for ethertype in [0x0800u16, 0x0815, 0x0900, 0x86DD] {
+            pkt[12..14].copy_from_slice(&ethertype.to_be_bytes());
+            assert_eq!(
+                matcher.classify(&pkt),
+                tree.classify(&pkt),
+                "ethertype {ethertype:#x}"
+            );
+        }
     }
 
     #[test]

@@ -199,7 +199,192 @@ fn sharded_swap_to_profiled_figure1_preserves_order_and_accounting() {
     r.shutdown();
 }
 
-// ---- (b) validation gate -------------------------------------------------
+// ---- (b) big-table carry -------------------------------------------------
+
+/// Routes in the big-table drill (a realistically sized FIB).
+const BIG_ROUTES: usize = 100_000;
+
+fn lcg32(state: &mut u64) -> u32 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*state >> 33) as u32
+}
+
+fn ip_str(a: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        a >> 24,
+        (a >> 16) & 255,
+        (a >> 8) & 255,
+        a & 255
+    )
+}
+
+/// A deterministic 100k-prefix route table (default route first, /16–/28
+/// mix, ports alternating 0/1) and a covered probe set.
+fn big_table() -> (String, Vec<u32>) {
+    let mut seed = 0x100Au64;
+    let mut seen = std::collections::HashSet::new();
+    let mut prefixes: Vec<(u32, u8)> = vec![(0, 0)];
+    seen.insert((0u32, 0u8));
+    while prefixes.len() < BIG_ROUTES {
+        let plen = 16 + (lcg32(&mut seed) % 13) as u8;
+        let addr = lcg32(&mut seed) & (u32::MAX << (32 - u32::from(plen)));
+        if seen.insert((addr, plen)) {
+            prefixes.push((addr, plen));
+        }
+    }
+    let config = prefixes
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, l))| format!("{}/{l} {}", ip_str(a), i % 2))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let probes = (0..512)
+        .map(|_| {
+            let (a, l) = prefixes[lcg32(&mut seed) as usize % prefixes.len()];
+            if l >= 32 {
+                a
+            } else {
+                a | (lcg32(&mut seed) & (u32::MAX >> l))
+            }
+        })
+        .collect();
+    (config, probes)
+}
+
+fn big_graph(routes: &str, v2: bool) -> RouterGraph {
+    // v2 keeps the identical StaticIPLookup config (so the carried table
+    // is adoptable) but re-plumbs the egress side.
+    let tail = if v2 {
+        "rt [0] -> c0 :: Counter -> q0 :: Queue(4096) -> ToDevice(out0);\n\
+         rt [1] -> c1 :: Counter -> q1 :: Queue(4096) -> ToDevice(out1);"
+    } else {
+        "rt [0] -> q0 :: Queue(8192) -> ToDevice(out0);\n\
+         rt [1] -> q1 :: Queue(8192) -> ToDevice(out1);"
+    };
+    read_config(&format!(
+        "FromDevice(in0) -> Strip(14) -> rt :: StaticIPLookup({routes});\n{tail}"
+    ))
+    .unwrap()
+}
+
+/// Marked probe frame: destination `dst`, flow port `sport`, probe index
+/// in the last two payload bytes.
+fn probe_frame(dst: u32, sport: u16, idx: u16) -> Packet {
+    let mut p = build_udp_packet([1; 6], [2; 6], 0x0A00_0002, dst, sport, 9, 18, 64);
+    let n = p.len();
+    p.data_mut()[n - 2..n].copy_from_slice(&idx.to_be_bytes());
+    p
+}
+
+/// `marker -> egress port` map from the drained TX rings.
+fn port_map(tx0: &[Packet], tx1: &[Packet]) -> std::collections::HashMap<u16, usize> {
+    let mut map = std::collections::HashMap::new();
+    for (port, tx) in [(0usize, tx0), (1, tx1)] {
+        for p in tx {
+            let n = p.len();
+            let idx = u16::from_be_bytes([p.data()[n - 2], p.data()[n - 1]]);
+            assert!(map.insert(idx, port).is_none(), "duplicate marker {idx}");
+        }
+    }
+    map
+}
+
+#[test]
+fn serial_swap_carries_100k_route_table_without_rebuild() {
+    let (routes, probes) = big_table();
+    let old = big_graph(&routes, false);
+    let new = big_graph(&routes, true);
+    let mut r: DynRouter = Router::from_graph(&old, &Library::standard()).unwrap();
+    let in0 = r.devices.id("in0").unwrap();
+    let out0 = r.devices.id("out0").unwrap();
+    let out1 = r.devices.id("out1").unwrap();
+
+    // Wave 1 builds the table (lazily, on first lookup) and records
+    // every probe's egress port.
+    for (i, &dst) in probes.iter().enumerate() {
+        r.devices
+            .inject(in0, probe_frame(dst, 4000 + (i as u16 % 32), i as u16));
+    }
+    r.run_until_idle(1_000_000);
+    let before = port_map(&r.devices.take_tx(out0), &r.devices.take_tx(out1));
+    assert_eq!(before.len(), probes.len(), "default route covers all");
+    assert_eq!(r.stat("rt", "table_adoptions"), Some(0));
+
+    let rep = r.hot_swap(&new, &Library::standard()).unwrap();
+    assert!(!rep.rolled_back);
+    assert_eq!(rep.packets_dropped, 0, "quiesced swap loses nothing");
+    assert!(rep.matched >= 3, "rt and both queues match");
+
+    // The live table moved over instead of being rebuilt from 100k
+    // routes; the element's stat proves it.
+    assert_eq!(r.stat("rt", "table_adoptions"), Some(1));
+
+    // Wave 2 through the new plumbing: identical lookups, port for port.
+    for (i, &dst) in probes.iter().enumerate() {
+        r.devices
+            .inject(in0, probe_frame(dst, 4000 + (i as u16 % 32), i as u16));
+    }
+    r.run_until_idle(1_000_000);
+    let after = port_map(&r.devices.take_tx(out0), &r.devices.take_tx(out1));
+    assert_eq!(before, after, "lookup divergence across the swap");
+    assert_eq!(
+        r.stat("c0", "count").unwrap() + r.stat("c1", "count").unwrap(),
+        512
+    );
+}
+
+#[test]
+fn sharded_swap_carries_100k_route_table_on_every_shard() {
+    let (routes, probes) = big_table();
+    let old = big_graph(&routes, false);
+    let new = big_graph(&routes, true);
+    let mut r =
+        ParallelRouter::from_graph::<Box<dyn Element>>(&old, ParallelOpts::new(4).batched(8))
+            .unwrap();
+    let in0 = r.device_id("in0").unwrap();
+    let out0 = r.device_id("out0").unwrap();
+    let out1 = r.device_id("out1").unwrap();
+
+    // Wave 1: every shard serves lookups (and therefore builds its
+    // table) under the old configuration.
+    for (i, &dst) in probes.iter().enumerate() {
+        r.inject(in0, probe_frame(dst, 4000 + (i as u16 % 32), i as u16));
+    }
+    r.run_until_idle();
+    let before = port_map(&r.take_tx(out0), &r.take_tx(out1));
+    assert_eq!(before.len(), probes.len());
+    assert_eq!(r.stat("rt", "table_adoptions"), Some(0));
+
+    // Wave 2 buffered: canary-window traffic, served mid-rollout.
+    for (i, &dst) in probes.iter().enumerate() {
+        r.inject(in0, probe_frame(dst, 4000 + (i as u16 % 32), i as u16));
+    }
+
+    let rep = r.hot_swap(&new).unwrap();
+    assert!(!rep.rolled_back, "identical routing must not regress");
+    assert_eq!(rep.canary_shard, Some(0));
+    assert_eq!(rep.swapped_shards, 4);
+    r.run_until_idle();
+
+    // Zero lookup divergence across the swap, on every shard.
+    let after = port_map(&r.take_tx(out0), &r.take_tx(out1));
+    assert_eq!(before, after, "lookup divergence across the swap");
+
+    // All four shards adopted their predecessor's live table, and the
+    // accounting is intact.
+    assert_eq!(r.stat("rt", "table_adoptions"), Some(4));
+    assert_eq!(r.fault_gauges().lost_packets, 0);
+    let gauges = r.swap_gauges();
+    assert_eq!(gauges.swaps, 1);
+    assert_eq!(gauges.rollbacks, 0);
+    assert_eq!(gauges.packets_transferred, rep.packets_transferred);
+    r.shutdown();
+}
+
+// ---- (c) validation gate -------------------------------------------------
 
 const BAD_GRAPH: &str = "FromDevice(in0) -> ToDevice(out0);";
 
@@ -265,7 +450,7 @@ fn sharded_swap_rejects_invalid_config_and_keeps_forwarding() {
     r.shutdown();
 }
 
-// ---- (c) canary rollback -------------------------------------------------
+// ---- (d) canary rollback -------------------------------------------------
 
 #[test]
 fn regressing_canary_rolls_back_with_exact_accounting() {

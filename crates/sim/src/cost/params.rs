@@ -52,6 +52,22 @@ pub struct CostParams {
     /// head/tail atomics); a packet crosses two rings (to the worker and
     /// back), amortized over the burst.
     pub ring_hop: f64,
+    /// Fixed cost of an LPM lookup's direct-indexed 16-bit root access
+    /// (one dependent load into a 65536-slot array plus the best-match
+    /// bookkeeping). Replaces the flat `work()` charge for
+    /// `StaticIPLookup`/`LookupIPRoute`.
+    pub lpm_root: f64,
+    /// Cost per compressed-stride node the LPM lookup descends below the
+    /// root (bitmap test + popcount + pool load); depth is 0–3 in the
+    /// multibit layout, so long prefixes cost more than short ones.
+    pub lpm_stride: f64,
+    /// Fixed entry cost of a decision-diagram matcher.
+    pub diagram_entry: f64,
+    /// Cost per diagram node visited: one field load plus a binary-search
+    /// dispatch over the node's edges — dearer than a straight-line
+    /// `fast_node` compare, but visits are bounded by the field count
+    /// rather than the rule count.
+    pub diagram_node: f64,
 }
 
 impl Default for CostParams {
@@ -68,6 +84,13 @@ impl Default for CostParams {
             batch_loop: 3.0,
             steer_hash: 30.0,
             ring_hop: 60.0,
+            // A /24 route (root + two strides) lands on the old flat
+            // 90-cycle table charge; /16-or-shorter routes are cheaper,
+            // host routes dearer.
+            lpm_root: 60.0,
+            lpm_stride: 15.0,
+            diagram_entry: 8.0,
+            diagram_node: 14.0,
         }
     }
 }
@@ -86,6 +109,8 @@ impl CostParams {
             "CheckIPHeader" => 110.0,
             "MarkIPHeader" => 4.0,
             "GetIPAddress" | "SetIPAddress" => 10.0,
+            // Flat fallback; the path model charges these by measured
+            // stride depth (`lpm_root` + `lpm_stride` per level) instead.
             "StaticIPLookup" | "LookupIPRoute" => 90.0,
             "DropBroadcasts" => 8.0,
             "IPGWOptions" => 12.0,

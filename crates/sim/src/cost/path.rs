@@ -159,22 +159,33 @@ impl<'g> PathModel<'g> {
             ));
         }
         if let Some(m) = self.matchers.get(&id) {
-            let visits = match m {
-                FastMatcher::Constant { .. } => 0usize,
-                FastMatcher::SingleCheck { .. } => 1,
-                FastMatcher::DoubleCheck { .. } => 2,
-                FastMatcher::Program(p) => count_program(p, data),
+            // Decision diagrams charge by diagram depth (bounded by the
+            // field count); straight-line shapes by comparison count.
+            let (cycles, out) = if let FastMatcher::Diagram(d) = m {
+                let (out, steps) = d.classify_steps(data);
+                (
+                    self.params.diagram_entry + steps as f64 * self.params.diagram_node,
+                    out,
+                )
+            } else {
+                let visits = match m {
+                    FastMatcher::Constant { .. } | FastMatcher::Diagram(_) => 0usize,
+                    FastMatcher::SingleCheck { .. } => 1,
+                    FastMatcher::DoubleCheck { .. } => 2,
+                    FastMatcher::Program(p) => count_program(p, data),
+                };
+                (
+                    self.params.fast_entry + visits as f64 * self.params.fast_node,
+                    m.classify(data),
+                )
             };
-            let out = m.classify(data).ok_or_else(|| {
+            let out = out.ok_or_else(|| {
                 Error::graph(format!(
                     "cost model: packet dropped by fast classifier {}",
                     self.graph.element(id).name()
                 ))
             })?;
-            return Ok((
-                self.params.fast_entry + visits as f64 * self.params.fast_node,
-                out,
-            ));
+            return Ok((cycles, out));
         }
         Err(Error::graph("not a classifier".to_string()))
     }
@@ -228,8 +239,11 @@ impl<'g> PathModel<'g> {
             let decl = self.graph.element(cur);
             let base = base_of(decl.class()).to_owned();
             let is_fast_classifier = self.matchers.contains_key(&cur);
-            // Element work.
-            cost.cycles += self.params.work(&base);
+            // Element work. LPM elements are charged below by the stride
+            // depth their lookup actually walks, not the flat table rate.
+            if !matches!(base.as_str(), "StaticIPLookup" | "LookupIPRoute") {
+                cost.cycles += self.params.work(&base);
+            }
             // Per-class behavior: output port choice and sketch updates.
             let out_port: usize = if is_fast_classifier || self.trees.contains_key(&cur) {
                 let (c, out) = self.classify(cur, sketch.view())?;
@@ -277,7 +291,9 @@ impl<'g> PathModel<'g> {
                     }
                     "StaticIPLookup" | "LookupIPRoute" => {
                         let table = &self.tables[&cur];
-                        let (next_hop, port) = table.route(sketch.dst_ip).ok_or_else(|| {
+                        let (hit, steps) = table.route_steps(sketch.dst_ip);
+                        cost.cycles += self.params.lpm_root + steps as f64 * self.params.lpm_stride;
+                        let (next_hop, port) = hit.ok_or_else(|| {
                             Error::graph(format!(
                                 "cost model: no route for {} at {}",
                                 click_elements::headers::ip_to_string(sketch.dst_ip),
@@ -945,6 +961,65 @@ mod tests {
             );
             assert!(adaptive.steer_ns <= fixed.steer_ns + 1e-9);
         }
+    }
+
+    #[test]
+    fn lpm_charge_tracks_stride_depth() {
+        // Same path, one route of varying length: longer prefixes descend
+        // more compressed strides and cost more.
+        let mut frame = vec![0u8; 60];
+        frame[30..34].copy_from_slice(&[10, 1, 2, 3]);
+        let cost = |route: &str| {
+            let g = read_config(&format!(
+                "PollDevice(eth0) -> StaticIPLookup({route}) -> Queue -> ToDevice(eth1);"
+            ))
+            .unwrap();
+            let mut m = PathModel::new(&g, CostParams::default()).unwrap();
+            m.walk("eth0", &frame).unwrap().cycles
+        };
+        let short = cost("10.0.0.0/8 0");
+        let mid = cost("10.1.2.0/24 0");
+        let host = cost("10.1.2.3/32 0");
+        assert!(short < mid && mid < host, "{short} vs {mid} vs {host}");
+        // A /8 is answered from the direct-indexed root (0 strides); a
+        // /32 walks all three stride levels.
+        let p = CostParams::default();
+        assert!((host - short - 3.0 * p.lpm_stride).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagram_matcher_charged_by_depth_not_rule_count() {
+        // 40 ethertype rules: the generic tree chains ~40 compares, but
+        // the fastclassifier output lowers to a decision diagram whose
+        // charge is bounded by the field count.
+        let patterns: Vec<String> = (0..40)
+            .map(|i| format!("12/{:04x}", 0x0800 + i))
+            .chain(std::iter::once("-".to_string()))
+            .collect();
+        let mut src = format!(
+            "PollDevice(eth0) -> c :: Classifier({});\nq :: Queue -> ToDevice(eth1);\n",
+            patterns.join(", ")
+        );
+        for i in 0..patterns.len() {
+            src += &format!("c [{i}] -> q;\n");
+        }
+        let g = read_config(&src).unwrap();
+        let mut fc = g.clone();
+        click_opt::fastclassifier::fastclassifier(&mut fc).unwrap();
+        // Worst-case frame: the last ethertype in the chain.
+        let mut frame = vec![0u8; 60];
+        frame[12] = 0x08;
+        frame[13] = 0x27;
+        let walk = |g: &RouterGraph| {
+            let mut m = PathModel::new(g, CostParams::default()).unwrap();
+            m.walk("eth0", &frame).unwrap().cycles
+        };
+        let tree_cycles = walk(&g);
+        let diag_cycles = walk(&fc);
+        assert!(
+            diag_cycles + 250.0 < tree_cycles,
+            "diagram {diag_cycles} vs tree {tree_cycles}"
+        );
     }
 
     #[test]
