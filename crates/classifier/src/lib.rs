@@ -29,7 +29,7 @@
 //! # Ok::<(), click_core::Error>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod build;

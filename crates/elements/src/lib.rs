@@ -31,7 +31,7 @@
 //! # Ok::<(), click_core::Error>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod batch;

@@ -925,6 +925,22 @@ impl ParallelRouter {
         self.swap
     }
 
+    /// Sum of every live shard's engine drop counter (element drops plus
+    /// unconnected-port and reentrancy drops — [`Router::total_drops`]
+    /// per shard), plus packets dropped at injection because no live
+    /// shard remained. Always live (not feature-gated); monotonic across
+    /// hot swaps because each shard's counter survives its swap. Dead or
+    /// unreachable shards contribute their last known nothing (0), so a
+    /// reading during a fault can transiently understate.
+    pub fn total_drops(&self) -> u64 {
+        let engine: u64 = self
+            .gauge_snapshot()
+            .iter()
+            .map(|s| s.map(|(d, _)| d).unwrap_or(0))
+            .sum();
+        engine + self.faults.no_live_shard_drops + self.steer_drops.load(Ordering::Acquire)
+    }
+
     /// Rolls `new_graph` out across the shards behind a canary with the
     /// default [`SwapOpts`]. See [`ParallelRouter::hot_swap_with`].
     ///

@@ -287,6 +287,10 @@ pub struct Router<S: Slot> {
     pub devices: DeviceBank,
     drops_unconnected: u64,
     drops_reentrant: u64,
+    /// Drop counters of elements retired by past hot swaps, folded in so
+    /// [`Router::total_drops`] stays monotonic when a dropping element
+    /// (e.g. a rolled-back `FaultInject`) leaves the configuration.
+    drops_retired: u64,
     batching: bool,
     batch_burst: usize,
     batch_out: Option<BatchEmitter>,
@@ -377,6 +381,7 @@ impl<S: Slot> Router<S> {
             devices: DeviceBank::from_map(ctx.devices),
             drops_unconnected: 0,
             drops_reentrant: 0,
+            drops_retired: 0,
             batching: false,
             batch_burst: crate::elements::device::BURST,
             batch_out: Some(BatchEmitter::new()),
@@ -464,17 +469,19 @@ impl<S: Slot> Router<S> {
 
     /// The router's aggregate drop gauge: every element's `drops`
     /// statistic plus the engine's unconnected/reentrant drops. Monotonic
-    /// across a hot swap (matched elements carry their counters over and
-    /// the engine drops transfer), which is what makes it usable as the
+    /// across a hot swap (matched elements carry their counters over, the
+    /// engine drops transfer, and retired elements' drop counters fold
+    /// into a carryover gauge), which is what makes it usable as the
     /// canary-regression signal in
-    /// [`crate::parallel::ParallelRouter::hot_swap`].
+    /// [`crate::parallel::ParallelRouter::hot_swap`] and as the
+    /// probation signal of the `click-morph` reoptimization loop.
     pub fn total_drops(&self) -> u64 {
         let elem: u64 = self
             .slots
             .iter()
             .filter_map(|s| s.borrow().stat("drops"))
             .sum();
-        elem + self.drops_unconnected + self.drops_reentrant
+        elem + self.drops_unconnected + self.drops_reentrant + self.drops_retired
     }
 
     /// `(name, class)` of every element, in slot order — the table
@@ -524,7 +531,12 @@ impl<S: Slot> Router<S> {
                 next.slots[ni].borrow_mut().restore_state(state);
             }
         }
+        let mut retired_drops = 0u64;
         for &oi in &plan.retired {
+            // A retired element's lifetime drops would silently leave
+            // the aggregate gauge; remember them so `total_drops` stays
+            // monotonic (the swap's own losses are counted separately).
+            retired_drops += self.slots[oi].borrow().stat("drops").unwrap_or(0);
             if let Some(state) = self.slots[oi].borrow_mut().take_state() {
                 dropped += state.packets.len() as u64;
                 state.recycle_packets();
@@ -538,6 +550,7 @@ impl<S: Slot> Router<S> {
         // Engine gauges stay monotonic across the swap.
         next.drops_unconnected += self.drops_unconnected;
         next.drops_reentrant += self.drops_reentrant;
+        next.drops_retired += self.drops_retired + retired_drops;
         next.telem.transfer_from(&self.telem, &plan.matched);
 
         let report = SwapReport {

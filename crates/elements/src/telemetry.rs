@@ -237,6 +237,35 @@ pub struct SwapGauges {
     pub rejected_configs: u64,
 }
 
+/// Continuous-reoptimization gauges of a `click-morph` control loop: how
+/// many telemetry windows it judged, how often it recompiled, and what
+/// became of each installed candidate. Like [`FaultGauges`] and
+/// [`SwapGauges`] these are **always live** — the reopt controller runs
+/// on the control plane between traffic windows, never on the per-packet
+/// fast path, so the bookkeeping is not gated behind the `telemetry`
+/// feature (with the feature off the windows simply observe zero
+/// divergence and the loop stays quiet).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReoptGauges {
+    /// Telemetry windows observed (decision and judgment windows both
+    /// count — every window the controller looked at).
+    pub windows_observed: u64,
+    /// Background recompiles: profile-hoist plus optimizer pipeline runs
+    /// that produced an install candidate.
+    pub recompiles: u64,
+    /// Candidates installed and kept after their canary / probation
+    /// window.
+    pub swaps_kept: u64,
+    /// Candidates rolled back (canary regression, probation drop-rate
+    /// regression, or install rejection).
+    pub rollbacks: u64,
+    /// Windows where divergence justified a recompile but hysteresis
+    /// (dwell, cooldown, or the swap budget) suppressed it.
+    pub thrash_suppressed: u64,
+    /// Parasol-style knob-autotune searches run after kept swaps.
+    pub autotune_runs: u64,
+}
+
 /// Log2 bucket index for a self-time sample: the number of significant
 /// bits, clamped to the histogram width.
 #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]

@@ -391,6 +391,7 @@ fn main() {
         steering,
         faults: if faults_flag { fault_gauges } else { None },
         swap: swap_gauges,
+        ..Profile::default()
     };
     let json = profile.to_json();
     match &out {

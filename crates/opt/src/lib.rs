@@ -43,6 +43,7 @@ pub mod fastclassifier;
 pub mod mkmindriver;
 pub mod pretty;
 pub mod profile;
+pub mod reopt;
 pub mod tool;
 pub mod undead;
 pub mod xform;

@@ -34,14 +34,29 @@ use click_core::config::split_args;
 use click_core::error::{Error, Result};
 use click_core::graph::{PortRef, RouterGraph};
 use click_elements::telemetry::{
-    ElementProfile, FaultGauges, ShardGauges, SteerGauges, SwapGauges,
+    ElementProfile, FaultGauges, ReoptGauges, ShardGauges, SteerGauges, SwapGauges,
 };
+
+/// Schema version written by [`Profile::to_json`]. Version history:
+///
+/// * **1** — implicit: everything before the `version` field existed
+///   (PR 1–7 exports carry no `version` key and parse as 1).
+/// * **2** — adds `version` itself and the optional `reopt` gauge
+///   section exported by `click-morph`.
+///
+/// [`Profile::from_json`] accepts any version ≤ the current one (fields
+/// it does not know default), so older tools keep reading newer profiles
+/// of the same major shape and newer tools read version-less exports.
+pub const PROFILE_VERSION: u32 = 2;
 
 /// A runtime profile: one record per element instance, merged across
 /// shards, plus per-shard runtime gauges. Produced by `click-report`,
 /// consumed by `click-profile` and the benches.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
+    /// Schema version of the export ([`PROFILE_VERSION`] when produced
+    /// by this build; 1 for version-less profiles from older builds).
+    pub version: u32,
     /// Label of the profiled configuration (e.g. `ip-router-4`).
     pub source: String,
     /// Worker shards the profile was collected from (1 = serial).
@@ -65,6 +80,29 @@ pub struct Profile {
     /// exported when `click-report` runs with `--swap`; `None` when no
     /// hot swap was exercised or for older profiles.
     pub swap: Option<SwapGauges>,
+    /// Continuous-reoptimization gauges (windows observed, recompiles,
+    /// kept swaps, rollbacks, thrash suppressions), exported by
+    /// `click-morph`; `None` for profiles from other tools or older
+    /// (version 1) exports.
+    pub reopt: Option<ReoptGauges>,
+}
+
+impl Default for Profile {
+    /// An empty profile stamped with the current [`PROFILE_VERSION`].
+    fn default() -> Profile {
+        Profile {
+            version: PROFILE_VERSION,
+            source: String::new(),
+            shards: 0,
+            telemetry: false,
+            elements: Vec::new(),
+            gauges: Vec::new(),
+            steering: Vec::new(),
+            faults: None,
+            swap: None,
+            reopt: None,
+        }
+    }
 }
 
 impl Profile {
@@ -85,6 +123,7 @@ impl Profile {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str("  \"profile\": \"click-report\",\n");
+        s.push_str(&format!("  \"version\": {},\n", self.version));
         s.push_str(&format!("  \"source\": {},\n", json_string(&self.source)));
         s.push_str(&format!("  \"shards\": {},\n", self.shards));
         s.push_str(&format!("  \"telemetry\": {},\n", self.telemetry));
@@ -162,6 +201,19 @@ impl Profile {
                 w.swaps, w.rollbacks, w.canary_failures, w.packets_transferred, w.rejected_configs
             ));
         }
+        if let Some(r) = self.reopt {
+            s.push_str(&format!(
+                ",\n  \"reopt\": {{\"windows_observed\": {}, \"recompiles\": {}, \
+                 \"swaps_kept\": {}, \"rollbacks\": {}, \
+                 \"thrash_suppressed\": {}, \"autotune_runs\": {}}}",
+                r.windows_observed,
+                r.recompiles,
+                r.swaps_kept,
+                r.rollbacks,
+                r.thrash_suppressed,
+                r.autotune_runs
+            ));
+        }
         s.push_str("\n}\n");
         s
     }
@@ -175,6 +227,8 @@ impl Profile {
     pub fn from_json(text: &str) -> Result<Profile> {
         let v = parse_json(text)?;
         let mut p = Profile {
+            // Version-less exports predate the field: they are schema 1.
+            version: v.get("version").and_then(Json::as_u64).unwrap_or(1) as u32,
             source: v.get("source").and_then(Json::as_str).unwrap_or_default(),
             shards: v.get("shards").and_then(Json::as_u64).unwrap_or(1) as usize,
             telemetry: v.get("telemetry").and_then(Json::as_bool).unwrap_or(false),
@@ -183,6 +237,7 @@ impl Profile {
             steering: Vec::new(),
             faults: None,
             swap: None,
+            reopt: None,
         };
         if let Some(Json::Arr(items)) = v.get("elements") {
             for item in items {
@@ -255,6 +310,17 @@ impl Profile {
                 canary_failures: g("canary_failures"),
                 packets_transferred: g("packets_transferred"),
                 rejected_configs: g("rejected_configs"),
+            });
+        }
+        if let Some(r) = v.get("reopt") {
+            let g = |k: &str| r.get(k).and_then(Json::as_u64).unwrap_or(0);
+            p.reopt = Some(ReoptGauges {
+                windows_observed: g("windows_observed"),
+                recompiles: g("recompiles"),
+                swaps_kept: g("swaps_kept"),
+                rollbacks: g("rollbacks"),
+                thrash_suppressed: g("thrash_suppressed"),
+                autotune_runs: g("autotune_runs"),
             });
         }
         Ok(p)
@@ -757,10 +823,7 @@ mod tests {
             shards: 1,
             telemetry: true,
             elements: vec![e],
-            gauges: Vec::new(),
-            steering: Vec::new(),
-            faults: None,
-            swap: None,
+            ..Profile::default()
         }
     }
 
@@ -786,12 +849,60 @@ mod tests {
                 ring_high_water: 2,
                 backoff_snoozes: 9,
             }],
-            steering: Vec::new(),
-            faults: None,
-            swap: None,
+            ..Profile::default()
         };
         let back = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn version_round_trips_and_versionless_profiles_parse_as_v1() {
+        // A current export carries the schema version...
+        let p = Profile {
+            source: "versioned".into(),
+            shards: 1,
+            ..Profile::default()
+        };
+        assert_eq!(p.version, PROFILE_VERSION);
+        let json = p.to_json();
+        assert!(json.contains(&format!("\"version\": {PROFILE_VERSION}")));
+        assert_eq!(Profile::from_json(&json).unwrap(), p);
+        // ...while a version-less (pre-PR-8) export still loads, stamped
+        // as schema 1 with every newer section defaulted.
+        let old = Profile::from_json(
+            "{\"profile\": \"click-report\", \"source\": \"legacy\", \
+             \"shards\": 4, \"telemetry\": true, \"elements\": []}",
+        )
+        .unwrap();
+        assert_eq!(old.version, 1);
+        assert_eq!(old.source, "legacy");
+        assert_eq!(old.shards, 4);
+        assert!(old.telemetry);
+        assert_eq!(old.reopt, None);
+        assert_eq!(old.swap, None);
+    }
+
+    #[test]
+    fn reopt_gauges_round_trip() {
+        let p = Profile {
+            source: "reopt-drill".into(),
+            shards: 4,
+            telemetry: true,
+            reopt: Some(ReoptGauges {
+                windows_observed: 12,
+                recompiles: 2,
+                swaps_kept: 1,
+                rollbacks: 1,
+                thrash_suppressed: 3,
+                autotune_runs: 1,
+            }),
+            ..Profile::default()
+        };
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        // Profiles without the section stay `None` (older exports load).
+        let old = Profile::from_json("{\"elements\": []}").unwrap();
+        assert_eq!(old.reopt, None);
     }
 
     #[test]
@@ -800,9 +911,6 @@ mod tests {
             source: "chaos".into(),
             shards: 4,
             telemetry: false,
-            elements: Vec::new(),
-            gauges: Vec::new(),
-            steering: Vec::new(),
             faults: Some(FaultGauges {
                 shard_deaths: 2,
                 restarts: 1,
@@ -813,7 +921,7 @@ mod tests {
                 live_shards: 3,
                 shards: 4,
             }),
-            swap: None,
+            ..Profile::default()
         };
         let back = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
@@ -828,8 +936,6 @@ mod tests {
             source: "steered".into(),
             shards: 4,
             telemetry: true,
-            elements: Vec::new(),
-            gauges: Vec::new(),
             steering: vec![
                 SteerGauges {
                     steerer: 0,
@@ -846,8 +952,7 @@ mod tests {
                     snoozes: 0,
                 },
             ],
-            faults: None,
-            swap: None,
+            ..Profile::default()
         };
         let back = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);
@@ -862,10 +967,6 @@ mod tests {
             source: "swap-drill".into(),
             shards: 4,
             telemetry: true,
-            elements: Vec::new(),
-            gauges: Vec::new(),
-            steering: Vec::new(),
-            faults: None,
             swap: Some(SwapGauges {
                 swaps: 1,
                 rollbacks: 1,
@@ -873,6 +974,7 @@ mod tests {
                 packets_transferred: 321,
                 rejected_configs: 2,
             }),
+            ..Profile::default()
         };
         let back = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(back, p);

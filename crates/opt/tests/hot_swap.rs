@@ -81,10 +81,7 @@ fn optimized_figure1(spec: &IpRouterSpec, graph: &RouterGraph) -> RouterGraph {
         shards: 1,
         telemetry: true,
         elements,
-        gauges: Vec::new(),
-        steering: Vec::new(),
-        faults: None,
-        swap: None,
+        ..Profile::default()
     };
     let mut optimized = graph.clone();
     let report = apply_profile(&mut optimized, &profile).expect("profile applies");
@@ -533,11 +530,9 @@ fn regressing_canary_rolls_back_with_exact_accounting() {
         source: "rollback-drill".into(),
         shards: 4,
         telemetry: false,
-        elements: Vec::new(),
-        gauges: Vec::new(),
-        steering: Vec::new(),
         faults: Some(r.fault_gauges()),
         swap: Some(gauges),
+        ..Profile::default()
     };
     let json = profile.to_json();
     assert!(json.contains("\"rollbacks\": 1"), "{json}");

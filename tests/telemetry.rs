@@ -24,7 +24,7 @@ use click::elements::router::Slot;
 use click::elements::steer::flow_key;
 use click::elements::telemetry::{self, ElementProfile};
 use click::elements::Router;
-use click::opt::profile::{apply_profile, Profile};
+use click::opt::profile::{apply_profile, Profile, PROFILE_VERSION};
 use click_bench::ip_router_variants;
 
 const N: usize = 4;
@@ -319,6 +319,7 @@ fn steering_gauges_attribute_every_packet_to_one_steerer() {
 
     // The export format carries the records losslessly.
     let profile = Profile {
+        version: PROFILE_VERSION,
         source: "steering-test".into(),
         shards: 4,
         telemetry: true,
@@ -327,6 +328,7 @@ fn steering_gauges_attribute_every_packet_to_one_steerer() {
         steering,
         faults: None,
         swap: None,
+        reopt: None,
     };
     let back = Profile::from_json(&profile.to_json()).expect("round trip");
     assert_eq!(back, profile);
@@ -352,6 +354,7 @@ fn click_profile_round_trip_preserves_classification() {
         })
         .collect();
     let profile = Profile {
+        version: PROFILE_VERSION,
         source: "synthetic".into(),
         shards: 1,
         telemetry: true,
@@ -360,6 +363,7 @@ fn click_profile_round_trip_preserves_classification() {
         steering: Vec::new(),
         faults: None,
         swap: None,
+        reopt: None,
     };
 
     let report = apply_profile(&mut profiled, &profile).expect("profile applies");
