@@ -203,6 +203,7 @@ pub fn check(graph: &RouterGraph, library: &Library) -> CheckReport {
     }
 
     check_route_tables(graph, &mut ds);
+    check_devices(graph, &mut ds);
 
     // Push/pull resolution and connection-count rules.
     let ports = match resolve(graph, library) {
@@ -291,6 +292,102 @@ fn check_route_tables(graph: &RouterGraph, ds: &mut Vec<Diagnostic>) {
                 ),
                 None => {}
             }
+        }
+    }
+}
+
+/// Device-name schemes the runtime's backend opener understands. Kept in
+/// sync with `click_elements::iodev::BACKEND_SCHEMES` by a test over
+/// there (core cannot depend on the elements crate).
+pub const KNOWN_BACKEND_SCHEMES: &[&str] = &["mem", "pcap", "udp", "tap", "raw", "fault"];
+
+/// Backend scheme of a device name (`udp:...` -> `udp`); `None` for
+/// plain simulated names. Mirrors `click_elements::iodev::backend_scheme`.
+fn device_scheme(name: &str) -> Option<&str> {
+    let idx = name.find(':')?;
+    let scheme = &name[..idx];
+    if !scheme.is_empty() && scheme.bytes().all(|b| b.is_ascii_alphabetic()) {
+        Some(scheme)
+    } else {
+        None
+    }
+}
+
+/// Device lints for real-I/O configurations:
+///
+/// - a device name with an *unknown* backend scheme is an **error** — the
+///   runtime's `open_backends` will refuse it, so the config cannot go
+///   live;
+/// - the same device read by two `FromDevice`/`PollDevice` elements is a
+///   **warning** — both pop the same RX queue, so each sees an arbitrary
+///   interleaving of the traffic (almost always a copy-paste mistake);
+/// - in a configuration that uses backend schemes at all, a `ToDevice`
+///   on a scheme-less device is a **warning** — its TX queue only drains
+///   if a backend is attached programmatically, otherwise packets pile
+///   up unsent.
+fn check_devices(graph: &RouterGraph, ds: &mut Vec<Diagnostic>) {
+    let mut readers: HashMap<String, String> = HashMap::new();
+    let mut any_scheme = false;
+    let mut schemeless_writers: Vec<(String, String)> = Vec::new();
+    for (_, decl) in graph.elements() {
+        let class = decl.class();
+        if !matches!(class, "FromDevice" | "PollDevice" | "ToDevice") {
+            continue;
+        }
+        let args = split_args(decl.config());
+        let Some(device) = args.first().filter(|d| !d.is_empty()) else {
+            continue; // the element's own config error covers this
+        };
+        match device_scheme(device) {
+            Some(scheme) if !KNOWN_BACKEND_SCHEMES.contains(&scheme) => {
+                diag(
+                    ds,
+                    Severity::Error,
+                    Some(decl.name()),
+                    format!(
+                        "unknown device backend scheme `{scheme}:` in `{device}` \
+                         (known: {})",
+                        KNOWN_BACKEND_SCHEMES.join(", ")
+                    ),
+                );
+                continue;
+            }
+            Some(_) => any_scheme = true,
+            None => {}
+        }
+        match class {
+            "FromDevice" | "PollDevice" => {
+                if let Some(prev) = readers.insert(device.clone(), decl.name().to_string()) {
+                    diag(
+                        ds,
+                        Severity::Warning,
+                        Some(decl.name()),
+                        format!(
+                            "device `{device}` is already read by `{prev}`: two \
+                             readers split the RX stream arbitrarily"
+                        ),
+                    );
+                }
+            }
+            _ => {
+                if device_scheme(device).is_none() {
+                    schemeless_writers.push((decl.name().to_string(), device.clone()));
+                }
+            }
+        }
+    }
+    if any_scheme {
+        for (name, device) in schemeless_writers {
+            diag(
+                ds,
+                Severity::Warning,
+                Some(&name),
+                format!(
+                    "ToDevice writes `{device}`, which has no backend scheme: in \
+                     this real-I/O configuration its TX queue will not drain \
+                     unless a backend is attached programmatically"
+                ),
+            );
         }
     }
 }

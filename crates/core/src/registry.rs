@@ -207,6 +207,7 @@ fn standard_specs() -> Vec<ElementClassSpec> {
         spec("ARPQuerier", "2/1", "h/h", "xy/x"),
         spec("ARPResponder", "1/1", "a/a", "x/x"),
         spec("ICMPError", "1/1", "h/h", "x/x"),
+        spec("ICMPPingResponder", "1/1-2", "h/h", "x/x"),
         // Storage and scheduling.
         spec("Queue", "1/1", "h/l", "x/y"),
         spec("RED", "1/1", "a/a", "x/x"),

@@ -139,3 +139,53 @@ fn errors_sort_before_warnings() {
         assert!(e < w, "errors must sort before warnings: {sevs:?}");
     }
 }
+
+#[test]
+fn unknown_backend_scheme_is_a_named_error() {
+    let r = report("fd :: FromDevice(dpdk:eth0) -> Discard;");
+    assert!(!r.is_ok());
+    let d = find(&r, "unknown device backend scheme");
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.element.as_deref(), Some("fd"));
+    assert_eq!(
+        d.message,
+        "unknown device backend scheme `dpdk:` in `dpdk:eth0` \
+         (known: mem, pcap, udp, tap, raw, fault)"
+    );
+}
+
+#[test]
+fn duplicate_device_reader_is_a_named_warning() {
+    let r = report("a :: FromDevice(eth0) -> Discard; b :: FromDevice(eth0) -> Discard;");
+    assert!(r.is_ok(), "{:?}", r.diagnostics);
+    let d = find(&r, "already read by");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.element.as_deref(), Some("b"));
+    assert_eq!(
+        d.message,
+        "device `eth0` is already read by `a`: two readers split the RX \
+         stream arbitrarily"
+    );
+}
+
+#[test]
+fn schemeless_todevice_in_real_io_config_is_a_named_warning() {
+    let r = report("FromDevice(pcap:in.pcap) -> Queue(8) -> td :: ToDevice(out0);");
+    assert!(r.is_ok(), "{:?}", r.diagnostics);
+    let d = find(&r, "no backend scheme");
+    assert_eq!(d.severity, Severity::Warning);
+    assert_eq!(d.element.as_deref(), Some("td"));
+}
+
+#[test]
+fn schemeless_devices_alone_stay_silent() {
+    // Pure-simulation configs (no scheme anywhere) keep the historical
+    // behavior: no device diagnostics at all.
+    let r = report("FromDevice(in0) -> Queue(8) -> ToDevice(out0);");
+    assert!(r.is_ok(), "{:?}", r.diagnostics);
+    assert!(
+        !r.diagnostics.iter().any(|d| d.message.contains("backend")),
+        "{:?}",
+        r.diagnostics
+    );
+}

@@ -2,12 +2,22 @@
 //! `RouterLink` (the element `click-combine` uses to splice routers
 //! together, §7.2).
 //!
-//! Devices are simulated: each router owns a
-//! [`DeviceBank`](crate::router::DeviceBank) of named RX/TX queues that
-//! tests, benchmarks, and the hardware simulator feed and drain. Click's
-//! polling discipline (paper §3: "polling device drivers and a
-//! constantly-active kernel thread") maps to these elements being *tasks*
-//! the router schedules.
+//! Each router owns a [`DeviceBank`](crate::router::DeviceBank) of named
+//! RX/TX queues that tests, benchmarks, and the hardware simulator feed
+//! and drain — and that a real I/O backend
+//! ([`crate::iodev::DeviceBackend`]) can sit beneath when the device name
+//! carries a scheme (`pcap:trace.pcap`, `udp:ADDR>PEER`, `tap:NAME`).
+//! These elements never talk to a backend directly: they only see the
+//! queues, so the same configuration runs simulated or live, and every
+//! I/O fault is absorbed by the supervision layer before it reaches the
+//! graph. Click's polling discipline (paper §3: "polling device drivers
+//! and a constantly-active kernel thread") maps to these elements being
+//! *tasks* the router schedules.
+//!
+//! Audit note: these tasks and the `DeviceBank` queue paths they call
+//! contain no `unwrap`/`expect`/indexing panics — a stale device id is an
+//! accounted drop (`DeviceBank::lost_packets`), matching the PR 5
+//! router.rs audit.
 
 use crate::batch::PacketBatch;
 use crate::element::{args, config_err, CreateCtx, DeviceId, Element, TaskContext};
@@ -16,6 +26,12 @@ use click_core::error::Result;
 
 /// Packets moved per task invocation, matching Click's device burst.
 pub const BURST: usize = 8;
+
+/// Device id as a packet annotation, saturating instead of silently
+/// truncating if a configuration ever names more than 65535 devices.
+fn dev_anno(dev: DeviceId) -> u16 {
+    u16::try_from(dev.0).unwrap_or(u16::MAX)
+}
 
 /// `FromDevice(dev)` / `PollDevice(dev)`: pulls received packets from a
 /// device RX queue and pushes them into the configuration.
@@ -73,7 +89,7 @@ impl Element for FromDevice {
                 return 0;
             }
             for p in self.scratch.iter_mut() {
-                p.anno.device = Some(self.dev.0 as u16);
+                p.anno.device = Some(dev_anno(self.dev));
                 if p.len() >= ether::HLEN {
                     p.anno.link_broadcast = ether::dst(p.data()) == ether::BROADCAST;
                 }
@@ -87,7 +103,7 @@ impl Element for FromDevice {
             let Some(mut p) = ctx.rx_pop(self.dev) else {
                 break;
             };
-            p.anno.device = Some(self.dev.0 as u16);
+            p.anno.device = Some(dev_anno(self.dev));
             if p.len() >= ether::HLEN {
                 p.anno.link_broadcast = ether::dst(p.data()) == ether::BROADCAST;
             }

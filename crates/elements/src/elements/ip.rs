@@ -507,6 +507,112 @@ impl Element for ICMPError {
     }
 }
 
+/// `ICMPPingResponder(ip)`: answers ICMP echo requests addressed to `ip`
+/// with echo replies.
+///
+/// Unlike the rest of this module, it takes *full Ethernet frames* (its
+/// home is directly behind a `FromDevice` on a live `tap:`/`raw:`
+/// backend, where the kernel's `ping` is the traffic source): the reply
+/// reuses the request's buffer with MAC and IP addresses swapped, TTL
+/// refreshed, and both checksums recomputed. Non-echo-request frames go
+/// to output 1, or are dropped (and counted) if output 1 is unconnected.
+#[derive(Debug)]
+pub struct ICMPPingResponder {
+    ip: u32,
+    replies: u64,
+    ignored: u64,
+}
+
+impl ICMPPingResponder {
+    /// Creates from a configuration string: the address to answer for.
+    pub fn from_config(config: &str, _ctx: &mut CreateCtx) -> Result<ICMPPingResponder> {
+        let a = args(config);
+        if a.len() != 1 {
+            return Err(config_err(
+                "ICMPPingResponder",
+                "expects exactly one address argument",
+            ));
+        }
+        let ip = parse_ip(&a[0])
+            .ok_or_else(|| config_err("ICMPPingResponder", format!("bad address {:?}", a[0])))?;
+        Ok(ICMPPingResponder {
+            ip,
+            replies: 0,
+            ignored: 0,
+        })
+    }
+
+    /// Ones-complement sum over `data` (the ICMP message checksum).
+    fn icmp_checksum(data: &[u8]) -> u16 {
+        let mut sum = 0u32;
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    /// True if the frame is an IPv4 ICMP echo request for our address.
+    fn is_echo_request(&self, f: &[u8]) -> bool {
+        if f.len() < crate::headers::ether::HLEN + ipv4::HLEN + 8 {
+            return false;
+        }
+        let ip = &f[crate::headers::ether::HLEN..];
+        crate::headers::ether::ethertype(f) == 0x0800
+            && ipv4::version(ip) == 4
+            && ipv4::protocol(ip) == ipv4::PROTO_ICMP
+            && ipv4::dst(ip) == self.ip
+            && ip.len() > ipv4::header_len(ip)
+            && ip[ipv4::header_len(ip)] == 8 // echo request
+    }
+}
+
+impl Element for ICMPPingResponder {
+    fn class_name(&self) -> &str {
+        "ICMPPingResponder"
+    }
+    fn push(&mut self, _port: usize, mut p: Packet, out: &mut Emitter) {
+        if !self.is_echo_request(p.data()) {
+            self.ignored += 1;
+            out.emit(1, p);
+            return;
+        }
+        let f = p.data_mut();
+        let (req_dst, req_src) = (crate::headers::ether::dst(f), crate::headers::ether::src(f));
+        let ethertype = crate::headers::ether::ethertype(f);
+        crate::headers::ether::write(f, req_src, req_dst, ethertype);
+        let ip = &mut f[crate::headers::ether::HLEN..];
+        let hlen = ipv4::header_len(ip);
+        let (src, dst) = (ipv4::src(ip), ipv4::dst(ip));
+        ip[12..16].copy_from_slice(&dst.to_be_bytes());
+        ip[16..20].copy_from_slice(&src.to_be_bytes());
+        ip[8] = 64; // fresh TTL for the reply
+        ipv4::set_checksum(ip);
+        let total = (ipv4::total_len(ip) as usize).min(ip.len());
+        let icmp = &mut ip[hlen..total];
+        icmp[0] = 0; // echo reply
+        icmp[2] = 0;
+        icmp[3] = 0;
+        let c = Self::icmp_checksum(icmp);
+        icmp[2..4].copy_from_slice(&c.to_be_bytes());
+        self.replies += 1;
+        out.emit(0, p);
+    }
+    fn stat(&self, name: &str) -> Option<u64> {
+        match name {
+            "count" => Some(self.replies),
+            "ignored" => Some(self.ignored),
+            _ => None,
+        }
+    }
+}
+
 /// The bulk payload `StaticIPLookup` moves across a hot swap: the live
 /// multibit trie, tagged with a hash of the configuration it was built
 /// from so a successor with different routes rejects it.

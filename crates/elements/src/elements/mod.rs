@@ -80,6 +80,7 @@ pub fn create_element(class: &str, config: &str, ctx: &mut CreateCtx) -> Result<
         "DecIPTTL" => Box::new(ip::DecIPTTL::from_config(config, ctx)?),
         "IPFragmenter" => Box::new(ip::IPFragmenter::from_config(config, ctx)?),
         "ICMPError" => Box::new(ip::ICMPError::from_config(config, ctx)?),
+        "ICMPPingResponder" => Box::new(ip::ICMPPingResponder::from_config(config, ctx)?),
         "StaticIPLookup" => Box::new(ip::StaticIPLookup::from_config(config, ctx)?),
         "LookupIPRoute" => Box::new(ip::StaticIPLookup::lookup_ip_route(config, ctx)?),
         "Classifier" => Box::new(classify::ClassifierElement::classifier(config, ctx)?),
@@ -132,6 +133,7 @@ mod tests {
                 "SetIPAddress" | "FixIPSrc" => "10.0.0.1",
                 "IPFragmenter" => "1500",
                 "ICMPError" => "10.0.0.1, 11, 0",
+                "ICMPPingResponder" => "10.0.0.1",
                 "StaticIPLookup" | "LookupIPRoute" => "10.0.0.0/8 0",
                 "IPInputCombo" => "1",
                 "IPOutputCombo" => "1, 10.0.0.1, 1500",

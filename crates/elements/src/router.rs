@@ -10,8 +10,13 @@
 
 use crate::batch::{BatchEmitter, PacketBatch};
 use crate::element::{CreateCtx, DeviceId, DeviceMap, Element, Emitter, PullContext, TaskContext};
+use crate::iodev::{
+    backend_scheme, open_backend, DeviceBackend, DeviceHealth, PumpStats, SendOutcome,
+    SupervisedDevice,
+};
 use crate::packet::Packet;
 use crate::swap::{ElementState, SwapReport, TransferPlan};
+use crate::telemetry::DeviceGauges;
 use crate::telemetry::{self, ElementProfile, RouterTelemetry};
 use click_core::check::check;
 use click_core::error::{Error, Result};
@@ -108,13 +113,25 @@ impl Slot for Box<dyn Element> {
     }
 }
 
-/// Simulated network devices: per-device RX and TX packet queues that
-/// tests, benchmarks, and the hardware simulator feed and drain.
+/// Network devices: per-device RX and TX packet queues that tests,
+/// benchmarks, and the hardware simulator feed and drain — and that a
+/// real I/O backend ([`crate::iodev::DeviceBackend`]) can sit beneath.
+/// The elements only ever see the queues, so hot swap, fault gauges, and
+/// the reopt daemon work identically over simulated and real traffic.
 #[derive(Debug, Default)]
 pub struct DeviceBank {
     map: DeviceMap,
     rx: Vec<VecDeque<Packet>>,
     tx: Vec<Vec<Packet>>,
+    /// Supervised real-I/O backends, indexed like `rx`/`tx`. `None`
+    /// keeps the device purely simulated.
+    backends: Vec<Option<SupervisedDevice>>,
+    /// Packets addressed to a device id the bank does not have (a stale
+    /// id after a mismatched swap): recycled and accounted, not a panic.
+    bad_id_drops: u64,
+    /// Device losses inherited from banks retired by hot swaps, so
+    /// [`DeviceBank::lost_packets`] stays monotonic.
+    lost_retired: u64,
 }
 
 impl DeviceBank {
@@ -124,6 +141,9 @@ impl DeviceBank {
             map,
             rx: (0..n).map(|_| VecDeque::new()).collect(),
             tx: (0..n).map(|_| Vec::new()).collect(),
+            backends: (0..n).map(|_| None).collect(),
+            bad_id_drops: 0,
+            lost_retired: 0,
         }
     }
 
@@ -139,20 +159,29 @@ impl DeviceBank {
             .collect()
     }
 
-    /// Queues a packet for reception on a device.
+    /// Queues a packet for reception on a device. A stale device id is
+    /// an accounted drop, never a panic (PR 5 audit discipline).
     pub fn inject(&mut self, dev: DeviceId, p: Packet) {
-        self.rx[dev.0].push_back(p);
+        match self.rx.get_mut(dev.0) {
+            Some(q) => q.push_back(p),
+            None => {
+                self.bad_id_drops += 1;
+                p.recycle();
+            }
+        }
     }
 
     /// Pops a received packet (used by `FromDevice`).
     pub fn rx_pop(&mut self, dev: DeviceId) -> Option<Packet> {
-        self.rx[dev.0].pop_front()
+        self.rx.get_mut(dev.0)?.pop_front()
     }
 
     /// Drains up to `max` received packets into `into` in one pass (used
     /// by `FromDevice` in batch mode); returns how many were moved.
     pub fn rx_pop_batch(&mut self, dev: DeviceId, max: usize, into: &mut PacketBatch) -> usize {
-        let q = &mut self.rx[dev.0];
+        let Some(q) = self.rx.get_mut(dev.0) else {
+            return 0;
+        };
         let n = max.min(q.len());
         into.extend(q.drain(..n));
         n
@@ -160,18 +189,33 @@ impl DeviceBank {
 
     /// Number of packets waiting for reception.
     pub fn rx_len(&self, dev: DeviceId) -> usize {
-        self.rx[dev.0].len()
+        self.rx.get(dev.0).map_or(0, VecDeque::len)
     }
 
-    /// Appends a transmitted packet (used by `ToDevice`).
+    /// Appends a transmitted packet (used by `ToDevice`). A stale device
+    /// id is an accounted drop, never a panic.
     pub fn tx_push(&mut self, dev: DeviceId, p: Packet) {
-        self.tx[dev.0].push(p);
+        match self.tx.get_mut(dev.0) {
+            Some(q) => q.push(p),
+            None => {
+                self.bad_id_drops += 1;
+                p.recycle();
+            }
+        }
     }
 
     /// Appends a whole batch to a device's TX queue (used by `ToDevice`
     /// in batch mode). The batch is drained but keeps its storage.
     pub fn tx_push_batch(&mut self, dev: DeviceId, batch: &mut PacketBatch) {
-        self.tx[dev.0].extend(batch.drain());
+        match self.tx.get_mut(dev.0) {
+            Some(q) => q.extend(batch.drain()),
+            None => {
+                for p in batch.drain() {
+                    self.bad_id_drops += 1;
+                    p.recycle();
+                }
+            }
+        }
     }
 
     /// Takes all packets transmitted on a device so far.
@@ -182,7 +226,10 @@ impl DeviceBank {
     /// buffers to the packet pool), so long-running benchmarks do not
     /// leak pool capacity one drained packet at a time.
     pub fn take_tx(&mut self, dev: DeviceId) -> Vec<Packet> {
-        std::mem::take(&mut self.tx[dev.0])
+        self.tx
+            .get_mut(dev.0)
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Drains every packet transmitted on a device into `into` in one
@@ -198,7 +245,9 @@ impl DeviceBank {
     /// the stats.
     pub fn drain_tx_into(&mut self, dev: DeviceId, into: &mut PacketBatch) -> usize {
         let before = into.len();
-        let q = &mut self.tx[dev.0];
+        let Some(q) = self.tx.get_mut(dev.0) else {
+            return 0;
+        };
         let n = q.len();
         into.extend(q.drain(..));
         debug_assert_eq!(
@@ -216,7 +265,9 @@ impl DeviceBank {
     /// result of [`DeviceBank::take_tx`], the buffer capacity survives
     /// for the next allocation.
     pub fn recycle_tx(&mut self, dev: DeviceId) -> usize {
-        let q = &mut self.tx[dev.0];
+        let Some(q) = self.tx.get_mut(dev.0) else {
+            return 0;
+        };
         let n = q.len();
         for p in q.drain(..) {
             p.recycle();
@@ -226,7 +277,7 @@ impl DeviceBank {
 
     /// Number of packets transmitted on a device (since last take).
     pub fn tx_len(&self, dev: DeviceId) -> usize {
-        self.tx[dev.0].len()
+        self.tx.get(dev.0).map_or(0, Vec::len)
     }
 
     /// Moves every queued packet out of `old` into this bank, matching
@@ -236,15 +287,27 @@ impl DeviceBank {
     fn adopt(&mut self, old: &mut DeviceBank) -> (u64, u64) {
         let mut moved = 0u64;
         let mut orphaned = 0u64;
+        // Loss accounting survives the swap so `lost_packets` (and
+        // through it `Router::total_drops`) stays monotonic.
+        self.lost_retired += old.bad_id_drops + old.lost_retired;
         for old_id in 0..old.rx.len() {
             let target = self.map.get(old.map.name(DeviceId(old_id)));
             let rx = std::mem::take(&mut old.rx[old_id]);
             let tx = std::mem::take(&mut old.tx[old_id]);
+            let backend = old.backends[old_id].take();
             match target {
                 Some(new_id) => {
                     moved += (rx.len() + tx.len()) as u64;
                     self.rx[new_id.0].extend(rx);
                     self.tx[new_id.0].extend(tx);
+                    // The live backend (descriptor, gauges, health state)
+                    // follows the device name across the swap, unless the
+                    // new configuration already opened its own.
+                    if self.backends[new_id.0].is_none() {
+                        self.backends[new_id.0] = backend;
+                    } else if let Some(b) = backend {
+                        self.lost_retired += b.lost();
+                    }
                 }
                 None => {
                     orphaned += (rx.len() + tx.len()) as u64;
@@ -253,6 +316,9 @@ impl DeviceBank {
                     }
                     for p in tx {
                         p.recycle();
+                    }
+                    if let Some(b) = backend {
+                        self.lost_retired += b.lost();
                     }
                 }
             }
@@ -268,6 +334,168 @@ impl DeviceBank {
     /// True if no devices exist.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    // -- real I/O backends ------------------------------------------------
+
+    /// Attaches a backend beneath a device, wrapped in default
+    /// supervision. Replaces any previous backend (its losses are
+    /// retired into the accounting).
+    pub fn attach_backend(&mut self, dev: DeviceId, backend: Box<dyn DeviceBackend>) {
+        self.attach_supervised(dev, SupervisedDevice::new(backend));
+    }
+
+    /// Attaches an already-supervised backend (custom policies).
+    pub fn attach_supervised(&mut self, dev: DeviceId, sup: SupervisedDevice) {
+        if let Some(slot) = self.backends.get_mut(dev.0) {
+            if let Some(old) = slot.replace(sup) {
+                self.lost_retired += old.lost();
+            }
+        }
+    }
+
+    /// Opens a backend for every device whose *name* carries a backend
+    /// scheme (`pcap:...`, `udp:...`, `tap:...`, `raw:...`, `mem:...`,
+    /// `fault:...@...`); scheme-less devices stay simulated. Returns how
+    /// many backends were opened.
+    ///
+    /// Nothing is opened at router construction — real I/O is an
+    /// explicit opt-in by whoever drives the router.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first device whose backend cannot be opened;
+    /// already-opened backends stay attached.
+    pub fn open_backends(&mut self) -> Result<usize> {
+        let mut opened = 0;
+        for i in 0..self.map.len() {
+            if self.backends[i].is_some() {
+                continue;
+            }
+            let name = self.map.name(DeviceId(i)).to_string();
+            if backend_scheme(&name).is_none() {
+                continue;
+            }
+            let backend = open_backend(&name)?;
+            self.backends[i] = Some(SupervisedDevice::new(backend));
+            opened += 1;
+        }
+        Ok(opened)
+    }
+
+    /// True if the device has a backend attached.
+    pub fn has_backend(&self, dev: DeviceId) -> bool {
+        self.backends.get(dev.0).is_some_and(Option::is_some)
+    }
+
+    /// True if any device has a backend attached.
+    pub fn has_backends(&self) -> bool {
+        self.backends.iter().any(Option::is_some)
+    }
+
+    /// Health of a device's backend, if one is attached.
+    pub fn backend_health(&self, dev: DeviceId) -> Option<DeviceHealth> {
+        self.backends
+            .get(dev.0)?
+            .as_ref()
+            .map(SupervisedDevice::health)
+    }
+
+    /// The supervised backend of a device (tests, chaos drivers).
+    pub fn backend_mut(&mut self, dev: DeviceId) -> Option<&mut SupervisedDevice> {
+        self.backends.get_mut(dev.0)?.as_mut()
+    }
+
+    /// True once every attached RX source is exhausted (finite traces
+    /// fully replayed). Devices without backends don't count.
+    pub fn backends_exhausted(&self) -> bool {
+        self.backends
+            .iter()
+            .flatten()
+            .all(SupervisedDevice::exhausted)
+    }
+
+    /// One pump round: moves up to `burst` frames per device from each
+    /// backend into its RX queue, and drains each TX queue into its
+    /// backend under the supervision rules (retry, backoff, drain
+    /// deadline). Devices without backends are untouched.
+    pub fn pump(&mut self, burst: usize) -> PumpStats {
+        let mut stats = PumpStats::default();
+        for i in 0..self.backends.len() {
+            let Some(sup) = self.backends[i].as_mut() else {
+                continue;
+            };
+            sup.tick();
+            // RX: backend -> rx queue.
+            for _ in 0..burst.max(1) {
+                let Some(p) = sup.recv() else { break };
+                self.rx[i].push_back(p);
+                stats.rx += 1;
+            }
+            // TX: tx queue -> backend, in order; a blocked device keeps
+            // its queue (deadline running), a dead-past-deadline device
+            // converts it to accounted loss.
+            if self.tx[i].is_empty() {
+                continue;
+            }
+            if sup.should_drop_pending() {
+                let q = std::mem::take(&mut self.tx[i]);
+                let n = q.len() as u64;
+                for p in q {
+                    p.recycle();
+                }
+                sup.count_drain_lost(n);
+                stats.lost += n;
+                continue;
+            }
+            let q = std::mem::take(&mut self.tx[i]);
+            let mut it = q.into_iter();
+            while let Some(p) = it.next() {
+                match sup.send_pkt(p) {
+                    SendOutcome::Sent => stats.tx += 1,
+                    SendOutcome::Lost => stats.lost += 1,
+                    SendOutcome::Pending(p) => {
+                        // Put the head back, keep order, stop this device.
+                        let mut rest: Vec<Packet> = Vec::with_capacity(it.len() + 1);
+                        rest.push(p);
+                        rest.extend(it);
+                        rest.append(&mut self.tx[i]);
+                        self.tx[i] = rest;
+                        break;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Always-live per-device gauges for every attached backend, in
+    /// device-id order.
+    pub fn device_gauges(&self) -> Vec<DeviceGauges> {
+        let mut out = Vec::new();
+        for (i, slot) in self.backends.iter().enumerate() {
+            if let Some(sup) = slot {
+                let mut g = sup.gauges();
+                g.device = self.map.name(DeviceId(i)).to_string();
+                out.push(g);
+            }
+        }
+        out
+    }
+
+    /// Packets this bank has irrecoverably lost: bad-device-id drops,
+    /// drain-deadline TX losses, and losses inherited from swapped-out
+    /// banks. Folded into [`Router::total_drops`] so
+    /// `injected == tx + drops` stays exact over real devices too.
+    pub fn lost_packets(&self) -> u64 {
+        self.bad_id_drops
+            + self.lost_retired
+            + self
+                .backends
+                .iter()
+                .flatten()
+                .map(SupervisedDevice::lost)
+                .sum::<u64>()
     }
 }
 
@@ -481,7 +709,10 @@ impl<S: Slot> Router<S> {
             .iter()
             .filter_map(|s| s.borrow().stat("drops"))
             .sum();
-        elem + self.drops_unconnected + self.drops_reentrant + self.drops_retired
+        elem + self.drops_unconnected
+            + self.drops_reentrant
+            + self.drops_retired
+            + self.devices.lost_packets()
     }
 
     /// `(name, class)` of every element, in slot order — the table
@@ -921,6 +1152,35 @@ impl<S: Slot> Router<S> {
         }
         total
     }
+
+    /// Runs the router over its real device backends: each round pumps
+    /// frames backend -> RX, schedules tasks until idle, and drains TX ->
+    /// backend, until a full round moves nothing (trace exhausted, TX
+    /// flushed or accounted lost) or `max_rounds` passes. Returns the
+    /// cumulative pump totals.
+    ///
+    /// With no backends attached this returns immediately — the
+    /// simulated harness loops stay in charge.
+    pub fn run_with_devices(&mut self, max_rounds: usize) -> PumpStats {
+        let mut totals = PumpStats::default();
+        if !self.devices.has_backends() {
+            return totals;
+        }
+        let burst = self.batch_burst.max(crate::elements::device::BURST);
+        for _ in 0..max_rounds {
+            let round = self.devices.pump(burst);
+            let moved = self.run_until_idle(max_rounds);
+            // A final drain so TX produced this round reaches the wire
+            // without waiting for the next pump.
+            let drain = self.devices.pump(burst);
+            totals.absorb(round);
+            totals.absorb(drain);
+            if round.idle() && drain.idle() && moved == 0 {
+                break;
+            }
+        }
+        totals
+    }
 }
 
 struct RouterPullCtx<'a, S: Slot> {
@@ -1167,5 +1427,95 @@ mod tests {
         let c1 = r.find("c1").unwrap();
         r.push_to(c1, 0, Packet::new(10));
         assert_eq!(r.class_stat("Counter", "count"), 2);
+    }
+
+    #[test]
+    fn stale_device_id_is_accounted_drop_not_panic() {
+        let mut r = dyn_router("FromDevice(in0) -> Discard;");
+        let bogus = DeviceId(99);
+        r.devices.inject(bogus, Packet::new(60));
+        r.devices.tx_push(bogus, Packet::new(60));
+        assert_eq!(r.devices.rx_pop(bogus).map(|p| p.recycle()), None);
+        assert_eq!(r.devices.rx_len(bogus), 0);
+        assert_eq!(r.devices.tx_len(bogus), 0);
+        assert_eq!(r.devices.take_tx(bogus).len(), 0);
+        let mut batch = PacketBatch::new();
+        assert_eq!(r.devices.drain_tx_into(bogus, &mut batch), 0);
+        assert_eq!(r.devices.recycle_tx(bogus), 0);
+        assert_eq!(r.devices.lost_packets(), 2);
+        assert_eq!(r.total_drops(), 2);
+    }
+
+    #[test]
+    fn backend_pump_feeds_router_and_drains_tx() {
+        use crate::iodev::MemBackend;
+        let mut r =
+            dyn_router("FromDevice(in0) -> c :: Counter -> q :: Queue(32) -> ToDevice(out0);");
+        let in0 = r.devices.id("in0").unwrap();
+        let out0 = r.devices.id("out0").unwrap();
+        let (rx_be, rx_q) = MemBackend::with_handles();
+        let (tx_be, tx_q) = MemBackend::with_handles();
+        r.devices.attach_backend(in0, Box::new(rx_be));
+        r.devices.attach_backend(out0, Box::new(tx_be));
+        for i in 0..5u8 {
+            rx_q.push_rx(&[i; 60]);
+        }
+        let totals = r.run_with_devices(100);
+        assert_eq!(totals.rx, 5);
+        assert_eq!(totals.tx, 5);
+        assert_eq!(totals.lost, 0);
+        assert_eq!(r.stat("c", "count"), Some(5));
+        let sent = tx_q.take_tx();
+        assert_eq!(sent.len(), 5);
+        assert_eq!(sent[2][0], 2, "frame order preserved end to end");
+        let gauges = r.devices.device_gauges();
+        assert_eq!(gauges.len(), 2);
+        assert_eq!(gauges[0].device, "in0");
+        assert_eq!(gauges[0].rx_packets, 5);
+        assert_eq!(gauges[1].device, "out0");
+        assert_eq!(gauges[1].tx_packets, 5);
+        assert_eq!(gauges[1].tx_bytes, 5 * 60);
+    }
+
+    #[test]
+    fn open_backends_is_scheme_driven() {
+        let mut r = dyn_router("FromDevice(mem:loop) -> Discard; Idle -> ToDevice(eth1);");
+        assert_eq!(r.devices.open_backends().unwrap(), 1);
+        let dev = r.devices.id("mem:loop").unwrap();
+        assert!(r.devices.has_backend(dev));
+        let eth1 = r.devices.id("eth1").unwrap();
+        assert!(!r.devices.has_backend(eth1), "scheme-less stays simulated");
+        // Idempotent: a second call opens nothing new.
+        assert_eq!(r.devices.open_backends().unwrap(), 0);
+    }
+
+    #[test]
+    fn hot_swap_carries_backend_and_losses() {
+        use crate::iodev::MemBackend;
+        let src = "FromDevice(in0) -> Counter -> q :: Queue(32) -> ToDevice(out0);";
+        let mut r = dyn_router(src);
+        let in0 = r.devices.id("in0").unwrap();
+        let (rx_be, rx_q) = MemBackend::with_handles();
+        r.devices.attach_backend(in0, Box::new(rx_be));
+        // Provoke an accounted bad-id drop so loss carryover is nonzero.
+        r.devices.inject(DeviceId(42), Packet::new(60));
+        assert_eq!(r.devices.lost_packets(), 1);
+        rx_q.push_rx(&[7; 60]);
+        r.run_with_devices(50);
+
+        let graph = read_config(src).unwrap();
+        r.hot_swap(&graph, &Library::standard()).unwrap();
+        let in0 = r.devices.id("in0").unwrap();
+        assert!(
+            r.devices.has_backend(in0),
+            "backend follows the device name across a swap"
+        );
+        assert_eq!(r.devices.lost_packets(), 1, "loss accounting survives");
+        let g = &r.devices.device_gauges()[0];
+        assert_eq!(g.rx_packets, 1, "gauges travel with the backend");
+        // The carried backend still works.
+        rx_q.push_rx(&[8; 60]);
+        let totals = r.run_with_devices(50);
+        assert_eq!(totals.rx, 1);
     }
 }

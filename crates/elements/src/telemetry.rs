@@ -266,6 +266,54 @@ pub struct ReoptGauges {
     pub autotune_runs: u64,
 }
 
+/// Per-device I/O gauges of a supervised device backend: traffic volume,
+/// every fault the supervision layer absorbed, and the health transitions
+/// it drove. Like [`FaultGauges`] these are **always live** — device
+/// faults are exactly the events an operator must see, and the counters
+/// are bumped on the (already syscall-bound) I/O path, never on the
+/// in-memory per-packet fast path, so they are not gated behind the
+/// `telemetry` feature.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceGauges {
+    /// Device name (as written in the configuration).
+    pub device: String,
+    /// Backend kind (`mem`, `pcap`, `udp`, `tap`, `raw`, `fault`).
+    pub backend: String,
+    /// Health snapshot at read time (`up`, `flapping`, `down`,
+    /// `recovering`).
+    pub health: String,
+    /// Frames received from the backend and enqueued for the router.
+    pub rx_packets: u64,
+    /// Bytes received from the backend.
+    pub rx_bytes: u64,
+    /// Frames handed to the backend for transmission.
+    pub tx_packets: u64,
+    /// Bytes handed to the backend for transmission.
+    pub tx_bytes: u64,
+    /// Frames cut short on the wire or in a capture file (`Truncated`).
+    pub short_reads: u64,
+    /// Operations that returned `WouldBlock` (empty RX poll or full TX
+    /// ring; only a storm of these is a health signal).
+    pub would_blocks: u64,
+    /// Operations retried after a transient fault.
+    pub retries: u64,
+    /// Exponential-backoff sleeps taken between retries.
+    pub backoffs: u64,
+    /// Health departures from `Up` (into `Flapping` or `Down`).
+    pub flaps: u64,
+    /// Hard `Down`/`Wedged` faults observed (each one forces the state
+    /// machine to `Down`).
+    pub down_events: u64,
+    /// Successful re-opens (`Down` -> `Recovering`).
+    pub reopens: u64,
+    /// Pending TX frames declared lost: the device stayed sick past the
+    /// drain deadline, or was abandoned with frames still queued.
+    pub drain_lost: u64,
+    /// RX frames dropped for failing the backend's integrity check
+    /// (`Corrupt`: bad capture record, impossible length).
+    pub corrupt_drops: u64,
+}
+
 /// Log2 bucket index for a self-time sample: the number of significant
 /// bits, clamped to the histogram width.
 #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]

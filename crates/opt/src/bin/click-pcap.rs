@@ -1,0 +1,387 @@
+//! `click-pcap`: replay a pcap trace through a router configuration over
+//! the real-I/O backend layer, with optional mid-trace fault injection.
+//!
+//! Usage:
+//!
+//! ```text
+//! click-pcap --gen N --in TRACE.pcap [--ifaces M]
+//! click-pcap --in TRACE.pcap [--out FWD.pcap] [--ifaces M] [--shards K]
+//!            [--batched BURST] [--compiled] [--flap CLAUSES] [--check]
+//!            [--json FILE] [--source LABEL] [CONFIG.click]
+//! ```
+//!
+//! `--gen N` writes a synthetic `N`-packet trace for the paper's
+//! Figure-1 IP router (valid MACs, IPs, checksums for `eth0` ingress on
+//! an `M`-interface router) and exits — so the pcap pipeline is
+//! self-contained with no external capture files.
+//!
+//! Replay attaches a [`click_elements::iodev::PcapBackend`] to the
+//! configuration's first input device under full supervision (retry,
+//! backoff, health state machine, drain deadline — see
+//! [`click_elements::iodev::SupervisedDevice`]), pumps it to exhaustion,
+//! and reports throughput as ns/packet plus the exact loss ledger.
+//! `--out FWD.pcap` records everything the router transmitted: frames
+//! sent back out the attached device land in the capture as the run
+//! goes, and frames left on simulated egress devices are appended after
+//! it finishes, in device order.
+//!
+//! ```text
+//! injected == forwarded(backend) + forwarded(simulated) + drops
+//! ```
+//!
+//! `--flap CLAUSES` wraps the trace in a
+//! [`click_elements::iodev::FaultInjectBackend`] (same clause language as
+//! the `FaultInject` element: `DOWN-AFTER n`, `EAGAIN p`, `STORM n`,
+//! `DROP p`, `TRUNCATE p`, `WEDGE-AFTER n`, `SEED n`), so a mid-trace
+//! device flap — kill, storm, re-open — runs against the supervision
+//! layer with the ledger still required to balance. `--check` makes an
+//! unbalanced ledger a hard failure (exit 1), which is how CI asserts
+//! "injected == tx + drops, exactly" after chaos.
+//!
+//! `--json FILE` exports a version-3 profile whose `"devices"` section
+//! carries the per-device supervision gauges (flaps, reopens, drain
+//! losses, retries) next to the usual per-element telemetry.
+
+use click_core::error::Result;
+use click_core::graph::RouterGraph;
+use click_core::lang::read_config;
+use click_core::registry::Library;
+use click_elements::driver::DeviceDriver;
+use click_elements::element::Element;
+use click_elements::fast::FastElement;
+use click_elements::iodev::{
+    append_pcap, write_pcap, FaultInjectBackend, PcapBackend, SupervisedDevice,
+};
+use click_elements::ip_router::{test_packet_flow, IpRouterSpec};
+use click_elements::parallel::{ParallelOpts, ParallelRouter};
+use click_elements::router::{Router, Slot};
+use click_elements::telemetry::{self, DeviceGauges, ElementProfile};
+use click_opt::profile::Profile;
+use click_opt::tool::parse_args;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: click-pcap --gen N --in TRACE.pcap [--ifaces M]\n\
+         \x20      click-pcap --in TRACE.pcap [--out FWD.pcap] [--ifaces M] \
+         [--shards K] [--batched BURST] [--compiled] [--flap CLAUSES] \
+         [--check] [--json FILE] [--source LABEL] [CONFIG.click]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("click-pcap: {msg}");
+    std::process::exit(1);
+}
+
+/// The Figure-1 replay workload: `eth0`-ingress frames fanned across the
+/// other interfaces' subnets, round-robin ports for flow diversity.
+fn gen_trace(path: &str, ifaces: usize, packets: usize) -> Result<()> {
+    let spec = IpRouterSpec::standard(ifaces);
+    let frames: Vec<Vec<u8>> = (0..packets)
+        .map(|i| {
+            let dst = 1 + (i % (ifaces - 1));
+            let sport = 2000 + (i as u16 % 64);
+            test_packet_flow(&spec, 0, dst, sport, 7000).data().to_vec()
+        })
+        .collect();
+    write_pcap(path, &frames)
+}
+
+/// Builds the supervised replay backend: the pcap source (with optional
+/// forwarded-frame capture), wrapped in the fault shim when `--flap` is
+/// given.
+fn replay_device(
+    input: &str,
+    output: Option<&str>,
+    flap: Option<&str>,
+) -> Result<SupervisedDevice> {
+    let pcap = PcapBackend::open(input, output)?;
+    Ok(match flap {
+        Some(clauses) => SupervisedDevice::new(Box::new(FaultInjectBackend::parse(
+            clauses,
+            Box::new(pcap),
+        )?)),
+        None => SupervisedDevice::new(Box::new(pcap)),
+    })
+}
+
+/// What a replay run measured, engine-independent.
+struct Replay {
+    injected: u64,
+    tx_backend: u64,
+    tx_sim: u64,
+    drops: u64,
+    elapsed_ns: u64,
+    elements: Vec<ElementProfile>,
+    devices: Vec<DeviceGauges>,
+    /// Frames left in simulated TX queues, in device order — what
+    /// `--out` appends after the backend-written capture.
+    forwarded: Vec<Vec<u8>>,
+}
+
+impl Replay {
+    fn balances(&self) -> bool {
+        self.injected == self.tx_backend + self.tx_sim + self.drops
+    }
+}
+
+fn run_serial<S: Slot>(
+    graph: &RouterGraph,
+    dev_name: &str,
+    sup: SupervisedDevice,
+    batched: usize,
+) -> Result<Replay> {
+    let mut router: Router<S> = Router::from_graph(graph, &Library::standard())?;
+    if batched > 0 {
+        router.set_batching(true);
+        router.set_batch_burst(batched);
+    }
+    let dev = router
+        .devices
+        .id(dev_name)
+        .ok_or_else(|| click_core::error::Error::runtime(format!("no device `{dev_name}`")))?;
+    router.devices.attach_supervised(dev, sup);
+    let start = Instant::now();
+    let stats = router.run_with_devices(10_000_000);
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    // Forwarded frames that stayed in simulated TX queues (devices with
+    // no backend attached).
+    let names: Vec<String> = router
+        .devices
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut forwarded = Vec::new();
+    for name in &names {
+        let id = router.devices.id(name).expect("known device");
+        for p in router.devices.take_tx(id) {
+            forwarded.push(p.data().to_vec());
+            p.recycle();
+        }
+    }
+    Ok(Replay {
+        injected: stats.rx as u64,
+        tx_backend: stats.tx as u64,
+        tx_sim: forwarded.len() as u64,
+        drops: router.total_drops(),
+        elapsed_ns,
+        elements: router.telemetry_profiles(),
+        devices: router.devices.device_gauges(),
+        forwarded,
+    })
+}
+
+fn run_sharded<S: Slot + 'static>(
+    graph: &RouterGraph,
+    dev_name: &str,
+    sup: SupervisedDevice,
+    shards: usize,
+    batched: usize,
+) -> Result<Replay> {
+    let mut opts = ParallelOpts::new(shards);
+    if batched > 0 {
+        opts = opts.batched(batched);
+    }
+    let mut router = ParallelRouter::from_graph::<S>(graph, opts)?;
+    let mut drv = DeviceDriver::new();
+    drv.attach_supervised(dev_name, sup);
+    let start = Instant::now();
+    drv.run(&mut router, 64, 10_000_000)?;
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let names: Vec<String> = router.device_names().to_vec();
+    let mut forwarded = Vec::new();
+    for name in &names {
+        let id = router.device_id(name).expect("known device");
+        for p in router.take_tx(id) {
+            forwarded.push(p.data().to_vec());
+            p.recycle();
+        }
+    }
+    let replay = Replay {
+        injected: drv.injected(),
+        tx_backend: drv.sent(),
+        tx_sim: forwarded.len() as u64,
+        // The driver's supervision losses live outside the router's bank.
+        drops: router.total_drops() + drv.lost(),
+        elapsed_ns,
+        elements: router.telemetry_profiles(),
+        devices: drv.gauges(),
+        forwarded,
+    };
+    router.shutdown();
+    Ok(replay)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (flags, positional) = parse_args(
+        &args,
+        &[
+            "gen", "in", "out", "ifaces", "shards", "batched", "flap", "json", "source",
+        ],
+    );
+    let mut gen: Option<usize> = None;
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut ifaces = 4usize;
+    let mut shards = 1usize;
+    let mut batched = 0usize;
+    let mut compiled = false;
+    let mut flap: Option<String> = None;
+    let mut check = false;
+    let mut json: Option<String> = None;
+    let mut source: Option<String> = None;
+    for (flag, value) in &flags {
+        let num = || -> usize {
+            value
+                .as_deref()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "gen" => gen = Some(num().max(1)),
+            "in" => input = value.clone(),
+            "out" => output = value.clone(),
+            "ifaces" => ifaces = num().max(2),
+            "shards" => shards = num().max(1),
+            "batched" => batched = num(),
+            "compiled" => compiled = true,
+            "flap" => flap = value.clone(),
+            "check" => check = true,
+            "json" => json = value.clone(),
+            "source" => source = value.clone(),
+            "help" => usage(),
+            other => {
+                eprintln!("click-pcap: unknown flag --{other}");
+                usage();
+            }
+        }
+    }
+    if positional.len() > 1 {
+        usage();
+    }
+    let Some(input) = input else { usage() };
+
+    if let Some(n) = gen {
+        gen_trace(&input, ifaces, n).unwrap_or_else(|e| fail(e));
+        eprintln!("click-pcap: wrote {n} frame(s) to {input}");
+        return;
+    }
+
+    // Build the graph; the trace enters on the configuration's first
+    // input device (eth0 for the generated IP router).
+    let (graph, label) = match positional.first() {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("reading {path}: {e}")));
+            let graph = read_config(&text).unwrap_or_else(|e| fail(format!("parsing {path}: {e}")));
+            (graph, path.clone())
+        }
+        None => {
+            let spec = IpRouterSpec::standard(ifaces);
+            let graph = read_config(&spec.config()).expect("generated config parses");
+            (graph, format!("ip-router-{ifaces}"))
+        }
+    };
+    let probe: Router<Box<dyn Element>> =
+        Router::from_graph(&graph, &Library::standard()).unwrap_or_else(|e| fail(e));
+    let dev_name = probe
+        .devices
+        .names()
+        .first()
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| fail("configuration has no devices"));
+    drop(probe);
+
+    let sup = replay_device(&input, output.as_deref(), flap.as_deref()).unwrap_or_else(|e| fail(e));
+
+    let fast = compiled || graph.has_requirement("devirtualize");
+    let replay = if shards > 1 {
+        if fast {
+            run_sharded::<FastElement>(&graph, &dev_name, sup, shards, batched)
+        } else {
+            run_sharded::<Box<dyn Element>>(&graph, &dev_name, sup, shards, batched)
+        }
+    } else if fast {
+        run_serial::<FastElement>(&graph, &dev_name, sup, batched)
+    } else {
+        run_serial::<Box<dyn Element>>(&graph, &dev_name, sup, batched)
+    }
+    .unwrap_or_else(|e| fail(e));
+
+    let ns_per_pkt = if replay.injected == 0 {
+        0.0
+    } else {
+        replay.elapsed_ns as f64 / replay.injected as f64
+    };
+    eprintln!(
+        "click-pcap: {} frame(s) replayed on `{dev_name}` ({} shard(s), {} engine): \
+         {:.1} ns/pkt",
+        replay.injected,
+        shards,
+        if fast { "compiled" } else { "dyn" },
+        ns_per_pkt
+    );
+    eprintln!(
+        "click-pcap: ledger: injected {} == tx(backend) {} + tx(simulated) {} + drops {} -> {}",
+        replay.injected,
+        replay.tx_backend,
+        replay.tx_sim,
+        replay.drops,
+        if replay.balances() {
+            "balanced"
+        } else {
+            "IMBALANCED"
+        }
+    );
+    for d in &replay.devices {
+        eprintln!(
+            "click-pcap: device {} ({}, {}): {} rx, {} tx, {} flap(s), {} reopen(s), \
+             {} drain-lost, {} retries",
+            d.device,
+            d.backend,
+            d.health,
+            d.rx_packets,
+            d.tx_packets,
+            d.flaps,
+            d.reopens,
+            d.drain_lost,
+            d.retries
+        );
+    }
+
+    // The forwarded capture: the attached device's own TX was recorded
+    // by the backend during the run; simulated egress is appended after,
+    // in device order, so `--out` holds everything the router sent.
+    if let Some(out) = &output {
+        if !replay.forwarded.is_empty() {
+            append_pcap(out, &replay.forwarded).unwrap_or_else(|e| fail(e));
+        }
+        eprintln!(
+            "click-pcap: wrote {} forwarded frame(s) to {out}",
+            replay.tx_backend + replay.tx_sim
+        );
+    }
+
+    let balanced = replay.balances();
+    if let Some(path) = &json {
+        let profile = Profile {
+            source: source.unwrap_or(label),
+            shards,
+            telemetry: telemetry::ENABLED,
+            elements: replay.elements,
+            devices: replay.devices,
+            ..Profile::default()
+        };
+        std::fs::write(path, profile.to_json())
+            .unwrap_or_else(|e| fail(format!("writing {path}: {e}")));
+        eprintln!("click-pcap: wrote {path}");
+    }
+
+    if check && !balanced {
+        fail("ledger imbalance (--check)");
+    }
+}

@@ -28,6 +28,14 @@
 //! are always live (not feature-gated): a configuration carrying a
 //! `FaultInject(PANIC …)` element profiles its own chaos run.
 //!
+//! `--devices` opens a real I/O backend for every device name that
+//! carries a backend scheme (`pcap:trace.pcap`, `udp:ADDR>PEER`,
+//! `tap:NAME`, `fault:…` — see [`click_elements::iodev`]), pumps them
+//! under supervision for the duration of the run, and exports the
+//! per-device [`click_elements::telemetry::DeviceGauges`] in the
+//! profile's `"devices"` section. Scheme-bearing devices are fed by
+//! their backends; the synthetic trace only reaches scheme-less ones.
+//!
 //! `--swap NEW.click` exercises live reconfiguration: the first half of
 //! the trace runs under the starting configuration, the router is
 //! hot-swapped to `NEW.click` (validated, state-transferring, canary +
@@ -53,15 +61,17 @@ use click_core::error::Result;
 use click_core::graph::RouterGraph;
 use click_core::lang::read_config;
 use click_core::registry::Library;
+use click_elements::driver::DeviceDriver;
 use click_elements::element::Element;
 use click_elements::fast::FastElement;
 use click_elements::headers::build_udp_packet;
+use click_elements::iodev::backend_scheme;
 use click_elements::ip_router::{test_packet_flow, IpRouterSpec};
 use click_elements::packet::Packet;
 use click_elements::parallel::{ParallelOpts, ParallelRouter};
 use click_elements::router::{Router, Slot};
 use click_elements::telemetry::{
-    self, ElementProfile, FaultGauges, ShardGauges, SteerGauges, SwapGauges,
+    self, DeviceGauges, ElementProfile, FaultGauges, ShardGauges, SteerGauges, SwapGauges,
 };
 use click_opt::profile::Profile;
 use click_opt::tool::parse_args;
@@ -74,7 +84,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: click-report [--ifaces N] [--shards K] [--steerers J] \
          [--packets P] [--batched BURST] [--source LABEL] [--out FILE] \
-         [--emit-config] [--faults] [--swap NEW.click] [CONFIG.click]"
+         [--emit-config] [--faults] [--devices] [--swap NEW.click] \
+         [CONFIG.click]"
     );
     std::process::exit(2);
 }
@@ -115,25 +126,38 @@ fn run_serial<S: Slot>(
     swap_to: Option<&RouterGraph>,
     frames: &[Frame],
     batched: usize,
-) -> Result<(Vec<ElementProfile>, Option<SwapGauges>, u64)> {
+    devices_flag: bool,
+) -> Result<SerialRun> {
     let mut router: Router<S> = Router::from_graph(graph, &Library::standard())?;
     if batched > 0 {
         router.set_batching(true);
         router.set_batch_burst(batched);
     }
+    if devices_flag {
+        let opened = router.devices.open_backends()?;
+        eprintln!("click-report: opened {opened} device backend(s)");
+    }
     // With --swap, the first half of the trace runs on the old
-    // configuration and the second half on the new one.
+    // configuration and the second half on the new one. Scheme-bearing
+    // devices are fed by their backends, not the synthetic trace.
     let split = if swap_to.is_some() {
         frames.len() / 2
     } else {
         frames.len()
     };
     for (dev, p) in &frames[..split] {
+        if devices_flag && backend_scheme(dev).is_some() {
+            continue;
+        }
         if let Some(id) = router.devices.id(dev) {
             router.devices.inject(id, p.clone());
         }
     }
-    router.run_until_idle(1_000_000);
+    if devices_flag && router.devices.has_backends() {
+        router.run_with_devices(1_000_000);
+    } else {
+        router.run_until_idle(1_000_000);
+    }
     let mut swap_gauges = None;
     if let Some(new_graph) = swap_to {
         let mut g = SwapGauges::default();
@@ -166,8 +190,20 @@ fn run_serial<S: Slot>(
         let id = router.devices.id(name).expect("known device");
         tx += router.devices.recycle_tx(id) as u64;
     }
-    Ok((router.telemetry_profiles(), swap_gauges, tx))
+    let devices = if devices_flag {
+        router.devices.device_gauges()
+    } else {
+        Vec::new()
+    };
+    Ok((router.telemetry_profiles(), swap_gauges, tx, devices))
 }
+
+type SerialRun = (
+    Vec<ElementProfile>,
+    Option<SwapGauges>,
+    u64,
+    Vec<DeviceGauges>,
+);
 
 type ShardedRun = (
     Vec<ElementProfile>,
@@ -176,6 +212,7 @@ type ShardedRun = (
     FaultGauges,
     Option<SwapGauges>,
     u64,
+    Vec<DeviceGauges>,
 );
 
 fn run_sharded<S: Slot + 'static>(
@@ -185,23 +222,36 @@ fn run_sharded<S: Slot + 'static>(
     shards: usize,
     steerers: usize,
     batched: usize,
+    devices_flag: bool,
 ) -> Result<ShardedRun> {
     let mut opts = ParallelOpts::new(shards).with_steerers(steerers);
     if batched > 0 {
         opts = opts.batched(batched);
     }
     let mut router = ParallelRouter::from_graph::<S>(graph, opts)?;
+    let mut drv = DeviceDriver::new();
+    if devices_flag {
+        let names = router.device_names().to_vec();
+        let opened = drv.open_scheme_devices(&names)?;
+        eprintln!("click-report: opened {opened} device backend(s)");
+    }
     let split = if swap_to.is_some() {
         frames.len() / 2
     } else {
         frames.len()
     };
     for (dev, p) in &frames[..split] {
+        if devices_flag && backend_scheme(dev).is_some() {
+            continue;
+        }
         if let Some(id) = router.device_id(dev) {
             router.inject(id, p.clone());
         }
     }
     router.run_until_idle();
+    if devices_flag {
+        drv.run(&mut router, 64, 1_000_000)?;
+    }
     let mut swap_gauges = None;
     if let Some(new_graph) = swap_to {
         // Buffer the second half first: it becomes the canary-window
@@ -216,6 +266,11 @@ fn run_sharded<S: Slot + 'static>(
         }
         swap_gauges = Some(router.swap_gauges());
         router.run_until_idle();
+        if devices_flag {
+            // Drain whatever the post-swap traffic produced on the
+            // backend-bound devices.
+            drv.run(&mut router, 64, 1_000_000)?;
+        }
     }
     let names: Vec<String> = router.device_names().to_vec();
     let mut tx = 0u64;
@@ -228,7 +283,15 @@ fn run_sharded<S: Slot + 'static>(
     let steering = router.steer_gauges();
     let faults = router.fault_gauges();
     router.shutdown();
-    Ok((profiles, gauges, steering, faults, swap_gauges, tx))
+    Ok((
+        profiles,
+        gauges,
+        steering,
+        faults,
+        swap_gauges,
+        tx,
+        drv.gauges(),
+    ))
 }
 
 fn main() {
@@ -249,6 +312,7 @@ fn main() {
     let mut swap_path: Option<String> = None;
     let mut emit_config = false;
     let mut faults_flag = false;
+    let mut devices_flag = false;
     for (flag, value) in &flags {
         let num = || -> usize {
             value
@@ -267,6 +331,7 @@ fn main() {
             "swap" => swap_path = value.clone(),
             "emit-config" => emit_config = true,
             "faults" => faults_flag = true,
+            "devices" => devices_flag = true,
             "help" => usage(),
             other => {
                 eprintln!("click-report: unknown flag --{other}");
@@ -346,17 +411,33 @@ fn main() {
             .as_ref()
             .is_some_and(|g| g.has_requirement("devirtualize"));
     let swap_to = swap_graph.as_ref();
-    let (elements, gauges, steering, fault_gauges, swap_gauges, tx) = if shards > 1 {
+    let (elements, gauges, steering, fault_gauges, swap_gauges, tx, devices) = if shards > 1 {
         let r = if devirt {
-            run_sharded::<FastElement>(&graph, swap_to, &frames, shards, steerers, batched)
+            run_sharded::<FastElement>(
+                &graph,
+                swap_to,
+                &frames,
+                shards,
+                steerers,
+                batched,
+                devices_flag,
+            )
         } else {
-            run_sharded::<Box<dyn Element>>(&graph, swap_to, &frames, shards, steerers, batched)
+            run_sharded::<Box<dyn Element>>(
+                &graph,
+                swap_to,
+                &frames,
+                shards,
+                steerers,
+                batched,
+                devices_flag,
+            )
         };
-        let (elements, gauges, steering, faults, swap, tx) = r.unwrap_or_else(|e| {
+        let (elements, gauges, steering, faults, swap, tx, devices) = r.unwrap_or_else(|e| {
             eprintln!("click-report: {e}");
             std::process::exit(1);
         });
-        (elements, gauges, steering, Some(faults), swap, tx)
+        (elements, gauges, steering, Some(faults), swap, tx, devices)
     } else {
         if steerers > 0 {
             eprintln!(
@@ -365,15 +446,15 @@ fn main() {
             );
         }
         let r = if devirt {
-            run_serial::<FastElement>(&graph, swap_to, &frames, batched)
+            run_serial::<FastElement>(&graph, swap_to, &frames, batched, devices_flag)
         } else {
-            run_serial::<Box<dyn Element>>(&graph, swap_to, &frames, batched)
+            run_serial::<Box<dyn Element>>(&graph, swap_to, &frames, batched, devices_flag)
         };
-        let (elements, swap, tx) = r.unwrap_or_else(|e| {
+        let (elements, swap, tx, devices) = r.unwrap_or_else(|e| {
             eprintln!("click-report: {e}");
             std::process::exit(1);
         });
-        (elements, Vec::new(), Vec::new(), None, swap, tx)
+        (elements, Vec::new(), Vec::new(), None, swap, tx, devices)
     };
     if faults_flag && fault_gauges.is_none() {
         eprintln!(
@@ -391,6 +472,7 @@ fn main() {
         steering,
         faults: if faults_flag { fault_gauges } else { None },
         swap: swap_gauges,
+        devices,
         ..Profile::default()
     };
     let json = profile.to_json();
@@ -417,6 +499,20 @@ fn main() {
             "click-report: swap: {} swap(s), {} rollback(s), {} canary failure(s), \
              {} packet(s) transferred",
             w.swaps, w.rollbacks, w.canary_failures, w.packets_transferred
+        );
+    }
+    for d in &profile.devices {
+        eprintln!(
+            "click-report: device {} ({}, {}): {} rx, {} tx, {} flap(s), \
+             {} reopen(s), {} lost",
+            d.device,
+            d.backend,
+            d.health,
+            d.rx_packets,
+            d.tx_packets,
+            d.flaps,
+            d.reopens,
+            d.drain_lost
         );
     }
 

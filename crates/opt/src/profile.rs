@@ -34,7 +34,7 @@ use click_core::config::split_args;
 use click_core::error::{Error, Result};
 use click_core::graph::{PortRef, RouterGraph};
 use click_elements::telemetry::{
-    ElementProfile, FaultGauges, ReoptGauges, ShardGauges, SteerGauges, SwapGauges,
+    DeviceGauges, ElementProfile, FaultGauges, ReoptGauges, ShardGauges, SteerGauges, SwapGauges,
 };
 
 /// Schema version written by [`Profile::to_json`]. Version history:
@@ -43,11 +43,14 @@ use click_elements::telemetry::{
 ///   (PR 1–7 exports carry no `version` key and parse as 1).
 /// * **2** — adds `version` itself and the optional `reopt` gauge
 ///   section exported by `click-morph`.
+/// * **3** — adds the optional `devices` section: per-device I/O and
+///   supervision gauges from the real-I/O backends (`click-report
+///   --devices`, `click-pcap`).
 ///
 /// [`Profile::from_json`] accepts any version ≤ the current one (fields
 /// it does not know default), so older tools keep reading newer profiles
 /// of the same major shape and newer tools read version-less exports.
-pub const PROFILE_VERSION: u32 = 2;
+pub const PROFILE_VERSION: u32 = 3;
 
 /// A runtime profile: one record per element instance, merged across
 /// shards, plus per-shard runtime gauges. Produced by `click-report`,
@@ -85,6 +88,10 @@ pub struct Profile {
     /// `click-morph`; `None` for profiles from other tools or older
     /// (version 1) exports.
     pub reopt: Option<ReoptGauges>,
+    /// Per-device I/O and supervision gauges (RX/TX counts, faults,
+    /// flaps, reopens, drain losses) from the real-I/O backend layer;
+    /// empty for simulated runs and pre-version-3 profiles.
+    pub devices: Vec<DeviceGauges>,
 }
 
 impl Default for Profile {
@@ -101,6 +108,7 @@ impl Default for Profile {
             faults: None,
             swap: None,
             reopt: None,
+            devices: Vec::new(),
         }
     }
 }
@@ -177,6 +185,34 @@ impl Profile {
             }
             s.push_str("  ]");
         }
+        if !self.devices.is_empty() {
+            s.push_str(",\n  \"devices\": [\n");
+            for (i, d) in self.devices.iter().enumerate() {
+                s.push_str("    {");
+                s.push_str(&format!("\"device\": {}, ", json_string(&d.device)));
+                s.push_str(&format!("\"backend\": {}, ", json_string(&d.backend)));
+                s.push_str(&format!("\"health\": {}, ", json_string(&d.health)));
+                s.push_str(&format!("\"rx_packets\": {}, ", d.rx_packets));
+                s.push_str(&format!("\"rx_bytes\": {}, ", d.rx_bytes));
+                s.push_str(&format!("\"tx_packets\": {}, ", d.tx_packets));
+                s.push_str(&format!("\"tx_bytes\": {}, ", d.tx_bytes));
+                s.push_str(&format!("\"short_reads\": {}, ", d.short_reads));
+                s.push_str(&format!("\"would_blocks\": {}, ", d.would_blocks));
+                s.push_str(&format!("\"retries\": {}, ", d.retries));
+                s.push_str(&format!("\"backoffs\": {}, ", d.backoffs));
+                s.push_str(&format!("\"flaps\": {}, ", d.flaps));
+                s.push_str(&format!("\"down_events\": {}, ", d.down_events));
+                s.push_str(&format!("\"reopens\": {}, ", d.reopens));
+                s.push_str(&format!("\"drain_lost\": {}, ", d.drain_lost));
+                s.push_str(&format!("\"corrupt_drops\": {}", d.corrupt_drops));
+                s.push_str(if i + 1 < self.devices.len() {
+                    "},\n"
+                } else {
+                    "}\n"
+                });
+            }
+            s.push_str("  ]");
+        }
         if let Some(f) = self.faults {
             s.push_str(&format!(
                 ",\n  \"faults\": {{\"shard_deaths\": {}, \"restarts\": {}, \
@@ -238,6 +274,7 @@ impl Profile {
             faults: None,
             swap: None,
             reopt: None,
+            devices: Vec::new(),
         };
         if let Some(Json::Arr(items)) = v.get("elements") {
             for item in items {
@@ -286,6 +323,30 @@ impl Profile {
                     packets: item.get("packets").and_then(Json::as_u64).unwrap_or(0),
                     steer_ns: item.get("steer_ns").and_then(Json::as_u64).unwrap_or(0),
                     snoozes: item.get("snoozes").and_then(Json::as_u64).unwrap_or(0),
+                });
+            }
+        }
+        if let Some(Json::Arr(items)) = v.get("devices") {
+            for item in items {
+                let s = |k: &str| item.get(k).and_then(Json::as_str).unwrap_or_default();
+                let g = |k: &str| item.get(k).and_then(Json::as_u64).unwrap_or(0);
+                p.devices.push(DeviceGauges {
+                    device: s("device"),
+                    backend: s("backend"),
+                    health: s("health"),
+                    rx_packets: g("rx_packets"),
+                    rx_bytes: g("rx_bytes"),
+                    tx_packets: g("tx_packets"),
+                    tx_bytes: g("tx_bytes"),
+                    short_reads: g("short_reads"),
+                    would_blocks: g("would_blocks"),
+                    retries: g("retries"),
+                    backoffs: g("backoffs"),
+                    flaps: g("flaps"),
+                    down_events: g("down_events"),
+                    reopens: g("reopens"),
+                    drain_lost: g("drain_lost"),
+                    corrupt_drops: g("corrupt_drops"),
                 });
             }
         }
@@ -981,6 +1042,39 @@ mod tests {
         // Profiles without the section stay `None` (older exports load).
         let old = Profile::from_json("{\"elements\": []}").unwrap();
         assert_eq!(old.swap, None);
+    }
+
+    #[test]
+    fn device_gauges_round_trip() {
+        let p = Profile {
+            source: "pcap-replay".into(),
+            shards: 1,
+            telemetry: true,
+            devices: vec![DeviceGauges {
+                device: "pcap:trace.pcap".into(),
+                backend: "pcap".into(),
+                health: "up".into(),
+                rx_packets: 1000,
+                rx_bytes: 64_000,
+                tx_packets: 990,
+                tx_bytes: 63_360,
+                short_reads: 1,
+                would_blocks: 12,
+                retries: 4,
+                backoffs: 4,
+                flaps: 1,
+                down_events: 1,
+                reopens: 1,
+                drain_lost: 10,
+                corrupt_drops: 0,
+            }],
+            ..Profile::default()
+        };
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        // Profiles without the section stay empty (older exports load).
+        let old = Profile::from_json("{\"elements\": []}").unwrap();
+        assert!(old.devices.is_empty());
     }
 
     #[test]

@@ -364,6 +364,7 @@ fn click_profile_round_trip_preserves_classification() {
         faults: None,
         swap: None,
         reopt: None,
+        devices: Vec::new(),
     };
 
     let report = apply_profile(&mut profiled, &profile).expect("profile applies");
