@@ -893,6 +893,50 @@ pub fn append_pcap(path: impl Into<PathBuf>, frames: &[Vec<u8>]) -> Result<()> {
         .map_err(|e| Error::runtime(format!("pcap append flush: {e}")))
 }
 
+/// Reads every frame of a pcap file into memory (tool convenience: the
+/// crash drill feeds a trace frame-by-frame with an abort point, which
+/// a streaming backend cannot express). Tolerates a trailing truncated
+/// record — the frames before it are returned.
+///
+/// # Errors
+///
+/// [`Error::Runtime`] when the file cannot be opened or is not a pcap
+/// capture.
+pub fn read_pcap(path: impl Into<PathBuf>) -> Result<Vec<Vec<u8>>> {
+    let path = path.into();
+    let bytes = std::fs::read(&path)
+        .map_err(|e| Error::runtime(format!("pcap read {}: {e}", path.display())))?;
+    if bytes.len() < 24 {
+        return Err(Error::runtime(format!(
+            "{}: not a pcap file (too short)",
+            path.display()
+        )));
+    }
+    let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let swapped = match magic {
+        PCAP_MAGIC_US | PCAP_MAGIC_NS => false,
+        m if m.swap_bytes() == PCAP_MAGIC_US || m.swap_bytes() == PCAP_MAGIC_NS => true,
+        m => {
+            return Err(Error::runtime(format!(
+                "{}: not a pcap file (magic {m:#010x})",
+                path.display()
+            )))
+        }
+    };
+    let mut frames = Vec::new();
+    let mut at = 24usize;
+    while bytes.len() - at >= 16 {
+        let incl = pcap_u32(swapped, &bytes, at + 8) as usize;
+        at += 16;
+        if bytes.len() - at < incl {
+            break; // torn trailing record: keep what precedes it
+        }
+        frames.push(bytes[at..at + incl].to_vec());
+        at += incl;
+    }
+    Ok(frames)
+}
+
 /// Replays a pcap file frame by frame; optionally records transmitted
 /// frames to a second pcap file. The `pcap:` scheme backend.
 #[derive(Debug)]

@@ -48,6 +48,7 @@ pub mod iodev;
 pub mod ip_router;
 pub mod packet;
 pub mod parallel;
+pub mod persist;
 pub mod ring;
 pub mod router;
 pub mod routing;
@@ -61,6 +62,7 @@ pub use fast::CompiledRouter;
 pub use iodev::{DeviceBackend, DeviceHealth, IoFault, SupervisedDevice};
 pub use packet::Packet;
 pub use parallel::{ParallelOpts, ParallelRouter};
+pub use persist::{Checkpoint, CheckpointDaemon, CheckpointEngine, CheckpointStore};
 pub use router::{DynRouter, Router};
 pub use steer::RssSteering;
 pub use swap::{ElementState, SwapReport, TransferPlan};

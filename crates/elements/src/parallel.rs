@@ -72,6 +72,10 @@
 use crate::batch::PacketBatch;
 use crate::element::DeviceId;
 use crate::packet::{Packet, PoolStats};
+use crate::persist::{
+    Checkpoint, CheckpointEngine, DeviceRecord, ElementRecord, EngineSnapshot, PacketRecord,
+    RestoreStats,
+};
 use crate::ring::{spsc, AdaptiveBurst, Backoff, RingConsumer, RingProducer};
 use crate::router::{Router, Slot};
 use crate::steer::{steerer_for, FlowHashCache, RssSteering, SharedLiveMask, MAX_SHARDS};
@@ -353,6 +357,21 @@ enum Ctrl {
     /// worker's main loop (which owns `&mut Router`) performs the swap;
     /// read-only contexts answer with a busy error.
     Swap(Arc<RouterGraph>),
+    /// Cut a non-destructive checkpoint snapshot of the shard's engine.
+    /// Same discipline as `Swap`: only the quiesced worker's main loop
+    /// (which owns `&mut Router`) answers; elsewhere it is refused.
+    Snapshot,
+    /// Apply checkpoint element records to the shard's engine (warm
+    /// restart). Same quiesced-main-loop-only discipline as `Swap`.
+    Restore(Arc<RestorePlan>),
+}
+
+/// The element records (and drop-ledger target) a warm restart hands a
+/// worker shard over the control plane. Plain `Send` data — packets are
+/// byte records, re-materialized on the worker thread.
+struct RestorePlan {
+    elements: Vec<ElementRecord>,
+    target_drops: u64,
 }
 
 /// Replies to [`Ctrl`] queries.
@@ -369,6 +388,10 @@ enum CtrlReply {
     Gauges(ShardGauges),
     /// Outcome of a [`Ctrl::Swap`] request against this shard's engine.
     Swapped(Result<SwapReport>),
+    /// Outcome of a [`Ctrl::Snapshot`] request.
+    Snapshot(Box<Result<EngineSnapshot>>),
+    /// Outcome of a [`Ctrl::Restore`] request.
+    Restored(Box<Result<RestoreStats>>),
     /// The worker has no router to answer with (build failure zombie).
     Gone,
 }
@@ -939,6 +962,163 @@ impl ParallelRouter {
             .map(|s| s.map(|(d, _)| d).unwrap_or(0))
             .sum();
         engine + self.faults.no_live_shard_drops + self.steer_drops.load(Ordering::Acquire)
+    }
+
+    // ---- checkpoint/restore ---------------------------------------------
+
+    /// Cuts a consistent snapshot across the whole sharded runtime:
+    /// every live shard is quiesced through the same control-plane
+    /// machinery hot swaps use (its ring drains; nothing new is handed
+    /// to it), each shard's engine state is captured non-destructively
+    /// ([`Router::checkpoint_snapshot`]), and the per-shard records are
+    /// merged by element name — counters sum, queued packets concatenate
+    /// in shard order. Supervisor-held traffic (buffered injection
+    /// bursts not yet handed to a shard, collected TX not yet drained by
+    /// the harness) is captured too, so the checkpoint holds every
+    /// packet the runtime owns. The reported `quiesce_ns` spans the
+    /// whole cut — the pause the data plane experienced.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Runtime`] when no live shard exists, a shard fails to
+    /// quiesce within the wedge timeout, or a control query fails; the
+    /// runtime keeps forwarding either way.
+    pub fn checkpoint_snapshot(&mut self) -> Result<EngineSnapshot> {
+        let t0 = Instant::now();
+        let live: Vec<usize> = (0..self.workers.len())
+            .filter(|&s| !self.workers[s].dead && !self.workers[s].is_dead())
+            .collect();
+        if live.is_empty() {
+            return Err(Error::runtime("checkpoint: no live shard"));
+        }
+        for &s in &live {
+            self.quiesce_shard(s)?;
+        }
+        let mut elements: Vec<ElementRecord> = Vec::new();
+        let mut devices: Vec<DeviceRecord> = self
+            .devices
+            .iter()
+            .map(|n| DeviceRecord {
+                name: n.clone(),
+                ..DeviceRecord::default()
+            })
+            .collect();
+        for &s in &live {
+            let snap = match self.workers[s].query(Ctrl::Snapshot)? {
+                CtrlReply::Snapshot(r) => (*r)?,
+                _ => {
+                    return Err(Error::runtime(format!(
+                        "shard {s}: unexpected control reply to snapshot"
+                    )))
+                }
+            };
+            for rec in snap.elements {
+                match elements.iter_mut().find(|e| e.name == rec.name) {
+                    Some(merged) => merged.absorb(&rec),
+                    None => elements.push(rec),
+                }
+            }
+            for dev in snap.devices {
+                if let Some(d) = devices.iter_mut().find(|d| d.name == dev.name) {
+                    d.rx.extend(dev.rx);
+                    d.tx.extend(dev.tx);
+                }
+            }
+        }
+        // Supervisor-held packets: injection bursts still buffered for a
+        // shard or steerer count as received-but-unprocessed (RX), and
+        // the collected TX banks as transmitted-but-undrained.
+        let buffered = self.pending.iter().chain(self.pending_steer.iter());
+        for (dev, batch) in buffered.flatten() {
+            if let Some(d) = devices.get_mut(dev.0) {
+                d.rx.extend(batch.iter().map(PacketRecord::from_packet));
+            }
+        }
+        for (i, q) in self.tx.iter().enumerate() {
+            if let Some(d) = devices.get_mut(i) {
+                d.tx.extend(q.iter().map(PacketRecord::from_packet));
+            }
+        }
+        Ok(EngineSnapshot {
+            elements,
+            devices,
+            total_drops: self.total_drops(),
+            quiesce_ns: t0.elapsed().as_nanos() as u64,
+        })
+    }
+
+    /// Applies a decoded checkpoint to this (freshly built) sharded
+    /// runtime: the element records and drop-ledger target land on the
+    /// lowest-index live shard (per-element and per-class statistics sum
+    /// across shards, so aggregate counters resume exactly), pending RX
+    /// packets re-enter through normal injection (steering re-places
+    /// them), and pending TX lands in the supervisor's collected banks
+    /// for the harness to drain.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Runtime`] when no live shard exists or the shard cannot
+    /// quiesce; the caller should degrade to a cold start, not crash.
+    pub fn checkpoint_restore(&mut self, ckpt: &Checkpoint) -> Result<RestoreStats> {
+        let Some(shard) =
+            (0..self.workers.len()).find(|&s| !self.workers[s].dead && !self.workers[s].is_dead())
+        else {
+            return Err(Error::runtime("restore: no live shard"));
+        };
+        self.quiesce_shard(shard)?;
+        let plan = Arc::new(RestorePlan {
+            elements: ckpt.elements.clone(),
+            target_drops: ckpt.ledger.drops,
+        });
+        let mut stats = match self.workers[shard].query(Ctrl::Restore(plan))? {
+            CtrlReply::Restored(r) => (*r)?,
+            _ => {
+                return Err(Error::runtime(format!(
+                    "shard {shard}: unexpected control reply to restore"
+                )))
+            }
+        };
+        for dev in &ckpt.devices {
+            match self.device_id(&dev.name) {
+                Some(id) => {
+                    stats.packets_restored += (dev.rx.len() + dev.tx.len()) as u64;
+                    for pr in &dev.rx {
+                        self.inject(id, pr.to_packet());
+                    }
+                    for pr in &dev.tx {
+                        self.tx[id.0].push(pr.to_packet());
+                    }
+                }
+                None => {
+                    // No such device in this configuration: recorded
+                    // both in the stats and in the drop ledger, so the
+                    // cross-incarnation books still balance.
+                    let n = (dev.rx.len() + dev.tx.len()) as u64;
+                    stats.packets_orphaned += n;
+                    self.faults.no_live_shard_drops += n;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Warm restart: builds a sharded runtime from the checkpoint's
+    /// installed configuration text (the *optimized* config if the reopt
+    /// loop had swapped one in) and applies its records.
+    ///
+    /// # Errors
+    ///
+    /// Configuration parse/check/construction errors, or the
+    /// [`ParallelRouter::checkpoint_restore`] failures; the caller
+    /// should degrade to a cold start from its source configuration.
+    pub fn restore_from<S: Slot + 'static>(
+        ckpt: &Checkpoint,
+        opts: ParallelOpts,
+    ) -> Result<(ParallelRouter, RestoreStats)> {
+        let graph = click_core::lang::read_config(&ckpt.config)?;
+        let mut router = ParallelRouter::from_graph::<S>(&graph, opts)?;
+        let stats = router.checkpoint_restore(ckpt)?;
+        Ok((router, stats))
     }
 
     /// Rolls `new_graph` out across the shards behind a canary with the
@@ -1886,6 +2066,16 @@ impl Drop for ParallelRouter {
     }
 }
 
+impl CheckpointEngine for ParallelRouter {
+    fn checkpoint_snapshot(&mut self) -> Result<EngineSnapshot> {
+        ParallelRouter::checkpoint_snapshot(self)
+    }
+
+    fn checkpoint_restore(&mut self, ckpt: &Checkpoint) -> Result<RestoreStats> {
+        ParallelRouter::checkpoint_restore(self, ckpt)
+    }
+}
+
 /// One row of [`ParallelRouter::shard_health`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardHealth {
@@ -2326,6 +2516,14 @@ fn worker_main<S: Slot>(
                     n_dev = router.devices.len();
                     CtrlReply::Swapped(outcome)
                 }
+                // Like `Swap`, the checkpoint paths need `&mut Router`
+                // and a quiesced shard; only this loop has both.
+                Ctrl::Snapshot => CtrlReply::Snapshot(Box::new(Ok(router.checkpoint_snapshot()))),
+                Ctrl::Restore(plan) => CtrlReply::Restored(Box::new(Ok(router.restore_records(
+                    &plan.elements,
+                    &[],
+                    plan.target_drops,
+                )))),
                 other => answer_one(&router, &gauges, other),
             };
             if reply.send(r).is_err() {
@@ -2528,6 +2726,13 @@ fn answer_one<S: Slot>(router: &Router<S>, gauges: &ShardGaugeTracker, q: Ctrl) 
         Ctrl::Swap(_) => CtrlReply::Swapped(Err(Error::runtime(
             "shard busy: hot swap requires a quiesced worker",
         ))),
+        // The checkpoint paths share the swap discipline.
+        Ctrl::Snapshot => CtrlReply::Snapshot(Box::new(Err(Error::runtime(
+            "shard busy: checkpoint requires a quiesced worker",
+        )))),
+        Ctrl::Restore(_) => CtrlReply::Restored(Box::new(Err(Error::runtime(
+            "shard busy: restore requires a quiesced worker",
+        )))),
     }
 }
 

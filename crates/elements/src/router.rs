@@ -15,6 +15,10 @@ use crate::iodev::{
     SupervisedDevice,
 };
 use crate::packet::Packet;
+use crate::persist::{
+    Checkpoint, CheckpointEngine, DeviceRecord, ElementRecord, EngineSnapshot, PacketRecord,
+    RestoreStats,
+};
 use crate::swap::{ElementState, SwapReport, TransferPlan};
 use crate::telemetry::DeviceGauges;
 use crate::telemetry::{self, ElementProfile, RouterTelemetry};
@@ -324,6 +328,19 @@ impl DeviceBank {
             }
         }
         (moved, orphaned)
+    }
+
+    /// Non-destructive copy of every device's pending RX/TX traffic,
+    /// for the checkpoint path. Devices with nothing pending still get a
+    /// record, so a restore can match them by name cheaply.
+    pub fn pending_records(&self) -> Vec<DeviceRecord> {
+        (0..self.map.len())
+            .map(|i| DeviceRecord {
+                name: self.map.name(DeviceId(i)).to_owned(),
+                rx: self.rx[i].iter().map(PacketRecord::from_packet).collect(),
+                tx: self.tx[i].iter().map(PacketRecord::from_packet).collect(),
+            })
+            .collect()
     }
 
     /// Number of devices.
@@ -797,6 +814,112 @@ impl<S: Slot> Router<S> {
         Ok(report)
     }
 
+    // ---- checkpoint/restore ---------------------------------------------
+
+    /// Cuts a consistent snapshot of every element's state and the
+    /// device bank's pending traffic **without disturbing the running
+    /// router**: each element's state is taken over the hot-swap surface
+    /// ([`Element::take_state`]), copied into plain-data records, and
+    /// handed straight back with its counters cleared — so `+=`-style
+    /// restores are no-ops, queued packets and opaque payloads (routing
+    /// tries) return home, and RNG state is untouched.
+    ///
+    /// The caller must be between transfers (a serial router always is,
+    /// outside [`Router::run_until_idle`]); the reported `quiesce_ns` is
+    /// the wall-clock cost of the state walk — the pause the data plane
+    /// experiences.
+    pub fn checkpoint_snapshot(&mut self) -> EngineSnapshot {
+        let t0 = std::time::Instant::now();
+        let table = self.name_class_table();
+        let mut elements = Vec::new();
+        for (i, slot) in self.slots.iter().enumerate() {
+            let mut el = slot.borrow_mut();
+            if let Some(mut state) = el.take_state() {
+                elements.push(ElementRecord::from_state(&table[i].0, &table[i].1, &state));
+                // Hand everything back: cleared counters make the
+                // element's `+=` restore a no-op, while packets and
+                // opaque payloads (e.g. a routing trie) return home.
+                state.counters.clear();
+                el.restore_state(state);
+            }
+        }
+        let devices = self.devices.pending_records();
+        EngineSnapshot {
+            elements,
+            devices,
+            total_drops: self.total_drops(),
+            quiesce_ns: t0.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Applies checkpoint records to this (freshly built) router:
+    /// element records land on same-name, same-base-class elements
+    /// (devirtualized names normalize, exactly as in a hot-swap transfer
+    /// plan), device records refill the pending RX/TX queues by name,
+    /// and the engine's drop ledger is topped up to `target_drops` — so
+    /// the aggregate drop gauge resumes exactly where the checkpointed
+    /// incarnation left it, with orphaned records counted as retired
+    /// drops rather than silently vanishing.
+    pub fn restore_records(
+        &mut self,
+        elements: &[ElementRecord],
+        devices: &[DeviceRecord],
+        target_drops: u64,
+    ) -> RestoreStats {
+        let mut stats = RestoreStats::default();
+        let base = |class: &str| devirt_base(class).unwrap_or(class).to_owned();
+        for rec in elements {
+            match self.names.get(&rec.name).copied() {
+                Some(i) if base(&self.classes[i]) == base(&rec.class) => {
+                    let state = rec.to_state();
+                    stats.packets_restored += state.packets.len() as u64;
+                    self.slots[i].borrow_mut().restore_state(state);
+                    stats.matched += 1;
+                }
+                _ => {
+                    stats.unmatched += 1;
+                    stats.packets_orphaned += rec.packets.len() as u64;
+                }
+            }
+        }
+        for dev in devices {
+            match self.devices.id(&dev.name) {
+                Some(id) => {
+                    stats.packets_restored += (dev.rx.len() + dev.tx.len()) as u64;
+                    for pr in &dev.rx {
+                        self.devices.inject(id, pr.to_packet());
+                    }
+                    for pr in &dev.tx {
+                        self.devices.tx_push(id, pr.to_packet());
+                    }
+                }
+                None => stats.packets_orphaned += (dev.rx.len() + dev.tx.len()) as u64,
+            }
+        }
+        // Resume the monotonic drop ledger exactly at the checkpoint's
+        // value; whatever this incarnation cannot re-home is a retired
+        // drop of its own.
+        let have = self.total_drops();
+        stats.drops_topped_up = target_drops.saturating_sub(have);
+        self.drops_retired += stats.drops_topped_up + stats.packets_orphaned;
+        stats
+    }
+
+    /// Warm restart: builds a router from the checkpoint's installed
+    /// configuration text (the *optimized* config if the reopt loop had
+    /// swapped one in) and applies its records.
+    ///
+    /// # Errors
+    ///
+    /// Configuration parse/check/construction errors; the caller should
+    /// degrade to a cold start from its source configuration, not crash.
+    pub fn restore_from(ckpt: &Checkpoint, library: &Library) -> Result<(Router<S>, RestoreStats)> {
+        let graph = click_core::lang::read_config(&ckpt.config)?;
+        let mut router = Router::from_graph(&graph, library)?;
+        let stats = router.restore_records(&ckpt.elements, &ckpt.devices, ckpt.ledger.drops);
+        Ok((router, stats))
+    }
+
     // ---- telemetry -------------------------------------------------------
 
     /// Per-element telemetry snapshots, one per element instance, in slot
@@ -1180,6 +1303,16 @@ impl<S: Slot> Router<S> {
             }
         }
         totals
+    }
+}
+
+impl<S: Slot> CheckpointEngine for Router<S> {
+    fn checkpoint_snapshot(&mut self) -> Result<EngineSnapshot> {
+        Ok(Router::checkpoint_snapshot(self))
+    }
+
+    fn checkpoint_restore(&mut self, ckpt: &Checkpoint) -> Result<RestoreStats> {
+        Ok(self.restore_records(&ckpt.elements, &ckpt.devices, ckpt.ledger.drops))
     }
 }
 

@@ -266,6 +266,41 @@ pub struct ReoptGauges {
     pub autotune_runs: u64,
 }
 
+/// Checkpoint/restore gauges of the persistence layer
+/// ([`crate::persist`]): snapshots cut, torn files skipped, warm
+/// restarts performed, and the data-plane pause each cut cost. Like
+/// [`FaultGauges`] and [`ReoptGauges`] these are **always live** — the
+/// checkpoint daemon runs on the control plane between traffic windows
+/// (the per-packet fast path never touches it), and a restart after a
+/// crash is exactly the moment an operator needs the books — so the
+/// bookkeeping is not gated behind the `telemetry` feature.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointGauges {
+    /// Checkpoints cut and durably renamed into place.
+    pub checkpoints_written: u64,
+    /// Snapshot or write attempts that failed (engine unreachable, I/O
+    /// error); the engine keeps running.
+    pub checkpoint_failures: u64,
+    /// Torn/corrupt/wrong-version checkpoint files skipped while
+    /// scanning for the newest valid generation.
+    pub torn_discarded: u64,
+    /// Warm restarts completed from a valid checkpoint.
+    pub restores: u64,
+    /// Starts (or restore attempts) that found no usable checkpoint and
+    /// booted cold.
+    pub cold_starts: u64,
+    /// Generation number of the newest checkpoint written or restored.
+    pub last_generation: u64,
+    /// Data-plane pause of the most recent cut, in nanoseconds
+    /// (quiesce wait plus state walk).
+    pub quiesce_ns_last: u64,
+    /// Cumulative data-plane pause across all cuts, in nanoseconds.
+    pub quiesce_ns_total: u64,
+    /// Packets captured into checkpoints (element queues plus device
+    /// queues), cumulative.
+    pub packets_persisted: u64,
+}
+
 /// Per-device I/O gauges of a supervised device backend: traffic volume,
 /// every fault the supervision layer absorbed, and the health transitions
 /// it drove. Like [`FaultGauges`] these are **always live** — device

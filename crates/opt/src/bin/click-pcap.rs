@@ -38,22 +38,53 @@
 //! unbalanced ledger a hard failure (exit 1), which is how CI asserts
 //! "injected == tx + drops, exactly" after chaos.
 //!
-//! `--json FILE` exports a version-3 profile whose `"devices"` section
-//! carries the per-device supervision gauges (flaps, reopens, drain
-//! losses, retries) next to the usual per-element telemetry.
+//! `--json FILE` exports a profile whose `"devices"` section carries
+//! the per-device supervision gauges (flaps, reopens, drain losses,
+//! retries) next to the usual per-element telemetry.
+//!
+//! # Crash drill
+//!
+//! ```text
+//! click-pcap --in TRACE.pcap --ckpt-dir DIR [--ckpt-every N] [--retain K]
+//!            [--crash-at N] [--restore [--resume-at N]] ...
+//! ```
+//!
+//! `--ckpt-dir` switches to the checkpointed drill: the trace is read
+//! into memory and replayed in windows of `--ckpt-every` frames; after
+//! each window the router is settled, every TX queue drained (appended
+//! to `--out`), and a checkpoint generation cut. `--crash-at N` kills
+//! the process dead (`exit`, no drain, no final cut) the instant the
+//! `N`-th frame has been fed — everything since the last cut dies with
+//! it. A second invocation with `--restore` warm-starts from the newest
+//! valid generation (torn files are skipped and counted; any restore
+//! failure degrades to a cold start with a warning), resumes on the
+//! *checkpoint's* config, and re-feeds from `--resume-at` (default: the
+//! checkpoint's own injected count, which replays the dead window and
+//! loses nothing). The cross-incarnation ledger is then exact:
+//!
+//! ```text
+//! offered == tx(all incarnations) + drops + counted-loss
+//! 0 <= counted-loss <= resume-at - checkpoint.injected
+//! ```
+//!
+//! and `--check` turns any violation into exit 1.
 
-use click_core::error::Result;
+use click_core::error::{Error, Result};
 use click_core::graph::RouterGraph;
-use click_core::lang::read_config;
+use click_core::lang::{read_config, write_config};
 use click_core::registry::Library;
 use click_elements::driver::DeviceDriver;
-use click_elements::element::Element;
+use click_elements::element::{DeviceId, Element};
 use click_elements::fast::FastElement;
 use click_elements::iodev::{
-    append_pcap, write_pcap, FaultInjectBackend, PcapBackend, SupervisedDevice,
+    append_pcap, read_pcap, write_pcap, FaultInjectBackend, PcapBackend, SupervisedDevice,
 };
 use click_elements::ip_router::{test_packet_flow, IpRouterSpec};
+use click_elements::packet::Packet;
 use click_elements::parallel::{ParallelOpts, ParallelRouter};
+use click_elements::persist::{
+    config_hash, Checkpoint, CheckpointDaemon, CheckpointEngine, CheckpointStore,
+};
 use click_elements::router::{Router, Slot};
 use click_elements::telemetry::{self, DeviceGauges, ElementProfile};
 use click_opt::profile::Profile;
@@ -65,7 +96,10 @@ fn usage() -> ! {
         "usage: click-pcap --gen N --in TRACE.pcap [--ifaces M]\n\
          \x20      click-pcap --in TRACE.pcap [--out FWD.pcap] [--ifaces M] \
          [--shards K] [--batched BURST] [--compiled] [--flap CLAUSES] \
-         [--check] [--json FILE] [--source LABEL] [CONFIG.click]"
+         [--check] [--json FILE] [--source LABEL] [CONFIG.click]\n\
+         \x20      click-pcap --in TRACE.pcap --ckpt-dir DIR [--ckpt-every N] \
+         [--retain K] [--crash-at N] [--restore [--resume-at N]] \
+         [--shards K] [--compiled] [--check] [--json FILE] [CONFIG.click]"
     );
     std::process::exit(2);
 }
@@ -156,7 +190,9 @@ fn run_serial<S: Slot>(
         .collect();
     let mut forwarded = Vec::new();
     for name in &names {
-        let id = router.devices.id(name).expect("known device");
+        let Some(id) = router.devices.id(name) else {
+            continue;
+        };
         for p in router.devices.take_tx(id) {
             forwarded.push(p.data().to_vec());
             p.recycle();
@@ -194,7 +230,9 @@ fn run_sharded<S: Slot + 'static>(
     let names: Vec<String> = router.device_names().to_vec();
     let mut forwarded = Vec::new();
     for name in &names {
-        let id = router.device_id(name).expect("known device");
+        let Some(id) = router.device_id(name) else {
+            continue;
+        };
         for p in router.take_tx(id) {
             forwarded.push(p.data().to_vec());
             p.recycle();
@@ -215,12 +253,521 @@ fn run_sharded<S: Slot + 'static>(
     Ok(replay)
 }
 
+// ---------------------------------------------------------------------
+// Crash drill
+// ---------------------------------------------------------------------
+
+/// The drill's knobs, parsed from `--ckpt-*` / `--crash-at` /
+/// `--restore` / `--resume-at`.
+struct DrillOpts {
+    ckpt_dir: String,
+    ckpt_every: u64,
+    retain: usize,
+    crash_at: Option<u64>,
+    restore: bool,
+    resume_at: Option<u64>,
+}
+
+/// The tiny engine surface the drill needs, implemented by both the
+/// serial [`Router`] and the sharded [`ParallelRouter`]: feed a frame
+/// into the ingress device, settle the graph, drain every TX queue —
+/// plus [`CheckpointEngine`] for the cuts themselves.
+trait DrillEngine: CheckpointEngine {
+    fn ingress(&self, name: &str) -> Option<DeviceId>;
+    fn feed(&mut self, dev: DeviceId, frame: &[u8]);
+    fn settle(&mut self);
+    /// Drains every device's TX queue, in device order, to raw frames.
+    fn drain_tx_frames(&mut self) -> Vec<Vec<u8>>;
+    fn drops(&mut self) -> u64;
+    fn profiles(&mut self) -> Vec<ElementProfile>;
+    fn finish(self);
+}
+
+impl<S: Slot> DrillEngine for Router<S> {
+    fn ingress(&self, name: &str) -> Option<DeviceId> {
+        self.devices.id(name)
+    }
+    fn feed(&mut self, dev: DeviceId, frame: &[u8]) {
+        self.devices.inject(dev, Packet::from_data(frame));
+    }
+    fn settle(&mut self) {
+        self.run_until_idle(1_000_000);
+    }
+    fn drain_tx_frames(&mut self) -> Vec<Vec<u8>> {
+        let names: Vec<String> = self.devices.names().iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        for name in &names {
+            let Some(id) = self.devices.id(&name[..]) else {
+                continue;
+            };
+            for p in self.devices.take_tx(id) {
+                out.push(p.data().to_vec());
+                p.recycle();
+            }
+        }
+        out
+    }
+    fn drops(&mut self) -> u64 {
+        self.total_drops()
+    }
+    fn profiles(&mut self) -> Vec<ElementProfile> {
+        self.telemetry_profiles()
+    }
+    fn finish(self) {}
+}
+
+impl DrillEngine for ParallelRouter {
+    fn ingress(&self, name: &str) -> Option<DeviceId> {
+        self.device_id(name)
+    }
+    fn feed(&mut self, dev: DeviceId, frame: &[u8]) {
+        self.inject(dev, Packet::from_data(frame));
+    }
+    fn settle(&mut self) {
+        self.run_until_idle();
+    }
+    fn drain_tx_frames(&mut self) -> Vec<Vec<u8>> {
+        let names: Vec<String> = self.device_names().to_vec();
+        let mut out = Vec::new();
+        for name in &names {
+            let Some(id) = self.device_id(&name[..]) else {
+                continue;
+            };
+            for p in self.take_tx(id) {
+                out.push(p.data().to_vec());
+                p.recycle();
+            }
+        }
+        out
+    }
+    fn drops(&mut self) -> u64 {
+        self.total_drops()
+    }
+    fn profiles(&mut self) -> Vec<ElementProfile> {
+        self.telemetry_profiles()
+    }
+    fn finish(self) {
+        self.shutdown();
+    }
+}
+
+/// How a drill incarnation starts: from nothing, or from a recovered
+/// checkpoint.
+enum Boot {
+    Cold,
+    Warm(Checkpoint),
+}
+
+/// What one drill incarnation measured, engine-independent.
+struct DrillOutcome {
+    /// Frames fed by this incarnation.
+    fed: u64,
+    /// Frames offered to the stream overall: resume point + fed now.
+    offered: u64,
+    /// Frames whose effects survive in router state (checkpoint-carried
+    /// plus fed now) — balances *exactly* against `tx + drops`.
+    accounted: u64,
+    /// Cumulative TX across incarnations.
+    tx: u64,
+    drops: u64,
+    /// `offered - tx - drops`: frames that died with a crashed
+    /// incarnation.
+    loss: u64,
+    /// Upper bound on `loss`: frames fed after the recovered cut.
+    loss_bound: u64,
+    restored_generation: Option<u64>,
+    elapsed_ns: u64,
+    elements: Vec<ElementProfile>,
+}
+
+/// The windowed feed/settle/drain/cut loop, generic over the engine.
+/// Exits the process (without draining or cutting) at `--crash-at`.
+fn drill_core<E: DrillEngine>(
+    mut engine: E,
+    warm: Option<&Checkpoint>,
+    daemon: &mut CheckpointDaemon,
+    frames: &[Vec<u8>],
+    dev_name: &str,
+    output: Option<&str>,
+    d: &DrillOpts,
+) -> Result<DrillOutcome> {
+    let dev = engine
+        .ingress(dev_name)
+        .ok_or_else(|| Error::runtime(format!("drill: no device `{dev_name}` in the config")))?;
+
+    // Cross-incarnation baseline. Without `--resume-at` the dead window
+    // is replayed from the checkpoint's own injected count, so nothing
+    // is lost and the prior TX is exactly what the checkpoint recorded.
+    // With `--resume-at N` the window [checkpoint.injected, N) died with
+    // the crashed process; prior TX is what actually reached the `--out`
+    // capture (== the checkpoint's TX, since drains and cuts are
+    // paired), and the loss bound is the window's width.
+    let (injected_prior, tx_prior, start) = match warm {
+        Some(ckpt) => {
+            let start = d.resume_at.unwrap_or(ckpt.ledger.injected);
+            let tx_prior = match (d.resume_at.is_some(), output) {
+                (true, Some(out)) => read_pcap(out)
+                    .map(|f| f.len() as u64)
+                    .unwrap_or(ckpt.ledger.tx),
+                _ => ckpt.ledger.tx,
+            };
+            (ckpt.ledger.injected, tx_prior, start)
+        }
+        None => {
+            // Incarnation 1 owns the capture: start it empty.
+            if let Some(out) = output {
+                write_pcap(out, &[])?;
+            }
+            (0, 0, 0)
+        }
+    };
+    if start < injected_prior {
+        return Err(Error::runtime(format!(
+            "drill: --resume-at {start} precedes the checkpoint's injected count \
+             {injected_prior} (frames would be double-counted)"
+        )));
+    }
+
+    let every = d.ckpt_every.max(1);
+    let end = frames.len() as u64;
+    let mut next = start.min(end);
+    let mut fed = 0u64;
+    let mut tx = tx_prior;
+    let t0 = Instant::now();
+    while next < end {
+        let burst = every.min(end - next);
+        for i in 0..burst {
+            engine.feed(dev, &frames[(next + i) as usize]);
+            fed += 1;
+            // A real crash: no settle, no drain, no final cut. State
+            // since the last generation dies with the process.
+            if d.crash_at == Some(next + i + 1) {
+                eprintln!(
+                    "click-pcap: crash drill: dying hard after frame {} \
+                     (last cut: generation {})",
+                    next + i + 1,
+                    daemon.gauges().last_generation
+                );
+                std::process::exit(0);
+            }
+        }
+        next += burst;
+        engine.settle();
+        let drained = engine.drain_tx_frames();
+        if !drained.is_empty() {
+            if let Some(out) = output {
+                append_pcap(out, &drained)?;
+            }
+            tx += drained.len() as u64;
+        }
+        // Cut at interval boundaries and always once at trace end, so
+        // the final ledger is recoverable. A failed cut is a warning
+        // (counted in the gauges), never a stop.
+        if daemon.note_traffic(burst) || next >= end {
+            match daemon.checkpoint_now(&mut engine, injected_prior + fed, tx) {
+                Ok(generation) => eprintln!(
+                    "click-pcap: checkpoint generation {generation}: {} frame(s) accounted, \
+                     quiesce {} ns",
+                    injected_prior + fed,
+                    daemon.gauges().quiesce_ns_last
+                ),
+                Err(e) => eprintln!("click-pcap: warning: checkpoint failed: {e}"),
+            }
+        }
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let drops = engine.drops();
+    let elements = engine.profiles();
+    engine.finish();
+    let offered = start + fed;
+    let accounted = injected_prior + fed;
+    Ok(DrillOutcome {
+        fed,
+        offered,
+        accounted,
+        tx,
+        drops,
+        loss: offered.saturating_sub(tx + drops),
+        loss_bound: start - injected_prior,
+        restored_generation: warm.map(|c| c.generation),
+        elapsed_ns,
+        elements,
+    })
+}
+
+/// Builds (or warm-restores) a serial engine and runs the drill on it.
+/// Restore failures degrade to a cold start with a warning — a torn
+/// world must never stop the router from coming back up.
+#[allow(clippy::too_many_arguments)]
+fn drill_serial<S: Slot>(
+    graph: &RouterGraph,
+    batched: usize,
+    boot: &Boot,
+    daemon: &mut CheckpointDaemon,
+    frames: &[Vec<u8>],
+    dev_name: &str,
+    output: Option<&str>,
+    d: &DrillOpts,
+) -> Result<DrillOutcome> {
+    let library = Library::standard();
+    let (mut router, warm): (Router<S>, Option<&Checkpoint>) = match boot {
+        Boot::Warm(ckpt) => match Router::restore_from(ckpt, &library) {
+            Ok((r, stats)) => {
+                note_restored(daemon, ckpt, &stats);
+                (r, Some(ckpt))
+            }
+            Err(e) => {
+                eprintln!("click-pcap: warning: restore failed ({e}); degrading to cold start");
+                daemon.note_cold_start();
+                (Router::from_graph(graph, &library)?, None)
+            }
+        },
+        Boot::Cold => (Router::from_graph(graph, &library)?, None),
+    };
+    if batched > 0 {
+        router.set_batching(true);
+        router.set_batch_burst(batched);
+    }
+    drill_core(router, warm, daemon, frames, dev_name, output, d)
+}
+
+/// Sharded twin of [`drill_serial`].
+#[allow(clippy::too_many_arguments)]
+fn drill_sharded<S: Slot + 'static>(
+    graph: &RouterGraph,
+    shards: usize,
+    batched: usize,
+    boot: &Boot,
+    daemon: &mut CheckpointDaemon,
+    frames: &[Vec<u8>],
+    dev_name: &str,
+    output: Option<&str>,
+    d: &DrillOpts,
+) -> Result<DrillOutcome> {
+    let opts = || {
+        let mut o = ParallelOpts::new(shards);
+        if batched > 0 {
+            o = o.batched(batched);
+        }
+        o
+    };
+    let (router, warm): (ParallelRouter, Option<&Checkpoint>) = match boot {
+        Boot::Warm(ckpt) => match ParallelRouter::restore_from::<S>(ckpt, opts()) {
+            Ok((r, stats)) => {
+                note_restored(daemon, ckpt, &stats);
+                (r, Some(ckpt))
+            }
+            Err(e) => {
+                eprintln!("click-pcap: warning: restore failed ({e}); degrading to cold start");
+                daemon.note_cold_start();
+                (ParallelRouter::from_graph::<S>(graph, opts())?, None)
+            }
+        },
+        Boot::Cold => (ParallelRouter::from_graph::<S>(graph, opts())?, None),
+    };
+    drill_core(router, warm, daemon, frames, dev_name, output, d)
+}
+
+fn note_restored(
+    daemon: &mut CheckpointDaemon,
+    ckpt: &Checkpoint,
+    stats: &click_elements::persist::RestoreStats,
+) {
+    daemon.note_restored(ckpt.generation);
+    daemon.set_config(ckpt.config.clone());
+    eprintln!(
+        "click-pcap: restored generation {} (config hash {:016x}): {} element(s) matched, \
+         {} unmatched, {} packet(s) re-queued, {} orphaned",
+        ckpt.generation,
+        ckpt.config_hash,
+        stats.matched,
+        stats.unmatched,
+        stats.packets_restored,
+        stats.packets_orphaned
+    );
+}
+
+/// The drill entry point: loads the trace, recovers (or not), runs the
+/// windowed loop on the selected engine, prints the cross-incarnation
+/// ledger, and gates it under `--check`. Never returns.
+#[allow(clippy::too_many_arguments)]
+fn drill_main(
+    graph: &RouterGraph,
+    label: &str,
+    input: &str,
+    output: Option<&str>,
+    dev_name: &str,
+    shards: usize,
+    fast: bool,
+    batched: usize,
+    check: bool,
+    json: Option<&str>,
+    source: Option<String>,
+    d: DrillOpts,
+) -> ! {
+    let frames = read_pcap(input).unwrap_or_else(|e| fail(format!("reading {input}: {e}")));
+    let store = CheckpointStore::open(&d.ckpt_dir, d.retain).unwrap_or_else(|e| fail(e));
+    let mut daemon = CheckpointDaemon::new(store, d.ckpt_every, write_config(graph));
+
+    let boot = if d.restore {
+        match daemon.recover() {
+            // The store's CRC already vetted the payload; the config
+            // hash is a second, independent seal on the text we are
+            // about to re-parse and run.
+            Some(ckpt) if config_hash(&ckpt.config) == ckpt.config_hash => Boot::Warm(ckpt),
+            Some(ckpt) => {
+                eprintln!(
+                    "click-pcap: warning: generation {} config hash mismatch; cold start",
+                    ckpt.generation
+                );
+                daemon.note_cold_start();
+                Boot::Cold
+            }
+            None => {
+                eprintln!(
+                    "click-pcap: warning: no valid checkpoint in {}; cold start",
+                    d.ckpt_dir
+                );
+                Boot::Cold
+            }
+        }
+    } else {
+        Boot::Cold
+    };
+
+    let outcome = if shards > 1 {
+        if fast {
+            drill_sharded::<FastElement>(
+                graph,
+                shards,
+                batched,
+                &boot,
+                &mut daemon,
+                &frames,
+                dev_name,
+                output,
+                &d,
+            )
+        } else {
+            drill_sharded::<Box<dyn Element>>(
+                graph,
+                shards,
+                batched,
+                &boot,
+                &mut daemon,
+                &frames,
+                dev_name,
+                output,
+                &d,
+            )
+        }
+    } else if fast {
+        drill_serial::<FastElement>(
+            graph,
+            batched,
+            &boot,
+            &mut daemon,
+            &frames,
+            dev_name,
+            output,
+            &d,
+        )
+    } else {
+        drill_serial::<Box<dyn Element>>(
+            graph,
+            batched,
+            &boot,
+            &mut daemon,
+            &frames,
+            dev_name,
+            output,
+            &d,
+        )
+    }
+    .unwrap_or_else(|e| fail(e));
+
+    let g = daemon.gauges();
+    let ledger_ok =
+        outcome.accounted == outcome.tx + outcome.drops && outcome.loss <= outcome.loss_bound;
+    eprintln!(
+        "click-pcap: drill: {} frame(s) this incarnation on `{dev_name}` \
+         ({} shard(s), {} engine, {:.1} ns/pkt){}",
+        outcome.fed,
+        shards,
+        if fast { "compiled" } else { "dyn" },
+        if outcome.fed == 0 {
+            0.0
+        } else {
+            outcome.elapsed_ns as f64 / outcome.fed as f64
+        },
+        match outcome.restored_generation {
+            Some(generation) => format!(", warm from generation {generation}"),
+            None => String::from(", cold start"),
+        }
+    );
+    eprintln!(
+        "click-pcap: drill ledger: offered {} == tx {} + drops {} + counted-loss {} \
+         (bound {}) -> {}",
+        outcome.offered,
+        outcome.tx,
+        outcome.drops,
+        outcome.loss,
+        outcome.loss_bound,
+        if ledger_ok { "exact" } else { "VIOLATION" }
+    );
+    eprintln!(
+        "click-pcap: checkpoints: {} written, {} failure(s), {} torn discarded, \
+         {} restore(s), {} cold start(s), last generation {}, quiesce last {} ns \
+         total {} ns, {} packet(s) persisted",
+        g.checkpoints_written,
+        g.checkpoint_failures,
+        g.torn_discarded,
+        g.restores,
+        g.cold_starts,
+        g.last_generation,
+        g.quiesce_ns_last,
+        g.quiesce_ns_total,
+        g.packets_persisted
+    );
+
+    if let Some(path) = json {
+        let profile = Profile {
+            source: source.unwrap_or_else(|| label.to_string()),
+            shards,
+            telemetry: telemetry::ENABLED,
+            elements: outcome.elements,
+            checkpoints: Some(g),
+            ..Profile::default()
+        };
+        std::fs::write(path, profile.to_json())
+            .unwrap_or_else(|e| fail(format!("writing {path}: {e}")));
+        eprintln!("click-pcap: wrote {path}");
+    }
+    if check && !ledger_ok {
+        fail("drill ledger violation (--check)");
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (flags, positional) = parse_args(
         &args,
         &[
-            "gen", "in", "out", "ifaces", "shards", "batched", "flap", "json", "source",
+            "gen",
+            "in",
+            "out",
+            "ifaces",
+            "shards",
+            "batched",
+            "flap",
+            "json",
+            "source",
+            "ckpt-dir",
+            "ckpt-every",
+            "retain",
+            "crash-at",
+            "resume-at",
         ],
     );
     let mut gen: Option<usize> = None;
@@ -234,6 +781,12 @@ fn main() {
     let mut check = false;
     let mut json: Option<String> = None;
     let mut source: Option<String> = None;
+    let mut ckpt_dir: Option<String> = None;
+    let mut ckpt_every = 256u64;
+    let mut retain = 4usize;
+    let mut crash_at: Option<u64> = None;
+    let mut restore = false;
+    let mut resume_at: Option<u64> = None;
     for (flag, value) in &flags {
         let num = || -> usize {
             value
@@ -253,6 +806,12 @@ fn main() {
             "check" => check = true,
             "json" => json = value.clone(),
             "source" => source = value.clone(),
+            "ckpt-dir" => ckpt_dir = value.clone(),
+            "ckpt-every" => ckpt_every = num() as u64,
+            "retain" => retain = num().max(1),
+            "crash-at" => crash_at = Some(num() as u64),
+            "restore" => restore = true,
+            "resume-at" => resume_at = Some(num() as u64),
             "help" => usage(),
             other => {
                 eprintln!("click-pcap: unknown flag --{other}");
@@ -296,9 +855,37 @@ fn main() {
         .unwrap_or_else(|| fail("configuration has no devices"));
     drop(probe);
 
+    let fast = compiled || graph.has_requirement("devirtualize");
+
+    if let Some(dir) = ckpt_dir {
+        if flap.is_some() {
+            fail("--flap runs the backend path; it does not combine with --ckpt-dir");
+        }
+        drill_main(
+            &graph,
+            &label,
+            &input,
+            output.as_deref(),
+            &dev_name,
+            shards,
+            fast,
+            batched,
+            check,
+            json.as_deref(),
+            source,
+            DrillOpts {
+                ckpt_dir: dir,
+                ckpt_every,
+                retain,
+                crash_at,
+                restore,
+                resume_at,
+            },
+        );
+    }
+
     let sup = replay_device(&input, output.as_deref(), flap.as_deref()).unwrap_or_else(|e| fail(e));
 
-    let fast = compiled || graph.has_requirement("devirtualize");
     let replay = if shards > 1 {
         if fast {
             run_sharded::<FastElement>(&graph, &dev_name, sup, shards, batched)

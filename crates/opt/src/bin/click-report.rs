@@ -47,6 +47,13 @@
 //! that fails `click-check` is rejected; the run continues (and the
 //! profile records it) under the old configuration.
 //!
+//! `--checkpoints DIR` inspects a checkpoint directory (as written by
+//! `click-pcap --ckpt-dir` or the reopt daemon): generations on disk,
+//! the newest valid one, how many torn files sit above it, and the
+//! recovered ledger. The resulting
+//! [`click_elements::telemetry::CheckpointGauges`] land in the profile's
+//! `"checkpoints"` section and on stderr.
+//!
 //! `--emit-config` prints the generated IP-router configuration to
 //! stdout instead of profiling, so the profile-guided pipeline is
 //! self-contained:
@@ -69,9 +76,11 @@ use click_elements::iodev::backend_scheme;
 use click_elements::ip_router::{test_packet_flow, IpRouterSpec};
 use click_elements::packet::Packet;
 use click_elements::parallel::{ParallelOpts, ParallelRouter};
+use click_elements::persist::CheckpointStore;
 use click_elements::router::{Router, Slot};
 use click_elements::telemetry::{
-    self, DeviceGauges, ElementProfile, FaultGauges, ShardGauges, SteerGauges, SwapGauges,
+    self, CheckpointGauges, DeviceGauges, ElementProfile, FaultGauges, ShardGauges, SteerGauges,
+    SwapGauges,
 };
 use click_opt::profile::Profile;
 use click_opt::tool::parse_args;
@@ -85,13 +94,67 @@ fn usage() -> ! {
         "usage: click-report [--ifaces N] [--shards K] [--steerers J] \
          [--packets P] [--batched BURST] [--source LABEL] [--out FILE] \
          [--emit-config] [--faults] [--devices] [--swap NEW.click] \
-         [CONFIG.click]"
+         [--checkpoints DIR] [CONFIG.click]"
     );
     std::process::exit(2);
 }
 
 /// One frame of the trace: (receiving device name, packet).
 type Frame = (String, Packet);
+
+/// What `--checkpoints DIR` reports: the directory's state mapped onto
+/// the always-live gauge structure, plus a stderr ledger line for the
+/// newest recoverable generation. A missing or empty directory is not
+/// an error — it reports as zero generations.
+fn inspect_checkpoints(dir: &str) -> CheckpointGauges {
+    let mut g = CheckpointGauges::default();
+    let store = match CheckpointStore::open(dir, 1) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("click-report: checkpoints: {e}");
+            return g;
+        }
+    };
+    let generations = store.generations();
+    let (latest, torn) = store.latest_valid();
+    g.checkpoints_written = generations.len() as u64;
+    g.torn_discarded = torn;
+    match latest {
+        Some(ckpt) => {
+            g.last_generation = ckpt.generation;
+            g.quiesce_ns_last = ckpt.quiesce_ns;
+            g.packets_persisted = ckpt.packet_count();
+            eprintln!(
+                "click-report: checkpoints: {} generation(s) in {dir}, newest valid {} \
+                 ({} torn above it), config hash {:016x}",
+                generations.len(),
+                ckpt.generation,
+                torn,
+                ckpt.config_hash
+            );
+            eprintln!(
+                "click-report: checkpoints: ledger at generation {}: injected {} == tx {} \
+                 + drops {} (+ in-flight {} packet(s) persisted), quiesce {} ns",
+                ckpt.generation,
+                ckpt.ledger.injected,
+                ckpt.ledger.tx,
+                ckpt.ledger.drops,
+                ckpt.packet_count(),
+                ckpt.quiesce_ns
+            );
+        }
+        None => {
+            g.cold_starts = 1;
+            eprintln!(
+                "click-report: checkpoints: no valid generation in {dir} \
+                 ({} file(s), {} torn) — a restart here cold-starts",
+                generations.len(),
+                torn
+            );
+        }
+    }
+    g
+}
 
 /// The IP-router workload: cross-interface UDP flows, as in the benches.
 fn ip_router_frames(spec: &IpRouterSpec, n: usize, packets: usize) -> Vec<Frame> {
@@ -187,7 +250,9 @@ fn run_serial<S: Slot>(
         .collect();
     let mut tx = 0u64;
     for name in &names {
-        let id = router.devices.id(name).expect("known device");
+        let Some(id) = router.devices.id(name) else {
+            continue;
+        };
         tx += router.devices.recycle_tx(id) as u64;
     }
     let devices = if devices_flag {
@@ -275,7 +340,9 @@ fn run_sharded<S: Slot + 'static>(
     let names: Vec<String> = router.device_names().to_vec();
     let mut tx = 0u64;
     for name in &names {
-        let id = router.device_id(name).expect("known device");
+        let Some(id) = router.device_id(name) else {
+            continue;
+        };
         tx += router.take_tx(id).len() as u64;
     }
     let profiles = router.telemetry_profiles();
@@ -299,7 +366,15 @@ fn main() {
     let (flags, positional) = parse_args(
         &args,
         &[
-            "ifaces", "shards", "steerers", "packets", "batched", "source", "out", "swap",
+            "ifaces",
+            "shards",
+            "steerers",
+            "packets",
+            "batched",
+            "source",
+            "out",
+            "swap",
+            "checkpoints",
         ],
     );
     let mut ifaces = 4usize;
@@ -310,6 +385,7 @@ fn main() {
     let mut source: Option<String> = None;
     let mut out: Option<String> = None;
     let mut swap_path: Option<String> = None;
+    let mut checkpoints_dir: Option<String> = None;
     let mut emit_config = false;
     let mut faults_flag = false;
     let mut devices_flag = false;
@@ -329,6 +405,7 @@ fn main() {
             "source" => source = value.clone(),
             "out" => out = value.clone(),
             "swap" => swap_path = value.clone(),
+            "checkpoints" => checkpoints_dir = value.clone(),
             "emit-config" => emit_config = true,
             "faults" => faults_flag = true,
             "devices" => devices_flag = true,
@@ -473,6 +550,7 @@ fn main() {
         faults: if faults_flag { fault_gauges } else { None },
         swap: swap_gauges,
         devices,
+        checkpoints: checkpoints_dir.as_deref().map(inspect_checkpoints),
         ..Profile::default()
     };
     let json = profile.to_json();

@@ -34,7 +34,8 @@ use click_core::config::split_args;
 use click_core::error::{Error, Result};
 use click_core::graph::{PortRef, RouterGraph};
 use click_elements::telemetry::{
-    DeviceGauges, ElementProfile, FaultGauges, ReoptGauges, ShardGauges, SteerGauges, SwapGauges,
+    CheckpointGauges, DeviceGauges, ElementProfile, FaultGauges, ReoptGauges, ShardGauges,
+    SteerGauges, SwapGauges,
 };
 
 /// Schema version written by [`Profile::to_json`]. Version history:
@@ -46,11 +47,15 @@ use click_elements::telemetry::{
 /// * **3** — adds the optional `devices` section: per-device I/O and
 ///   supervision gauges from the real-I/O backends (`click-report
 ///   --devices`, `click-pcap`).
+/// * **4** — adds the optional `checkpoints` section: persistence-layer
+///   gauges (snapshots cut, torn files skipped, warm restarts, quiesce
+///   pauses) from `click-pcap`'s crash drill and `click-report
+///   --checkpoints`.
 ///
 /// [`Profile::from_json`] accepts any version ≤ the current one (fields
 /// it does not know default), so older tools keep reading newer profiles
 /// of the same major shape and newer tools read version-less exports.
-pub const PROFILE_VERSION: u32 = 3;
+pub const PROFILE_VERSION: u32 = 4;
 
 /// A runtime profile: one record per element instance, merged across
 /// shards, plus per-shard runtime gauges. Produced by `click-report`,
@@ -92,6 +97,10 @@ pub struct Profile {
     /// flaps, reopens, drain losses) from the real-I/O backend layer;
     /// empty for simulated runs and pre-version-3 profiles.
     pub devices: Vec<DeviceGauges>,
+    /// Checkpoint/restore gauges (snapshots cut, torn files skipped,
+    /// warm restarts, quiesce pauses) from the persistence layer;
+    /// `None` when no checkpointing ran or for pre-version-4 profiles.
+    pub checkpoints: Option<CheckpointGauges>,
 }
 
 impl Default for Profile {
@@ -109,6 +118,7 @@ impl Default for Profile {
             swap: None,
             reopt: None,
             devices: Vec::new(),
+            checkpoints: None,
         }
     }
 }
@@ -250,6 +260,24 @@ impl Profile {
                 r.autotune_runs
             ));
         }
+        if let Some(c) = self.checkpoints {
+            s.push_str(&format!(
+                ",\n  \"checkpoints\": {{\"checkpoints_written\": {}, \
+                 \"checkpoint_failures\": {}, \"torn_discarded\": {}, \
+                 \"restores\": {}, \"cold_starts\": {}, \
+                 \"last_generation\": {}, \"quiesce_ns_last\": {}, \
+                 \"quiesce_ns_total\": {}, \"packets_persisted\": {}}}",
+                c.checkpoints_written,
+                c.checkpoint_failures,
+                c.torn_discarded,
+                c.restores,
+                c.cold_starts,
+                c.last_generation,
+                c.quiesce_ns_last,
+                c.quiesce_ns_total,
+                c.packets_persisted
+            ));
+        }
         s.push_str("\n}\n");
         s
     }
@@ -275,6 +303,7 @@ impl Profile {
             swap: None,
             reopt: None,
             devices: Vec::new(),
+            checkpoints: None,
         };
         if let Some(Json::Arr(items)) = v.get("elements") {
             for item in items {
@@ -382,6 +411,20 @@ impl Profile {
                 rollbacks: g("rollbacks"),
                 thrash_suppressed: g("thrash_suppressed"),
                 autotune_runs: g("autotune_runs"),
+            });
+        }
+        if let Some(c) = v.get("checkpoints") {
+            let g = |k: &str| c.get(k).and_then(Json::as_u64).unwrap_or(0);
+            p.checkpoints = Some(CheckpointGauges {
+                checkpoints_written: g("checkpoints_written"),
+                checkpoint_failures: g("checkpoint_failures"),
+                torn_discarded: g("torn_discarded"),
+                restores: g("restores"),
+                cold_starts: g("cold_starts"),
+                last_generation: g("last_generation"),
+                quiesce_ns_last: g("quiesce_ns_last"),
+                quiesce_ns_total: g("quiesce_ns_total"),
+                packets_persisted: g("packets_persisted"),
             });
         }
         Ok(p)

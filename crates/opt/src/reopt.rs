@@ -35,13 +35,14 @@ use crate::fastclassifier::fastclassifier;
 use crate::profile::{apply_profile, Profile, ProfileReport};
 use click_core::error::Result;
 use click_core::graph::RouterGraph;
-use click_core::lang::read_config;
+use click_core::lang::{read_config, write_config};
 use click_core::registry::Library;
 use click_elements::element::DeviceId;
 use click_elements::fast::FastElement;
 use click_elements::headers::build_udp_packet;
 use click_elements::packet::Packet;
 use click_elements::parallel::ParallelRouter;
+use click_elements::persist::{CheckpointDaemon, CheckpointEngine};
 use click_elements::router::{Router, Slot};
 use click_elements::swap::SwapReport;
 use click_elements::telemetry::{ElementProfile, ReoptGauges};
@@ -414,6 +415,12 @@ pub trait MorphTarget {
     fn take_tx(&mut self, dev: DeviceId) -> Vec<Packet>;
     /// Configuration names of every device.
     fn device_names(&self) -> Vec<String>;
+    /// The engine's checkpoint surface, if it has one. Both shipped
+    /// engines do; the default `None` keeps bare test targets working
+    /// (they simply never persist).
+    fn checkpoint_engine(&mut self) -> Option<&mut dyn CheckpointEngine> {
+        None
+    }
 }
 
 impl<S: Slot> MorphTarget for Router<S> {
@@ -441,6 +448,9 @@ impl<S: Slot> MorphTarget for Router<S> {
     }
     fn device_names(&self) -> Vec<String> {
         self.devices.names().iter().map(|s| s.to_string()).collect()
+    }
+    fn checkpoint_engine(&mut self) -> Option<&mut dyn CheckpointEngine> {
+        Some(self)
     }
 }
 
@@ -473,6 +483,9 @@ impl MorphTarget for ParallelRouter {
     }
     fn device_names(&self) -> Vec<String> {
         ParallelRouter::device_names(self).to_vec()
+    }
+    fn checkpoint_engine(&mut self) -> Option<&mut dyn CheckpointEngine> {
+        Some(self)
     }
 }
 
@@ -534,6 +547,13 @@ pub struct MorphDaemon<T: MorphTarget> {
     /// fixed at construction, so the search informs the next deployment
     /// rather than the running router.
     pub last_tuning: Option<TunedWorkload>,
+    /// The attached checkpoint daemon, if any: cuts a snapshot after
+    /// every kept swap (so a restart resumes on the new artifact) and on
+    /// the daemon's own traffic interval.
+    ckpt: Option<CheckpointDaemon>,
+    /// Cumulative packets injected through [`MorphDaemon::step`] — the
+    /// `injected` side of the checkpoints' ledger.
+    ckpt_injected: u64,
 }
 
 impl<T: MorphTarget> MorphDaemon<T> {
@@ -548,7 +568,30 @@ impl<T: MorphTarget> MorphDaemon<T> {
             pending: None,
             mutate_candidate: None,
             last_tuning: None,
+            ckpt: None,
+            ckpt_injected: 0,
         }
+    }
+
+    /// Attaches a checkpoint daemon: from now on the loop cuts a
+    /// snapshot after every kept swap — stamped with the new artifact's
+    /// configuration text, so a warm restart resumes *optimized* — and
+    /// whenever the daemon's traffic interval elapses. The daemon's
+    /// installed config is (re)set to the current artifact.
+    pub fn attach_checkpoints(&mut self, mut daemon: CheckpointDaemon) {
+        daemon.set_config(write_config(&self.artifact));
+        self.ckpt = Some(daemon);
+    }
+
+    /// The attached checkpoint daemon, if any.
+    pub fn checkpoint_daemon(&self) -> Option<&CheckpointDaemon> {
+        self.ckpt.as_ref()
+    }
+
+    /// Detaches and returns the checkpoint daemon (to hand to a
+    /// successor incarnation).
+    pub fn take_checkpoints(&mut self) -> Option<CheckpointDaemon> {
+        self.ckpt.take()
     }
 
     /// The driven router.
@@ -597,25 +640,53 @@ impl<T: MorphTarget> MorphDaemon<T> {
                 injected += 1;
             }
         }
-        if let Some(plan) = self.pending.take() {
-            return self.judge_install(plan, frames, drops_before, injected);
-        }
-        self.target.settle();
-        self.last_drop_rate = drop_rate(self.target.drops() - drops_before, injected);
-        let decision = self.ctrl.observe_window(&self.target.profiles())?;
-        Ok(match decision {
-            WindowDecision::Quiet => WindowOutcome::Quiet,
-            WindowDecision::Stable => WindowOutcome::Stable,
-            WindowDecision::Suppressed(r) => WindowOutcome::Suppressed(r),
-            WindowDecision::Recompile(mut plan) => {
-                if let Some(hook) = &mut self.mutate_candidate {
-                    hook(&mut plan.artifact);
+        let outcome = if let Some(plan) = self.pending.take() {
+            self.judge_install(plan, frames, drops_before, injected)?
+        } else {
+            self.target.settle();
+            self.last_drop_rate = drop_rate(self.target.drops() - drops_before, injected);
+            let decision = self.ctrl.observe_window(&self.target.profiles())?;
+            match decision {
+                WindowDecision::Quiet => WindowOutcome::Quiet,
+                WindowDecision::Stable => WindowOutcome::Stable,
+                WindowDecision::Suppressed(r) => WindowOutcome::Suppressed(r),
+                WindowDecision::Recompile(mut plan) => {
+                    if let Some(hook) = &mut self.mutate_candidate {
+                        hook(&mut plan.artifact);
+                    }
+                    let improvement = plan.improvement;
+                    self.pending = Some(plan);
+                    WindowOutcome::Scheduled { improvement }
                 }
-                let improvement = plan.improvement;
-                self.pending = Some(plan);
-                WindowOutcome::Scheduled { improvement }
             }
-        })
+        };
+        self.checkpoint_after(injected, matches!(outcome, WindowOutcome::SwapKept { .. }));
+        Ok(outcome)
+    }
+
+    /// End-of-window checkpoint hook: after a kept swap the daemon's
+    /// installed config advances to the new artifact and a snapshot is
+    /// cut immediately; otherwise one is cut when the daemon's traffic
+    /// interval elapses. Checkpoint failures are counted in the gauges,
+    /// never propagated — durability must not take the loop down.
+    /// Ledger note: these checkpoints carry the loop's cumulative
+    /// `injected` count and a zero `tx` (the daemon does not drain TX;
+    /// the harness that does also runs its own ledgered checkpoints).
+    fn checkpoint_after(&mut self, injected: u64, kept: bool) {
+        self.ckpt_injected += injected;
+        let Some(daemon) = self.ckpt.as_mut() else {
+            return;
+        };
+        let due = daemon.note_traffic(injected);
+        if !(kept || due) {
+            return;
+        }
+        if kept {
+            daemon.set_config(write_config(&self.artifact));
+        }
+        if let Some(engine) = self.target.checkpoint_engine() {
+            let _ = daemon.checkpoint_now(engine, self.ckpt_injected, 0);
+        }
     }
 
     /// Judgment window: the candidate installs against the traffic just

@@ -329,6 +329,8 @@ fn steering_gauges_attribute_every_packet_to_one_steerer() {
         faults: None,
         swap: None,
         reopt: None,
+        devices: Vec::new(),
+        checkpoints: None,
     };
     let back = Profile::from_json(&profile.to_json()).expect("round trip");
     assert_eq!(back, profile);
@@ -365,6 +367,7 @@ fn click_profile_round_trip_preserves_classification() {
         swap: None,
         reopt: None,
         devices: Vec::new(),
+        checkpoints: None,
     };
 
     let report = apply_profile(&mut profiled, &profile).expect("profile applies");
